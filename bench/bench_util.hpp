@@ -1,0 +1,37 @@
+// Shared helpers for the figure/table reproduction binaries. Each bench is a
+// standalone executable that prints the same rows/series as the paper's
+// artefact and drops a CSV next to the binary (bench_out/<name>.csv).
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/common/table.hpp"
+
+namespace st2::bench {
+
+/// Benchmark scale factor: BENCH_SCALE env var overrides the default 0.5
+/// (full evaluation inputs = 1.0; CI smoke = 0.25).
+inline double bench_scale() {
+  if (const char* s = std::getenv("BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0 && v <= 4.0) return v;
+  }
+  return 0.5;
+}
+
+/// Prints the table and writes its CSV to bench_out/<stem>.csv.
+inline void emit(const Table& t, const std::string& stem) {
+  std::cout << t << "\n";
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  if (!ec) {
+    std::ofstream csv("bench_out/" + stem + ".csv");
+    csv << t.to_csv();
+  }
+}
+
+}  // namespace st2::bench

@@ -1,0 +1,48 @@
+// Figure 1: dynamic instruction mix per kernel — ALU Add, ALU Other,
+// FPU Add, FPU Other, Other — showing that ALU/FPU operations are prevalent
+// (the paper: 21 of 23 kernels execute >20% ALU+FPU instructions).
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/common/table.hpp"
+#include "src/sim/trace_run.hpp"
+#include "src/workloads/workload.hpp"
+
+int main() {
+  using namespace st2;
+  const double scale = bench::bench_scale();
+
+  Table t("Figure 1: dynamic instruction mix (fraction of thread instructions)");
+  t.header({"kernel", "ALU Add", "ALU Other", "FPU Add", "FPU Other", "Other",
+            "ALU+FPU"});
+
+  int arithmetic_heavy = 0;
+  double sum_arith = 0.0;
+  int n = 0;
+  for (const auto& info : workloads::case_list()) {
+    workloads::PreparedCase pc = workloads::prepare_case(info.name, scale);
+    sim::EventCounters c;
+    for (const auto& lc : pc.launches) {
+      c += sim::trace_run(pc.kernel, lc, *pc.mem).counters;
+    }
+    const double total = double(c.thread_instructions);
+    const double alu_add = c.fig1_alu_add / total;
+    const double alu_other = c.fig1_alu_other / total;
+    const double fpu_add = c.fig1_fpu_add / total;
+    const double fpu_other = c.fig1_fpu_other / total;
+    const double other = c.fig1_other / total;
+    const double arith = alu_add + alu_other + fpu_add + fpu_other;
+    if (arith > 0.20) ++arithmetic_heavy;
+    sum_arith += arith;
+    ++n;
+    t.row({info.name, Table::pct(alu_add), Table::pct(alu_other),
+           Table::pct(fpu_add), Table::pct(fpu_other), Table::pct(other),
+           Table::pct(arith)});
+  }
+  bench::emit(t, "fig1_instruction_mix");
+  std::cout << "Kernels with >20% ALU+FPU instructions: " << arithmetic_heavy
+            << " / " << n << "   (paper: 21 / 23)\n";
+  std::cout << "Average ALU+FPU instruction share: "
+            << Table::pct(sum_arith / n) << "\n";
+  return 0;
+}

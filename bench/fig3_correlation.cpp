@@ -1,0 +1,57 @@
+// Figure 3: 8-bit-slice carry-in correlation across the temporal and spatial
+// axes, per kernel. Three measurements, as in the paper:
+//   Prev+Gtid        — previous add by the same thread, any PC (~50% match)
+//   Prev+FullPC+Gtid — previous add at the same PC by the same thread (~83%)
+//   Prev+FullPC+Ltid — previous add at the same PC by any thread in the same
+//                      warp lane (~89%)
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/common/table.hpp"
+#include "src/sim/spec_harness.hpp"
+#include "src/sim/trace_run.hpp"
+#include "src/workloads/workload.hpp"
+
+int main() {
+  using namespace st2;
+  const double scale = bench::bench_scale();
+
+  const std::vector<spec::SpeculationConfig> cfgs = {
+      spec::SpeculationConfig::prev_gtid(),
+      spec::SpeculationConfig::prev_fullpc_gtid(),
+      spec::SpeculationConfig::prev_fullpc_ltid(),
+  };
+
+  Table t("Figure 3: slice carry-in match rate across temporal & spatial axes");
+  t.header({"kernel", "Prev+Gtid", "Prev+FullPC+Gtid", "Prev+FullPC+Ltid"});
+
+  std::vector<double> sums(cfgs.size(), 0.0);
+  int n = 0;
+  for (const auto& info : workloads::case_list()) {
+    workloads::PreparedCase pc = workloads::prepare_case(info.name, scale);
+    std::vector<sim::SpeculationHarness> hs;
+    hs.reserve(cfgs.size());
+    for (const auto& c : cfgs) hs.emplace_back(c);
+    auto obs = [&](const sim::ExecRecord& rec) {
+      for (auto& h : hs) h.feed(rec);
+    };
+    for (const auto& lc : pc.launches) {
+      sim::trace_run(pc.kernel, lc, *pc.mem, obs);
+    }
+    std::vector<std::string> row{info.name};
+    for (std::size_t i = 0; i < hs.size(); ++i) {
+      const double match = hs[i].bit_match_rate();
+      sums[i] += match;
+      row.push_back(Table::pct(match));
+    }
+    t.row(std::move(row));
+    ++n;
+  }
+  t.row({"Average", Table::pct(sums[0] / n), Table::pct(sums[1] / n),
+         Table::pct(sums[2] / n)});
+  bench::emit(t, "fig3_correlation");
+  std::cout << "Paper averages: Prev+Gtid 50%, Prev+FullPC+Gtid 83%, "
+               "Prev+FullPC+Ltid 89%\n";
+  return 0;
+}

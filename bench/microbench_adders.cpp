@@ -1,0 +1,142 @@
+// Google-benchmark microbenchmarks of the adder models themselves: simulation
+// throughput of each design on a correlated value stream, plus the
+// gate-level evaluator. These guard the simulator's own performance (the
+// figure benches run millions of these operations).
+#include <benchmark/benchmark.h>
+
+#include "src/adder/adders.hpp"
+#include "src/circuit/adder_netlists.hpp"
+#include "src/circuit/st2_slice.hpp"
+#include "src/common/rng.hpp"
+#include "src/spec/predictor.hpp"
+
+namespace {
+
+using namespace st2;
+
+/// Correlated operand stream: a loop-counter-like sequence plus data values
+/// of slowly-evolving magnitude, like Section III describes.
+struct Stream {
+  Xoshiro256 rng{123};
+  std::uint64_t counter = 0;
+  std::uint64_t magnitude = 1000;
+
+  std::pair<std::uint64_t, std::uint64_t> next() {
+    ++counter;
+    magnitude += rng.next_below(64);
+    return {counter, magnitude + rng.next_below(256)};
+  }
+};
+
+void BM_ReferenceAdder(benchmark::State& state) {
+  adder::ReferenceAdder a;
+  Stream s;
+  for (auto _ : state) {
+    auto [x, y] = s.next();
+    benchmark::DoNotOptimize(a.add(x, y, false));
+  }
+}
+BENCHMARK(BM_ReferenceAdder);
+
+void BM_CslaAdder(benchmark::State& state) {
+  adder::CslaAdder a;
+  Stream s;
+  for (auto _ : state) {
+    auto [x, y] = s.next();
+    benchmark::DoNotOptimize(a.add(x, y, false));
+  }
+}
+BENCHMARK(BM_CslaAdder);
+
+void BM_VlsaAdder(benchmark::State& state) {
+  adder::VlsaAdder a(4);
+  Stream s;
+  for (auto _ : state) {
+    auto [x, y] = s.next();
+    benchmark::DoNotOptimize(a.add(x, y, false));
+  }
+}
+BENCHMARK(BM_VlsaAdder);
+
+void BM_St2Adder(benchmark::State& state) {
+  adder::St2Adder a;
+  spec::CarrySpeculator sp(spec::st2_config());
+  Stream s;
+  std::uint64_t pc = 0;
+  for (auto _ : state) {
+    auto [x, y] = s.next();
+    spec::AddOp op;
+    op.pc = (pc++) & 7;
+    op.ltid = static_cast<std::uint32_t>(pc & 31);
+    op.a = x;
+    op.b = y;
+    benchmark::DoNotOptimize(a.add(op, sp));
+  }
+}
+BENCHMARK(BM_St2Adder);
+
+void BM_SpeculatorPredictResolve(benchmark::State& state) {
+  spec::CarrySpeculator sp(spec::st2_config());
+  Stream s;
+  std::uint64_t pc = 0;
+  for (auto _ : state) {
+    auto [x, y] = s.next();
+    spec::AddOp op;
+    op.pc = (pc++) & 15;
+    op.ltid = static_cast<std::uint32_t>(pc & 31);
+    op.a = x;
+    op.b = y;
+    const spec::Prediction pred = sp.predict(op);
+    benchmark::DoNotOptimize(sp.resolve(op, pred));
+  }
+}
+BENCHMARK(BM_SpeculatorPredictResolve);
+
+void BM_GateLevelSt2Adder64(benchmark::State& state) {
+  circuit::GateLevelSt2Adder gla(8);
+  spec::CarrySpeculator sp(spec::st2_config());
+  Stream s;
+  std::uint64_t pc = 0;
+  for (auto _ : state) {
+    auto [x, y] = s.next();
+    spec::AddOp op;
+    op.pc = (pc++) & 15;
+    op.ltid = static_cast<std::uint32_t>(pc & 31);
+    op.a = x;
+    op.b = y;
+    const spec::Prediction pred = sp.predict(op);
+    (void)sp.resolve(op, pred);
+    benchmark::DoNotOptimize(
+        gla.add(x, y, false, pred.carries, pred.peek_mask));
+  }
+}
+BENCHMARK(BM_GateLevelSt2Adder64);
+
+void BM_GateLevelRipple8(benchmark::State& state) {
+  circuit::Netlist nl;
+  const circuit::AdderPorts ports = circuit::build_ripple_carry(nl, 8);
+  circuit::Evaluator ev(nl);
+  Stream s;
+  for (auto _ : state) {
+    auto [x, y] = s.next();
+    benchmark::DoNotOptimize(
+        circuit::drive_adder(ev, nl, ports, x & 0xff, y & 0xff, false));
+  }
+}
+BENCHMARK(BM_GateLevelRipple8);
+
+void BM_GateLevelBrentKung64(benchmark::State& state) {
+  circuit::Netlist nl;
+  const circuit::AdderPorts ports = circuit::build_brent_kung(nl, 64);
+  circuit::Evaluator ev(nl);
+  Stream s;
+  for (auto _ : state) {
+    auto [x, y] = s.next();
+    benchmark::DoNotOptimize(circuit::drive_adder(ev, nl, ports, x, y, false));
+  }
+}
+BENCHMARK(BM_GateLevelBrentKung64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Plot the bench CSVs (bench_out/*.csv) as PNG charts.
+
+Usage:
+  python3 scripts/plot_benches.py [bench_out] [plots]
+
+Requires matplotlib. Each supported CSV gets a figure mirroring the paper's
+artefact: stacked bars for the instruction mix and energy breakdown, bar
+charts for the DSE and per-kernel misprediction rates, and the Figure-2
+value-evolution scatter.
+"""
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    return rows[0], rows[1:]
+
+
+def pct(s):
+    return float(s.rstrip("%"))
+
+
+def main():
+    indir = sys.argv[1] if len(sys.argv) > 1 else "bench_out"
+    outdir = sys.argv[2] if len(sys.argv) > 2 else "plots"
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; install it to plot")
+        return 1
+    os.makedirs(outdir, exist_ok=True)
+
+    def save(fig, name):
+        fig.tight_layout()
+        fig.savefig(os.path.join(outdir, name), dpi=150)
+        print("wrote", os.path.join(outdir, name))
+
+    # Figure 1: stacked instruction mix.
+    p = os.path.join(indir, "fig1_instruction_mix.csv")
+    if os.path.exists(p):
+        hdr, rows = read_csv(p)
+        kernels = [r[0] for r in rows]
+        fig, ax = plt.subplots(figsize=(12, 4))
+        bottom = [0.0] * len(rows)
+        for ci, label in enumerate(hdr[1:6], start=1):
+            vals = [pct(r[ci]) for r in rows]
+            ax.bar(kernels, vals, bottom=bottom, label=label)
+            bottom = [b + v for b, v in zip(bottom, vals)]
+        ax.set_ylabel("% of dynamic instructions")
+        ax.legend(ncol=5, fontsize=8)
+        ax.tick_params(axis="x", rotation=75)
+        save(fig, "fig1_instruction_mix.png")
+
+    # Figure 2: value evolution scatter.
+    p = os.path.join(indir, "fig2_value_evolution.csv")
+    if os.path.exists(p):
+        _, rows = read_csv(p)
+        fig, ax = plt.subplots(figsize=(8, 4))
+        for label in sorted({r[1] for r in rows}):
+            xs = [int(r[0]) for r in rows if r[1] == label]
+            ys = [int(r[2]) for r in rows if r[1] == label]
+            ax.plot(xs, ys, "o-", ms=3, lw=0.7, label=label)
+        ax.set_xlabel("logical time")
+        ax.set_ylabel("addition result")
+        ax.set_yscale("symlog")
+        ax.legend(ncol=4, fontsize=8)
+        save(fig, "fig2_value_evolution.png")
+
+    # Figure 5: DSE bar chart.
+    p = os.path.join(indir, "fig5_dse.csv")
+    if os.path.exists(p):
+        _, rows = read_csv(p)
+        fig, ax = plt.subplots(figsize=(9, 4))
+        ax.bar([r[0] for r in rows], [pct(r[1]) for r in rows])
+        ax.set_ylabel("avg thread misprediction %")
+        ax.tick_params(axis="x", rotation=75)
+        save(fig, "fig5_dse.png")
+
+    # Figure 6: per-kernel misprediction.
+    p = os.path.join(indir, "fig6_misprediction.csv")
+    if os.path.exists(p):
+        _, rows = read_csv(p)
+        rows = [r for r in rows if r[0] != "Average"]
+        fig, ax = plt.subplots(figsize=(11, 3.5))
+        ax.bar([r[0] for r in rows], [pct(r[1]) for r in rows])
+        ax.set_ylabel("thread mispred %")
+        ax.tick_params(axis="x", rotation=75)
+        save(fig, "fig6_misprediction.png")
+
+    # Figure 7: normalized energy bars + breakdown.
+    p = os.path.join(indir, "fig7_energy.csv")
+    if os.path.exists(p):
+        _, rows = read_csv(p)
+        rows = [r for r in rows if r[0] != "Average"]
+        fig, ax = plt.subplots(figsize=(11, 3.5))
+        ax.bar([r[0] for r in rows], [float(r[2]) for r in rows])
+        ax.axhline(1.0, color="k", lw=0.8)
+        ax.set_ylabel("ST2 energy (baseline = 1)")
+        ax.set_ylim(0.6, 1.05)
+        ax.tick_params(axis="x", rotation=75)
+        save(fig, "fig7_energy.png")
+
+    p = os.path.join(indir, "fig7_breakdown.csv")
+    if os.path.exists(p):
+        hdr, rows = read_csv(p)
+        fig, ax = plt.subplots(figsize=(12, 4))
+        bottom = [0.0] * len(rows)
+        for ci, label in enumerate(hdr[1:], start=1):
+            vals = [pct(r[ci]) for r in rows]
+            ax.bar([r[0] for r in rows], vals, bottom=bottom, label=label)
+            bottom = [b + v for b, v in zip(bottom, vals)]
+        ax.set_ylabel("% of baseline system energy")
+        ax.legend(ncol=5, fontsize=7)
+        ax.tick_params(axis="x", rotation=75)
+        save(fig, "fig7_breakdown.png")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+// Cycle- and energy-accounting functional models of the adder designs the
+// paper evaluates (Sections II-B, IV, VII):
+//
+//  * ReferenceAdder    — monolithic DesignWare-class adder, 1 cycle, nominal V
+//  * CslaAdder         — carry-select: every slice computes both hypotheses
+//  * ApproximateAdder  — speculative without correction (wrong on mispredict)
+//  * VlsaAdder         — variable-latency, window-based carry estimate
+//  * St2Adder          — the paper's design: per-slice history + peek, CSLA-
+//                        style one-cycle recovery on misprediction
+//
+// All models return bit-exact sums except ApproximateAdder (whose point is
+// that it does not). Widths are expressed in slices: 8 for 64-bit integer,
+// 4 for 32-bit, 3 for FP32 mantissas, 7 for FP64 mantissas.
+#pragma once
+
+#include <cstdint>
+
+#include "src/adder/energy_params.hpp"
+#include "src/common/bitutils.hpp"
+#include "src/spec/predictor.hpp"
+
+namespace st2::adder {
+
+struct AddOutcome {
+  std::uint64_t sum = 0;       ///< low num_slices*8 bits valid, plus cout
+  bool cout = false;
+  bool correct = true;         ///< false only for ApproximateAdder errors
+  int cycles = 1;
+  bool mispredicted = false;
+  int slices_recomputed = 0;
+  double energy = 0.0;
+};
+
+/// Monolithic reference adder: always 1 cycle, full nominal energy.
+class ReferenceAdder {
+ public:
+  explicit ReferenceAdder(const EnergyParams& ep = {}) : ep_(ep) {}
+  AddOutcome add(std::uint64_t a, std::uint64_t b, bool cin,
+                 int num_slices = kNumSlices) const;
+
+ private:
+  EnergyParams ep_;
+};
+
+/// Carry-select adder at the scaled supply: both carry hypotheses for every
+/// slice above the first, always; single cycle.
+class CslaAdder {
+ public:
+  explicit CslaAdder(const EnergyParams& ep = {}) : ep_(ep) {}
+  AddOutcome add(std::uint64_t a, std::uint64_t b, bool cin,
+                 int num_slices = kNumSlices) const;
+
+ private:
+  EnergyParams ep_;
+};
+
+/// Approximate speculative adder: slices run with predicted carries and no
+/// error correction — the returned sum is wrong whenever a carry was
+/// mispredicted. The default predictor is static zero (as in ACA-style
+/// designs).
+class ApproximateAdder {
+ public:
+  explicit ApproximateAdder(const EnergyParams& ep = {}) : ep_(ep) {}
+  AddOutcome add(std::uint64_t a, std::uint64_t b, bool cin,
+                 int num_slices = kNumSlices) const;
+
+ private:
+  EnergyParams ep_;
+};
+
+/// CASA (Liu et al. ISLPED'14, as summarized by the ST2 paper): approximate
+/// speculative adder whose per-slice carry-ins are statically predicted from
+/// the input operands — a short lookahead window below each slice boundary —
+/// with no error correction: results are wrong whenever the window missed a
+/// longer carry chain. (VaLHALLA later extended this idea to variable
+/// latency.)
+class CasaAdder {
+ public:
+  explicit CasaAdder(int window_bits = 4, const EnergyParams& ep = {});
+  AddOutcome add(std::uint64_t a, std::uint64_t b, bool cin,
+                 int num_slices = kNumSlices) const;
+
+ private:
+  int window_bits_;
+  EnergyParams ep_;
+};
+
+/// Variable-latency speculative adder (VLSA, Verma et al. DATE'08 as
+/// summarized by the ST2 paper): predicts each slice's carry-in by rippling a
+/// `window_bits`-wide lookahead below the slice boundary (carry assumed 0
+/// into the window), detects mispredictions and repairs them with one extra
+/// cycle. No history, no peek.
+class VlsaAdder {
+ public:
+  explicit VlsaAdder(int window_bits = 4, const EnergyParams& ep = {});
+  AddOutcome add(std::uint64_t a, std::uint64_t b, bool cin,
+                 int num_slices = kNumSlices) const;
+
+ private:
+  int window_bits_;
+  EnergyParams ep_;
+};
+
+/// The ST2 sliced adder. Prediction and history live outside (in a
+/// spec::CarrySpeculator or the CRF); this class models the datapath:
+/// execute with predicted carries, detect, recompute the affected non-peeked
+/// slices with the inverse carry, select. Guaranteed correct, 1 or 2 cycles.
+class St2Adder {
+ public:
+  explicit St2Adder(const EnergyParams& ep = {}) : ep_(ep) {}
+
+  /// `pred` must come from a speculator's predict() on the same operands;
+  /// `outcome` from the matching resolve(). Deterministic given those.
+  AddOutcome add(std::uint64_t a, std::uint64_t b, bool cin, int num_slices,
+                 const spec::Prediction& pred,
+                 const spec::SpeculationOutcome& outcome) const;
+
+  /// Convenience: runs predict + resolve against `speculator` then the
+  /// datapath model.
+  AddOutcome add(const spec::AddOp& op, spec::CarrySpeculator& speculator) const;
+
+ private:
+  EnergyParams ep_;
+};
+
+}  // namespace st2::adder

@@ -1,0 +1,29 @@
+// Per-operation energy parameters for the functional adder models, in
+// normalized units where one 64-bit reference (DesignWare-stand-in) add at
+// nominal voltage costs 1.0.
+//
+// Defaults are derived from the gate-level characterization in st2::circuit
+// (see bench/tabB_circuit_dse and tests/circuit): 8-bit slices at the scaled
+// supply (~0.58 Vnom) cost ~3% of the reference add each; the CRF and level
+// shifters add small per-op charges. `from_circuit()` re-derives the slice
+// cost from a live characterization run for cross-checking.
+#pragma once
+
+namespace st2::adder {
+
+struct EnergyParams {
+  double e_reference_add = 1.0;   ///< 64-bit reference add at Vnom
+  double e_slice_scaled = 0.032;  ///< one 8-bit slice compute at V_scaled
+  double e_slice_nominal = 0.094; ///< one 8-bit slice compute at Vnom
+  double e_crf_access = 0.010;    ///< per-add share of the CRF row read
+  double e_crf_write = 0.010;     ///< per mispredicting thread write-back
+  double e_mux_select = 0.004;    ///< CSLA-style output select, per slice
+  double e_level_shift = 0.005;   ///< operand/result domain crossing, per add
+  double v_scaled = 0.58;         ///< supply chosen by the slice-width DSE
+
+  /// Re-derives slice energies from the gate-level models (slow: runs the
+  /// circuit characterization). `vectors` random operand pairs are used.
+  static EnergyParams from_circuit(int vectors = 500);
+};
+
+}  // namespace st2::adder

@@ -1,0 +1,201 @@
+#include "src/circuit/adder_netlists.hpp"
+
+#include <string>
+
+#include "src/common/bitutils.hpp"
+
+namespace st2::circuit {
+
+namespace {
+
+AdderPorts make_ports(Netlist& nl, int n) {
+  AdderPorts p;
+  p.a.reserve(static_cast<std::size_t>(n));
+  p.b.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) p.a.push_back(nl.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < n; ++i) p.b.push_back(nl.add_input("b" + std::to_string(i)));
+  p.cin = nl.add_input("cin");
+  return p;
+}
+
+void mark_outputs(Netlist& nl, AdderPorts& p) {
+  for (std::size_t i = 0; i < p.sum.size(); ++i) {
+    nl.mark_output(p.sum[i], "sum" + std::to_string(i));
+  }
+  nl.mark_output(p.cout, "cout");
+}
+
+/// Appends one full-adder cell; returns {sum, carry-out}.
+std::pair<NodeId, NodeId> full_adder(Netlist& nl, NodeId a, NodeId b,
+                                     NodeId c) {
+  const NodeId axb = nl.xor_(a, b);
+  const NodeId s = nl.xor_(axb, c);
+  const NodeId t1 = nl.and_(a, b);
+  const NodeId t2 = nl.and_(axb, c);
+  const NodeId co = nl.or_(t1, t2);
+  return {s, co};
+}
+
+}  // namespace
+
+AdderPorts build_ripple_carry(Netlist& nl, int n) {
+  ST2_EXPECTS(n >= 1 && n <= 64);
+  AdderPorts p = make_ports(nl, n);
+  NodeId carry = p.cin;
+  for (int i = 0; i < n; ++i) {
+    auto [s, co] = full_adder(nl, p.a[i], p.b[i], carry);
+    p.sum.push_back(s);
+    carry = co;
+  }
+  p.cout = carry;
+  mark_outputs(nl, p);
+  return p;
+}
+
+namespace {
+
+struct Pg {
+  NodeId p, g;
+};
+
+Pg combine(Netlist& nl, const Pg& hi, const Pg& lo) {
+  // (P,G) o (P',G') = (P&P', G | (P & G'))
+  return Pg{nl.and_(hi.p, lo.p), nl.or_(hi.g, nl.and_(hi.p, lo.g))};
+}
+
+AdderPorts build_prefix(Netlist& nl, int n, bool kogge_stone) {
+  ST2_EXPECTS(n >= 2 && n <= 64);
+  ST2_EXPECTS((n & (n - 1)) == 0);
+  AdderPorts ports = make_ports(nl, n);
+
+  std::vector<Pg> pg(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pg[static_cast<std::size_t>(i)] =
+        Pg{nl.xor_(ports.a[static_cast<std::size_t>(i)],
+                   ports.b[static_cast<std::size_t>(i)]),
+           nl.and_(ports.a[static_cast<std::size_t>(i)],
+                   ports.b[static_cast<std::size_t>(i)])};
+  }
+  const std::vector<Pg> initial = pg;  // per-bit propagate for the sum XOR
+
+  // Fold cin into bit 0's generate: g0' = g0 | (p0 & cin).
+  pg[0].g = nl.or_(pg[0].g, nl.and_(pg[0].p, ports.cin));
+
+  if (kogge_stone) {
+    std::vector<Pg> cur = pg;
+    for (int d = 1; d < n; d <<= 1) {
+      std::vector<Pg> next = cur;
+      for (int i = d; i < n; ++i) {
+        next[static_cast<std::size_t>(i)] =
+            combine(nl, cur[static_cast<std::size_t>(i)],
+                    cur[static_cast<std::size_t>(i - d)]);
+      }
+      cur = next;
+    }
+    pg = cur;
+  } else {
+    // Brent-Kung: up-sweep then down-sweep.
+    std::vector<Pg> cur = pg;
+    for (int d = 1; d < n; d <<= 1) {
+      for (int i = 2 * d - 1; i < n; i += 2 * d) {
+        cur[static_cast<std::size_t>(i)] =
+            combine(nl, cur[static_cast<std::size_t>(i)],
+                    cur[static_cast<std::size_t>(i - d)]);
+      }
+    }
+    for (int d = n / 4; d >= 1; d >>= 1) {
+      for (int i = 3 * d - 1; i < n; i += 2 * d) {
+        cur[static_cast<std::size_t>(i)] =
+            combine(nl, cur[static_cast<std::size_t>(i)],
+                    cur[static_cast<std::size_t>(i - d)]);
+      }
+    }
+    pg = cur;
+  }
+
+  // After the prefix network, pg[i].g is the carry *out of* bit i.
+  ports.sum.push_back(nl.xor_(initial[0].p, ports.cin));
+  for (int i = 1; i < n; ++i) {
+    ports.sum.push_back(nl.xor_(initial[static_cast<std::size_t>(i)].p,
+                                pg[static_cast<std::size_t>(i - 1)].g));
+  }
+  ports.cout = pg[static_cast<std::size_t>(n - 1)].g;
+  mark_outputs(nl, ports);
+  return ports;
+}
+
+}  // namespace
+
+AdderPorts build_brent_kung(Netlist& nl, int n) {
+  return build_prefix(nl, n, /*kogge_stone=*/false);
+}
+
+AdderPorts build_kogge_stone(Netlist& nl, int n) {
+  return build_prefix(nl, n, /*kogge_stone=*/true);
+}
+
+AdderPorts build_carry_select(Netlist& nl, int n, int slice_bits) {
+  ST2_EXPECTS(n >= 1 && n <= 64);
+  ST2_EXPECTS(slice_bits >= 1 && n % slice_bits == 0);
+  AdderPorts p = make_ports(nl, n);
+
+  NodeId carry = p.cin;
+  for (int base = 0; base < n; base += slice_bits) {
+    if (base == 0) {
+      // First section rides the real carry-in directly.
+      NodeId c = carry;
+      for (int i = 0; i < slice_bits; ++i) {
+        auto [s, co] = full_adder(nl, p.a[static_cast<std::size_t>(i)],
+                                  p.b[static_cast<std::size_t>(i)], c);
+        p.sum.push_back(s);
+        c = co;
+      }
+      carry = c;
+      continue;
+    }
+    // Two speculative ripple sections, one per carry hypothesis, then muxes.
+    const NodeId zero = nl.add_const(false);
+    const NodeId one = nl.add_const(true);
+    std::vector<NodeId> sum0, sum1;
+    NodeId c0 = zero, c1 = one;
+    for (int i = 0; i < slice_bits; ++i) {
+      const auto bitpos = static_cast<std::size_t>(base + i);
+      auto [s0, co0] = full_adder(nl, p.a[bitpos], p.b[bitpos], c0);
+      auto [s1, co1] = full_adder(nl, p.a[bitpos], p.b[bitpos], c1);
+      sum0.push_back(s0);
+      sum1.push_back(s1);
+      c0 = co0;
+      c1 = co1;
+    }
+    for (int i = 0; i < slice_bits; ++i) {
+      p.sum.push_back(nl.mux_(carry, sum0[static_cast<std::size_t>(i)],
+                              sum1[static_cast<std::size_t>(i)]));
+    }
+    carry = nl.mux_(carry, c0, c1);
+  }
+  p.cout = carry;
+  mark_outputs(nl, p);
+  return p;
+}
+
+std::uint64_t drive_adder(Evaluator& ev, const Netlist& /*nl*/,
+                          const AdderPorts& ports, std::uint64_t a,
+                          std::uint64_t b, bool cin) {
+  const int n = static_cast<int>(ports.a.size());
+  for (int i = 0; i < n; ++i) {
+    ev.set_input_node(ports.a[static_cast<std::size_t>(i)], bit(a, i));
+    ev.set_input_node(ports.b[static_cast<std::size_t>(i)], bit(b, i));
+  }
+  ev.set_input_node(ports.cin, cin);
+  ev.evaluate();
+  std::uint64_t out = 0;
+  for (int i = 0; i < n; ++i) {
+    if (ev.value(ports.sum[static_cast<std::size_t>(i)])) {
+      out |= std::uint64_t{1} << i;
+    }
+  }
+  if (ev.value(ports.cout) && n < 64) out |= std::uint64_t{1} << n;
+  return out;
+}
+
+}  // namespace st2::circuit

@@ -1,0 +1,46 @@
+// Adder netlist generators used for circuit characterization.
+//
+// - ripple_carry_adder: the slice-internal topology (small n, short paths).
+// - brent_kung_adder:   the "reference" adder standing in for the balanced
+//                       DesignWare design the paper synthesizes (Section V-B).
+// - kogge_stone_adder:  the fastest parallel-prefix design, used in tests and
+//                       the ablation bench as a delay lower bound.
+// - carry_select_adder: the CSLA baseline the paper contrasts ST2 against
+//                       (Section IV-A): duplicated slices with both carries.
+//
+// All builders expose inputs in the order a[0..n-1], b[0..n-1], cin and
+// outputs sum[0..n-1], cout.
+#pragma once
+
+#include "src/circuit/netlist.hpp"
+
+namespace st2::circuit {
+
+struct AdderPorts {
+  std::vector<NodeId> a;
+  std::vector<NodeId> b;
+  NodeId cin = kInvalidNode;
+  std::vector<NodeId> sum;
+  NodeId cout = kInvalidNode;
+};
+
+/// Builds an n-bit ripple-carry adder into `nl`. Returns the port map.
+AdderPorts build_ripple_carry(Netlist& nl, int n);
+
+/// Builds an n-bit Brent-Kung parallel-prefix adder (n must be a power of 2).
+AdderPorts build_brent_kung(Netlist& nl, int n);
+
+/// Builds an n-bit Kogge-Stone parallel-prefix adder (n must be a power of 2).
+AdderPorts build_kogge_stone(Netlist& nl, int n);
+
+/// Builds an n-bit carry-select adder with `slice_bits`-wide sections: each
+/// section beyond the first computes both carry hypotheses and muxes.
+AdderPorts build_carry_select(Netlist& nl, int n, int slice_bits);
+
+/// Drives an adder netlist with the given operands and returns the sum
+/// (including cout as bit n). Accumulates activity in `ev`.
+std::uint64_t drive_adder(Evaluator& ev, const Netlist& nl,
+                          const AdderPorts& ports, std::uint64_t a,
+                          std::uint64_t b, bool cin);
+
+}  // namespace st2::circuit

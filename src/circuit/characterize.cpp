@@ -1,0 +1,123 @@
+#include "src/circuit/characterize.hpp"
+
+#include <memory>
+
+#include "src/circuit/adder_netlists.hpp"
+#include "src/common/bitutils.hpp"
+#include "src/common/contracts.hpp"
+#include "src/common/rng.hpp"
+
+namespace st2::circuit {
+
+namespace {
+
+// First-order glitch coefficient: a toggle at logical depth d costs
+// (1 + kGlitchBeta * d) times its cell energy. Deep carry logic in the
+// monolithic reference adder pays the depth tax that the shallow slices
+// avoid — the effect HSpice sees directly and zero-delay simulation must
+// approximate.
+constexpr double kGlitchBeta = 0.45;
+
+// Per-op register/clocking overhead charged to the sliced design only (the
+// reference has no pipeline registers inside the adder): input and output
+// registers per bit plus the per-slice state/cout DFFs of Figure 4.
+constexpr double kRegEnergyPerBit = 0.9;   // min-inverter units per clocked bit
+// Per-slice control energy per op: state + cout DFFs (~8), misprediction
+// detect (XOR + error OR chain, ~6), CSLA-style output select muxes (~8),
+// local clock load (~8), and level shifting of the per-slice carry/error
+// signals that cross the voltage domains (~15). Narrow slicings pay this
+// many more times over, which is what makes very thin slices unattractive.
+constexpr double kFixedPerSlice = 45.0;
+
+double sliced_energy_per_op(int slice_bits, int vectors, std::uint64_t seed,
+                            double v_scale, std::size_t* gate_count_out) {
+  // One w-bit sub-adder netlist; we drive it with each slice's true operands
+  // and true carry-in (the "all predictions correct" potential-savings case
+  // the paper characterizes), summing activity over all 64/w slices.
+  Netlist nl;
+  // Slices use the same balanced prefix topology as the reference adder
+  // (a slice is just a narrow instance of the synthesized DesignWare cell).
+  const AdderPorts ports = (slice_bits >= 4) ? build_brent_kung(nl, slice_bits)
+                                             : build_ripple_carry(nl, slice_bits);
+  Evaluator ev(nl, kGlitchBeta);
+  const int num_slices = kAdderBits / slice_bits;
+  Xoshiro256 rng(seed);
+  for (int v = 0; v < vectors; ++v) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    for (int s = 0; s < num_slices; ++s) {
+      const std::uint64_t as = bits(a, s * slice_bits, slice_bits);
+      const std::uint64_t bs = bits(b, s * slice_bits, slice_bits);
+      const bool cin = carry_into_bit(a, b, false, s * slice_bits);
+      drive_adder(ev, nl, ports, as, bs, cin);
+    }
+  }
+  if (gate_count_out != nullptr) {
+    *gate_count_out = nl.gate_count() * static_cast<std::size_t>(num_slices);
+  }
+  const double logic = ev.weighted_toggles() / vectors;
+  const double regs =
+      kRegEnergyPerBit * (2.0 * kAdderBits + kAdderBits) +  // in + out regs
+      kFixedPerSlice * num_slices;
+  return logic * v_scale + regs * v_scale;
+}
+
+}  // namespace
+
+ReferenceCharacterization characterize_reference(int vectors,
+                                                 std::uint64_t seed) {
+  Netlist nl;
+  const AdderPorts ports = build_brent_kung(nl, kAdderBits);
+  Evaluator ev(nl, kGlitchBeta);
+  Xoshiro256 rng(seed);
+  for (int v = 0; v < vectors; ++v) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const std::uint64_t got = drive_adder(ev, nl, ports, a, b, false);
+    ST2_ASSERT(got == a + b);  // sanity: the netlist must actually add
+  }
+  ReferenceCharacterization ref{};
+  ref.period = nl.critical_path_delay();
+  ref.energy_per_op = ev.weighted_toggles() / vectors;
+  ref.gate_count = nl.gate_count();
+  return ref;
+}
+
+SliceCharacterization characterize_slice_width(
+    int slice_bits, const ReferenceCharacterization& ref, int vectors,
+    std::uint64_t seed, const VoltageModel& vm) {
+  ST2_EXPECTS(kAdderBits % slice_bits == 0);
+  SliceCharacterization sc{};
+  sc.slice_bits = slice_bits;
+  sc.num_slices = kAdderBits / slice_bits;
+
+  Netlist slice_nl;
+  if (slice_bits >= 4) {
+    build_brent_kung(slice_nl, slice_bits);
+  } else {
+    build_ripple_carry(slice_nl, slice_bits);
+  }
+  sc.slice_delay_nom = slice_nl.critical_path_delay();
+  sc.v_scaled = vm.min_voltage_for(sc.slice_delay_nom, ref.period);
+
+  sc.energy_nom = sliced_energy_per_op(slice_bits, vectors, seed,
+                                       /*v_scale=*/1.0, &sc.gate_count);
+  sc.energy_scaled = sliced_energy_per_op(slice_bits, vectors, seed,
+                                          vm.energy_scale(sc.v_scaled),
+                                          nullptr);
+  sc.saving_vs_reference = 1.0 - sc.energy_scaled / ref.energy_per_op;
+  return sc;
+}
+
+std::vector<SliceCharacterization> slice_width_sweep(int vectors,
+                                                     std::uint64_t seed,
+                                                     const VoltageModel& vm) {
+  const ReferenceCharacterization ref = characterize_reference(vectors, seed);
+  std::vector<SliceCharacterization> out;
+  for (int w : {2, 4, 8, 16, 32}) {
+    out.push_back(characterize_slice_width(w, ref, vectors, seed, vm));
+  }
+  return out;
+}
+
+}  // namespace st2::circuit

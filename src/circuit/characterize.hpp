@@ -1,0 +1,51 @@
+// Slice-width design-space exploration (paper Section V-B).
+//
+// The paper synthesizes sub-adders of different bit widths, drives them with
+// random vectors, and picks 8-bit slices: they let the supply scale to ~60%
+// of nominal while still fitting the reference adder's clock period, yielding
+// 75-87% potential per-adder energy savings. This module reproduces that
+// experiment on our gate-level models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/circuit/voltage.hpp"
+
+namespace st2::circuit {
+
+struct SliceCharacterization {
+  int slice_bits;          ///< sub-adder width evaluated
+  int num_slices;          ///< slices needed for a 64-bit datapath
+  double slice_delay_nom;  ///< slice critical path at vnom (gate-delay units)
+  double v_scaled;         ///< lowest supply meeting the nominal period
+  double energy_nom;       ///< 64-bit sliced-adder energy/op at vnom
+  double energy_scaled;    ///< same at v_scaled
+  double saving_vs_reference;  ///< 1 - energy_scaled / reference energy/op
+  std::size_t gate_count;      ///< gates in the full 64-bit sliced datapath
+};
+
+struct ReferenceCharacterization {
+  double period;        ///< nominal clock period = reference critical path
+  double energy_per_op; ///< reference adder energy per random-vector op
+  std::size_t gate_count;
+};
+
+/// Characterizes the reference (Brent-Kung, DesignWare stand-in) 64-bit adder
+/// on `vectors` random operand pairs.
+ReferenceCharacterization characterize_reference(int vectors, std::uint64_t seed);
+
+/// Characterizes a sliced 64-bit adder built from `slice_bits`-wide ripple
+/// slices: delay of one slice sets the voltage; energy is measured by driving
+/// all slices with the same random stream (carries assumed predicted, so no
+/// recompute activity — this is the *potential* saving the paper quotes).
+SliceCharacterization characterize_slice_width(
+    int slice_bits, const ReferenceCharacterization& ref, int vectors,
+    std::uint64_t seed, const VoltageModel& vm = {});
+
+/// Runs the full sweep the paper reports (widths 2..32).
+std::vector<SliceCharacterization> slice_width_sweep(
+    int vectors = 2000, std::uint64_t seed = 42,
+    const VoltageModel& vm = {});
+
+}  // namespace st2::circuit

@@ -1,0 +1,288 @@
+#include "src/circuit/netlist.hpp"
+
+#include <algorithm>
+
+namespace st2::circuit {
+
+const char* to_string(GateKind k) {
+  switch (k) {
+    case GateKind::kInput: return "input";
+    case GateKind::kConst0: return "const0";
+    case GateKind::kConst1: return "const1";
+    case GateKind::kNot: return "not";
+    case GateKind::kAnd: return "and";
+    case GateKind::kOr: return "or";
+    case GateKind::kXor: return "xor";
+    case GateKind::kNand: return "nand";
+    case GateKind::kNor: return "nor";
+    case GateKind::kXnor: return "xnor";
+    case GateKind::kMux: return "mux";
+    case GateKind::kDff: return "dff";
+  }
+  return "?";
+}
+
+double gate_energy_weight(GateKind k) {
+  // Relative switched capacitance, min-inverter units. XOR/XNOR/MUX are
+  // transmission-gate heavy and cost roughly 2x a NAND; inverters are cheap.
+  switch (k) {
+    case GateKind::kInput:
+    case GateKind::kConst0:
+    case GateKind::kConst1: return 0.0;
+    case GateKind::kNot: return 1.0;
+    case GateKind::kAnd:
+    case GateKind::kOr: return 1.8;
+    case GateKind::kNand:
+    case GateKind::kNor: return 1.4;
+    case GateKind::kXor:
+    case GateKind::kXnor: return 3.0;
+    case GateKind::kMux: return 2.6;
+    case GateKind::kDff: return 4.0;  // master-slave flop + local clock load
+  }
+  return 0.0;
+}
+
+double gate_delay_weight(GateKind k) {
+  switch (k) {
+    case GateKind::kInput:
+    case GateKind::kConst0:
+    case GateKind::kConst1: return 0.0;
+    case GateKind::kNot: return 0.6;
+    case GateKind::kNand:
+    case GateKind::kNor: return 1.0;
+    case GateKind::kAnd:
+    case GateKind::kOr: return 1.4;
+    case GateKind::kXor:
+    case GateKind::kXnor: return 1.9;
+    case GateKind::kMux: return 1.6;
+    case GateKind::kDff: return 0.0;  // clk-to-q folded into the period
+  }
+  return 0.0;
+}
+
+namespace {
+int fanin_count(GateKind k) {
+  switch (k) {
+    case GateKind::kInput:
+    case GateKind::kConst0:
+    case GateKind::kConst1: return 0;
+    case GateKind::kNot: return 1;
+    case GateKind::kMux: return 3;
+    case GateKind::kDff: return 0;  // state source; D handled at clock edges
+    default: return 2;
+  }
+}
+}  // namespace
+
+NodeId Netlist::add_input(std::string name) {
+  const auto id = static_cast<NodeId>(gates_.size());
+  gates_.push_back(Gate{GateKind::kInput, {}});
+  inputs_.push_back(id);
+  input_names_.push_back(std::move(name));
+  return id;
+}
+
+NodeId Netlist::add_const(bool value) {
+  const auto id = static_cast<NodeId>(gates_.size());
+  gates_.push_back(Gate{value ? GateKind::kConst1 : GateKind::kConst0, {}});
+  return id;
+}
+
+NodeId Netlist::add_gate(GateKind kind, NodeId a, NodeId b, NodeId c) {
+  const auto id = static_cast<NodeId>(gates_.size());
+  const int n = fanin_count(kind);
+  ST2_EXPECTS(n >= 1);
+  ST2_EXPECTS(a < id);
+  if (n >= 2) ST2_EXPECTS(b < id);
+  if (n >= 3) ST2_EXPECTS(c < id);
+  Gate g{kind, {a, b, c}};
+  gates_.push_back(g);
+  return id;
+}
+
+NodeId Netlist::add_dff(std::string name) {
+  const auto id = static_cast<NodeId>(gates_.size());
+  Gate g{GateKind::kDff, {kInvalidNode, kInvalidNode, kInvalidNode}};
+  gates_.push_back(g);
+  dffs_.push_back(id);
+  if (!name.empty()) {
+    node_names_.resize(gates_.size());
+    node_names_[id] = std::move(name);
+  }
+  return id;
+}
+
+void Netlist::connect_dff(NodeId dff, NodeId d) {
+  ST2_EXPECTS(dff < gates_.size() && d < gates_.size());
+  ST2_EXPECTS(gates_[dff].kind == GateKind::kDff);
+  ST2_EXPECTS(gates_[dff].fanin[0] == kInvalidNode);  // connect exactly once
+  gates_[dff].fanin[0] = d;
+}
+
+const std::string& Netlist::node_name(NodeId n) const {
+  static const std::string empty;
+  return n < node_names_.size() ? node_names_[n] : empty;
+}
+
+void Netlist::mark_output(NodeId n, std::string name) {
+  ST2_EXPECTS(n < gates_.size());
+  outputs_.push_back(n);
+  output_names_.push_back(std::move(name));
+}
+
+std::size_t Netlist::gate_count() const {
+  std::size_t n = 0;
+  for (const auto& g : gates_) {
+    if (g.kind != GateKind::kInput && g.kind != GateKind::kConst0 &&
+        g.kind != GateKind::kConst1) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+double Netlist::critical_path_delay() const {
+  std::vector<double> arrival(gates_.size(), 0.0);
+  double worst = 0.0;
+  for (NodeId i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    const int n = fanin_count(g.kind);
+    double in_arrival = 0.0;
+    for (int f = 0; f < n; ++f) {
+      in_arrival = std::max(in_arrival, arrival[g.fanin[f]]);
+    }
+    arrival[i] = in_arrival + gate_delay_weight(g.kind);
+    worst = std::max(worst, arrival[i]);
+  }
+  // Register setup paths: combinational delay into each DFF's data pin.
+  for (NodeId dff : dffs_) {
+    const NodeId d = gates_[dff].fanin[0];
+    if (d != kInvalidNode) worst = std::max(worst, arrival[d]);
+  }
+  return worst;
+}
+
+std::vector<int> Netlist::node_depths() const {
+  std::vector<int> depth(gates_.size(), 0);
+  for (NodeId i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    const int n = fanin_count(g.kind);
+    int d = 0;
+    for (int f = 0; f < n; ++f) d = std::max(d, depth[g.fanin[f]]);
+    depth[i] = (n > 0) ? d + 1 : 0;
+  }
+  return depth;
+}
+
+Evaluator::Evaluator(const Netlist& nl, double glitch_beta)
+    : nl_(nl), values_(nl.num_nodes(), 0) {
+  const std::vector<int> depths = nl.node_depths();
+  toggle_weight_.resize(nl.num_nodes());
+  for (NodeId i = 0; i < nl.num_nodes(); ++i) {
+    toggle_weight_[i] = static_cast<float>(
+        gate_energy_weight(nl.gate(i).kind) * (1.0 + glitch_beta * depths[i]));
+  }
+  // Constants settle immediately and never toggle.
+  for (NodeId i = 0; i < nl.num_nodes(); ++i) {
+    if (nl.gate(i).kind == GateKind::kConst1) values_[i] = 1;
+  }
+}
+
+void Evaluator::set_input(std::size_t i, bool v) {
+  values_[nl_.input(i)] = static_cast<char>(v);
+}
+
+void Evaluator::set_input_node(NodeId n, bool v) {
+  ST2_EXPECTS(nl_.gate(n).kind == GateKind::kInput);
+  values_.at(n) = static_cast<char>(v);
+}
+
+std::uint64_t Evaluator::step(std::uint64_t input_bits) {
+  ST2_EXPECTS(nl_.num_inputs() <= 64);
+  ST2_EXPECTS(nl_.num_outputs() <= 64);
+  for (std::size_t i = 0; i < nl_.num_inputs(); ++i) {
+    set_input(i, ((input_bits >> i) & 1u) != 0);
+  }
+  evaluate();
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < nl_.num_outputs(); ++i) {
+    if (values_[nl_.output(i)]) out |= std::uint64_t{1} << i;
+  }
+  return out;
+}
+
+void Evaluator::evaluate() {
+  const bool first = (steps_ == 0);
+  for (NodeId i = 0; i < nl_.num_nodes(); ++i) {
+    const Gate& g = nl_.gate(i);
+    bool v;
+    switch (g.kind) {
+      case GateKind::kInput: continue;  // already written
+      case GateKind::kDff: continue;    // state; updated on clock_edge only
+      case GateKind::kConst0: v = false; break;
+      case GateKind::kConst1: v = true; break;
+      case GateKind::kNot: v = !values_[g.fanin[0]]; break;
+      case GateKind::kAnd:
+        v = values_[g.fanin[0]] && values_[g.fanin[1]];
+        break;
+      case GateKind::kOr:
+        v = values_[g.fanin[0]] || values_[g.fanin[1]];
+        break;
+      case GateKind::kXor:
+        v = values_[g.fanin[0]] != values_[g.fanin[1]];
+        break;
+      case GateKind::kNand:
+        v = !(values_[g.fanin[0]] && values_[g.fanin[1]]);
+        break;
+      case GateKind::kNor:
+        v = !(values_[g.fanin[0]] || values_[g.fanin[1]]);
+        break;
+      case GateKind::kXnor:
+        v = values_[g.fanin[0]] == values_[g.fanin[1]];
+        break;
+      case GateKind::kMux:
+        v = values_[g.fanin[0]] ? values_[g.fanin[2]] : values_[g.fanin[1]];
+        break;
+      default: v = false; break;
+    }
+    if (!first && v != static_cast<bool>(values_[i])) {
+      ++raw_toggles_;
+      weighted_toggles_ += toggle_weight_[i];
+    }
+    values_[i] = static_cast<char>(v);
+  }
+  ++steps_;
+}
+
+void Evaluator::clock_edge() {
+  // Sample all D inputs first (master), then update outputs (slave) so flops
+  // chained through combinational logic behave like real registers.
+  std::vector<std::pair<NodeId, char>> next;
+  next.reserve(nl_.dffs().size());
+  for (NodeId dff : nl_.dffs()) {
+    const NodeId d = nl_.gate(dff).fanin[0];
+    ST2_EXPECTS(d != kInvalidNode);  // every DFF must be connected
+    next.emplace_back(dff, values_[d]);
+  }
+  for (const auto& [dff, v] : next) {
+    if (v != values_[dff]) {
+      ++raw_toggles_;
+      weighted_toggles_ += toggle_weight_[dff];
+    }
+    values_[dff] = v;
+  }
+  evaluate();  // let the combinational logic settle on the new state
+}
+
+void Evaluator::reset_dff(NodeId dff, bool v) {
+  ST2_EXPECTS(nl_.gate(dff).kind == GateKind::kDff);
+  values_.at(dff) = static_cast<char>(v);
+}
+
+void Evaluator::reset_activity() {
+  weighted_toggles_ = 0.0;
+  raw_toggles_ = 0;
+  steps_ = 0;
+}
+
+}  // namespace st2::circuit

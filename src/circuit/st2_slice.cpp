@@ -1,0 +1,240 @@
+#include "src/circuit/st2_slice.hpp"
+
+#include <string>
+
+#include "src/circuit/adder_netlists.hpp"
+#include "src/common/contracts.hpp"
+
+namespace st2::circuit {
+
+namespace {
+
+/// An 8-bit Brent-Kung sub-adder over pre-existing operand nodes, returning
+/// {sum bits, carry-out}. (build_brent_kung creates its own inputs, so the
+/// slice datapath re-derives the prefix structure over given nodes.)
+struct SubAdder {
+  std::vector<NodeId> sum;
+  NodeId cout;
+};
+
+SubAdder build_sub_adder(Netlist& nl, const std::vector<NodeId>& a,
+                         const std::vector<NodeId>& b, NodeId cin) {
+  const int n = static_cast<int>(a.size());
+  struct Pg {
+    NodeId p, g;
+  };
+  std::vector<Pg> pg(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pg[static_cast<std::size_t>(i)] =
+        Pg{nl.xor_(a[static_cast<std::size_t>(i)],
+                   b[static_cast<std::size_t>(i)]),
+           nl.and_(a[static_cast<std::size_t>(i)],
+                   b[static_cast<std::size_t>(i)])};
+  }
+  const std::vector<Pg> init = pg;
+  pg[0].g = nl.or_(pg[0].g, nl.and_(pg[0].p, cin));
+
+  auto combine = [&](const Pg& hi, const Pg& lo) {
+    return Pg{nl.and_(hi.p, lo.p), nl.or_(hi.g, nl.and_(hi.p, lo.g))};
+  };
+  // Brent-Kung up-sweep / down-sweep (n must be a power of two).
+  for (int d = 1; d < n; d <<= 1) {
+    for (int i = 2 * d - 1; i < n; i += 2 * d) {
+      pg[static_cast<std::size_t>(i)] =
+          combine(pg[static_cast<std::size_t>(i)],
+                  pg[static_cast<std::size_t>(i - d)]);
+    }
+  }
+  for (int d = n / 4; d >= 1; d >>= 1) {
+    for (int i = 3 * d - 1; i < n; i += 2 * d) {
+      pg[static_cast<std::size_t>(i)] =
+          combine(pg[static_cast<std::size_t>(i)],
+                  pg[static_cast<std::size_t>(i - d)]);
+    }
+  }
+
+  SubAdder out;
+  out.sum.push_back(nl.xor_(init[0].p, cin));
+  for (int i = 1; i < n; ++i) {
+    out.sum.push_back(nl.xor_(init[static_cast<std::size_t>(i)].p,
+                              pg[static_cast<std::size_t>(i - 1)].g));
+  }
+  out.cout = pg[static_cast<std::size_t>(n - 1)].g;
+  return out;
+}
+
+}  // namespace
+
+GateLevelSt2Ports build_gate_level_st2(Netlist& nl, int num_slices) {
+  ST2_EXPECTS(num_slices >= 2 && num_slices <= kNumSlices);
+  const int width = num_slices * kSliceBits;
+
+  GateLevelSt2Ports ports;
+  for (int i = 0; i < width; ++i) {
+    ports.a.push_back(nl.add_input("a" + std::to_string(i)));
+  }
+  for (int i = 0; i < width; ++i) {
+    ports.b.push_back(nl.add_input("b" + std::to_string(i)));
+  }
+  ports.cin = nl.add_input("cin");
+  for (int s = 1; s < num_slices; ++s) {
+    ports.cpred.push_back(nl.add_input("cpred" + std::to_string(s)));
+  }
+  for (int s = 1; s < num_slices; ++s) {
+    ports.peeked.push_back(nl.add_input("peeked" + std::to_string(s)));
+  }
+  ports.phase2 = nl.add_input("phase2");
+
+  // State DFFs created up front so slice logic can reference them.
+  for (int s = 1; s < num_slices; ++s) {
+    ports.state_dffs.push_back(nl.add_dff("state" + std::to_string(s)));
+  }
+  // Output registers.
+  std::vector<NodeId> sum_regs;
+  for (int i = 0; i < width; ++i) {
+    sum_regs.push_back(nl.add_dff("sumr" + std::to_string(i)));
+  }
+  const NodeId cout_reg_dff = nl.add_dff("coutr");
+  // Per-slice registered carry-outs (the Cout DFFs of Figure 4), needed by
+  // the cycle-2 select chain as the trusted cycle-1 values.
+  std::vector<NodeId> slice_cout_regs;
+  for (int s = 0; s < num_slices; ++s) {
+    slice_cout_regs.push_back(nl.add_dff("scout" + std::to_string(s)));
+  }
+
+  NodeId any_error = nl.add_const(false);
+  NodeId s_chain = nl.add_const(false);   // suspicion entering this slice
+  NodeId final_cout_prev = kInvalidNode;  // final carry-out of slice s-1
+  NodeId cout_now_prev = kInvalidNode;    // cycle-local carry-out of s-1
+
+  for (int s = 0; s < num_slices; ++s) {
+    std::vector<NodeId> as(
+        ports.a.begin() + s * kSliceBits,
+        ports.a.begin() + (s + 1) * kSliceBits);
+    std::vector<NodeId> bs(
+        ports.b.begin() + s * kSliceBits,
+        ports.b.begin() + (s + 1) * kSliceBits);
+
+    NodeId used_cin;
+    NodeId overwrite = kInvalidNode;  // only slices >= 1
+    if (s == 0) {
+      used_cin = ports.cin;
+    } else {
+      const NodeId cpred = ports.cpred[static_cast<std::size_t>(s - 1)];
+      const NodeId peeked = ports.peeked[static_cast<std::size_t>(s - 1)];
+      const NodeId state = ports.state_dffs[static_cast<std::size_t>(s - 1)];
+      // Recovery cycle computes with the inverse prediction.
+      used_cin = nl.xor_(cpred, nl.and_(ports.phase2, state));
+
+      // Misprediction detect: prediction vs the neighbour's nominal-cycle
+      // carry-out. A statically-certain (peeked) carry neither mistrusts
+      // itself nor forwards suspicion — its slice output is correct even if
+      // the slices below it are not.
+      const NodeId e_raw = nl.xor_(cpred, cout_now_prev);
+      const NodeId suspect = nl.and_(nl.or_(e_raw, s_chain), nl.not_(peeked));
+      any_error = nl.or_(any_error, suspect);
+      s_chain = suspect;
+
+      // State DFF: load the suspicion at the end of the nominal cycle, hold
+      // through recovery ("stays at that value until a new operation").
+      nl.connect_dff(state, nl.mux_(ports.phase2, suspect, state));
+
+      // Output select: overwrite the nominal result when the finally-known
+      // carry-in disagrees with the prediction the slice used.
+      overwrite = nl.and_(state, nl.xor_(final_cout_prev, cpred));
+    }
+
+    const SubAdder add = build_sub_adder(nl, as, bs, used_cin);
+
+    // Registered sum: nominal cycle always captures; recovery cycle only
+    // overwriting slices capture (the CSLA keep-or-overwrite of Section IV-A).
+    const NodeId load =
+        (s == 0) ? nl.not_(ports.phase2)
+                 : nl.or_(nl.not_(ports.phase2), overwrite);
+    for (int i = 0; i < kSliceBits; ++i) {
+      const NodeId reg = sum_regs[static_cast<std::size_t>(s * kSliceBits + i)];
+      nl.connect_dff(reg, nl.mux_(load, reg, add.sum[static_cast<std::size_t>(i)]));
+    }
+    const NodeId scout_reg = slice_cout_regs[static_cast<std::size_t>(s)];
+    nl.connect_dff(scout_reg, nl.mux_(load, scout_reg, add.cout));
+
+    // The finally-correct carry-out of this slice, as seen by the select
+    // logic of slice s+1 during the recovery cycle: the freshly recomputed
+    // carry when this slice overwrites, else the registered nominal one.
+    final_cout_prev = (s == 0)
+                          ? add.cout
+                          : nl.mux_(overwrite, scout_reg, add.cout);
+    cout_now_prev = add.cout;
+  }
+
+  ports.sum_regs = std::move(sum_regs);
+  nl.connect_dff(cout_reg_dff,
+                 nl.mux_(ports.phase2, cout_now_prev, final_cout_prev));
+  ports.cout_reg = cout_reg_dff;
+  ports.any_error = any_error;
+
+  nl.mark_output(any_error, "any_error");
+  return ports;
+}
+
+GateLevelSt2Adder::GateLevelSt2Adder(int num_slices, double glitch_beta)
+    : num_slices_(num_slices),
+      ports_(build_gate_level_st2(nl_, num_slices)),
+      ev_(nl_, glitch_beta) {}
+
+GateLevelSt2Adder::Result GateLevelSt2Adder::add(std::uint64_t a,
+                                                 std::uint64_t b, bool cin,
+                                                 std::uint8_t pred_carries,
+                                                 std::uint8_t peek_mask) {
+  const int width = num_slices_ * kSliceBits;
+  const double energy_before = ev_.weighted_toggles();
+
+  // New operation: all State DFFs reset to 0 (paper Section IV-A).
+  for (NodeId st : ports_.state_dffs) ev_.reset_dff(st, false);
+
+  for (int i = 0; i < width; ++i) {
+    ev_.set_input_node(ports_.a[static_cast<std::size_t>(i)], bit(a, i));
+    ev_.set_input_node(ports_.b[static_cast<std::size_t>(i)], bit(b, i));
+  }
+  ev_.set_input_node(ports_.cin, cin);
+  for (int s = 1; s < num_slices_; ++s) {
+    ev_.set_input_node(ports_.cpred[static_cast<std::size_t>(s - 1)],
+                       ((pred_carries >> (s - 1)) & 1u) != 0);
+    ev_.set_input_node(ports_.peeked[static_cast<std::size_t>(s - 1)],
+                       ((peek_mask >> (s - 1)) & 1u) != 0);
+  }
+
+  // Nominal cycle.
+  ev_.set_input_node(ports_.phase2, false);
+  ev_.evaluate();
+  const bool error = ev_.value(ports_.any_error);
+  ev_.clock_edge();
+
+  Result r;
+  r.mispredicted = error;
+  for (int s = 1; s < num_slices_; ++s) {
+    if (ev_.value(ports_.state_dffs[static_cast<std::size_t>(s - 1)])) {
+      r.recompute_mask |= std::uint8_t(1u << (s - 1));
+    }
+  }
+
+  if (error) {
+    // Recovery cycle: suspected slices recompute with the inverse carry and
+    // the select chain keeps or overwrites each registered result.
+    ev_.set_input_node(ports_.phase2, true);
+    ev_.evaluate();
+    ev_.clock_edge();
+    r.cycles = 2;
+  }
+
+  for (int i = 0; i < width; ++i) {
+    if (ev_.value(ports_.sum_regs[static_cast<std::size_t>(i)])) {
+      r.sum |= std::uint64_t{1} << i;
+    }
+  }
+  r.cout = ev_.value(ports_.cout_reg);
+  r.energy = ev_.weighted_toggles() - energy_before;
+  return r;
+}
+
+}  // namespace st2::circuit

@@ -1,0 +1,75 @@
+// Gate-level realization of the ST2 sliced adder (paper Figure 4).
+//
+// The full datapath is one sequential netlist: per slice an 8-bit Brent-Kung
+// sub-adder, the misprediction-detect XOR against the neighbour's carry-out,
+// the error/suspect (E/S) propagation chain with the Peek refinement (a
+// slice whose carry-in was statically certain neither recomputes nor
+// propagates suspicion), the State DFF that remembers whether the slice must
+// recompute, the CSLA-style output-select muxes driven by the finally-known
+// carries, and registered sum/carry-out outputs.
+//
+// An ADD takes one clock when every dynamic carry prediction was right and
+// two clocks otherwise, exactly like the functional adder::St2Adder — which
+// the property tests hold this netlist to, bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/circuit/netlist.hpp"
+#include "src/common/bitutils.hpp"
+
+namespace st2::circuit {
+
+struct GateLevelSt2Ports {
+  std::vector<NodeId> a;          ///< operand bits, LSB first
+  std::vector<NodeId> b;
+  NodeId cin = kInvalidNode;      ///< architectural carry-in (1 for SUB)
+  std::vector<NodeId> cpred;      ///< carry-in predictions, slices 1..N-1
+  std::vector<NodeId> peeked;     ///< per prediction: statically certain?
+  NodeId phase2 = kInvalidNode;   ///< 0 = nominal cycle, 1 = recovery cycle
+
+  std::vector<NodeId> sum_regs;   ///< registered sum bits (DFFs)
+  std::vector<NodeId> state_dffs; ///< per slice 1..N-1: must recompute
+  NodeId cout_reg = kInvalidNode; ///< registered final carry-out
+  NodeId any_error = kInvalidNode;///< combinational stall signal (cycle 1)
+};
+
+/// Builds the datapath for `num_slices` 8-bit slices into `nl`.
+GateLevelSt2Ports build_gate_level_st2(Netlist& nl, int num_slices);
+
+/// Clocked driver around the netlist: applies operands and predictions, runs
+/// the 1-or-2-cycle protocol, returns the registered results.
+class GateLevelSt2Adder {
+ public:
+  /// `glitch_beta` matches Evaluator's depth-proportional glitch weighting;
+  /// use the same value as the reference characterization when comparing
+  /// energies across designs.
+  explicit GateLevelSt2Adder(int num_slices = kNumSlices,
+                             double glitch_beta = 0.0);
+
+  struct Result {
+    std::uint64_t sum = 0;
+    bool cout = false;
+    int cycles = 1;
+    bool mispredicted = false;
+    std::uint8_t recompute_mask = 0;  ///< state DFFs after cycle 1
+    double energy = 0.0;              ///< weighted toggles this operation
+  };
+
+  /// `pred_carries` bit s-1 = predicted carry-in of slice s;
+  /// `peek_mask` marks the predictions that are statically certain.
+  Result add(std::uint64_t a, std::uint64_t b, bool cin,
+             std::uint8_t pred_carries, std::uint8_t peek_mask);
+
+  int num_slices() const { return num_slices_; }
+  const Netlist& netlist() const { return nl_; }
+
+ private:
+  int num_slices_;
+  Netlist nl_;
+  GateLevelSt2Ports ports_;
+  Evaluator ev_;
+};
+
+}  // namespace st2::circuit

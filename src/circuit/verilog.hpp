@@ -1,0 +1,19 @@
+// Verilog netlist export (the paper's circuit flow models all adder designs
+// in Verilog before synthesis; this emits our gate-level netlists in the
+// same form so they can be taken through a real Synopsys/Yosys flow).
+//
+// Combinational nodes become `assign` statements over generated wires;
+// DFFs become a single `always @(posedge clk)` block. Marked outputs and
+// named inputs keep their names (sanitized to Verilog identifiers).
+#pragma once
+
+#include <string>
+
+#include "src/circuit/netlist.hpp"
+
+namespace st2::circuit {
+
+/// Renders `nl` as a synthesizable Verilog-2001 module.
+std::string to_verilog(const Netlist& nl, const std::string& module_name);
+
+}  // namespace st2::circuit

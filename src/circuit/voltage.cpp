@@ -1,0 +1,55 @@
+#include "src/circuit/voltage.hpp"
+
+#include <cmath>
+
+#include "src/common/contracts.hpp"
+
+namespace st2::circuit {
+
+double VoltageModel::delay_scale(double v) const {
+  ST2_EXPECTS(v > vth);
+  // alpha-power law: delay(V) ~ V / (V - Vth)^alpha, normalized at vnom.
+  const double d_v = v / std::pow(v - vth, alpha);
+  const double d_nom = vnom / std::pow(vnom - vth, alpha);
+  return d_v / d_nom;
+}
+
+double VoltageModel::energy_scale(double v) const {
+  return (v / vnom) * (v / vnom);
+}
+
+double VoltageModel::min_voltage_for(double delay_nom, double period) const {
+  ST2_EXPECTS(delay_nom > 0.0 && period > 0.0);
+  if (delay_nom > period) return vnom;
+  // delay(v) = delay_nom * delay_scale(v) is monotonically decreasing in v;
+  // bisect for the smallest v with delay(v) <= period.
+  double lo = vmin, hi = vnom;
+  if (delay_nom * delay_scale(lo) <= period) return lo;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (delay_nom * delay_scale(mid) <= period) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+LevelShifterOverheads level_shifter_overheads(const LevelShifter& ls,
+                                              long long num_adders, int bits,
+                                              double toggle_rate_hz,
+                                              double die_area_mm2) {
+  // Each adder shifts two operands down and one result up: 3 * bits shifters.
+  const double shifters =
+      static_cast<double>(num_adders) * 3.0 * static_cast<double>(bits);
+  LevelShifterOverheads out{};
+  out.total_area_mm2 = shifters * ls.area_um2 * 1e-6;
+  out.area_fraction = out.total_area_mm2 / die_area_mm2;
+  out.static_power_w = shifters * ls.static_power_nw * 1e-9;
+  out.dynamic_power_w =
+      shifters * toggle_rate_hz * ls.energy_per_transition_fj * 1e-15;
+  return out;
+}
+
+}  // namespace st2::circuit

@@ -1,0 +1,61 @@
+// Supply-voltage scaling model for the speculative adder slices.
+//
+// The paper (Section II-B, V-B) scales each slice's supply to the lowest
+// voltage at which the slice still fits the nominal clock period, gaining
+// quadratic dynamic-power savings. We model gate delay with the standard
+// alpha-power law,
+//
+//     delay(V) = delay(Vnom) * (V/Vnom)^-1 * ((Vnom - Vth)/(V - Vth))^alpha
+//
+// and dynamic energy per toggle as E(V) = E(Vnom) * (V/Vnom)^2.
+#pragma once
+
+namespace st2::circuit {
+
+struct VoltageModel {
+  double vnom = 1.0;    ///< nominal supply (normalized)
+  double vth = 0.30;    ///< threshold voltage (normalized to vnom)
+  double alpha = 1.3;   ///< velocity-saturation exponent
+  double vmin = 0.55;   ///< lowest supply the 90 nm cell library supports
+
+  /// Multiplicative slowdown of a gate at supply `v` relative to vnom (>= 1
+  /// for v <= vnom).
+  double delay_scale(double v) const;
+
+  /// Multiplicative dynamic-energy factor at supply `v` relative to vnom.
+  double energy_scale(double v) const;
+
+  /// Lowest supply (within [vmin, vnom]) at which a circuit with nominal
+  /// delay `delay_nom` still meets `period`. Returns vnom if even nominal
+  /// voltage cannot meet it (caller should check delay_nom <= period first).
+  double min_voltage_for(double delay_nom, double period) const;
+};
+
+/// Level-shifter characteristics used to charge ST2 for crossing between the
+/// scaled adder domain and the nominal domain. Values follow the papers the
+/// ST2 authors cite: [20] Liu et al., ISCAS'15 (area, 45 nm) and [21]
+/// Shapiro & Friedman, TVLSI'16 (16 nm FinFET energy/delay).
+struct LevelShifter {
+  double area_um2 = 2.8;             ///< per shifter, 45 nm
+  double energy_per_transition_fj = 1.38;
+  double static_power_nw = 307.0;
+  double delay_ps = 20.8;            ///< worst-case 500 mV -> 790 mV
+};
+
+/// Chip-level level-shifter overhead for a Volta-like part (Section VI).
+struct LevelShifterOverheads {
+  double total_area_mm2;        ///< all shifters on chip
+  double area_fraction;         ///< of the 815 mm^2 die
+  double static_power_w;        ///< all shifters
+  double dynamic_power_w;       ///< worst-case all-bits-toggle estimate
+};
+
+/// Computes the overheads for `num_adders` adders of `bits` datapath width,
+/// shifting every operand and result bit, at `toggle_rate` transitions per
+/// shifter per second (worst case: every bit flips every executed add).
+LevelShifterOverheads level_shifter_overheads(const LevelShifter& ls,
+                                              long long num_adders, int bits,
+                                              double toggle_rate_hz,
+                                              double die_area_mm2 = 815.0);
+
+}  // namespace st2::circuit

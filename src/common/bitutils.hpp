@@ -1,0 +1,96 @@
+// Bit-level helpers shared by the adder models, the carry-speculation
+// machinery and the circuit library. Everything here is purely functional and
+// constexpr-friendly so that tests can verify adder properties exhaustively.
+#pragma once
+
+#include <cstdint>
+
+namespace st2 {
+
+/// Number of bits in the full adder datapath modelled throughout the repo.
+inline constexpr int kAdderBits = 64;
+/// Paper's chosen slice width (Section V-B design-space exploration).
+inline constexpr int kSliceBits = 8;
+/// Slices per 64-bit adder.
+inline constexpr int kNumSlices = kAdderBits / kSliceBits;
+/// Carry-in predictions needed per 64-bit add: slices 1..7 (slice 0 receives
+/// the architectural carry-in, e.g. 1 for subtraction).
+inline constexpr int kNumPredictedCarries = kNumSlices - 1;
+
+/// Extracts bit `i` (0 = LSB) of `v`.
+constexpr bool bit(std::uint64_t v, int i) { return ((v >> i) & 1u) != 0; }
+
+/// Mask with the low `n` bits set; `n` may be 64.
+constexpr std::uint64_t low_mask(int n) {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+/// Extracts `width` bits of `v` starting at bit `lo`.
+constexpr std::uint64_t bits(std::uint64_t v, int lo, int width) {
+  return (v >> lo) & low_mask(width);
+}
+
+/// Carry-out of the full 64-bit addition `a + b + cin`.
+constexpr bool carry_out(std::uint64_t a, std::uint64_t b, bool cin) {
+  using u128 = unsigned __int128;
+  return ((u128{a} + u128{b} + (cin ? 1u : 0u)) >> 64) != 0;
+}
+
+/// Carry *into* bit position `i` of `a + b + cin`, for i in [0, 64].
+/// i == 0 returns cin; i == 64 returns the overall carry-out.
+constexpr bool carry_into_bit(std::uint64_t a, std::uint64_t b, bool cin,
+                              int i) {
+  if (i <= 0) return cin;
+  if (i >= 64) return carry_out(a, b, cin);
+  const std::uint64_t sum = a + b + (cin ? 1u : 0u);
+  return bit(sum ^ a ^ b, i);
+}
+
+/// True carry-in of slice `s` (s in [0, kNumSlices)) for `a + b + cin`.
+constexpr bool slice_carry_in(std::uint64_t a, std::uint64_t b, bool cin,
+                              int s) {
+  return carry_into_bit(a, b, cin, s * kSliceBits);
+}
+
+/// All kNumPredictedCarries true carry-ins packed LSB-first: bit i holds the
+/// carry-in of slice i+1.
+constexpr std::uint8_t slice_carries(std::uint64_t a, std::uint64_t b,
+                                     bool cin) {
+  std::uint8_t packed = 0;
+  for (int s = 1; s < kNumSlices; ++s) {
+    if (slice_carry_in(a, b, cin, s)) packed |= std::uint8_t(1u << (s - 1));
+  }
+  return packed;
+}
+
+/// Length (in bits) of the longest carry-propagation chain of `a + b + cin`.
+/// Used for workload characterization (paper Section III).
+constexpr int longest_carry_chain(std::uint64_t a, std::uint64_t b, bool cin) {
+  const std::uint64_t g = a & b;  // generate
+  const std::uint64_t p = a ^ b;  // propagate
+  int best = 0;
+  int run = 0;
+  bool carry = cin;  // carry into bit i
+  for (int i = 0; i < 64; ++i) {
+    if (carry && bit(p, i)) {
+      ++run;  // the chain keeps propagating through bit i
+    } else if (bit(g, i)) {
+      run = 1;  // a chain is born at bit i
+    } else {
+      run = 0;
+    }
+    if (run > best) best = run;
+    carry = bit(g, i) || (bit(p, i) && carry);
+  }
+  return best;
+}
+
+/// Sign-extends the low `width` bits of `v` (width in [1, 64]).
+constexpr std::int64_t sign_extend(std::uint64_t v, int width) {
+  if (width >= 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t m = std::uint64_t{1} << (width - 1);
+  const std::uint64_t x = v & low_mask(width);
+  return static_cast<std::int64_t>((x ^ m) - m);
+}
+
+}  // namespace st2

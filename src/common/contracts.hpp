@@ -1,0 +1,31 @@
+// Lightweight contract checking, in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (GSL). Violations are programming errors and abort with a
+// message; they are active in all build types because the simulator's
+// correctness claims (ST2 adders are *guaranteed* correct) rest on them.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace st2 {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace st2
+
+#define ST2_EXPECTS(cond)                                               \
+  ((cond) ? void(0)                                                     \
+          : ::st2::contract_violation("Precondition", #cond, __FILE__,  \
+                                      __LINE__))
+#define ST2_ENSURES(cond)                                               \
+  ((cond) ? void(0)                                                     \
+          : ::st2::contract_violation("Postcondition", #cond, __FILE__, \
+                                      __LINE__))
+#define ST2_ASSERT(cond)                                                \
+  ((cond) ? void(0)                                                     \
+          : ::st2::contract_violation("Invariant", #cond, __FILE__,     \
+                                      __LINE__))

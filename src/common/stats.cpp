@@ -1,0 +1,94 @@
+#include "src/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/contracts.hpp"
+
+namespace st2 {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double pearson_r(std::span<const double> x, std::span<const double> y) {
+  ST2_EXPECTS(x.size() == y.size());
+  ST2_EXPECTS(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double mape(std::span<const double> measured, std::span<const double> modeled) {
+  ST2_EXPECTS(measured.size() == modeled.size());
+  ST2_EXPECTS(!measured.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    ST2_EXPECTS(measured[i] != 0.0);
+    acc += std::abs((modeled[i] - measured[i]) / measured[i]);
+  }
+  return acc / static_cast<double>(measured.size());
+}
+
+double geomean(std::span<const double> values) {
+  ST2_EXPECTS(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    ST2_EXPECTS(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  ST2_EXPECTS(hi > lo);
+  ST2_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(bins()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(bins());
+}
+
+}  // namespace st2

@@ -1,0 +1,88 @@
+// Small statistics toolkit used by the power-model validation (MAPE, Pearson
+// r — paper Section V-C) and by benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace st2 {
+
+/// Streaming accumulator for mean/variance (Welford) plus min/max.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// A ratio counter: events that hit out of events observed. Used for
+/// misprediction rates, cache hit rates, carry-match rates.
+class RatioCounter {
+ public:
+  void record(bool hit) {
+    ++total_;
+    if (hit) ++hits_;
+  }
+  void record(std::uint64_t hits, std::uint64_t total) {
+    hits_ += hits;
+    total_ += total;
+  }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return total_ - hits_; }
+  std::uint64_t total() const { return total_; }
+  double rate() const { return total_ ? double(hits_) / double(total_) : 0.0; }
+
+  RatioCounter& operator+=(const RatioCounter& o) {
+    hits_ += o.hits_;
+    total_ += o.total_;
+    return *this;
+  }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Pearson correlation coefficient of two equally-sized series.
+double pearson_r(std::span<const double> x, std::span<const double> y);
+
+/// Mean absolute percentage error of `modeled` against `measured`.
+double mape(std::span<const double> measured, std::span<const double> modeled);
+
+/// Geometric mean (all values must be > 0).
+double geomean(std::span<const double> values);
+
+/// Simple fixed-bin histogram over [lo, hi); out-of-range values clamp into
+/// the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace st2

@@ -1,0 +1,88 @@
+#include "src/common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/contracts.hpp"
+
+namespace st2 {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  ST2_EXPECTS(header_.empty() || cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::pct(double ratio, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", prec, ratio * 100.0);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > width.size()) width.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i ? "  " : "");
+      os << cells[i];
+      for (std::size_t p = cells[i].size(); p < width[i]; ++p) os << ' ';
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      total += width[i] + (i ? 2 : 0);
+    }
+    for (std::size_t i = 0; i < total; ++i) os << '-';
+    os << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  t.print(os);
+  return os;
+}
+
+}  // namespace st2

@@ -1,0 +1,412 @@
+#include "src/isa/builder.hpp"
+
+#include <bit>
+
+#include "src/common/contracts.hpp"
+
+namespace st2::isa {
+
+KernelBuilder::KernelBuilder(std::string name) : name_(std::move(name)) {}
+
+Reg KernelBuilder::reg() {
+  ST2_EXPECTS(next_reg_ < kNumRegs);
+  return Reg{static_cast<std::uint16_t>(next_reg_++)};
+}
+
+Preg KernelBuilder::preg() {
+  ST2_EXPECTS(next_preg_ < kNumPredRegs);
+  return Preg{static_cast<std::uint8_t>(next_preg_++)};
+}
+
+std::uint32_t KernelBuilder::emit(Instruction in) {
+  ST2_EXPECTS(!built_);
+  code_.push_back(in);
+  return static_cast<std::uint32_t>(code_.size() - 1);
+}
+
+Reg KernelBuilder::imm(std::int64_t v) {
+  const Reg d = reg();
+  movi_to(d, v);
+  return d;
+}
+
+void KernelBuilder::movi_to(Reg d, std::int64_t v) {
+  Instruction in;
+  in.op = Opcode::kMovImm;
+  in.dst = d.idx;
+  in.imm = v;
+  emit(in);
+}
+
+Reg KernelBuilder::fimm(float v) {
+  return imm(static_cast<std::int64_t>(std::bit_cast<std::uint32_t>(v)));
+}
+
+Reg KernelBuilder::dimm(double v) {
+  return imm(static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(v)));
+}
+
+Reg KernelBuilder::param(int i) {
+  ST2_EXPECTS(i >= 0 && i < 32);
+  const Reg d = reg();
+  Instruction in;
+  in.op = Opcode::kLdParam;
+  in.dst = d.idx;
+  in.imm = i;
+  emit(in);
+  return d;
+}
+
+Reg KernelBuilder::special(SpecialReg s) {
+  const Reg d = reg();
+  Instruction in;
+  in.op = Opcode::kMovSpecial;
+  in.dst = d.idx;
+  in.special = s;
+  emit(in);
+  return d;
+}
+
+Reg KernelBuilder::emit3(Opcode op, Reg a, Reg b) {
+  const Reg d = reg();
+  emit3_to(op, d, a, b);
+  return d;
+}
+
+void KernelBuilder::emit3_to(Opcode op, Reg d, Reg a, Reg b) {
+  Instruction in;
+  in.op = op;
+  in.dst = d.idx;
+  in.src1 = a.idx;
+  in.src2 = b.idx;
+  emit(in);
+}
+
+Reg KernelBuilder::emit2(Opcode op, Reg a) {
+  const Reg d = reg();
+  emit2_to(op, d, a);
+  return d;
+}
+
+void KernelBuilder::emit2_to(Opcode op, Reg d, Reg a) {
+  Instruction in;
+  in.op = op;
+  in.dst = d.idx;
+  in.src1 = a.idx;
+  emit(in);
+}
+
+Reg KernelBuilder::imad(Reg a, Reg b, Reg c) {
+  const Reg d = reg();
+  imad_to(d, a, b, c);
+  return d;
+}
+
+void KernelBuilder::imad_to(Reg d, Reg a, Reg b, Reg c) {
+  Instruction in;
+  in.op = Opcode::kIMad;
+  in.dst = d.idx;
+  in.src1 = a.idx;
+  in.src2 = b.idx;
+  in.src3 = c.idx;
+  emit(in);
+}
+
+Reg KernelBuilder::ffma(Reg a, Reg b, Reg c) {
+  const Reg d = reg();
+  ffma_to(d, a, b, c);
+  return d;
+}
+
+void KernelBuilder::ffma_to(Reg d, Reg a, Reg b, Reg c) {
+  Instruction in;
+  in.op = Opcode::kFFma;
+  in.dst = d.idx;
+  in.src1 = a.idx;
+  in.src2 = b.idx;
+  in.src3 = c.idx;
+  emit(in);
+}
+
+Reg KernelBuilder::dfma(Reg a, Reg b, Reg c) {
+  const Reg d = reg();
+  dfma_to(d, a, b, c);
+  return d;
+}
+
+void KernelBuilder::dfma_to(Reg d, Reg a, Reg b, Reg c) {
+  Instruction in;
+  in.op = Opcode::kDFma;
+  in.dst = d.idx;
+  in.src1 = a.idx;
+  in.src2 = b.idx;
+  in.src3 = c.idx;
+  emit(in);
+}
+
+Preg KernelBuilder::setp(Opcode cmp, Reg a, Reg b) {
+  const Preg p = preg();
+  Instruction in;
+  in.op = cmp;
+  in.dst = p.idx;
+  in.src1 = a.idx;
+  in.src2 = b.idx;
+  emit(in);
+  return p;
+}
+
+Preg KernelBuilder::pand(Preg a, Preg b) {
+  const Preg p = preg();
+  Instruction in;
+  in.op = Opcode::kPAnd;
+  in.dst = p.idx;
+  in.src1 = a.idx;
+  in.src2 = b.idx;
+  emit(in);
+  return p;
+}
+
+Preg KernelBuilder::por(Preg a, Preg b) {
+  const Preg p = preg();
+  Instruction in;
+  in.op = Opcode::kPOr;
+  in.dst = p.idx;
+  in.src1 = a.idx;
+  in.src2 = b.idx;
+  emit(in);
+  return p;
+}
+
+Preg KernelBuilder::pnot(Preg a) {
+  const Preg p = preg();
+  Instruction in;
+  in.op = Opcode::kPNot;
+  in.dst = p.idx;
+  in.src1 = a.idx;
+  emit(in);
+  return p;
+}
+
+Reg KernelBuilder::selp(Preg p, Reg if_true, Reg if_false) {
+  const Reg d = reg();
+  Instruction in;
+  in.op = Opcode::kSelp;
+  in.dst = d.idx;
+  in.src1 = if_true.idx;
+  in.src2 = if_false.idx;
+  in.pred = p.idx;
+  emit(in);
+  return d;
+}
+
+void KernelBuilder::ld_global(Reg dst, Reg addr, std::int64_t offset,
+                              int size, bool sign_extend) {
+  ST2_EXPECTS(size == 1 || size == 4 || size == 8);
+  Instruction in;
+  in.op = Opcode::kLdGlobal;
+  in.dst = dst.idx;
+  in.src1 = addr.idx;
+  in.imm = offset;
+  in.msize = static_cast<std::uint8_t>(size);
+  in.msext = sign_extend;
+  emit(in);
+}
+
+void KernelBuilder::st_global(Reg addr, Reg value, std::int64_t offset,
+                              int size) {
+  ST2_EXPECTS(size == 1 || size == 4 || size == 8);
+  Instruction in;
+  in.op = Opcode::kStGlobal;
+  in.src1 = addr.idx;
+  in.src2 = value.idx;
+  in.imm = offset;
+  in.msize = static_cast<std::uint8_t>(size);
+  emit(in);
+}
+
+void KernelBuilder::ld_shared(Reg dst, Reg addr, std::int64_t offset,
+                              int size, bool sign_extend) {
+  ST2_EXPECTS(size == 1 || size == 4 || size == 8);
+  Instruction in;
+  in.op = Opcode::kLdShared;
+  in.dst = dst.idx;
+  in.src1 = addr.idx;
+  in.imm = offset;
+  in.msize = static_cast<std::uint8_t>(size);
+  in.msext = sign_extend;
+  emit(in);
+}
+
+void KernelBuilder::st_shared(Reg addr, Reg value, std::int64_t offset,
+                              int size) {
+  ST2_EXPECTS(size == 1 || size == 4 || size == 8);
+  Instruction in;
+  in.op = Opcode::kStShared;
+  in.src1 = addr.idx;
+  in.src2 = value.idx;
+  in.imm = offset;
+  in.msize = static_cast<std::uint8_t>(size);
+  emit(in);
+}
+
+Reg KernelBuilder::element_addr(Reg base, Reg index, int elem_size) {
+  return imad(index, imm(elem_size), base);
+}
+
+Reg KernelBuilder::atom_add_global(Reg addr, Reg value, std::int64_t offset,
+                                   int size) {
+  ST2_EXPECTS(size == 4 || size == 8);
+  const Reg d = reg();
+  Instruction in;
+  in.op = Opcode::kAtomAddGlobal;
+  in.dst = d.idx;
+  in.src1 = addr.idx;
+  in.src2 = value.idx;
+  in.imm = offset;
+  in.msize = static_cast<std::uint8_t>(size);
+  emit(in);
+  return d;
+}
+
+Reg KernelBuilder::atom_add_shared(Reg addr, Reg value, std::int64_t offset,
+                                   int size) {
+  ST2_EXPECTS(size == 4 || size == 8);
+  const Reg d = reg();
+  Instruction in;
+  in.op = Opcode::kAtomAddShared;
+  in.dst = d.idx;
+  in.src1 = addr.idx;
+  in.src2 = value.idx;
+  in.imm = offset;
+  in.msize = static_cast<std::uint8_t>(size);
+  emit(in);
+  return d;
+}
+
+Reg KernelBuilder::shfl_down(Reg src, int delta) {
+  ST2_EXPECTS(delta >= 0 && delta < 32);
+  const Reg d = reg();
+  Instruction in;
+  in.op = Opcode::kShflDown;
+  in.dst = d.idx;
+  in.src1 = src.idx;
+  in.imm = delta;
+  emit(in);
+  return d;
+}
+
+Reg KernelBuilder::shfl_idx(Reg src, Reg lane_index) {
+  const Reg d = reg();
+  Instruction in;
+  in.op = Opcode::kShflIdx;
+  in.dst = d.idx;
+  in.src1 = src.idx;
+  in.src2 = lane_index.idx;
+  emit(in);
+  return d;
+}
+
+void KernelBuilder::if_then(Preg p, const std::function<void()>& body) {
+  Instruction br;
+  br.op = Opcode::kBra;
+  br.pred = p.idx;
+  br.pred_negate = true;  // !p jumps over the body
+  const std::uint32_t fixup = emit(br);
+  body();
+  const std::uint32_t end = here();
+  code_[fixup].target = end;
+  code_[fixup].reconv = end;
+}
+
+void KernelBuilder::if_then_else(Preg p,
+                                 const std::function<void()>& then_body,
+                                 const std::function<void()>& else_body) {
+  Instruction br;
+  br.op = Opcode::kBra;
+  br.pred = p.idx;
+  br.pred_negate = true;  // !p goes to the else block
+  const std::uint32_t br_fix = emit(br);
+  then_body();
+  Instruction jmp;
+  jmp.op = Opcode::kJmp;
+  const std::uint32_t jmp_fix = emit(jmp);
+  const std::uint32_t else_pc = here();
+  else_body();
+  const std::uint32_t end = here();
+  code_[br_fix].target = else_pc;
+  code_[br_fix].reconv = end;
+  code_[jmp_fix].target = end;
+}
+
+void KernelBuilder::while_(const std::function<Preg()>& cond,
+                           const std::function<void()>& body) {
+  const std::uint32_t start = here();
+  const Preg p = cond();
+  Instruction br;
+  br.op = Opcode::kBra;
+  br.pred = p.idx;
+  br.pred_negate = true;  // !p exits the loop
+  const std::uint32_t br_fix = emit(br);
+  body();
+  Instruction back;
+  back.op = Opcode::kJmp;
+  back.target = start;
+  emit(back);
+  const std::uint32_t end = here();
+  code_[br_fix].target = end;
+  code_[br_fix].reconv = end;
+}
+
+void KernelBuilder::for_range(Reg begin, Reg end, std::int64_t step,
+                              const std::function<void(Reg)>& body) {
+  ST2_EXPECTS(step != 0);
+  const Reg i = mov(begin);
+  const Reg stepr = imm(step);
+  while_(
+      [&] {
+        return setp(step > 0 ? Opcode::kSetLt : Opcode::kSetGt, i, end);
+      },
+      [&] {
+        body(i);
+        iadd_to(i, i, stepr);
+      });
+}
+
+void KernelBuilder::bar() {
+  Instruction in;
+  in.op = Opcode::kBar;
+  emit(in);
+}
+
+void KernelBuilder::exit() {
+  Instruction in;
+  in.op = Opcode::kExit;
+  emit(in);
+}
+
+std::int64_t KernelBuilder::alloc_shared(int bytes) {
+  const std::int64_t off = shared_bytes_;
+  shared_bytes_ += (bytes + 7) & ~7;  // 8-byte align
+  return off;
+}
+
+Reg KernelBuilder::shared_base(std::int64_t offset) { return imm(offset); }
+
+std::uint32_t KernelBuilder::here() const {
+  return static_cast<std::uint32_t>(code_.size());
+}
+
+Kernel KernelBuilder::build() {
+  ST2_EXPECTS(!built_);
+  ST2_EXPECTS(!code_.empty());
+  ST2_EXPECTS(code_.back().op == Opcode::kExit);
+  built_ = true;
+  Kernel k;
+  k.name = name_;
+  k.code = std::move(code_);
+  k.shared_bytes = shared_bytes_;
+  k.regs_used = next_reg_;
+  return k;
+}
+
+}  // namespace st2::isa

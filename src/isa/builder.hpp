@@ -1,0 +1,210 @@
+// KernelBuilder: an embedded assembler for mini-PTX with structured control
+// flow. The builder plays the role of the CUDA->PTX compiler: it allocates
+// virtual registers, emits instructions, and — crucially for SIMT — fills in
+// the immediate-post-dominator reconvergence point of every branch, which the
+// simulator's divergence stack relies on.
+//
+// Usage sketch (the pathfinder hot loop of the paper's Figure 2):
+//
+//   KernelBuilder kb("pathfinder_dynproc");
+//   Reg tx = kb.tid_x();
+//   kb.for_range(i, kb.imm(0), iterations, [&](Reg i) {
+//     kb.if_then(cond, [&] {
+//       Reg shortest = kb.imin(left, up);          // PC4
+//       kb.imin_to(shortest, shortest, right);     // PC5
+//       ...
+//     });
+//   });
+//   kb.exit();
+//   Kernel k = kb.build();
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/isa/instruction.hpp"
+
+namespace st2::isa {
+
+/// Handle to a 64-bit (virtual) general register.
+struct Reg {
+  std::uint16_t idx = 0;
+};
+
+/// Handle to a predicate register.
+struct Preg {
+  std::uint8_t idx = 0;
+};
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name);
+
+  // ---- register allocation ------------------------------------------------
+  Reg reg();        ///< fresh general register
+  Preg preg();      ///< fresh predicate register
+  int regs_used() const { return next_reg_; }
+
+  // ---- constants & specials ----------------------------------------------
+  Reg imm(std::int64_t v);
+  Reg fimm(float v);
+  Reg dimm(double v);
+  Reg special(SpecialReg s);
+  /// Kernel parameter `i` (a 64-bit launch argument, e.g. a buffer address).
+  Reg param(int i);
+  Reg tid_x() { return special(SpecialReg::kTidX); }
+  Reg tid_y() { return special(SpecialReg::kTidY); }
+  Reg ntid_x() { return special(SpecialReg::kNtidX); }
+  Reg ctaid_x() { return special(SpecialReg::kCtaidX); }
+  Reg ctaid_y() { return special(SpecialReg::kCtaidY); }
+  Reg nctaid_x() { return special(SpecialReg::kNctaidX); }
+  Reg gtid() { return special(SpecialReg::kGtid); }
+  Reg laneid() { return special(SpecialReg::kLaneId); }
+
+  // ---- three-address ops: value-returning form allocates the destination;
+  // ---- the *_to form writes an existing register (for loop-carried values).
+  Reg emit3(Opcode op, Reg a, Reg b);
+  void emit3_to(Opcode op, Reg d, Reg a, Reg b);
+  Reg emit2(Opcode op, Reg a);
+  void emit2_to(Opcode op, Reg d, Reg a);
+
+  Reg iadd(Reg a, Reg b) { return emit3(Opcode::kIAdd, a, b); }
+  Reg isub(Reg a, Reg b) { return emit3(Opcode::kISub, a, b); }
+  Reg imul(Reg a, Reg b) { return emit3(Opcode::kIMul, a, b); }
+  Reg idiv(Reg a, Reg b) { return emit3(Opcode::kIDiv, a, b); }
+  Reg irem(Reg a, Reg b) { return emit3(Opcode::kIRem, a, b); }
+  Reg imin(Reg a, Reg b) { return emit3(Opcode::kIMin, a, b); }
+  Reg imax(Reg a, Reg b) { return emit3(Opcode::kIMax, a, b); }
+  Reg iand(Reg a, Reg b) { return emit3(Opcode::kIAnd, a, b); }
+  Reg ior(Reg a, Reg b) { return emit3(Opcode::kIOr, a, b); }
+  Reg ixor(Reg a, Reg b) { return emit3(Opcode::kIXor, a, b); }
+  Reg ishl(Reg a, Reg b) { return emit3(Opcode::kIShl, a, b); }
+  Reg ishr(Reg a, Reg b) { return emit3(Opcode::kIShrL, a, b); }
+  Reg ishra(Reg a, Reg b) { return emit3(Opcode::kIShrA, a, b); }
+  Reg ineg(Reg a) { return emit2(Opcode::kINeg, a); }
+  Reg iabs(Reg a) { return emit2(Opcode::kIAbs, a); }
+  Reg imad(Reg a, Reg b, Reg c);
+  void imad_to(Reg d, Reg a, Reg b, Reg c);
+
+  void iadd_to(Reg d, Reg a, Reg b) { emit3_to(Opcode::kIAdd, d, a, b); }
+  void isub_to(Reg d, Reg a, Reg b) { emit3_to(Opcode::kISub, d, a, b); }
+  void imin_to(Reg d, Reg a, Reg b) { emit3_to(Opcode::kIMin, d, a, b); }
+  void imax_to(Reg d, Reg a, Reg b) { emit3_to(Opcode::kIMax, d, a, b); }
+  void imul_to(Reg d, Reg a, Reg b) { emit3_to(Opcode::kIMul, d, a, b); }
+
+  Reg fadd(Reg a, Reg b) { return emit3(Opcode::kFAdd, a, b); }
+  Reg fsub(Reg a, Reg b) { return emit3(Opcode::kFSub, a, b); }
+  Reg fmul(Reg a, Reg b) { return emit3(Opcode::kFMul, a, b); }
+  Reg fdiv(Reg a, Reg b) { return emit3(Opcode::kFDiv, a, b); }
+  Reg fmin(Reg a, Reg b) { return emit3(Opcode::kFMin, a, b); }
+  Reg fmax(Reg a, Reg b) { return emit3(Opcode::kFMax, a, b); }
+  Reg ffma(Reg a, Reg b, Reg c);
+  void ffma_to(Reg d, Reg a, Reg b, Reg c);
+  void fadd_to(Reg d, Reg a, Reg b) { emit3_to(Opcode::kFAdd, d, a, b); }
+  void fsub_to(Reg d, Reg a, Reg b) { emit3_to(Opcode::kFSub, d, a, b); }
+  void fmul_to(Reg d, Reg a, Reg b) { emit3_to(Opcode::kFMul, d, a, b); }
+  void fmin_to(Reg d, Reg a, Reg b) { emit3_to(Opcode::kFMin, d, a, b); }
+  void fmax_to(Reg d, Reg a, Reg b) { emit3_to(Opcode::kFMax, d, a, b); }
+  Reg fsqrt(Reg a) { return emit2(Opcode::kFSqrt, a); }
+  Reg frsqrt(Reg a) { return emit2(Opcode::kFRsqrt, a); }
+  Reg frcp(Reg a) { return emit2(Opcode::kFRcp, a); }
+  Reg flog2(Reg a) { return emit2(Opcode::kFLog2, a); }
+  Reg fexp2(Reg a) { return emit2(Opcode::kFExp2, a); }
+  Reg fsin(Reg a) { return emit2(Opcode::kFSin, a); }
+  Reg fcos(Reg a) { return emit2(Opcode::kFCos, a); }
+  Reg fabs_(Reg a) { return emit2(Opcode::kFAbs, a); }
+  Reg fneg(Reg a) { return emit2(Opcode::kFNeg, a); }
+
+  Reg dadd(Reg a, Reg b) { return emit3(Opcode::kDAdd, a, b); }
+  Reg dsub(Reg a, Reg b) { return emit3(Opcode::kDSub, a, b); }
+  Reg dmul(Reg a, Reg b) { return emit3(Opcode::kDMul, a, b); }
+  Reg ddiv(Reg a, Reg b) { return emit3(Opcode::kDDiv, a, b); }
+  Reg dfma(Reg a, Reg b, Reg c);
+  void dadd_to(Reg d, Reg a, Reg b) { emit3_to(Opcode::kDAdd, d, a, b); }
+  void dfma_to(Reg d, Reg a, Reg b, Reg c);
+
+  Reg mov(Reg a) { return emit2(Opcode::kMov, a); }
+  void mov_to(Reg d, Reg a) { emit2_to(Opcode::kMov, d, a); }
+  void movi_to(Reg d, std::int64_t v);
+  Reg i2f(Reg a) { return emit2(Opcode::kI2F, a); }
+  Reg f2i(Reg a) { return emit2(Opcode::kF2I, a); }
+  Reg i2d(Reg a) { return emit2(Opcode::kI2D, a); }
+  Reg d2i(Reg a) { return emit2(Opcode::kD2I, a); }
+  Reg f2d(Reg a) { return emit2(Opcode::kF2D, a); }
+  Reg d2f(Reg a) { return emit2(Opcode::kD2F, a); }
+
+  // ---- comparisons & predicates -------------------------------------------
+  Preg setp(Opcode cmp, Reg a, Reg b);
+  Preg pand(Preg a, Preg b);
+  Preg por(Preg a, Preg b);
+  Preg pnot(Preg a);
+  Reg selp(Preg p, Reg if_true, Reg if_false);
+
+  // ---- memory ---------------------------------------------------------------
+  // Raw loads zero-extend narrow data (use for f32 bit patterns and unsigned
+  // bytes); the *_s32 forms sign-extend (use for signed int32 arrays).
+  void ld_global(Reg dst, Reg addr, std::int64_t offset = 0, int size = 8,
+                 bool sign_extend = false);
+  void st_global(Reg addr, Reg value, std::int64_t offset = 0, int size = 8);
+  void ld_shared(Reg dst, Reg addr, std::int64_t offset = 0, int size = 8,
+                 bool sign_extend = false);
+  void st_shared(Reg addr, Reg value, std::int64_t offset = 0, int size = 8);
+  void ld_global_s32(Reg dst, Reg addr, std::int64_t offset = 0) {
+    ld_global(dst, addr, offset, 4, true);
+  }
+  void ld_shared_s32(Reg dst, Reg addr, std::int64_t offset = 0) {
+    ld_shared(dst, addr, offset, 4, true);
+  }
+  /// Atomic add of `value` at [addr+offset]; returns the old value.
+  /// Contending active lanes serialize in lane order.
+  Reg atom_add_global(Reg addr, Reg value, std::int64_t offset = 0,
+                      int size = 8);
+  Reg atom_add_shared(Reg addr, Reg value, std::int64_t offset = 0,
+                      int size = 8);
+
+  // ---- warp shuffles ---------------------------------------------------------
+  /// Value of `src` in lane (laneid + delta); lanes shifted past the warp
+  /// edge keep their own value (shfl.down.sync semantics).
+  Reg shfl_down(Reg src, int delta);
+  /// Value of `src` in lane (index & 31), index taken from a register.
+  Reg shfl_idx(Reg src, Reg lane_index);
+  /// addr = base + index * elem_size (one mad instruction).
+  Reg element_addr(Reg base, Reg index, int elem_size);
+
+  // ---- control flow ---------------------------------------------------------
+  void if_then(Preg p, const std::function<void()>& body);
+  void if_then_else(Preg p, const std::function<void()>& then_body,
+                    const std::function<void()>& else_body);
+  /// while: cond_emitter must emit code computing the predicate each
+  /// iteration and return it; loop continues while the predicate is true.
+  void while_(const std::function<Preg()>& cond, const std::function<void()>& body);
+  /// for (Reg i = begin; i < end; i += step) body(i). Allocates i.
+  void for_range(Reg begin, Reg end, std::int64_t step,
+                 const std::function<void(Reg)>& body);
+  void bar();
+  void exit();
+
+  /// Reserve static shared memory; returns the byte offset of the block.
+  std::int64_t alloc_shared(int bytes);
+  /// Register holding the base (0) of shared memory plus `offset`.
+  Reg shared_base(std::int64_t offset = 0);
+
+  /// Current pc (index of the next instruction to be emitted).
+  std::uint32_t here() const;
+
+  Kernel build();
+
+ private:
+  std::uint32_t emit(Instruction in);
+
+  std::string name_;
+  std::vector<Instruction> code_;
+  int next_reg_ = 0;
+  int next_preg_ = 0;
+  int shared_bytes_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace st2::isa

@@ -1,0 +1,165 @@
+#include "src/power/calibrate.hpp"
+
+#include <cmath>
+
+#include "src/common/contracts.hpp"
+#include "src/common/stats.hpp"
+
+namespace st2::power {
+
+SiliconOracle::SiliconOracle(std::uint64_t seed, double noise_sigma,
+                             double nonlinearity)
+    : rng_(seed), noise_sigma_(noise_sigma), nonlinearity_(nonlinearity) {
+  // Hidden truth: each component's GPUWattch estimate is off by a factor the
+  // calibration must recover, drawn once per oracle in [0.7, 1.4].
+  for (auto& s : true_scales_) {
+    s = 0.7 + 0.7 * rng_.next_double();
+  }
+}
+
+double SiliconOracle::measure(
+    const std::array<double, kNumComponents>& component_energy) {
+  double e = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < kNumComponents; ++i) {
+    const double ci = component_energy[static_cast<std::size_t>(i)];
+    e += true_scales_[static_cast<std::size_t>(i)] * ci;
+    sumsq += ci * ci;
+  }
+  // Unmodeled physics: real chips draw disproportionately more power when
+  // activity concentrates in one component (local thermal hot spots, shared
+  // supply-rail IR drop) than when the same activity spreads across the die.
+  // This second-order concentration term cannot be absorbed by any linear
+  // per-component scale — it is what keeps the validation Pearson r below 1
+  // on kernels whose component mixes differ from the stressors'.
+  if (e > 0.0) {
+    const double concentration = sumsq / (e * e);  // 1/K .. 1
+    e *= 1.0 + nonlinearity_ * (concentration * double(kNumComponents) - 1.0);
+  }
+  // Sampling noise of the 50-100 Hz NVML power readings.
+  e *= 1.0 + noise_sigma_ * rng_.next_gaussian();
+  return e;
+}
+
+namespace {
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+/// A is row-major n*n. Returns false if not positive definite.
+bool cholesky_solve(std::vector<double>& a, std::vector<double>& b, int n) {
+  // Decompose A = L L^T in place (lower triangle).
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a[static_cast<std::size_t>(i * n + j)];
+      for (int k = 0; k < j; ++k) {
+        sum -= a[static_cast<std::size_t>(i * n + k)] *
+               a[static_cast<std::size_t>(j * n + k)];
+      }
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        a[static_cast<std::size_t>(i * n + j)] = std::sqrt(sum);
+      } else {
+        a[static_cast<std::size_t>(i * n + j)] =
+            sum / a[static_cast<std::size_t>(j * n + j)];
+      }
+    }
+  }
+  // Forward substitution: L y = b.
+  for (int i = 0; i < n; ++i) {
+    double sum = b[static_cast<std::size_t>(i)];
+    for (int k = 0; k < i; ++k) {
+      sum -= a[static_cast<std::size_t>(i * n + k)] *
+             b[static_cast<std::size_t>(k)];
+    }
+    b[static_cast<std::size_t>(i)] = sum / a[static_cast<std::size_t>(i * n + i)];
+  }
+  // Back substitution: L^T x = y.
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = b[static_cast<std::size_t>(i)];
+    for (int k = i + 1; k < n; ++k) {
+      sum -= a[static_cast<std::size_t>(k * n + i)] *
+             b[static_cast<std::size_t>(k)];
+    }
+    b[static_cast<std::size_t>(i)] = sum / a[static_cast<std::size_t>(i * n + i)];
+  }
+  return true;
+}
+
+double predict(const std::array<double, kNumComponents>& scales,
+               const Observation& o) {
+  double e = 0.0;
+  for (int i = 0; i < kNumComponents; ++i) {
+    e += scales[static_cast<std::size_t>(i)] *
+         o.component_energy[static_cast<std::size_t>(i)];
+  }
+  return e;
+}
+
+}  // namespace
+
+CalibrationResult calibrate(const std::vector<Observation>& train) {
+  constexpr int n = kNumComponents;
+  ST2_EXPECTS(static_cast<int>(train.size()) >= n);
+
+  // Normal equations X^T X s = X^T y, ridge-regularized for components a
+  // stressor suite may under-excite.
+  std::vector<double> xtx(static_cast<std::size_t>(n) * n, 0.0);
+  std::vector<double> xty(static_cast<std::size_t>(n), 0.0);
+  double diag_mean = 0.0;
+  for (const Observation& o : train) {
+    for (int i = 0; i < n; ++i) {
+      const double xi = o.component_energy[static_cast<std::size_t>(i)];
+      xty[static_cast<std::size_t>(i)] += xi * o.measured;
+      for (int j = 0; j < n; ++j) {
+        xtx[static_cast<std::size_t>(i * n + j)] +=
+            xi * o.component_energy[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    diag_mean += xtx[static_cast<std::size_t>(i * n + i)];
+  }
+  diag_mean /= n;
+  const double ridge = 1e-8 * diag_mean;
+  for (int i = 0; i < n; ++i) {
+    // Regularize towards scale 1 (the GPUWattch prior).
+    xtx[static_cast<std::size_t>(i * n + i)] += ridge;
+    xty[static_cast<std::size_t>(i)] += ridge * 1.0;
+  }
+
+  const bool ok = cholesky_solve(xtx, xty, n);
+  ST2_ASSERT(ok && "normal equations not positive definite");
+
+  CalibrationResult r{};
+  for (int i = 0; i < n; ++i) {
+    r.scales[static_cast<std::size_t>(i)] = xty[static_cast<std::size_t>(i)];
+  }
+  Accumulator ape;
+  for (const Observation& o : train) {
+    if (o.measured != 0.0) {
+      ape.add(std::abs(predict(r.scales, o) - o.measured) / o.measured);
+    }
+  }
+  r.training_mape = ape.mean();
+  return r;
+}
+
+ValidationResult validate(const std::array<double, kNumComponents>& scales,
+                          const std::vector<Observation>& held_out) {
+  ST2_EXPECTS(held_out.size() >= 2);
+  Accumulator ape;
+  std::vector<double> measured, modeled;
+  for (const Observation& o : held_out) {
+    const double p = predict(scales, o);
+    measured.push_back(o.measured);
+    modeled.push_back(p);
+    if (o.measured != 0.0) ape.add(std::abs(p - o.measured) / o.measured);
+  }
+  ValidationResult v{};
+  v.mape = ape.mean();
+  v.mape_ci95 = 1.96 * ape.stddev() /
+                std::sqrt(static_cast<double>(ape.count()));
+  v.pearson_r = pearson_r(measured, modeled);
+  return v;
+}
+
+}  // namespace st2::power

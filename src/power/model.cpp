@@ -1,0 +1,107 @@
+#include "src/power/model.hpp"
+
+#include "src/common/contracts.hpp"
+
+namespace st2::power {
+
+const char* component_name(Component c) {
+  switch (c) {
+    case Component::kAluFpu: return "ALU+FPU";
+    case Component::kIntMulDiv: return "int Mul/Div";
+    case Component::kFpMulDiv: return "fp Mul/Div";
+    case Component::kSfu: return "SFU";
+    case Component::kRegFile: return "RegFile";
+    case Component::kCachesMc: return "Caches+MC";
+    case Component::kNoc: return "NoC";
+    case Component::kOthers: return "Others";
+    case Component::kDram: return "DRAM";
+    case Component::kConst: return "Const";
+    case Component::kCount: break;
+  }
+  return "?";
+}
+
+double EnergyBreakdown::total() const {
+  double t = 0;
+  for (double v : by_component) t += v;
+  return t;
+}
+
+double EnergyBreakdown::chip() const {
+  return total() - (*this)[Component::kDram] - (*this)[Component::kConst];
+}
+
+PowerModel::PowerModel(EnergyCoefficients coeffs) : coeffs_(coeffs) {
+  scales_.fill(1.0);
+}
+
+EnergyBreakdown PowerModel::energy(const sim::EventCounters& c,
+                                   bool st2_mode) const {
+  const EnergyCoefficients& k = coeffs_;
+  EnergyBreakdown e{};
+
+  // --- adder-class energy (the part ST2 transforms) -------------------------
+  const double nominal_adder =
+      k.alu_adder_op * double(c.alu_adder_ops) +
+      k.fpu_adder_op * double(c.fpu_adder_ops) +
+      k.dpu_adder_op * double(c.dpu_adder_ops);
+  double adder_energy = nominal_adder;
+  double crf_energy = 0.0;
+  double shifter_energy = 0.0;
+  if (st2_mode) {
+    // Scaled slices: first-cycle computations plus misprediction recomputes,
+    // at st2_slice_fraction of the nominal adder energy per full slice set.
+    const double recompute_ratio =
+        c.slice_computes
+            ? double(c.slice_recomputes) / double(c.slice_computes)
+            : 0.0;
+    adder_energy = k.st2_slice_fraction * nominal_adder *
+                   (1.0 + recompute_ratio);
+    crf_energy = k.crf_row_read * double(c.crf_row_reads) +
+                 k.crf_write * double(c.crf_writes);
+    shifter_energy = k.level_shift_op * double(c.adder_thread_ops);
+  }
+
+  e[Component::kAluFpu] =
+      adder_energy + shifter_energy +
+      k.alu_simple_op * double(c.alu_ops - c.alu_adder_ops);
+
+  e[Component::kIntMulDiv] =
+      k.int_mul_op *
+          double(c.int_muldiv_ops - c.int_div_ops + c.fused_int_mul_ops) +
+      k.int_div_op * double(c.int_div_ops);
+
+  e[Component::kFpMulDiv] =
+      k.fp_mul_op *
+          double(c.fp_muldiv_ops - c.fp_div_ops + c.fused_fp_mul_ops) +
+      k.fp_div_op * double(c.fp_div_ops) +
+      k.dpu_mul_op * double(c.dpu_ops - c.dpu_adder_ops + c.fused_dp_mul_ops);
+
+  e[Component::kSfu] = k.sfu_op * double(c.sfu_ops);
+
+  e[Component::kRegFile] = k.regfile_read * double(c.regfile_reads) +
+                           k.regfile_write * double(c.regfile_writes) +
+                           crf_energy;
+
+  e[Component::kCachesMc] = k.l1_access * double(c.l1_accesses) +
+                            k.l2_access * double(c.l2_accesses) +
+                            k.smem_access * double(c.smem_accesses);
+
+  e[Component::kNoc] = k.noc_flit * double(c.noc_flits);
+
+  e[Component::kOthers] = k.frontend_warp * double(c.warp_instructions) +
+                          k.sm_static_per_cycle * double(c.sm_active_cycles) +
+                          k.sm_idle_per_cycle * double(c.sm_idle_cycles);
+
+  e[Component::kDram] = k.dram_access * double(c.dram_accesses);
+
+  e[Component::kConst] = k.const_per_cycle * double(c.cycles);
+
+  for (int i = 0; i < kNumComponents; ++i) {
+    e.by_component[static_cast<std::size_t>(i)] *=
+        scales_[static_cast<std::size_t>(i)];
+  }
+  return e;
+}
+
+}  // namespace st2::power

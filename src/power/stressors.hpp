@@ -1,0 +1,39 @@
+// Micro-benchmark stressor suite for power-model calibration (paper
+// Section V-C: "a suite of 123 micro-benchmarks that isolate and stress
+// specific GPU hardware components"). Each stressor is a mini-PTX kernel
+// exercising one component family at a parameterized intensity; running the
+// suite through the timing simulator yields the per-component energy vectors
+// the calibrator fits against the silicon oracle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/isa/instruction.hpp"
+#include "src/power/calibrate.hpp"
+#include "src/sim/config.hpp"
+
+namespace st2::power {
+
+struct StressorSpec {
+  std::string name;
+  int family = 0;
+  int level = 0;
+};
+
+/// The 123 stressor configurations (11 families, varying intensity levels).
+std::vector<StressorSpec> stressor_suite();
+
+/// Runs one stressor on the timing simulator and returns the model's
+/// unscaled component-energy vector for it.
+std::array<double, kNumComponents> run_stressor(const StressorSpec& spec,
+                                                const PowerModel& pm,
+                                                const sim::GpuConfig& cfg);
+
+/// Runs the whole suite and pairs each energy vector with an oracle
+/// measurement, producing the calibration training set.
+std::vector<Observation> collect_observations(const PowerModel& pm,
+                                              SiliconOracle& oracle,
+                                              const sim::GpuConfig& cfg);
+
+}  // namespace st2::power

@@ -1,0 +1,41 @@
+// Extraction of the adder-datapath micro-operation from each executed
+// instruction — the value stream the ST2 carry speculator sees.
+//
+// Integer adds map directly (subtracts as a + ~b + 1). Floating-point ops
+// engage the *mantissa* adder after exponent alignment (paper Section IV-C:
+// FP32 mantissas use 3 slices, FP64 use 7; exponents are not speculated on),
+// so we reproduce the FPU front-end: decode, align the smaller operand's
+// significand, complement on effective subtraction. The resulting operand
+// pair is what the speculative slices actually add, and therefore what the
+// carry history must predict.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/isa/instruction.hpp"
+
+namespace st2::sim {
+
+struct AdderMicroOp {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  bool cin = false;
+  int num_slices = 8;
+};
+
+/// Mantissa-adder micro-op for an FP32 effective addition x + y (callers
+/// pre-negate y for subtraction). 3 slices (24-bit significands).
+AdderMicroOp fp32_mantissa_op(float x, float y);
+
+/// Mantissa-adder micro-op for FP64. 7 slices (53-bit significands).
+AdderMicroOp fp64_mantissa_op(double x, double y);
+
+/// Builds the adder micro-op for instruction `op` given the source values
+/// (raw 64-bit register contents, FP32 in the low 32 bits). Returns nullopt
+/// for instructions that do not engage the adder datapath.
+std::optional<AdderMicroOp> adder_micro_op(isa::Opcode op, std::uint64_t s1,
+                                           std::uint64_t s2,
+                                           std::uint64_t s3);
+
+}  // namespace st2::sim

@@ -1,0 +1,86 @@
+// GPU device configuration. Defaults model a scaled-down NVIDIA TITAN V
+// Volta (paper Section II-A): fewer SMs than the real 80 so the cycle-level
+// simulation stays laptop-fast, but the same per-SM organization — 4 warp
+// schedulers, 64 warp slots, 2048 threads, Volta-like unit throughputs and
+// cache geometry. The relative results the paper reports (energy ratios,
+// misprediction rates, <1% slowdowns) are per-SM properties and are
+// insensitive to the SM count, which only rescales absolute runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "src/spec/config.hpp"
+
+namespace st2::sim {
+
+enum class WarpScheduler : std::uint8_t {
+  kGto,  ///< greedy-then-oldest (default, as in GPGPU-Sim's GTO)
+  kLrr,  ///< loose round-robin
+};
+
+struct GpuConfig {
+  // --- chip organization -------------------------------------------------
+  int num_sms = 20;
+  int schedulers_per_sm = 4;
+  WarpScheduler scheduler = WarpScheduler::kGto;
+  int max_warps_per_sm = 64;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 16;
+  int shared_mem_per_sm = 96 * 1024;
+
+  // --- functional-unit issue intervals (cycles a unit is busy per warp
+  // --- instruction; 32-lane warp over 16-lane units = 2 cycles) and result
+  // --- latencies.
+  int alu_interval = 2;
+  int fpu_interval = 2;
+  int dpu_interval = 4;
+  int sfu_interval = 8;
+  int muldiv_interval = 4;
+  int mem_interval = 2;
+  int alu_latency = 4;
+  int fpu_latency = 4;
+  int dpu_latency = 8;
+  int sfu_latency = 21;
+  int imul_latency = 6;
+  int idiv_latency = 46;
+  int fdiv_latency = 28;
+  int ddiv_latency = 52;
+
+  // --- memory hierarchy ----------------------------------------------------
+  int line_bytes = 128;
+  int l1_kb = 32;
+  int l1_ways = 4;
+  int l2_kb = 4 * 1024;
+  int l2_ways = 16;
+  int l1_latency = 28;
+  int l2_latency = 120;   // additional on L1 miss
+  int dram_latency = 350; // additional on L2 miss
+  int shared_latency = 24;
+
+  // --- register file / operand collector ------------------------------------
+  // The operand collector gathers a warp's source operands from a banked
+  // register file; two sources in one bank serialize. The CRF read rides
+  // along with this stage (paper Section IV-C).
+  int regfile_banks = 4;
+  bool model_rf_bank_conflicts = true;
+
+  // --- clock ---------------------------------------------------------------
+  double clock_ghz = 1.2;
+
+  // --- ST2 ------------------------------------------------------------------
+  bool st2_enabled = false;                      ///< speculative adders on?
+  spec::SpeculationConfig st2_spec = spec::st2_config();
+
+  std::uint64_t seed = 0x57257257ULL;  ///< CRF arbitration seed
+
+  /// The baseline TITAN-V-like configuration.
+  static GpuConfig baseline() { return GpuConfig{}; }
+  /// Same machine with ST2 adders enabled.
+  static GpuConfig st2() {
+    GpuConfig c;
+    c.st2_enabled = true;
+    return c;
+  }
+};
+
+}  // namespace st2::sim

@@ -1,0 +1,138 @@
+// Event counters: everything the power model (and the figures) need to know
+// about a kernel execution, accumulated by both the trace runner and the
+// timing simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace st2::sim {
+
+struct EventCounters {
+  // --- instruction counts (thread-level unless noted) ----------------------
+  std::uint64_t warp_instructions = 0;
+  std::uint64_t thread_instructions = 0;
+  std::uint64_t alu_ops = 0;         ///< integer ALU (incl. mad, compares)
+  std::uint64_t alu_adder_ops = 0;   ///< subset engaging the adder
+  std::uint64_t int_muldiv_ops = 0;
+  std::uint64_t fpu_ops = 0;
+  std::uint64_t fpu_adder_ops = 0;
+  std::uint64_t fp_muldiv_ops = 0;
+  std::uint64_t dpu_ops = 0;
+  std::uint64_t dpu_adder_ops = 0;
+  std::uint64_t sfu_ops = 0;
+  std::uint64_t mem_ops = 0;
+  std::uint64_t ctrl_ops = 0;
+  std::uint64_t int_div_ops = 0;       ///< subset of int_muldiv_ops
+  std::uint64_t fp_div_ops = 0;        ///< subset of fp_muldiv_ops
+  std::uint64_t fused_int_mul_ops = 0; ///< imad multiplier activations
+  std::uint64_t fused_fp_mul_ops = 0;  ///< ffma multiplier activations
+  std::uint64_t fused_dp_mul_ops = 0;  ///< dfma multiplier activations
+
+  // --- Figure 1 buckets (thread-level) --------------------------------------
+  std::uint64_t fig1_alu_add = 0;
+  std::uint64_t fig1_alu_other = 0;
+  std::uint64_t fig1_fpu_add = 0;
+  std::uint64_t fig1_fpu_other = 0;
+  std::uint64_t fig1_other = 0;
+
+  // --- register files --------------------------------------------------------
+  std::uint64_t regfile_reads = 0;
+  std::uint64_t regfile_writes = 0;
+  std::uint64_t crf_row_reads = 0;
+  std::uint64_t crf_writes = 0;
+  std::uint64_t crf_write_conflicts = 0;  ///< same-cycle writers dropped
+
+  // --- speculation ------------------------------------------------------------
+  std::uint64_t adder_thread_ops = 0;    ///< thread-level speculated adds
+  std::uint64_t adder_mispredicts = 0;   ///< thread-level mispredicted adds
+  std::uint64_t slice_computes = 0;      ///< first-cycle slice executions
+  std::uint64_t slice_recomputes = 0;    ///< second-cycle slice executions
+  std::uint64_t warp_adder_insts = 0;    ///< warp-level adder instructions
+  std::uint64_t warp_adder_stalls = 0;   ///< warp instrs that took the +1 cycle
+
+  // --- memory system ------------------------------------------------------------
+  std::uint64_t gmem_insts = 0;
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t dram_accesses = 0;
+  std::uint64_t smem_accesses = 0;
+  std::uint64_t noc_flits = 0;
+
+  // --- time (timing mode only) -----------------------------------------------
+  std::uint64_t cycles = 0;            ///< kernel runtime (max over SMs)
+  std::uint64_t sm_active_cycles = 0;  ///< sum over SMs of busy cycles
+  std::uint64_t sm_idle_cycles = 0;    ///< sum over SMs of idle cycles
+
+  EventCounters& operator+=(const EventCounters& o) {
+    warp_instructions += o.warp_instructions;
+    thread_instructions += o.thread_instructions;
+    alu_ops += o.alu_ops;
+    alu_adder_ops += o.alu_adder_ops;
+    int_muldiv_ops += o.int_muldiv_ops;
+    fpu_ops += o.fpu_ops;
+    fpu_adder_ops += o.fpu_adder_ops;
+    fp_muldiv_ops += o.fp_muldiv_ops;
+    dpu_ops += o.dpu_ops;
+    dpu_adder_ops += o.dpu_adder_ops;
+    sfu_ops += o.sfu_ops;
+    mem_ops += o.mem_ops;
+    ctrl_ops += o.ctrl_ops;
+    int_div_ops += o.int_div_ops;
+    fp_div_ops += o.fp_div_ops;
+    fused_int_mul_ops += o.fused_int_mul_ops;
+    fused_fp_mul_ops += o.fused_fp_mul_ops;
+    fused_dp_mul_ops += o.fused_dp_mul_ops;
+    fig1_alu_add += o.fig1_alu_add;
+    fig1_alu_other += o.fig1_alu_other;
+    fig1_fpu_add += o.fig1_fpu_add;
+    fig1_fpu_other += o.fig1_fpu_other;
+    fig1_other += o.fig1_other;
+    regfile_reads += o.regfile_reads;
+    regfile_writes += o.regfile_writes;
+    crf_row_reads += o.crf_row_reads;
+    crf_writes += o.crf_writes;
+    crf_write_conflicts += o.crf_write_conflicts;
+    adder_thread_ops += o.adder_thread_ops;
+    adder_mispredicts += o.adder_mispredicts;
+    slice_computes += o.slice_computes;
+    slice_recomputes += o.slice_recomputes;
+    warp_adder_insts += o.warp_adder_insts;
+    warp_adder_stalls += o.warp_adder_stalls;
+    gmem_insts += o.gmem_insts;
+    l1_accesses += o.l1_accesses;
+    l1_misses += o.l1_misses;
+    l2_accesses += o.l2_accesses;
+    l2_misses += o.l2_misses;
+    dram_accesses += o.dram_accesses;
+    smem_accesses += o.smem_accesses;
+    noc_flits += o.noc_flits;
+    cycles += o.cycles;
+    sm_active_cycles += o.sm_active_cycles;
+    sm_idle_cycles += o.sm_idle_cycles;
+    return *this;
+  }
+
+  /// SIMD efficiency: average fraction of the 32 lanes active per executed
+  /// warp instruction (1.0 = no divergence or partial-warp losses).
+  double simd_efficiency() const {
+    return warp_instructions
+               ? double(thread_instructions) /
+                     (32.0 * double(warp_instructions))
+               : 0.0;
+  }
+
+  double adder_misprediction_rate() const {
+    return adder_thread_ops
+               ? double(adder_mispredicts) / double(adder_thread_ops)
+               : 0.0;
+  }
+  double slices_recomputed_per_misprediction() const {
+    return adder_mispredicts
+               ? double(slice_recomputes) / double(adder_mispredicts)
+               : 0.0;
+  }
+};
+
+}  // namespace st2::sim

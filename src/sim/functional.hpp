@@ -1,0 +1,123 @@
+// Functional SIMT execution core: executes one warp-instruction at a time
+// with full divergence/barrier semantics against a flat global memory.
+// Both the fast trace runner (Figures 2/3/5/6) and the cycle-level timing
+// simulator (Figure 7) drive this core, so functional results are identical
+// by construction in both modes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/isa/instruction.hpp"
+#include "src/sim/adder_ops.hpp"
+#include "src/sim/launch.hpp"
+#include "src/sim/memory.hpp"
+#include "src/sim/simt.hpp"
+
+namespace st2::sim {
+
+/// Per-warp architectural state.
+class WarpContext {
+ public:
+  WarpContext(int block_flat, int warp_in_block, std::uint32_t initial_mask,
+              int regs_used);
+
+  SimtStack& stack() { return stack_; }
+  const SimtStack& stack() const { return stack_; }
+
+  std::uint64_t reg(int lane, int r) const {
+    return regs_[static_cast<std::size_t>(lane) * regs_used_ + r];
+  }
+  void set_reg(int lane, int r, std::uint64_t v) {
+    regs_[static_cast<std::size_t>(lane) * regs_used_ + r] = v;
+  }
+  bool pred(int lane, int p) const {
+    return ((preds_[static_cast<std::size_t>(p)] >> lane) & 1u) != 0;
+  }
+  void set_pred(int lane, int p, bool v) {
+    const std::uint32_t bit = 1u << lane;
+    if (v) {
+      preds_[static_cast<std::size_t>(p)] |= bit;
+    } else {
+      preds_[static_cast<std::size_t>(p)] &= ~bit;
+    }
+  }
+
+  int block_flat() const { return block_flat_; }
+  int warp_in_block() const { return warp_in_block_; }
+  bool done() const { return stack_.done(); }
+
+  bool at_barrier = false;
+
+ private:
+  SimtStack stack_;
+  int block_flat_;
+  int warp_in_block_;
+  int regs_used_;
+  std::vector<std::uint64_t> regs_;
+  std::array<std::uint32_t, isa::kNumPredRegs> preds_{};
+};
+
+/// What one warp-instruction did — the observer payload for trace mode and
+/// the scheduling information for timing mode.
+struct ExecRecord {
+  const isa::Instruction* instr = nullptr;
+  std::uint32_t pc = 0;
+  int block_flat = 0;
+  int warp_in_block = 0;
+  std::uint32_t active_mask = 0;
+  isa::UnitClass unit = isa::UnitClass::kControl;
+
+  bool has_adder_op = false;
+  std::array<AdderMicroOp, kWarpSize> adder{};  ///< valid where active
+
+  bool is_mem = false;
+  bool is_store = false;
+  bool is_shared = false;
+  std::uint8_t mem_size = 0;
+  std::array<std::uint64_t, kWarpSize> mem_addr{};
+
+  /// Destination values written, per lane (valid where active and the
+  /// instruction writes a general register) — used by the Figure 2 tracer.
+  bool writes_reg = false;
+  std::array<std::uint64_t, kWarpSize> result{};
+};
+
+enum class StepStatus {
+  kExecuted,   ///< one instruction executed
+  kAtBarrier,  ///< warp parked at a barrier (no instruction consumed)
+  kDone,       ///< warp has exited
+};
+
+/// Executes the code of one kernel for the warps of one block.
+class FunctionalCore {
+ public:
+  FunctionalCore(const isa::Kernel& kernel, const LaunchConfig& launch,
+                 GlobalMemory& gmem, std::vector<std::uint8_t>& smem);
+
+  /// Executes the next instruction of `w` (respecting barriers). `rec`, if
+  /// non-null, is filled with what happened.
+  StepStatus step(WarpContext& w, ExecRecord* rec);
+
+  /// Clears the barrier flag of a warp (block controller releases barriers).
+  static void release_barrier(WarpContext& w) { w.at_barrier = false; }
+
+  const isa::Kernel& kernel() const { return kernel_; }
+  const LaunchConfig& launch() const { return launch_; }
+
+  /// Initial active mask for a warp of the block (partial last warp).
+  std::uint32_t initial_mask(int warp_in_block) const;
+
+ private:
+  std::uint64_t special_value(isa::SpecialReg s, int block_flat,
+                              int lin_tid) const;
+
+  const isa::Kernel& kernel_;
+  const LaunchConfig& launch_;
+  GlobalMemory& gmem_;
+  std::vector<std::uint8_t>& smem_;
+};
+
+}  // namespace st2::sim

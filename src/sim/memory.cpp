@@ -1,0 +1,66 @@
+#include "src/sim/memory.hpp"
+
+#include <bit>
+
+namespace st2::sim {
+
+std::uint64_t GlobalMemory::alloc(std::size_t bytes) {
+  const std::size_t addr = (data_.size() + 7) & ~std::size_t{7};
+  data_.resize(addr + ((bytes + 7) & ~std::size_t{7}), 0);
+  // Address 0 is reserved so null-pointer bugs in kernels trap in tests.
+  if (addr == 0) {
+    data_.resize(64, 0);
+    return alloc(bytes);
+  }
+  return addr;
+}
+
+std::uint64_t GlobalMemory::load(std::uint64_t addr, int size) const {
+  ST2_EXPECTS(size == 1 || size == 4 || size == 8);
+  ST2_EXPECTS(addr + static_cast<std::uint64_t>(size) <= data_.size());
+  std::uint64_t v = 0;
+  std::memcpy(&v, data_.data() + addr, static_cast<std::size_t>(size));
+  return v;
+}
+
+void GlobalMemory::store(std::uint64_t addr, std::uint64_t value, int size) {
+  ST2_EXPECTS(size == 1 || size == 4 || size == 8);
+  ST2_EXPECTS(addr + static_cast<std::uint64_t>(size) <= data_.size());
+  std::memcpy(data_.data() + addr, &value, static_cast<std::size_t>(size));
+}
+
+Cache::Cache(int size_kb, int ways, int line_bytes)
+    : ways_(ways), line_bytes_(line_bytes) {
+  const int total_lines = size_kb * 1024 / line_bytes;
+  num_sets_ = total_lines / ways;
+  ST2_EXPECTS(num_sets_ >= 1 && std::has_single_bit(unsigned(num_sets_)));
+  lines_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+}
+
+bool Cache::access(std::uint64_t addr, bool is_write) {
+  ++tick_;
+  const std::uint64_t line_addr = addr / static_cast<unsigned>(line_bytes_);
+  const auto set = static_cast<std::size_t>(line_addr &
+                                            unsigned(num_sets_ - 1));
+  const std::uint64_t tag = line_addr >> std::countr_zero(unsigned(num_sets_));
+  Line* base = &lines_[set * static_cast<std::size_t>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].tag == tag) {
+      base[w].lru = tick_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  if (!is_write) {  // write-through no-allocate
+    Line* victim = base;
+    for (int w = 1; w < ways_; ++w) {
+      if (base[w].lru < victim->lru) victim = &base[w];
+    }
+    victim->tag = tag;
+    victim->lru = tick_;
+  }
+  return false;
+}
+
+}  // namespace st2::sim

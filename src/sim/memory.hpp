@@ -1,0 +1,86 @@
+// Device memory model: a flat byte-addressable global memory for functional
+// execution, plus set-associative L1/L2 cache models used by the timing
+// simulator for latency and energy accounting. Functional data always comes
+// from the flat memory — the caches carry tags only, so they can never
+// corrupt results, only mis-time them.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+
+namespace st2::sim {
+
+class GlobalMemory {
+ public:
+  explicit GlobalMemory(std::size_t bytes = 0) : data_(bytes, 0) {}
+
+  /// Allocates `bytes` (8-byte aligned) and returns the device address.
+  std::uint64_t alloc(std::size_t bytes);
+
+  std::size_t size() const { return data_.size(); }
+
+  std::uint64_t load(std::uint64_t addr, int size) const;
+  void store(std::uint64_t addr, std::uint64_t value, int size);
+
+  // Typed host-side accessors for workload setup/validation.
+  template <typename T>
+  void write(std::uint64_t addr, std::span<const T> values) {
+    ST2_EXPECTS(addr + values.size_bytes() <= data_.size());
+    std::memcpy(data_.data() + addr, values.data(), values.size_bytes());
+  }
+  template <typename T>
+  void read(std::uint64_t addr, std::span<T> out) const {
+    ST2_EXPECTS(addr + out.size_bytes() <= data_.size());
+    std::memcpy(out.data(), data_.data() + addr, out.size_bytes());
+  }
+  template <typename T>
+  T read_one(std::uint64_t addr) const {
+    T v;
+    ST2_EXPECTS(addr + sizeof(T) <= data_.size());
+    std::memcpy(&v, data_.data() + addr, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void write_one(std::uint64_t addr, T v) {
+    ST2_EXPECTS(addr + sizeof(T) <= data_.size());
+    std::memcpy(data_.data() + addr, &v, sizeof(T));
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+/// Tag-only set-associative cache with LRU replacement. Tracks hits/misses;
+/// writes are modeled write-through no-allocate (typical for GPU L1 global
+/// stores).
+class Cache {
+ public:
+  Cache(int size_kb, int ways, int line_bytes);
+
+  /// Looks up `addr`; on a read miss the line is allocated. Returns hit.
+  bool access(std::uint64_t addr, bool is_write);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t accesses() const { return hits_ + misses_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = ~std::uint64_t{0};
+    std::uint64_t lru = 0;
+  };
+
+  int ways_;
+  int line_bytes_;
+  int num_sets_;
+  std::vector<Line> lines_;  // sets * ways
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace st2::sim

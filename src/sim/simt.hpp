@@ -1,0 +1,91 @@
+// SIMT divergence stack (paper Section II-A execution model).
+//
+// Each warp carries a stack of {pc, reconvergence pc, active mask} entries.
+// The top entry defines what executes. On a divergent branch the top entry
+// is parked at the reconvergence point and one entry per outcome is pushed;
+// entries pop when they reach their reconvergence pc, restoring the union
+// mask. Reconvergence points are immediate post-dominators supplied by the
+// KernelBuilder's structured control flow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+
+namespace st2::sim {
+
+inline constexpr std::uint32_t kNoReconv = ~std::uint32_t{0};
+
+class SimtStack {
+ public:
+  explicit SimtStack(std::uint32_t initial_mask) {
+    entries_.push_back(Entry{0, kNoReconv, initial_mask});
+  }
+
+  bool done() const { return entries_.empty(); }
+
+  /// Pops reconverged / emptied entries. Must be called before fetch.
+  void settle() {
+    while (!entries_.empty()) {
+      const Entry& top = entries_.back();
+      if (top.mask == 0 || (top.rpc != kNoReconv && top.pc == top.rpc)) {
+        entries_.pop_back();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::uint32_t pc() const { return top().pc; }
+  std::uint32_t mask() const { return top().mask; }
+
+  void advance() { ++entries_.back().pc; }
+  void jump(std::uint32_t target) { entries_.back().pc = target; }
+
+  /// Resolves a (possibly divergent) branch of the current entry.
+  /// `taken` must be a subset of the active mask.
+  void branch(std::uint32_t taken, std::uint32_t target,
+              std::uint32_t reconv) {
+    Entry& top_entry = entries_.back();
+    const std::uint32_t active = top_entry.mask;
+    ST2_EXPECTS((taken & ~active) == 0);
+    const std::uint32_t not_taken = active & ~taken;
+    const std::uint32_t fallthrough = top_entry.pc + 1;
+    if (taken == active) {
+      top_entry.pc = target;
+      return;
+    }
+    if (taken == 0) {
+      top_entry.pc = fallthrough;
+      return;
+    }
+    top_entry.pc = reconv;  // park at the reconvergence point
+    entries_.push_back(Entry{fallthrough, reconv, not_taken});
+    entries_.push_back(Entry{target, reconv, taken});
+    ST2_ASSERT(entries_.size() < 4096);  // runaway-divergence backstop
+  }
+
+  /// Thread exit: removes `mask` lanes from every entry.
+  void exit_lanes(std::uint32_t mask) {
+    for (Entry& e : entries_) e.mask &= ~mask;
+  }
+
+  std::size_t depth() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint32_t pc;
+    std::uint32_t rpc;
+    std::uint32_t mask;
+  };
+
+  const Entry& top() const {
+    ST2_EXPECTS(!entries_.empty());
+    return entries_.back();
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace st2::sim

@@ -1,0 +1,50 @@
+#include "src/sim/spec_harness.hpp"
+
+#include <array>
+#include <bit>
+
+namespace st2::sim {
+
+spec::AddOp make_add_op(const ExecRecord& rec, int lane, int block_size) {
+  const AdderMicroOp& m = rec.adder[static_cast<std::size_t>(lane)];
+  spec::AddOp op;
+  op.pc = rec.pc;
+  op.gtid = static_cast<std::uint32_t>(rec.block_flat) *
+                static_cast<std::uint32_t>(block_size) +
+            static_cast<std::uint32_t>(rec.warp_in_block * kWarpSize + lane);
+  op.ltid = static_cast<std::uint32_t>(lane);
+  op.a = m.a;
+  op.b = m.b;
+  op.cin = m.cin;
+  op.num_slices = m.num_slices;
+  return op;
+}
+
+void SpeculationHarness::feed(const ExecRecord& rec) {
+  if (!rec.has_adder_op) return;
+  // Stage 1: every active lane predicts against the pre-instruction table
+  // state (one CRF row read serves the whole warp).
+  std::array<spec::AddOp, kWarpSize> ops;
+  std::array<spec::Prediction, kWarpSize> preds;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (((rec.active_mask >> lane) & 1u) == 0) continue;
+    ops[static_cast<std::size_t>(lane)] = make_add_op(rec, lane, 1024);
+    preds[static_cast<std::size_t>(lane)] =
+        speculator_.predict(ops[static_cast<std::size_t>(lane)]);
+  }
+  // Stage 2: outcomes resolve and train at write-back.
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (((rec.active_mask >> lane) & 1u) == 0) continue;
+    const auto& op = ops[static_cast<std::size_t>(lane)];
+    const spec::SpeculationOutcome out =
+        speculator_.resolve(op, preds[static_cast<std::size_t>(lane)]);
+    op_mispredicts_.record(out.any_misprediction());
+    bit_mispredicts_.record(
+        static_cast<std::uint64_t>(
+            std::popcount(static_cast<unsigned>(out.mispredicted))),
+        static_cast<std::uint64_t>(op.num_slices - 1));
+    slice_recomputes_ += static_cast<std::uint64_t>(out.recompute_count());
+  }
+}
+
+}  // namespace st2::sim

@@ -1,0 +1,44 @@
+// Cycle-level GPU timing simulator (the GPGPU-Sim stand-in, paper Section V).
+//
+// Models a Volta-like chip: SMs with 4 warp schedulers (greedy-then-oldest),
+// per-warp in-order issue with register scoreboarding, per-scheduler
+// functional-unit occupancy, block-level barriers, L1/L2/DRAM memory latency
+// with a coalescer, and — when GpuConfig::st2_enabled — the ST2 warp pipeline
+// of Figure 4: CRF read at operand collection, per-lane carry speculation in
+// the adder-class units, a one-cycle stall on any lane misprediction, and
+// CRF write-back with same-cycle random arbitration.
+//
+// SMs are simulated independently (the chip's only cross-SM coupling is the
+// L2, which is shared state but not a bandwidth bottleneck in this model);
+// kernel runtime is the max SM cycle count, matching how the paper reports
+// execution time.
+#pragma once
+
+#include "src/isa/instruction.hpp"
+#include "src/sim/config.hpp"
+#include "src/sim/counters.hpp"
+#include "src/sim/launch.hpp"
+#include "src/sim/memory.hpp"
+
+namespace st2::sim {
+
+struct TimingResult {
+  EventCounters counters;        ///< whole-chip events; cycles = runtime
+  double misprediction_rate = 0; ///< thread-level adder misprediction rate
+};
+
+class TimingSimulator {
+ public:
+  explicit TimingSimulator(const GpuConfig& cfg = GpuConfig::baseline());
+
+  /// Runs the kernel to completion and returns the aggregated counters.
+  TimingResult run(const isa::Kernel& kernel, const LaunchConfig& launch,
+                   GlobalMemory& gmem);
+
+  const GpuConfig& config() const { return cfg_; }
+
+ private:
+  GpuConfig cfg_;
+};
+
+}  // namespace st2::sim

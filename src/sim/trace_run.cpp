@@ -1,0 +1,156 @@
+#include "src/sim/trace_run.hpp"
+
+#include <bit>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+
+namespace st2::sim {
+
+void count_instruction(const ExecRecord& rec, EventCounters& c) {
+  const int threads = std::popcount(rec.active_mask);
+  const isa::Opcode op = rec.instr->op;
+  c.warp_instructions += 1;
+  c.thread_instructions += static_cast<std::uint64_t>(threads);
+
+  const bool adder = isa::uses_adder(op);
+  const bool addsub = isa::is_add_sub(op);
+  if (op == isa::Opcode::kIMad) c.fused_int_mul_ops += threads;
+  if (op == isa::Opcode::kFFma) c.fused_fp_mul_ops += threads;
+  if (op == isa::Opcode::kDFma) c.fused_dp_mul_ops += threads;
+  if (op == isa::Opcode::kIDiv || op == isa::Opcode::kIRem) {
+    c.int_div_ops += threads;
+  }
+  if (op == isa::Opcode::kFDiv) c.fp_div_ops += threads;
+  switch (rec.unit) {
+    case isa::UnitClass::kAlu:
+      c.alu_ops += threads;
+      if (adder) c.alu_adder_ops += threads;
+      if (addsub) {
+        c.fig1_alu_add += threads;
+      } else {
+        c.fig1_alu_other += threads;
+      }
+      break;
+    case isa::UnitClass::kIntMulDiv:
+      c.int_muldiv_ops += threads;
+      c.fig1_alu_other += threads;
+      break;
+    case isa::UnitClass::kFpu:
+      c.fpu_ops += threads;
+      if (adder) c.fpu_adder_ops += threads;
+      if (addsub) {
+        c.fig1_fpu_add += threads;
+      } else {
+        c.fig1_fpu_other += threads;
+      }
+      break;
+    case isa::UnitClass::kFpMulDiv:
+      c.fp_muldiv_ops += threads;
+      c.fig1_fpu_other += threads;
+      break;
+    case isa::UnitClass::kDpu:
+      c.dpu_ops += threads;
+      if (adder) c.dpu_adder_ops += threads;
+      c.fig1_other += threads;
+      break;
+    case isa::UnitClass::kSfu:
+      c.sfu_ops += threads;
+      c.fig1_other += threads;
+      break;
+    case isa::UnitClass::kMem:
+      c.mem_ops += threads;
+      c.fig1_other += threads;
+      if (!rec.is_shared) {
+        c.gmem_insts += 1;
+      } else {
+        c.smem_accesses += 1;
+      }
+      break;
+    case isa::UnitClass::kControl:
+      c.ctrl_ops += threads;
+      c.fig1_other += threads;
+      break;
+  }
+
+  // Register-file traffic: operand reads and result write-back, per thread.
+  const int reads = [&] {
+    switch (op) {
+      case isa::Opcode::kIMad: case isa::Opcode::kFFma:
+      case isa::Opcode::kDFma: case isa::Opcode::kSelp:
+        return 3;
+      case isa::Opcode::kMovImm: case isa::Opcode::kMovSpecial:
+      case isa::Opcode::kLdParam: case isa::Opcode::kBar:
+      case isa::Opcode::kExit: case isa::Opcode::kJmp:
+        return 0;
+      case isa::Opcode::kMov: case isa::Opcode::kINot: case isa::Opcode::kINeg:
+      case isa::Opcode::kIAbs: case isa::Opcode::kFAbs: case isa::Opcode::kFNeg:
+      case isa::Opcode::kLdGlobal: case isa::Opcode::kLdShared:
+      case isa::Opcode::kBra:
+        return 1;
+      case isa::Opcode::kStGlobal: case isa::Opcode::kStShared:
+        return 2;
+      default:
+        return 2;
+    }
+  }();
+  c.regfile_reads += static_cast<std::uint64_t>(reads * threads);
+  if (rec.writes_reg) c.regfile_writes += static_cast<std::uint64_t>(threads);
+}
+
+TraceResult trace_run(const isa::Kernel& kernel, const LaunchConfig& launch,
+                      GlobalMemory& gmem, const TraceObserver& observer) {
+  launch.validate();
+  TraceResult result;
+  ExecRecord rec;
+
+  const int warps = launch.warps_per_block();
+  for (int block = 0; block < launch.num_blocks(); ++block) {
+    std::vector<std::uint8_t> smem(
+        static_cast<std::size_t>(kernel.shared_bytes), 0);
+    FunctionalCore core(kernel, launch, gmem, smem);
+    std::vector<WarpContext> ctxs;
+    ctxs.reserve(static_cast<std::size_t>(warps));
+    for (int wi = 0; wi < warps; ++wi) {
+      ctxs.emplace_back(block, wi, core.initial_mask(wi), kernel.regs_used);
+    }
+
+    int done = 0;
+    std::vector<bool> finished(static_cast<std::size_t>(warps), false);
+    while (done < warps) {
+      bool progressed = false;
+      int at_barrier = 0;
+      for (int wi = 0; wi < warps; ++wi) {
+        if (finished[static_cast<std::size_t>(wi)]) continue;
+        // Drain this warp until it blocks: fewer barrier scans, hot caches.
+        for (;;) {
+          const StepStatus st = core.step(ctxs[static_cast<std::size_t>(wi)],
+                                          &rec);
+          if (st == StepStatus::kExecuted) {
+            progressed = true;
+            count_instruction(rec, result.counters);
+            if (observer) observer(rec);
+            continue;
+          }
+          if (st == StepStatus::kDone) {
+            finished[static_cast<std::size_t>(wi)] = true;
+            ++done;
+          } else {
+            ++at_barrier;
+          }
+          break;
+        }
+      }
+      if (done == warps) break;
+      if (at_barrier == warps - done) {
+        // Every live warp reached the barrier: release it.
+        for (auto& c : ctxs) FunctionalCore::release_barrier(c);
+        progressed = true;
+      }
+      ST2_ASSERT(progressed && "deadlock: warp neither progresses nor barriers");
+    }
+  }
+  return result;
+}
+
+}  // namespace st2::sim

@@ -1,0 +1,36 @@
+// Trace mode: functional whole-grid execution with an observer hook.
+//
+// The design-space figures (2, 3, 5, 6) depend only on the *value stream*
+// flowing through the adders, not on cycle timing, so they are collected in
+// this fast mode: blocks run one after another, warps round-robin within a
+// block (preserving barrier semantics), and every executed warp-instruction
+// is offered to the observer. One pass can feed any number of carry
+// speculators.
+#pragma once
+
+#include <functional>
+
+#include "src/isa/instruction.hpp"
+#include "src/sim/counters.hpp"
+#include "src/sim/functional.hpp"
+#include "src/sim/launch.hpp"
+#include "src/sim/memory.hpp"
+
+namespace st2::sim {
+
+using TraceObserver = std::function<void(const ExecRecord&)>;
+
+struct TraceResult {
+  EventCounters counters;
+};
+
+/// Runs `kernel` over the whole grid functionally. `observer` may be null.
+/// Instruction-mix counters are always collected.
+TraceResult trace_run(const isa::Kernel& kernel, const LaunchConfig& launch,
+                      GlobalMemory& gmem, const TraceObserver& observer = {});
+
+/// Classifies one executed record into the instruction-mix counters
+/// (shared between trace and timing modes).
+void count_instruction(const ExecRecord& rec, EventCounters& c);
+
+}  // namespace st2::sim

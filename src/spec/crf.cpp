@@ -1,0 +1,59 @@
+#include "src/spec/crf.hpp"
+
+#include <algorithm>
+
+#include "src/common/contracts.hpp"
+
+namespace st2::spec {
+
+CarryRegisterFile::CarryRegisterFile(std::uint64_t seed) : rng_(seed) {
+  for (auto& row : rows_) row.fill(0);
+}
+
+std::array<std::uint8_t, CarryRegisterFile::kLanes>
+CarryRegisterFile::read_row(std::uint64_t pc) {
+  ++row_reads_;
+  return rows_[static_cast<std::size_t>(row_of(pc))];
+}
+
+std::uint8_t CarryRegisterFile::peek_lane(std::uint64_t pc, int lane) const {
+  ST2_EXPECTS(lane >= 0 && lane < kLanes);
+  return rows_[static_cast<std::size_t>(row_of(pc))]
+              [static_cast<std::size_t>(lane)];
+}
+
+void CarryRegisterFile::request_write(std::uint64_t pc, int lane,
+                                      std::uint8_t carries) {
+  ST2_EXPECTS(lane >= 0 && lane < kLanes);
+  ST2_EXPECTS(carries < 0x80);
+  pending_.push_back(PendingWrite{
+      static_cast<std::uint16_t>(row_of(pc) * kLanes + lane), carries});
+}
+
+void CarryRegisterFile::commit_cycle() {
+  if (pending_.empty()) return;
+  // Group writers per (row, lane); a random one wins, the rest are dropped.
+  std::sort(pending_.begin(), pending_.end(),
+            [](const PendingWrite& x, const PendingWrite& y) {
+              return x.row_lane < y.row_lane;
+            });
+  std::size_t i = 0;
+  while (i < pending_.size()) {
+    std::size_t j = i + 1;
+    while (j < pending_.size() &&
+           pending_[j].row_lane == pending_[i].row_lane) {
+      ++j;
+    }
+    const std::size_t winner = i + rng_.next_below(j - i);
+    const int row = pending_[winner].row_lane / kLanes;
+    const int lane = pending_[winner].row_lane % kLanes;
+    rows_[static_cast<std::size_t>(row)][static_cast<std::size_t>(lane)] =
+        pending_[winner].carries;
+    ++lane_writes_;
+    write_conflicts_ += (j - i) - 1;
+    i = j;
+  }
+  pending_.clear();
+}
+
+}  // namespace st2::spec

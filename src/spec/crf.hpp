@@ -1,0 +1,66 @@
+// Carry Register File (paper Section IV-C).
+//
+// The hardware realization of the Ltid+Prev+ModPC4 history table: one per SM
+// computational cluster, 16 rows x 224 bits (448 bytes). A row is selected by
+// PC[3:0]; it holds 7 carry-prediction bits for each of the warp's 32 lanes.
+// The CRF is read alongside the register file in the register-read stage and
+// updated at write-back by mispredicting threads only. Warps that reach
+// write-back in the same cycle and target the same row arbitrate randomly
+// (Section IV-B: "minimal contention that can be practically addressed with
+// random arbitration").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace st2::spec {
+
+class CarryRegisterFile {
+ public:
+  static constexpr int kRows = 16;
+  static constexpr int kLanes = 32;
+  static constexpr int kBitsPerLane = 7;
+  static constexpr int kRowBits = kLanes * kBitsPerLane;  // 224
+  static constexpr int kTotalBytes = kRows * kRowBits / 8;  // 448
+
+  explicit CarryRegisterFile(std::uint64_t seed = 0);
+
+  /// Register-read-stage access: the 7-bit patterns of all 32 lanes for the
+  /// row PC[3:0]. Counts one row read.
+  std::array<std::uint8_t, kLanes> read_row(std::uint64_t pc);
+
+  /// Peeks a single lane without charging a read (tests/analysis).
+  std::uint8_t peek_lane(std::uint64_t pc, int lane) const;
+
+  /// Queues a write-back-stage update for the current cycle.
+  void request_write(std::uint64_t pc, int lane, std::uint8_t carries);
+
+  /// Applies the cycle's queued writes. Multiple writers to the same
+  /// (row, lane) arbitrate randomly; losers are dropped (their thread will
+  /// simply mispredict-and-retrain later). Clears the queue.
+  void commit_cycle();
+
+  std::uint64_t row_reads() const { return row_reads_; }
+  std::uint64_t lane_writes() const { return lane_writes_; }
+  std::uint64_t write_conflicts() const { return write_conflicts_; }
+
+ private:
+  static int row_of(std::uint64_t pc) { return static_cast<int>(pc & 0xf); }
+
+  struct PendingWrite {
+    std::uint16_t row_lane;  // row * kLanes + lane
+    std::uint8_t carries;
+  };
+
+  std::array<std::array<std::uint8_t, kLanes>, kRows> rows_{};
+  std::vector<PendingWrite> pending_;
+  Xoshiro256 rng_;
+  std::uint64_t row_reads_ = 0;
+  std::uint64_t lane_writes_ = 0;
+  std::uint64_t write_conflicts_ = 0;
+};
+
+}  // namespace st2::spec

@@ -1,0 +1,41 @@
+// The Peek mechanism (paper Section IV-B): when the most significant bits of
+// the two operands of slice i-1 are equal, the carry-out of that slice — and
+// therefore the carry-in of slice i — is statically certain:
+//
+//   Op1[msb] = Op2[msb] = 0  ->  carry-in of slice i is 0
+//   Op1[msb] = Op2[msb] = 1  ->  carry-in of slice i is 1
+//
+// (carry-out of a bit position = G | P&C = a&b | (a^b)&c; with a == b the
+// propagate term vanishes and the carry-out equals a.)
+// These predictions are *guaranteed* correct, so peeked slices never pay a
+// misprediction penalty and never need dynamic speculation.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/bitutils.hpp"
+
+namespace st2::spec {
+
+struct PeekResult {
+  std::uint8_t mask = 0;     ///< bit s-1 set: slice s's carry-in is certain
+  std::uint8_t carries = 0;  ///< the certain carry value, where mask is set
+};
+
+/// Computes the peek mask/values for an add with `num_slices` slices over
+/// (already sub-complemented) operands a and b.
+constexpr PeekResult peek(std::uint64_t a, std::uint64_t b, int num_slices) {
+  PeekResult r{};
+  for (int s = 1; s < num_slices; ++s) {
+    const int msb = s * kSliceBits - 1;  // MSB of slice s-1
+    const bool a_msb = bit(a, msb);
+    const bool b_msb = bit(b, msb);
+    if (a_msb == b_msb) {
+      r.mask |= std::uint8_t(1u << (s - 1));
+      if (a_msb) r.carries |= std::uint8_t(1u << (s - 1));
+    }
+  }
+  return r;
+}
+
+}  // namespace st2::spec

@@ -1,0 +1,85 @@
+// History-based carry speculation engine.
+//
+// This is the "idealized" speculator used for the design-space exploration
+// (Figures 3 and 5): it models every configuration on the DSE lattice with
+// unbounded thread reach and ignores same-cycle write contention, exactly as
+// the paper's Figure 5 does ("optimistic approaches ... which ignore
+// contention"). The contention-aware hardware realization is the
+// CarryRegisterFile in crf.hpp.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/bitutils.hpp"
+#include "src/spec/config.hpp"
+#include "src/spec/peek.hpp"
+
+namespace st2::spec {
+
+/// One add operation presented to the speculator. Operands must already be
+/// in adder form (for subtraction: b complemented, cin = 1).
+struct AddOp {
+  std::uint64_t pc = 0;     ///< static instruction id (logical PC)
+  std::uint32_t gtid = 0;   ///< global thread id
+  std::uint32_t ltid = 0;   ///< warp lane, 0..31
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  bool cin = false;
+  int num_slices = kNumSlices;  ///< 8 for int64, 4 for int32, 3 for FP32, ...
+};
+
+struct Prediction {
+  std::uint8_t carries = 0;       ///< predicted carry-in, slices 1..n-1
+  std::uint8_t peek_mask = 0;     ///< statically certain bits (never wrong)
+  std::uint8_t dynamic_mask = 0;  ///< bits produced by dynamic speculation
+};
+
+struct SpeculationOutcome {
+  std::uint8_t actual = 0;          ///< true carry-ins, slices 1..n-1
+  std::uint8_t mispredicted = 0;    ///< wrong bits (always 0 under peek_mask)
+  /// Slices that recompute in the second cycle (bit s-1 -> slice s): the
+  /// lowest mispredicted slice and every higher slice whose carry-in is not
+  /// statically certain (error-signal propagation, Figure 4; peeked slices
+  /// have nothing to re-select because their carry never depended on lower
+  /// slices).
+  std::uint8_t recompute_mask = 0;
+  bool any_misprediction() const { return mispredicted != 0; }
+  int recompute_count() const;
+};
+
+class CarrySpeculator {
+ public:
+  explicit CarrySpeculator(const SpeculationConfig& cfg);
+
+  /// Predicts the carry-ins for `op`. Does not modify history.
+  Prediction predict(const AddOp& op) const;
+
+  /// Computes ground truth, compares with `pred`, and trains the history
+  /// (mispredicting threads write back the true pattern, Section IV-C).
+  SpeculationOutcome resolve(const AddOp& op, const Prediction& pred);
+
+  const SpeculationConfig& config() const { return cfg_; }
+
+  /// Number of distinct history entries currently allocated (for the
+  /// area-analysis bench).
+  std::size_t table_entries() const { return table_.size(); }
+
+ private:
+  std::uint64_t table_key(const AddOp& op) const;
+
+  SpeculationConfig cfg_;
+  // Value layout: low 7 bits = carry pattern; bit 7 = valid.
+  std::unordered_map<std::uint64_t, std::uint8_t> table_;
+};
+
+/// Ground-truth carry-ins for slices 1..num_slices-1, packed LSB-first.
+std::uint8_t actual_carries(const AddOp& op);
+
+/// Compares a prediction against the true carry pattern and derives the
+/// misprediction and recompute masks. Shared by the idealized speculator and
+/// the CRF-based hardware path in the timing simulator.
+SpeculationOutcome resolve_prediction(const Prediction& pred,
+                                      std::uint8_t actual, int num_slices);
+
+}  // namespace st2::spec

@@ -1,0 +1,240 @@
+// Rodinia backprop.
+//  K1 (layerforward): blocks of 16x16 threads compute partial dot products
+//     of the input layer against each hidden unit's weights, reduced in
+//     shared memory (the host applies the sigmoid afterwards, as in Rodinia).
+//  K2 (adjust_weights): w += eta * delta[h] * x[i] + momentum * oldw.
+#include <cmath>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+constexpr int kHid = 16;   // hidden units (Rodinia: 16 wide blocks)
+constexpr int kTile = 16;  // inputs per block
+
+isa::Kernel build_k1() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("bprop_K1");
+
+  const Reg input = kb.param(0);    // f32 [n_in]
+  const Reg weights = kb.param(1);  // f32 [n_in][kHid]
+  const Reg partial = kb.param(2);  // f32 [nblocks][kHid]
+
+  const std::int64_t sh = kb.alloc_shared(kTile * kHid * 4);
+
+  const Reg tx = kb.tid_x();  // hidden index, 0..15
+  const Reg ty = kb.tid_y();  // input row within tile, 0..15
+  const Reg by = kb.ctaid_x();
+
+  // in_idx = by*kTile + ty
+  const Reg in_idx = kb.imad(by, kb.imm(kTile), ty);
+  const Reg x = kb.reg();
+  kb.ld_global(x, kb.element_addr(input, in_idx, 4), 0, 4);
+  const Reg w = kb.reg();
+  const Reg w_idx = kb.imad(in_idx, kb.imm(kHid), tx);
+  kb.ld_global(w, kb.element_addr(weights, w_idx, 4), 0, 4);
+
+  // shared[ty][tx] = x * w
+  const Reg s_idx = kb.imad(ty, kb.imm(kHid), tx);
+  const Reg s_addr = kb.element_addr(kb.shared_base(sh), s_idx, 4);
+  kb.st_shared(s_addr, kb.fmul(x, w), 0, 4);
+  kb.bar();
+
+  // Tree reduction over ty.
+  for (int step = kTile / 2; step >= 1; step /= 2) {
+    const auto active = kb.setp(Opcode::kSetLt, ty, kb.imm(step));
+    kb.if_then(active, [&] {
+      const Reg other =
+          kb.element_addr(kb.shared_base(sh),
+                          kb.imad(kb.iadd(ty, kb.imm(step)), kb.imm(kHid), tx),
+                          4);
+      const Reg a = kb.reg();
+      const Reg b = kb.reg();
+      kb.ld_shared(a, s_addr, 0, 4);
+      kb.ld_shared(b, other, 0, 4);
+      kb.st_shared(s_addr, kb.fadd(a, b), 0, 4);
+    });
+    kb.bar();
+  }
+
+  const auto is_row0 = kb.setp(Opcode::kSetEq, ty, kb.imm(0));
+  kb.if_then(is_row0, [&] {
+    const Reg v = kb.reg();
+    kb.ld_shared(v, s_addr, 0, 4);
+    const Reg out_idx = kb.imad(by, kb.imm(kHid), tx);
+    kb.st_global(kb.element_addr(partial, out_idx, 4), v, 0, 4);
+  });
+  kb.exit();
+  return kb.build();
+}
+
+isa::Kernel build_k2() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("bprop_K2");
+
+  const Reg weights = kb.param(0);  // f32 [n_in][kHid], updated in place
+  const Reg oldw = kb.param(1);     // f32 [n_in][kHid]
+  const Reg delta = kb.param(2);    // f32 [kHid]
+  const Reg input = kb.param(3);    // f32 [n_in]
+  const Reg n = kb.param(4);        // n_in * kHid
+
+  const Reg gtid = kb.gtid();
+  const auto in_range = kb.setp(Opcode::kSetLt, gtid, n);
+  kb.if_then(in_range, [&] {
+    // kHid = 16: shift/mask, as nvcc emits for power-of-two strides.
+    const Reg h = kb.iand(gtid, kb.imm(kHid - 1));
+    const Reg i = kb.ishr(gtid, kb.imm(4));
+    const Reg x = kb.reg();
+    const Reg d = kb.reg();
+    const Reg w = kb.reg();
+    const Reg ow = kb.reg();
+    kb.ld_global(x, kb.element_addr(input, i, 4), 0, 4);
+    kb.ld_global(d, kb.element_addr(delta, h, 4), 0, 4);
+    const Reg w_addr = kb.element_addr(weights, gtid, 4);
+    const Reg ow_addr = kb.element_addr(oldw, gtid, 4);
+    kb.ld_global(w, w_addr, 0, 4);
+    kb.ld_global(ow, ow_addr, 0, 4);
+    // grad = eta*delta*x + momentum*oldw;  w += grad; oldw = grad
+    const Reg eta = kb.fimm(0.3f);
+    const Reg mom = kb.fimm(0.3f);
+    const Reg grad = kb.fmul(kb.fmul(eta, d), x);
+    kb.ffma_to(grad, mom, ow, grad);
+    kb.st_global(w_addr, kb.fadd(w, grad), 0, 4);
+    kb.st_global(ow_addr, grad, 0, 4);
+  });
+  kb.exit();
+  return kb.build();
+}
+
+std::vector<float> random_vec(std::size_t n, Xoshiro256& rng, float lo,
+                              float hi) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = lo + (hi - lo) * rng.next_float();
+  return v;
+}
+
+}  // namespace
+
+PreparedCase make_bprop_k1(double scale) {
+  const int n_in = scaled(8192, scale, 256, kTile);
+  const int nblocks = n_in / kTile;
+
+  PreparedCase pc;
+  pc.name = "bprop_K1";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_k1();
+
+  Xoshiro256 rng(0xBB01);
+  const auto input = random_vec(static_cast<std::size_t>(n_in), rng, 0.f, 1.f);
+  const auto weights =
+      random_vec(static_cast<std::size_t>(n_in) * kHid, rng, -0.5f, 0.5f);
+
+  const std::uint64_t d_in = pc.mem->alloc(input.size() * 4);
+  const std::uint64_t d_w = pc.mem->alloc(weights.size() * 4);
+  const std::uint64_t d_part =
+      pc.mem->alloc(static_cast<std::size_t>(nblocks) * kHid * 4);
+  pc.mem->write<float>(d_in, input);
+  pc.mem->write<float>(d_w, weights);
+
+  sim::LaunchConfig lc;
+  lc.block_x = kHid;
+  lc.block_y = kTile;
+  lc.grid_x = nblocks;
+  lc.args = {d_in, d_w, d_part};
+  pc.launches.push_back(lc);
+
+  std::vector<float> ref(static_cast<std::size_t>(nblocks) * kHid, 0.f);
+  for (int b = 0; b < nblocks; ++b) {
+    for (int h = 0; h < kHid; ++h) {
+      float acc = 0.f;
+      // Match the kernel's tree-reduction order for exact float equality:
+      // pairwise over 16 values.
+      float vals[kTile];
+      for (int t = 0; t < kTile; ++t) {
+        const int i = b * kTile + t;
+        vals[t] = input[static_cast<std::size_t>(i)] *
+                  weights[static_cast<std::size_t>(i) * kHid + h];
+      }
+      for (int step = kTile / 2; step >= 1; step /= 2) {
+        for (int t = 0; t < step; ++t) vals[t] += vals[t + step];
+      }
+      acc = vals[0];
+      ref[static_cast<std::size_t>(b) * kHid + h] = acc;
+    }
+  }
+
+  pc.validate = [d_part, nblocks, ref](const sim::GlobalMemory& m) {
+    std::vector<float> got(static_cast<std::size_t>(nblocks) * kHid);
+    m.read<float>(d_part, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::abs(got[i] - ref[i]) > 1e-4f * (1.f + std::abs(ref[i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return pc;
+}
+
+PreparedCase make_bprop_k2(double scale) {
+  const int n_in = scaled(8192, scale, 256, kTile);
+  const int n = n_in * kHid;
+
+  PreparedCase pc;
+  pc.name = "bprop_K2";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_k2();
+
+  Xoshiro256 rng(0xBB02);
+  const auto input = random_vec(static_cast<std::size_t>(n_in), rng, 0.f, 1.f);
+  const auto weights = random_vec(static_cast<std::size_t>(n), rng, -0.5f, 0.5f);
+  const auto oldw = random_vec(static_cast<std::size_t>(n), rng, -0.1f, 0.1f);
+  const auto delta = random_vec(kHid, rng, -0.2f, 0.2f);
+
+  const std::uint64_t d_w = pc.mem->alloc(weights.size() * 4);
+  const std::uint64_t d_ow = pc.mem->alloc(oldw.size() * 4);
+  const std::uint64_t d_delta = pc.mem->alloc(delta.size() * 4);
+  const std::uint64_t d_in = pc.mem->alloc(input.size() * 4);
+  pc.mem->write<float>(d_w, weights);
+  pc.mem->write<float>(d_ow, oldw);
+  pc.mem->write<float>(d_delta, delta);
+  pc.mem->write<float>(d_in, input);
+
+  pc.launches.push_back(sim::launch_1d(
+      n, 256, {d_w, d_ow, d_delta, d_in, static_cast<std::uint64_t>(n)}));
+
+  std::vector<float> ref_w = weights;
+  std::vector<float> ref_ow = oldw;
+  for (int g = 0; g < n; ++g) {
+    const int h = g % kHid;
+    const int i = g / kHid;
+    float grad = 0.3f * delta[static_cast<std::size_t>(h)] *
+                 input[static_cast<std::size_t>(i)];
+    grad = std::fma(0.3f, oldw[static_cast<std::size_t>(g)], grad);
+    ref_w[static_cast<std::size_t>(g)] += grad;
+    ref_ow[static_cast<std::size_t>(g)] = grad;
+  }
+
+  pc.validate = [d_w, d_ow, n, ref_w, ref_ow](const sim::GlobalMemory& m) {
+    std::vector<float> got(static_cast<std::size_t>(n));
+    m.read<float>(d_w, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::abs(got[i] - ref_w[i]) > 1e-5f) return false;
+    }
+    m.read<float>(d_ow, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::abs(got[i] - ref_ow[i]) > 1e-5f) return false;
+    }
+    return true;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

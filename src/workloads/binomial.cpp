@@ -1,0 +1,188 @@
+// CUDA Samples binomialOptions: one block per option prices a European call
+// by backward induction over the binomial tree held in shared memory:
+//   v[j] = puByDf * v[j+1] + pdByDf * v[j]        (per step, with barriers)
+// FFMA-dominated with an FMAX at leaf initialization.
+#include <cmath>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+constexpr int kSteps = 128;
+constexpr int kBlock = 128;  // threads per option; thread j owns node j
+
+isa::Kernel build_kernel() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("binomial");
+
+  const Reg s0 = kb.param(0);      // f32 spot prices [noptions]
+  const Reg x = kb.param(1);       // f32 strikes [noptions]
+  const Reg vdt = kb.param(2);     // f32 vol*sqrt(dt) per option
+  const Reg pu_by_df = kb.param(3);
+  const Reg pd_by_df = kb.param(4);
+  const Reg out = kb.param(5);
+
+  const std::int64_t sh = kb.alloc_shared((kSteps + 1) * 4);
+
+  const Reg tid = kb.tid_x();
+  const Reg opt = kb.ctaid_x();
+
+  const Reg s = kb.reg();
+  const Reg k = kb.reg();
+  const Reg v = kb.reg();
+  kb.ld_global(s, kb.element_addr(s0, opt, 4), 0, 4);
+  kb.ld_global(k, kb.element_addr(x, opt, 4), 0, 4);
+  kb.ld_global(v, kb.element_addr(vdt, opt, 4), 0, 4);
+  const Reg pu = kb.reg();
+  const Reg pd = kb.reg();
+  kb.ld_global(pu, kb.element_addr(pu_by_df, opt, 4), 0, 4);
+  kb.ld_global(pd, kb.element_addr(pd_by_df, opt, 4), 0, 4);
+
+  // Leaf payoffs: call[j] = max(S*exp(vdt*(2j - steps)) - X, 0), for
+  // j = tid and (tid + kBlock) to cover kSteps+1 nodes.
+  const Reg sh_base = kb.shared_base(sh);
+  auto init_leaf = [&](Reg j) {
+    const auto in_range = kb.setp(Opcode::kSetLe, j, kb.imm(kSteps));
+    kb.if_then(in_range, [&] {
+      const Reg d = kb.isub(kb.ishl(j, kb.imm(1)), kb.imm(kSteps));
+      const Reg expo = kb.fmul(v, kb.i2f(d));
+      const Reg price = kb.fmul(s, kb.fexp2(kb.fmul(expo, kb.fimm(1.442695f))));
+      const Reg payoff = kb.fmax(kb.fsub(price, k), kb.fimm(0.0f));
+      kb.st_shared(kb.element_addr(sh_base, j, 4), payoff, 0, 4);
+    });
+  };
+  init_leaf(tid);
+  init_leaf(kb.iadd(tid, kb.imm(kBlock)));
+  kb.bar();
+
+  // Backward induction: after step i, nodes 0..i-1 are live.
+  const Reg i = kb.imm(kSteps);
+  const Reg one = kb.imm(1);
+  kb.while_(
+      [&] { return kb.setp(Opcode::kSetGt, i, kb.imm(0)); },
+      [&] {
+        const auto active = kb.setp(Opcode::kSetLt, tid, i);
+        const Reg addr_j = kb.element_addr(sh_base, tid, 4);
+        const Reg nv = kb.reg();
+        kb.if_then(active, [&] {
+          const Reg vj = kb.reg();
+          const Reg vj1 = kb.reg();
+          kb.ld_shared(vj, addr_j, 0, 4);
+          kb.ld_shared(vj1, addr_j, 4, 4);
+          kb.fmul_to(nv, pu, vj1);
+          kb.ffma_to(nv, pd, vj, nv);
+        });
+        kb.bar();  // all reads complete before any write
+        kb.if_then(active, [&] { kb.st_shared(addr_j, nv, 0, 4); });
+        kb.bar();
+        kb.isub_to(i, i, one);
+      });
+
+  const auto is_zero = kb.setp(Opcode::kSetEq, tid, kb.imm(0));
+  kb.if_then(is_zero, [&] {
+    const Reg r = kb.reg();
+    kb.ld_shared(r, kb.element_addr(sh_base, kb.imm(0), 4), 0, 4);
+    kb.st_global(kb.element_addr(out, opt, 4), r, 0, 4);
+  });
+  kb.exit();
+  return kb.build();
+}
+
+}  // namespace
+
+PreparedCase make_binomial(double scale) {
+  const int noptions = scaled(48, scale, 8);
+
+  PreparedCase pc;
+  pc.name = "binomial";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_kernel();
+
+  Xoshiro256 rng(0xB1D0);
+  std::vector<float> s0(static_cast<std::size_t>(noptions));
+  std::vector<float> x(static_cast<std::size_t>(noptions));
+  std::vector<float> vdt(static_cast<std::size_t>(noptions));
+  std::vector<float> pu(static_cast<std::size_t>(noptions));
+  std::vector<float> pd(static_cast<std::size_t>(noptions));
+  for (int o = 0; o < noptions; ++o) {
+    s0[static_cast<std::size_t>(o)] = 5.0f + 95.0f * rng.next_float();
+    x[static_cast<std::size_t>(o)] = 5.0f + 95.0f * rng.next_float();
+    const float t = 0.25f + rng.next_float();
+    const float vol = 0.1f + 0.4f * rng.next_float();
+    const float dt = t / kSteps;
+    const float vs = vol * std::sqrt(dt);
+    vdt[static_cast<std::size_t>(o)] = vs;
+    const float r = 0.02f + 0.04f * rng.next_float();
+    const float rdt = r * dt;
+    const float if_ = std::exp(rdt);
+    const float df = std::exp(-rdt);
+    const float u = std::exp(vs);
+    const float d = std::exp(-vs);
+    const float p = (if_ - d) / (u - d);
+    pu[static_cast<std::size_t>(o)] = p * df;
+    pd[static_cast<std::size_t>(o)] = (1.0f - p) * df;
+  }
+
+  const auto alloc_write = [&](const std::vector<float>& v) {
+    const std::uint64_t a = pc.mem->alloc(v.size() * 4);
+    pc.mem->write<float>(a, v);
+    return a;
+  };
+  const std::uint64_t d_s0 = alloc_write(s0);
+  const std::uint64_t d_x = alloc_write(x);
+  const std::uint64_t d_vdt = alloc_write(vdt);
+  const std::uint64_t d_pu = alloc_write(pu);
+  const std::uint64_t d_pd = alloc_write(pd);
+  const std::uint64_t d_out =
+      pc.mem->alloc(static_cast<std::size_t>(noptions) * 4);
+
+  sim::LaunchConfig lc;
+  lc.block_x = kBlock;
+  lc.grid_x = noptions;
+  lc.args = {d_s0, d_x, d_vdt, d_pu, d_pd, d_out};
+  pc.launches.push_back(lc);
+
+  // Host reference (same exp2-based pricing as the kernel).
+  std::vector<float> ref(static_cast<std::size_t>(noptions));
+  for (int o = 0; o < noptions; ++o) {
+    std::vector<float> vals(kSteps + 1);
+    for (int j = 0; j <= kSteps; ++j) {
+      const float expo = vdt[static_cast<std::size_t>(o)] *
+                         static_cast<float>(2 * j - kSteps);
+      const float price = s0[static_cast<std::size_t>(o)] *
+                          std::exp2(expo * 1.442695f);
+      vals[static_cast<std::size_t>(j)] =
+          std::fmax(price - x[static_cast<std::size_t>(o)], 0.0f);
+    }
+    for (int i = kSteps; i > 0; --i) {
+      for (int j = 0; j < i; ++j) {
+        float nv = pu[static_cast<std::size_t>(o)] *
+                   vals[static_cast<std::size_t>(j + 1)];
+        nv = std::fma(pd[static_cast<std::size_t>(o)],
+                      vals[static_cast<std::size_t>(j)], nv);
+        vals[static_cast<std::size_t>(j)] = nv;
+      }
+    }
+    ref[static_cast<std::size_t>(o)] = vals[0];
+  }
+
+  pc.validate = [d_out, noptions, ref](const sim::GlobalMemory& m) {
+    std::vector<float> got(static_cast<std::size_t>(noptions));
+    m.read<float>(d_out, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::abs(got[i] - ref[i]) > 1e-2f * (1.0f + std::abs(ref[i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

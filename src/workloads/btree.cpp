@@ -1,0 +1,237 @@
+// Rodinia b+tree.
+//  K1 (findK):      point queries walk a fixed-fanout B+tree; at each level
+//                   every thread linearly scans the node's keys (compare-
+//                   heavy integer work, the kernel's signature behaviour).
+//  K2 (findRangeK): range queries locate both endpoints of an interval.
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+constexpr int kOrder = 16;  // keys per node
+
+/// Host-side B+tree over sorted unique keys, laid out breadth-first.
+/// Every node stores kOrder separator keys; child index = node*kOrder+j
+/// within the next level. Leaf "values" are key*2+1 (as Rodinia's records).
+struct HostTree {
+  int levels = 0;                  // internal levels above the leaves
+  std::vector<std::int32_t> keys;  // concatenated per-level separator keys
+  std::vector<int> level_offset;   // index of each level's first key
+  std::vector<std::int32_t> leaf_keys;
+  std::vector<std::int32_t> leaf_vals;
+};
+
+HostTree build_tree(const std::vector<std::int32_t>& sorted_keys) {
+  HostTree t;
+  // Number of levels so that kOrder^levels * kOrder >= n.
+  std::size_t span = kOrder;  // keys covered by one bottom-level node
+  while (span < sorted_keys.size()) {
+    ++t.levels;
+    span *= kOrder;
+  }
+  // Pad the leaf arrays to the full span so device-side node scans stay in
+  // bounds; padding keys are +inf and never match a floor search.
+  t.leaf_keys = sorted_keys;
+  t.leaf_keys.resize(span, std::numeric_limits<std::int32_t>::max());
+  t.leaf_vals.assign(span, -1);
+  for (std::size_t i = 0; i < sorted_keys.size(); ++i) {
+    t.leaf_vals[i] = sorted_keys[i] * 2 + 1;
+  }
+  // Level l (0 = root) has kOrder^(l+1) separator keys; separator j at level
+  // l covers leaf range starting at j * (span / kOrder^(l+1)).
+  std::size_t stride = span / kOrder;
+  for (int l = 0; l < t.levels; ++l) {
+    t.level_offset.push_back(static_cast<int>(t.keys.size()));
+    const std::size_t count = span / stride;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t leaf = j * stride;
+      t.keys.push_back(leaf < sorted_keys.size()
+                           ? sorted_keys[leaf]
+                           : std::numeric_limits<std::int32_t>::max());
+    }
+    stride /= kOrder;
+  }
+  return t;
+}
+
+/// Host traversal mirroring the kernel: returns leaf slot of the greatest
+/// key <= q (q guaranteed >= smallest key).
+int host_find_slot(const HostTree& t, std::int32_t q) {
+  int node = 0;  // node index within the current level
+  for (int l = 0; l < t.levels; ++l) {
+    const int base = t.level_offset[static_cast<std::size_t>(l)] +
+                     node * kOrder;
+    int off = 0;
+    for (int j = 0; j < kOrder; ++j) {
+      if (q >= t.keys[static_cast<std::size_t>(base + j)]) off = j;
+    }
+    node = node * kOrder + off;
+  }
+  // `node` is now the index of the leaf chunk; scan its kOrder keys.
+  int slot = node * kOrder;
+  for (int j = 0; j < kOrder; ++j) {
+    const std::size_t idx = static_cast<std::size_t>(node * kOrder + j);
+    if (idx < t.leaf_keys.size() && q >= t.leaf_keys[idx]) {
+      slot = static_cast<int>(idx);
+    }
+  }
+  return slot;
+}
+
+/// Builds the findK kernel. If `range`, looks up two keys per thread
+/// (findRangeK) and stores both results.
+isa::Kernel build_kernel(int levels, bool range) {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb(range ? "b+tree_K2" : "b+tree_K1");
+
+  const Reg keys = kb.param(0);       // separator keys, all levels
+  const Reg level_off = kb.param(1);  // i32 [levels]
+  const Reg leaf_keys = kb.param(2);
+  const Reg leaf_vals = kb.param(3);
+  const Reg queries = kb.param(4);    // i32 [nq] (or pairs for range)
+  const Reg out = kb.param(5);        // i32 [nq] (or pairs)
+  const Reg nq = kb.param(6);
+
+  const Reg gtid = kb.gtid();
+  const auto in_range = kb.setp(Opcode::kSetLt, gtid, nq);
+  kb.if_then(in_range, [&] {
+    const int passes = range ? 2 : 1;
+    for (int pass = 0; pass < passes; ++pass) {
+      const Reg q = kb.reg();
+      if (range) {
+        const Reg qidx = kb.iadd(kb.ishl(gtid, kb.imm(1)), kb.imm(pass));
+        kb.ld_global_s32(q, kb.element_addr(queries, qidx, 4));
+      } else {
+        kb.ld_global_s32(q, kb.element_addr(queries, gtid, 4));
+      }
+
+      const Reg node = kb.imm(0);
+      const Reg korder = kb.imm(kOrder);
+      for (int l = 0; l < levels; ++l) {
+        const Reg lo = kb.reg();
+        kb.ld_global_s32(lo, kb.element_addr(level_off, kb.imm(l), 4));
+        const Reg base = kb.iadd(lo, kb.imul(node, korder));
+        const Reg off = kb.imm(0);
+        // Linear scan of the node's keys — the compare-heavy hot loop.
+        const Reg j = kb.imm(0);
+        kb.while_(
+            [&] { return kb.setp(Opcode::kSetLt, j, korder); },
+            [&] {
+              const Reg k = kb.reg();
+              kb.ld_global_s32(k, kb.element_addr(keys, kb.iadd(base, j), 4));
+              const auto ge = kb.setp(Opcode::kSetGe, q, k);
+              kb.if_then(ge, [&] { kb.mov_to(off, j); });
+              kb.iadd_to(j, j, kb.imm(1));
+            });
+        const Reg scaled_node = kb.imul(node, korder);
+        kb.iadd_to(node, scaled_node, off);
+      }
+      // Leaf scan.
+      const Reg slot = kb.imul(node, korder);
+      const Reg j = kb.imm(0);
+      kb.while_(
+          [&] { return kb.setp(Opcode::kSetLt, j, korder); },
+          [&] {
+            const Reg idx = kb.imad(node, korder, j);
+            const Reg k = kb.reg();
+            kb.ld_global_s32(k, kb.element_addr(leaf_keys, idx, 4));
+            const auto ge = kb.setp(Opcode::kSetGe, q, k);
+            kb.if_then(ge, [&] { kb.mov_to(slot, idx); });
+            kb.iadd_to(j, j, kb.imm(1));
+          });
+      const Reg v = kb.reg();
+      kb.ld_global_s32(v, kb.element_addr(leaf_vals, slot, 4));
+      if (range) {
+        const Reg oidx = kb.iadd(kb.ishl(gtid, kb.imm(1)), kb.imm(pass));
+        kb.st_global(kb.element_addr(out, oidx, 4), v, 0, 4);
+      } else {
+        kb.st_global(kb.element_addr(out, gtid, 4), v, 0, 4);
+      }
+    }
+  });
+  kb.exit();
+  return kb.build();
+}
+
+PreparedCase make_btree(double scale, bool range) {
+  const int nkeys = scaled(4096, scale, kOrder * kOrder, kOrder);
+  const int nq = scaled(2048, scale, 64, 32);
+
+  PreparedCase pc;
+  pc.name = range ? "b+tree_K2" : "b+tree_K1";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+
+  Xoshiro256 rng(range ? 0xB7EE2 : 0xB7EE1);
+  std::vector<std::int32_t> keys(static_cast<std::size_t>(nkeys));
+  std::int32_t k = 0;
+  for (auto& v : keys) {
+    k += 1 + static_cast<std::int32_t>(rng.next_below(8));
+    v = k;
+  }
+  const HostTree tree = build_tree(keys);
+  pc.kernel = build_kernel(tree.levels, range);
+
+  const int qcount = range ? nq * 2 : nq;
+  std::vector<std::int32_t> queries(static_cast<std::size_t>(qcount));
+  for (int i = 0; i < qcount; ++i) {
+    // Queries >= the smallest key so a floor always exists.
+    queries[static_cast<std::size_t>(i)] = keys[0] +
+        static_cast<std::int32_t>(rng.next_below(
+            static_cast<std::uint64_t>(keys.back() - keys[0])));
+  }
+  if (range) {
+    // Sort each pair so [lo, hi] is a proper interval.
+    for (int i = 0; i < nq; ++i) {
+      auto& a = queries[static_cast<std::size_t>(2 * i)];
+      auto& b = queries[static_cast<std::size_t>(2 * i + 1)];
+      if (a > b) std::swap(a, b);
+    }
+  }
+
+  const std::uint64_t d_keys = pc.mem->alloc(tree.keys.size() * 4);
+  const std::uint64_t d_off = pc.mem->alloc(tree.level_offset.size() * 4 + 4);
+  const std::uint64_t d_lk = pc.mem->alloc(tree.leaf_keys.size() * 4);
+  const std::uint64_t d_lv = pc.mem->alloc(tree.leaf_vals.size() * 4);
+  const std::uint64_t d_q = pc.mem->alloc(queries.size() * 4);
+  const std::uint64_t d_out = pc.mem->alloc(queries.size() * 4);
+  pc.mem->write<std::int32_t>(d_keys, tree.keys);
+  std::vector<std::int32_t> offs(tree.level_offset.begin(),
+                                 tree.level_offset.end());
+  pc.mem->write<std::int32_t>(d_off, offs);
+  pc.mem->write<std::int32_t>(d_lk, tree.leaf_keys);
+  pc.mem->write<std::int32_t>(d_lv, tree.leaf_vals);
+  pc.mem->write<std::int32_t>(d_q, queries);
+
+  pc.launches.push_back(sim::launch_1d(
+      nq, 256,
+      {d_keys, d_off, d_lk, d_lv, d_q, d_out,
+       static_cast<std::uint64_t>(nq)}));
+
+  std::vector<std::int32_t> ref(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ref[i] = tree.leaf_vals[static_cast<std::size_t>(
+        host_find_slot(tree, queries[i]))];
+  }
+
+  pc.validate = [d_out, ref](const sim::GlobalMemory& m) {
+    std::vector<std::int32_t> got(ref.size());
+    m.read<std::int32_t>(d_out, got);
+    return got == ref;
+  };
+  return pc;
+}
+
+}  // namespace
+
+PreparedCase make_btree_k1(double scale) { return make_btree(scale, false); }
+PreparedCase make_btree_k2(double scale) { return make_btree(scale, true); }
+
+}  // namespace st2::workloads::detail

@@ -1,0 +1,36 @@
+// Internal: one factory per evaluation kernel. Each returns a fully
+// self-contained PreparedCase (memory, kernel, launches, validator).
+#pragma once
+
+#include "src/workloads/workload.hpp"
+
+namespace st2::workloads::detail {
+
+PreparedCase make_pathfinder(double scale);
+PreparedCase make_kmeans_k1(double scale);
+PreparedCase make_bprop_k1(double scale);
+PreparedCase make_bprop_k2(double scale);
+PreparedCase make_sradv1_k1(double scale);
+PreparedCase make_dwt2d_k1(double scale);
+PreparedCase make_btree_k1(double scale);
+PreparedCase make_btree_k2(double scale);
+PreparedCase make_binomial(double scale);
+PreparedCase make_walsh_k1(double scale);
+PreparedCase make_walsh_k2(double scale);
+PreparedCase make_dct8x8_k1(double scale);
+PreparedCase make_sortnets_k1(double scale);
+PreparedCase make_sortnets_k2(double scale);
+PreparedCase make_qrng_k1(double scale);
+PreparedCase make_qrng_k2(double scale);
+PreparedCase make_histo_k1(double scale);
+PreparedCase make_msort_k1(double scale);
+PreparedCase make_msort_k2(double scale);
+PreparedCase make_sobolqrng(double scale);
+PreparedCase make_sgemm(double scale);
+PreparedCase make_mriq_k1(double scale);
+PreparedCase make_sad_k1(double scale);
+
+/// Scales a size, keeping it at least `lo` and a multiple of `mult`.
+int scaled(int v, double scale, int lo = 1, int mult = 1);
+
+}  // namespace st2::workloads::detail

@@ -1,0 +1,167 @@
+// CUDA Samples dct8x8, kernel 1: separable 8x8 forward DCT per image tile.
+// Block = one 8x8 tile held in shared memory; each thread computes one
+// coefficient of the row pass then one of the column pass, eight FFMAs each,
+// using a cosine table from constant (here: global) memory.
+#include <cmath>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+constexpr int kB = 8;
+
+isa::Kernel build_kernel() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("dct8x8_K1");
+
+  const Reg src = kb.param(0);   // f32 [h][w]
+  const Reg dst = kb.param(1);
+  const Reg width = kb.param(2);
+  const Reg ctab = kb.param(3);  // f32 [8][8] cosine basis c[u][x]
+
+  const std::int64_t sh_in = kb.alloc_shared(kB * kB * 4);
+  const std::int64_t sh_mid = kb.alloc_shared(kB * kB * 4);
+
+  const Reg tx = kb.tid_x();  // 0..7 column
+  const Reg ty = kb.tid_y();  // 0..7 row
+  const Reg bx = kb.ctaid_x();
+  const Reg by = kb.ctaid_y();
+  const Reg c8 = kb.imm(kB);
+
+  const Reg gx = kb.imad(bx, c8, tx);
+  const Reg gy = kb.imad(by, c8, ty);
+  const Reg gidx = kb.imad(gy, width, gx);
+
+  const Reg v = kb.reg();
+  kb.ld_global(v, kb.element_addr(src, gidx, 4), 0, 4);
+  const Reg lidx = kb.imad(ty, c8, tx);
+  kb.st_shared(kb.element_addr(kb.shared_base(sh_in), lidx, 4), v, 0, 4);
+  kb.bar();
+
+  // Row pass: mid[ty][tx] = sum_x c[tx][x] * in[ty][x]
+  const Reg acc = kb.fimm(0.0f);
+  const Reg row_base = kb.imul(ty, c8);
+  const Reg coef_base = kb.imul(tx, c8);
+  for (int xx = 0; xx < kB; ++xx) {
+    const Reg cv = kb.reg();
+    const Reg iv = kb.reg();
+    kb.ld_global(cv, kb.element_addr(ctab, coef_base, 4), xx * 4, 4);
+    kb.ld_shared(iv, kb.element_addr(kb.shared_base(sh_in), row_base, 4),
+                 xx * 4, 4);
+    kb.ffma_to(acc, cv, iv, acc);
+  }
+  kb.st_shared(kb.element_addr(kb.shared_base(sh_mid), lidx, 4), acc, 0, 4);
+  kb.bar();
+
+  // Column pass: out[ty][tx] = sum_y c[ty][y] * mid[y][tx]
+  const Reg acc2 = kb.fimm(0.0f);
+  const Reg coef2_base = kb.imul(ty, c8);
+  for (int yy = 0; yy < kB; ++yy) {
+    const Reg cv = kb.reg();
+    const Reg mv = kb.reg();
+    kb.ld_global(cv, kb.element_addr(ctab, coef2_base, 4), yy * 4, 4);
+    kb.ld_shared(mv,
+                 kb.element_addr(kb.shared_base(sh_mid),
+                                 kb.iadd(kb.imm(yy * kB), tx), 4),
+                 0, 4);
+    kb.ffma_to(acc2, cv, mv, acc2);
+  }
+  kb.st_global(kb.element_addr(dst, gidx, 4), acc2, 0, 4);
+  kb.exit();
+  return kb.build();
+}
+
+}  // namespace
+
+PreparedCase make_dct8x8_k1(double scale) {
+  const int width = scaled(128, scale, 32, kB);
+  const int height = scaled(128, scale, 32, kB);
+
+  PreparedCase pc;
+  pc.name = "dct8x8_K1";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_kernel();
+
+  Xoshiro256 rng(0xDC78);
+  std::vector<float> img(static_cast<std::size_t>(width) * height);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    const auto x = static_cast<float>(i % static_cast<std::size_t>(width));
+    const auto y = static_cast<float>(i / static_cast<std::size_t>(width));
+    img[i] = 128.0f + 50.0f * std::sin(0.1f * x) * std::cos(0.07f * y) +
+             8.0f * rng.next_float();
+  }
+
+  // DCT-II basis c[u][x] = a(u) cos((2x+1) u pi / 16)
+  std::vector<float> ctab(kB * kB);
+  for (int u = 0; u < kB; ++u) {
+    const float a = u == 0 ? std::sqrt(1.0f / kB) : std::sqrt(2.0f / kB);
+    for (int x = 0; x < kB; ++x) {
+      ctab[static_cast<std::size_t>(u) * kB + x] =
+          a * std::cos((2 * x + 1) * u * 3.14159265f / (2 * kB));
+    }
+  }
+
+  const std::uint64_t d_src = pc.mem->alloc(img.size() * 4);
+  const std::uint64_t d_dst = pc.mem->alloc(img.size() * 4);
+  const std::uint64_t d_ctab = pc.mem->alloc(ctab.size() * 4);
+  pc.mem->write<float>(d_src, img);
+  pc.mem->write<float>(d_ctab, ctab);
+
+  sim::LaunchConfig lc;
+  lc.block_x = kB;
+  lc.block_y = kB;
+  lc.grid_x = width / kB;
+  lc.grid_y = height / kB;
+  lc.args = {d_src, d_dst, static_cast<std::uint64_t>(width), d_ctab};
+  pc.launches.push_back(lc);
+
+  // Host reference with identical accumulation order.
+  std::vector<float> ref(img.size());
+  for (int by = 0; by < height / kB; ++by) {
+    for (int bx = 0; bx < width / kB; ++bx) {
+      float mid[kB][kB];
+      for (int ty = 0; ty < kB; ++ty) {
+        for (int u = 0; u < kB; ++u) {
+          float acc = 0.0f;
+          for (int x = 0; x < kB; ++x) {
+            acc = std::fma(
+                ctab[static_cast<std::size_t>(u) * kB + x],
+                img[static_cast<std::size_t>(by * kB + ty) * width +
+                    bx * kB + x],
+                acc);
+          }
+          mid[ty][u] = acc;
+        }
+      }
+      for (int v = 0; v < kB; ++v) {
+        for (int tx = 0; tx < kB; ++tx) {
+          float acc = 0.0f;
+          for (int y = 0; y < kB; ++y) {
+            acc = std::fma(ctab[static_cast<std::size_t>(v) * kB + y],
+                           mid[y][tx], acc);
+          }
+          ref[static_cast<std::size_t>(by * kB + v) * width + bx * kB + tx] =
+              acc;
+        }
+      }
+    }
+  }
+
+  pc.validate = [d_dst, ref](const sim::GlobalMemory& m) {
+    std::vector<float> got(ref.size());
+    m.read<float>(d_dst, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::abs(got[i] - ref[i]) > 1e-2f) return false;
+    }
+    return true;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

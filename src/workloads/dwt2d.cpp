@@ -1,0 +1,112 @@
+// Rodinia dwt2d, kernel 1: one level of a forward Haar wavelet transform
+// over image rows. Each thread transforms one coefficient pair:
+//   approx[i] = (x[2i] + x[2i+1]) * invsqrt2
+//   detail[i] = (x[2i] - x[2i+1]) * invsqrt2
+// Pure FP add/sub/mul — a high "FPU Add" kernel in Figure 1.
+#include <cmath>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+isa::Kernel build_kernel() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("dwt2d_K1");
+
+  const Reg src = kb.param(0);   // f32 [rows][cols]
+  const Reg dst = kb.param(1);   // f32 [rows][cols]
+  const Reg rows = kb.param(2);
+  const Reg cols = kb.param(3);
+
+  // 2D launch, one grid row per image row (no index division, as in the
+  // original's 2D decomposition).
+  const Reg half_cols = kb.ishr(cols, kb.imm(1));
+  const Reg r = kb.ctaid_y();
+  const Reg i = kb.imad(kb.ctaid_x(), kb.ntid_x(), kb.tid_x());
+  (void)rows;
+  const auto in_range = kb.setp(Opcode::kSetLt, i, half_cols);
+  kb.if_then(in_range, [&] {
+    const Reg row_base = kb.imul(r, cols);
+    const Reg even_idx = kb.iadd(row_base, kb.ishl(i, kb.imm(1)));
+    const Reg a = kb.reg();
+    const Reg b = kb.reg();
+    kb.ld_global(a, kb.element_addr(src, even_idx, 4), 0, 4);
+    kb.ld_global(b, kb.element_addr(src, even_idx, 4), 4, 4);
+    const Reg inv = kb.fimm(0.70710678f);
+    const Reg approx = kb.fmul(kb.fadd(a, b), inv);
+    const Reg detail = kb.fmul(kb.fsub(a, b), inv);
+    // Approx coefficients in the left half, detail in the right half.
+    kb.st_global(kb.element_addr(dst, kb.iadd(row_base, i), 4), approx, 0, 4);
+    kb.st_global(
+        kb.element_addr(dst, kb.iadd(row_base, kb.iadd(half_cols, i)), 4),
+        detail, 0, 4);
+  });
+  kb.exit();
+  return kb.build();
+}
+
+}  // namespace
+
+PreparedCase make_dwt2d_k1(double scale) {
+  const int rows = scaled(192, scale, 16, 8);
+  const int cols = scaled(192, scale, 16, 8);
+
+  PreparedCase pc;
+  pc.name = "dwt2d_K1";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_kernel();
+
+  Xoshiro256 rng(0xD27D);
+  std::vector<float> img(static_cast<std::size_t>(rows) * cols);
+  // Smooth image (sum of low-frequency waves): neighboring pixels correlate,
+  // as in natural images.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      img[static_cast<std::size_t>(r) * cols + c] =
+          128.0f + 60.0f * std::sin(0.05f * static_cast<float>(c)) +
+          30.0f * std::cos(0.08f * static_cast<float>(r)) +
+          4.0f * rng.next_float();
+    }
+  }
+
+  const std::uint64_t d_src = pc.mem->alloc(img.size() * 4);
+  const std::uint64_t d_dst = pc.mem->alloc(img.size() * 4);
+  pc.mem->write<float>(d_src, img);
+
+  sim::LaunchConfig lc;
+  lc.block_x = 128;
+  lc.grid_x = (cols / 2 + lc.block_x - 1) / lc.block_x;
+  lc.grid_y = rows;
+  lc.args = {d_src, d_dst, static_cast<std::uint64_t>(rows),
+             static_cast<std::uint64_t>(cols)};
+  pc.launches.push_back(lc);
+
+  std::vector<float> ref(static_cast<std::size_t>(rows) * cols, 0.f);
+  const float inv = 0.70710678f;
+  for (int r = 0; r < rows; ++r) {
+    for (int i = 0; i < cols / 2; ++i) {
+      const float a = img[static_cast<std::size_t>(r) * cols + 2 * i];
+      const float b = img[static_cast<std::size_t>(r) * cols + 2 * i + 1];
+      ref[static_cast<std::size_t>(r) * cols + i] = (a + b) * inv;
+      ref[static_cast<std::size_t>(r) * cols + cols / 2 + i] = (a - b) * inv;
+    }
+  }
+
+  pc.validate = [d_dst, rows, cols, ref](const sim::GlobalMemory& m) {
+    std::vector<float> got(static_cast<std::size_t>(rows) * cols);
+    m.read<float>(d_dst, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::abs(got[i] - ref[i]) > 1e-4f) return false;
+    }
+    return true;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

@@ -1,0 +1,134 @@
+// CUDA Samples histogram (histogram64 variant): each thread accumulates a
+// private 64-bin sub-histogram in shared memory over a strided slice of the
+// byte stream (bin = byte >> 2), then the block reduces per-bin across
+// threads and emits per-block partial histograms; the host merges blocks.
+// Atomic-free, like the sample's per-thread sub-histogram scheme.
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+constexpr int kBins = 64;
+constexpr int kBlock = 64;   // one thread per bin during reduction
+constexpr int kPerThread = 64;  // bytes consumed per thread
+
+isa::Kernel build_kernel() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("histo_K1");
+
+  const Reg data = kb.param(0);     // bytes
+  const Reg partial = kb.param(1);  // i32 [nblocks][kBins]
+  const Reg nbytes = kb.param(2);
+
+  const std::int64_t sh = kb.alloc_shared(kBlock * kBins * 4);
+  const Reg sh_base = kb.shared_base(sh);
+  const Reg tid = kb.tid_x();
+  const Reg blk = kb.ctaid_x();
+
+  // Zero this thread's sub-histogram.
+  const Reg my_base = kb.imul(tid, kb.imm(kBins));
+  const Reg zero = kb.imm(0);
+  const Reg j = kb.imm(0);
+  const Reg one = kb.imm(1);
+  kb.while_(
+      [&] { return kb.setp(Opcode::kSetLt, j, kb.imm(kBins)); },
+      [&] {
+        kb.st_shared(kb.element_addr(sh_base, kb.iadd(my_base, j), 4), zero,
+                     0, 4);
+        kb.iadd_to(j, j, one);
+      });
+  kb.bar();
+
+  // Accumulate: thread processes kPerThread bytes at stride kBlock.
+  const Reg chunk_base =
+      kb.imad(blk, kb.imm(kBlock * kPerThread), tid);
+  const Reg k = kb.imm(0);
+  kb.while_(
+      [&] { return kb.setp(Opcode::kSetLt, k, kb.imm(kPerThread)); },
+      [&] {
+        const Reg idx = kb.imad(k, kb.imm(kBlock), chunk_base);
+        const auto ok = kb.setp(Opcode::kSetLt, idx, nbytes);
+        kb.if_then(ok, [&] {
+          const Reg byte = kb.reg();
+          kb.ld_global(byte, kb.element_addr(data, idx, 1), 0, 1);
+          const Reg bin = kb.ishr(byte, kb.imm(2));
+          const Reg slot = kb.element_addr(sh_base, kb.iadd(my_base, bin), 4);
+          const Reg cur = kb.reg();
+          kb.ld_shared_s32(cur, slot, 0);
+          kb.st_shared(slot, kb.iadd(cur, one), 0, 4);
+        });
+        kb.iadd_to(k, k, one);
+      });
+  kb.bar();
+
+  // Reduce bin `tid` across all kBlock sub-histograms.
+  const Reg sum = kb.imm(0);
+  const Reg t = kb.imm(0);
+  kb.while_(
+      [&] { return kb.setp(Opcode::kSetLt, t, kb.imm(kBlock)); },
+      [&] {
+        const Reg v = kb.reg();
+        kb.ld_shared_s32(v,
+                         kb.element_addr(sh_base, kb.imad(t, kb.imm(kBins), tid),
+                                         4));
+        kb.iadd_to(sum, sum, v);
+        kb.iadd_to(t, t, one);
+      });
+  kb.st_global(kb.element_addr(partial, kb.imad(blk, kb.imm(kBins), tid), 4),
+               sum, 0, 4);
+  kb.exit();
+  return kb.build();
+}
+
+}  // namespace
+
+PreparedCase make_histo_k1(double scale) {
+  const int nbytes = scaled(1 << 17, scale, 1 << 14, kBlock * kPerThread);
+  const int nblocks = nbytes / (kBlock * kPerThread);
+
+  PreparedCase pc;
+  pc.name = "histo_K1";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_kernel();
+
+  Xoshiro256 rng(0x4157);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(nbytes));
+  // Image-like byte stream: values cluster (spatial locality in bins).
+  std::uint8_t cur = 128;
+  for (auto& b : data) {
+    cur = static_cast<std::uint8_t>(cur + rng.next_in(-6, 6));
+    b = cur;
+  }
+
+  const std::uint64_t d_data = pc.mem->alloc(data.size());
+  const std::uint64_t d_part =
+      pc.mem->alloc(static_cast<std::size_t>(nblocks) * kBins * 4);
+  pc.mem->write<std::uint8_t>(d_data, data);
+
+  sim::LaunchConfig lc;
+  lc.block_x = kBlock;
+  lc.grid_x = nblocks;
+  lc.args = {d_data, d_part, static_cast<std::uint64_t>(nbytes)};
+  pc.launches.push_back(lc);
+
+  std::vector<std::int32_t> ref(static_cast<std::size_t>(nblocks) * kBins, 0);
+  for (int i = 0; i < nbytes; ++i) {
+    const int blk = i / (kBlock * kPerThread);
+    ++ref[static_cast<std::size_t>(blk) * kBins + (data[static_cast<std::size_t>(i)] >> 2)];
+  }
+
+  pc.validate = [d_part, nblocks, ref](const sim::GlobalMemory& m) {
+    std::vector<std::int32_t> got(static_cast<std::size_t>(nblocks) * kBins);
+    m.read<std::int32_t>(d_part, got);
+    return got == ref;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

@@ -1,0 +1,135 @@
+// Rodinia kmeans, kernel 1 (kmeansPoint): each thread assigns one point to
+// its nearest cluster centroid (Euclidean distance over nfeatures).
+#include <cmath>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+constexpr int kFeatures = 16;
+constexpr int kClusters = 8;
+
+isa::Kernel build_kernel() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("kmeans_K1");
+
+  const Reg features = kb.param(0);   // f32 [npoints][kFeatures]
+  const Reg clusters = kb.param(1);   // f32 [kClusters][kFeatures]
+  const Reg membership = kb.param(2); // i32 [npoints]
+  const Reg npoints = kb.param(3);
+
+  const Reg gtid = kb.gtid();
+  const auto in_range = kb.setp(Opcode::kSetLt, gtid, npoints);
+  kb.if_then(in_range, [&] {
+    const Reg point_base =
+        kb.element_addr(features, kb.imul(gtid, kb.imm(kFeatures)), 4);
+    const Reg best_dist = kb.fimm(3.4e38f);
+    const Reg best_idx = kb.imm(-1);
+    const Reg c = kb.imm(0);
+    const Reg cK = kb.imm(kClusters);
+    const Reg one = kb.imm(1);
+    kb.while_(
+        [&] { return kb.setp(Opcode::kSetLt, c, cK); },
+        [&] {
+          const Reg centroid_base =
+              kb.element_addr(clusters, kb.imul(c, kb.imm(kFeatures)), 4);
+          const Reg dist = kb.fimm(0.0f);
+          for (int f = 0; f < kFeatures; ++f) {
+            const Reg x = kb.reg();
+            const Reg m = kb.reg();
+            kb.ld_global(x, point_base, f * 4, 4);
+            kb.ld_global(m, centroid_base, f * 4, 4);
+            const Reg d = kb.fsub(x, m);
+            kb.ffma_to(dist, d, d, dist);
+          }
+          const auto better = kb.setp(Opcode::kFSetLt, dist, best_dist);
+          kb.if_then(better, [&] {
+            kb.mov_to(best_dist, dist);
+            kb.mov_to(best_idx, c);
+          });
+          kb.iadd_to(c, c, one);
+        });
+    kb.st_global(kb.element_addr(membership, gtid, 4), best_idx, 0, 4);
+  });
+  kb.exit();
+  return kb.build();
+}
+
+}  // namespace
+
+PreparedCase make_kmeans_k1(double scale) {
+  const int npoints = scaled(8192, scale, 256, 32);
+
+  PreparedCase pc;
+  pc.name = "kmeans_K1";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_kernel();
+
+  Xoshiro256 rng(0xCAFE01);
+  std::vector<float> feats(static_cast<std::size_t>(npoints) * kFeatures);
+  // Clustered data: points are noisy copies of their true centroid, so the
+  // distance values evolve smoothly — the locality the paper exploits.
+  std::vector<float> true_centroids(kClusters * kFeatures);
+  for (auto& v : true_centroids) v = rng.next_float() * 10.0f - 5.0f;
+  for (int p = 0; p < npoints; ++p) {
+    const int c = static_cast<int>(rng.next_below(kClusters));
+    for (int f = 0; f < kFeatures; ++f) {
+      feats[static_cast<std::size_t>(p) * kFeatures + f] =
+          true_centroids[static_cast<std::size_t>(c) * kFeatures + f] +
+          static_cast<float>(rng.next_gaussian()) * 0.5f;
+    }
+  }
+  std::vector<float> cents(kClusters * kFeatures);
+  for (int c = 0; c < kClusters; ++c) {
+    for (int f = 0; f < kFeatures; ++f) {
+      cents[static_cast<std::size_t>(c) * kFeatures + f] =
+          true_centroids[static_cast<std::size_t>(c) * kFeatures + f] +
+          static_cast<float>(rng.next_gaussian()) * 0.1f;
+    }
+  }
+
+  const std::uint64_t d_feat = pc.mem->alloc(feats.size() * 4);
+  const std::uint64_t d_cent = pc.mem->alloc(cents.size() * 4);
+  const std::uint64_t d_mem = pc.mem->alloc(static_cast<std::size_t>(npoints) * 4);
+  pc.mem->write<float>(d_feat, feats);
+  pc.mem->write<float>(d_cent, cents);
+
+  pc.launches.push_back(sim::launch_1d(
+      npoints, 256, {d_feat, d_cent, d_mem,
+                     static_cast<std::uint64_t>(npoints)}));
+
+  // Host reference.
+  std::vector<std::int32_t> ref(static_cast<std::size_t>(npoints));
+  for (int p = 0; p < npoints; ++p) {
+    float best = 3.4e38f;
+    int bi = -1;
+    for (int c = 0; c < kClusters; ++c) {
+      float dist = 0.0f;
+      for (int f = 0; f < kFeatures; ++f) {
+        const float d = feats[static_cast<std::size_t>(p) * kFeatures + f] -
+                        cents[static_cast<std::size_t>(c) * kFeatures + f];
+        dist = std::fma(d, d, dist);
+      }
+      if (dist < best) {
+        best = dist;
+        bi = c;
+      }
+    }
+    ref[static_cast<std::size_t>(p)] = bi;
+  }
+
+  pc.validate = [d_mem, npoints, ref](const sim::GlobalMemory& m) {
+    std::vector<std::int32_t> got(static_cast<std::size_t>(npoints));
+    m.read<std::int32_t>(d_mem, got);
+    return got == ref;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

@@ -1,0 +1,218 @@
+// CUDA Samples mergeSort.
+//  K1 (mergeSortShared): each block sorts a shared-memory chunk with an
+//     odd-even merge network (compare-heavy integer work).
+//  K2 (merge ranks): pairs of sorted chunks are merged; each thread places
+//     one element by binary-searching its rank in the sibling chunk.
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+constexpr int kBlock = 256;
+constexpr int kChunk = 512;  // elements per K1 block (2 per thread)
+
+isa::Kernel build_k1() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("msort_K1");
+
+  const Reg data = kb.param(0);
+
+  const std::int64_t sh = kb.alloc_shared(kChunk * 4);
+  const Reg sh_base = kb.shared_base(sh);
+  const Reg tid = kb.tid_x();
+  const Reg blk = kb.ctaid_x();
+  const Reg base = kb.imul(blk, kb.imm(kChunk));
+
+  for (int k = 0; k < 2; ++k) {
+    const Reg li = kb.iadd(tid, kb.imm(k * kBlock));
+    const Reg v = kb.reg();
+    kb.ld_global_s32(v, kb.element_addr(data, kb.iadd(base, li), 4));
+    kb.st_shared(kb.element_addr(sh_base, li, 4), v, 0, 4);
+  }
+  kb.bar();
+
+  // Batcher odd-even merge network over kChunk elements (ascending) —
+  // a direct port of the CUDA sample's oddEvenMergeSortShared.
+  auto cmp_exchange = [&](Reg lo_pos, int stride_bytes) {
+    const Reg p0 = kb.element_addr(sh_base, lo_pos, 4);
+    const Reg a = kb.reg();
+    const Reg b = kb.reg();
+    kb.ld_shared_s32(a, p0, 0);
+    kb.ld_shared_s32(b, p0, stride_bytes);
+    kb.st_shared(p0, kb.imin(a, b), 0, 4);
+    kb.st_shared(p0, kb.imax(a, b), stride_bytes, 4);
+  };
+  for (int size = 2; size <= kChunk; size <<= 1) {
+    int stride = size / 2;
+    const Reg offset = kb.iand(tid, kb.imm(stride - 1));
+    {
+      const Reg pos = kb.isub(kb.ishl(tid, kb.imm(1)),
+                              kb.iand(tid, kb.imm(stride - 1)));
+      cmp_exchange(pos, stride * 4);
+      stride >>= 1;
+      kb.bar();
+    }
+    for (; stride > 0; stride >>= 1) {
+      const Reg pos = kb.isub(kb.ishl(tid, kb.imm(1)),
+                              kb.iand(tid, kb.imm(stride - 1)));
+      const auto guard = kb.setp(Opcode::kSetGe, offset, kb.imm(stride));
+      kb.if_then(guard, [&] {
+        cmp_exchange(kb.isub(pos, kb.imm(stride)), stride * 4);
+      });
+      kb.bar();
+    }
+  }
+
+  for (int k = 0; k < 2; ++k) {
+    const Reg li = kb.iadd(tid, kb.imm(k * kBlock));
+    const Reg v = kb.reg();
+    kb.ld_shared_s32(v, kb.element_addr(sh_base, li, 4));
+    kb.st_global(kb.element_addr(data, kb.iadd(base, li), 4), v, 0, 4);
+  }
+  kb.exit();
+  return kb.build();
+}
+
+isa::Kernel build_k2() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("msort_K2");
+
+  const Reg src = kb.param(0);
+  const Reg dst = kb.param(1);
+  const Reg chunk = kb.imm(kChunk);  // compile-time, like the sample's
+                                     // template parameter
+
+  const Reg gtid = kb.gtid();
+  // Which pair of runs, and which element within the pair. The pair length
+  // is a compile-time power of two: shift/mask.
+  const Reg pair_len = kb.imm(2 * kChunk);
+  const Reg pair = kb.ishr(gtid, kb.imm(std::countr_zero(unsigned(2 * kChunk))));
+  const Reg off = kb.iand(gtid, kb.imm(2 * kChunk - 1));
+  const Reg in_second = kb.reg();
+  const auto second_half = kb.setp(Opcode::kSetGe, off, chunk);
+  kb.mov_to(in_second, kb.selp(second_half, kb.imm(1), kb.imm(0)));
+
+  const Reg my_run_off = kb.selp(second_half, kb.isub(off, chunk), off);
+  const Reg my_run_base =
+      kb.imad(pair, pair_len, kb.selp(second_half, chunk, kb.imm(0)));
+  const Reg other_run_base =
+      kb.imad(pair, pair_len, kb.selp(second_half, kb.imm(0), chunk));
+
+  const Reg key = kb.reg();
+  kb.ld_global_s32(key,
+                   kb.element_addr(src, kb.iadd(my_run_base, my_run_off), 4));
+
+  // Rank of `key` in the other run: for ties, elements of the first run sort
+  // before the second (stable): first-run threads use lower_bound,
+  // second-run threads use upper_bound... realized as strict/non-strict
+  // compares via selp on `in_second`.
+  const Reg lo = kb.imm(0);
+  const Reg hi = kb.mov(chunk);
+  kb.while_(
+      [&] { return kb.setp(Opcode::kSetLt, lo, hi); },
+      [&] {
+        const Reg mid = kb.ishr(kb.iadd(lo, hi), kb.imm(1));
+        const Reg mv = kb.reg();
+        kb.ld_global_s32(mv,
+                         kb.element_addr(src, kb.iadd(other_run_base, mid), 4));
+        // go right if (mv < key) or (mv == key and we're in the second run
+        // — equal keys of the first run come first).
+        const auto lt = kb.setp(Opcode::kSetLt, mv, key);
+        const auto eq = kb.setp(Opcode::kSetEq, mv, key);
+        const auto second = kb.setp(Opcode::kSetEq, in_second, kb.imm(0));
+        const auto go_right = kb.por(lt, kb.pand(eq, kb.pnot(second)));
+        const Reg mid1 = kb.iadd(mid, kb.imm(1));
+        kb.mov_to(lo, kb.selp(go_right, mid1, lo));
+        kb.mov_to(hi, kb.selp(go_right, hi, mid));
+      });
+
+  const Reg out_pos = kb.iadd(kb.imad(pair, pair_len, my_run_off), lo);
+  kb.st_global(kb.element_addr(dst, out_pos, 4), key, 0, 4);
+  kb.exit();
+  return kb.build();
+}
+
+std::vector<std::int32_t> random_keys(int n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::int32_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<std::int32_t>(rng.next_below(1 << 16));
+  return v;
+}
+
+}  // namespace
+
+PreparedCase make_msort_k1(double scale) {
+  const int n = scaled(1 << 14, scale, kChunk * 2, kChunk);
+
+  PreparedCase pc;
+  pc.name = "msort_K1";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_k1();
+
+  auto keys = random_keys(n, 0x6501);
+  const std::uint64_t d_data = pc.mem->alloc(keys.size() * 4);
+  pc.mem->write<std::int32_t>(d_data, keys);
+
+  sim::LaunchConfig lc;
+  lc.block_x = kBlock;
+  lc.grid_x = n / kChunk;
+  lc.args = {d_data};
+  pc.launches.push_back(lc);
+
+  std::vector<std::int32_t> ref = keys;
+  for (int c = 0; c < n / kChunk; ++c) {
+    std::sort(ref.begin() + c * kChunk, ref.begin() + (c + 1) * kChunk);
+  }
+
+  pc.validate = [d_data, n, ref](const sim::GlobalMemory& m) {
+    std::vector<std::int32_t> got(static_cast<std::size_t>(n));
+    m.read<std::int32_t>(d_data, got);
+    return got == ref;
+  };
+  return pc;
+}
+
+PreparedCase make_msort_k2(double scale) {
+  // Pairs of kChunk runs are merged, so n must be a multiple of 2*kChunk.
+  const int n = scaled(1 << 14, scale, kChunk * 2, kChunk * 2);
+
+  PreparedCase pc;
+  pc.name = "msort_K2";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_k2();
+
+  auto keys = random_keys(n, 0x6502);
+  for (int c = 0; c < n / kChunk; ++c) {
+    std::sort(keys.begin() + c * kChunk, keys.begin() + (c + 1) * kChunk);
+  }
+  const std::uint64_t d_src = pc.mem->alloc(keys.size() * 4);
+  const std::uint64_t d_dst = pc.mem->alloc(keys.size() * 4);
+  pc.mem->write<std::int32_t>(d_src, keys);
+
+  pc.launches.push_back(sim::launch_1d(n, kBlock, {d_src, d_dst}));
+
+  std::vector<std::int32_t> ref = keys;
+  for (int c = 0; c < n / (2 * kChunk); ++c) {
+    std::inplace_merge(ref.begin() + c * 2 * kChunk,
+                       ref.begin() + c * 2 * kChunk + kChunk,
+                       ref.begin() + (c + 1) * 2 * kChunk);
+  }
+
+  pc.validate = [d_dst, n, ref](const sim::GlobalMemory& m) {
+    std::vector<std::int32_t> got(static_cast<std::size_t>(n));
+    m.read<std::int32_t>(d_dst, got);
+    return got == ref;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

@@ -1,0 +1,158 @@
+// Parboil mri-q, ComputeQ kernel: for each voxel, accumulate over the
+// k-space trajectory:
+//   Qr += phiMag[k] * cos(2*pi*(kx*x + ky*y + kz*z))
+//   Qi += phiMag[k] * sin(...)
+// FFMA chains feeding SFU sin/cos — the FPU-plus-SFU mix of the original.
+#include <cmath>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+isa::Kernel build_kernel() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("mri-q_K1");
+
+  const Reg kx = kb.param(0);
+  const Reg ky = kb.param(1);
+  const Reg kz = kb.param(2);
+  const Reg x = kb.param(3);
+  const Reg y = kb.param(4);
+  const Reg z = kb.param(5);
+  const Reg phi = kb.param(6);
+  const Reg qr = kb.param(7);
+  const Reg qi = kb.param(8);
+  const Reg numk = kb.param(9);
+  const Reg numx = kb.param(10);
+
+  const Reg gtid = kb.gtid();
+  const auto in_range = kb.setp(Opcode::kSetLt, gtid, numx);
+  kb.if_then(in_range, [&] {
+    const Reg xv = kb.reg();
+    const Reg yv = kb.reg();
+    const Reg zv = kb.reg();
+    kb.ld_global(xv, kb.element_addr(x, gtid, 4), 0, 4);
+    kb.ld_global(yv, kb.element_addr(y, gtid, 4), 0, 4);
+    kb.ld_global(zv, kb.element_addr(z, gtid, 4), 0, 4);
+
+    const Reg accr = kb.fimm(0.0f);
+    const Reg acci = kb.fimm(0.0f);
+    const Reg twopi = kb.fimm(6.2831853f);
+    const Reg k = kb.imm(0);
+    const Reg one = kb.imm(1);
+    kb.while_(
+        [&] { return kb.setp(Opcode::kSetLt, k, numk); },
+        [&] {
+          const Reg kxv = kb.reg();
+          const Reg kyv = kb.reg();
+          const Reg kzv = kb.reg();
+          const Reg pv = kb.reg();
+          kb.ld_global(kxv, kb.element_addr(kx, k, 4), 0, 4);
+          kb.ld_global(kyv, kb.element_addr(ky, k, 4), 0, 4);
+          kb.ld_global(kzv, kb.element_addr(kz, k, 4), 0, 4);
+          kb.ld_global(pv, kb.element_addr(phi, k, 4), 0, 4);
+          const Reg dot = kb.fmul(kxv, xv);
+          kb.ffma_to(dot, kyv, yv, dot);
+          kb.ffma_to(dot, kzv, zv, dot);
+          const Reg arg = kb.fmul(twopi, dot);
+          kb.ffma_to(accr, pv, kb.fcos(arg), accr);
+          kb.ffma_to(acci, pv, kb.fsin(arg), acci);
+          kb.iadd_to(k, k, one);
+        });
+    kb.st_global(kb.element_addr(qr, gtid, 4), accr, 0, 4);
+    kb.st_global(kb.element_addr(qi, gtid, 4), acci, 0, 4);
+  });
+  kb.exit();
+  return kb.build();
+}
+
+}  // namespace
+
+PreparedCase make_mriq_k1(double scale) {
+  const int numx = scaled(2048, scale, 256, 256);
+  const int numk = scaled(256, scale, 32, 8);
+
+  PreparedCase pc;
+  pc.name = "mri-q_K1";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_kernel();
+
+  Xoshiro256 rng(0x3219);
+  auto randf = [&](std::size_t n, float lo, float hi) {
+    std::vector<float> v(n);
+    for (auto& e : v) e = lo + (hi - lo) * rng.next_float();
+    return v;
+  };
+  const auto vkx = randf(static_cast<std::size_t>(numk), -0.5f, 0.5f);
+  const auto vky = randf(static_cast<std::size_t>(numk), -0.5f, 0.5f);
+  const auto vkz = randf(static_cast<std::size_t>(numk), -0.5f, 0.5f);
+  const auto vphi = randf(static_cast<std::size_t>(numk), 0.0f, 1.0f);
+  const auto vx = randf(static_cast<std::size_t>(numx), -1.0f, 1.0f);
+  const auto vy = randf(static_cast<std::size_t>(numx), -1.0f, 1.0f);
+  const auto vz = randf(static_cast<std::size_t>(numx), -1.0f, 1.0f);
+
+  auto alloc_write = [&](const std::vector<float>& v) {
+    const std::uint64_t a = pc.mem->alloc(v.size() * 4);
+    pc.mem->write<float>(a, v);
+    return a;
+  };
+  const std::uint64_t d_kx = alloc_write(vkx);
+  const std::uint64_t d_ky = alloc_write(vky);
+  const std::uint64_t d_kz = alloc_write(vkz);
+  const std::uint64_t d_x = alloc_write(vx);
+  const std::uint64_t d_y = alloc_write(vy);
+  const std::uint64_t d_z = alloc_write(vz);
+  const std::uint64_t d_phi = alloc_write(vphi);
+  const std::uint64_t d_qr = pc.mem->alloc(static_cast<std::size_t>(numx) * 4);
+  const std::uint64_t d_qi = pc.mem->alloc(static_cast<std::size_t>(numx) * 4);
+
+  pc.launches.push_back(sim::launch_1d(
+      numx, 256,
+      {d_kx, d_ky, d_kz, d_x, d_y, d_z, d_phi, d_qr, d_qi,
+       static_cast<std::uint64_t>(numk), static_cast<std::uint64_t>(numx)}));
+
+  std::vector<float> ref_r(static_cast<std::size_t>(numx));
+  std::vector<float> ref_i(static_cast<std::size_t>(numx));
+  for (int i = 0; i < numx; ++i) {
+    float ar = 0.0f, ai = 0.0f;
+    for (int k = 0; k < numk; ++k) {
+      float dot = vkx[static_cast<std::size_t>(k)] *
+                  vx[static_cast<std::size_t>(i)];
+      dot = std::fma(vky[static_cast<std::size_t>(k)],
+                     vy[static_cast<std::size_t>(i)], dot);
+      dot = std::fma(vkz[static_cast<std::size_t>(k)],
+                     vz[static_cast<std::size_t>(i)], dot);
+      const float arg = 6.2831853f * dot;
+      ar = std::fma(vphi[static_cast<std::size_t>(k)], std::cos(arg), ar);
+      ai = std::fma(vphi[static_cast<std::size_t>(k)], std::sin(arg), ai);
+    }
+    ref_r[static_cast<std::size_t>(i)] = ar;
+    ref_i[static_cast<std::size_t>(i)] = ai;
+  }
+
+  pc.validate = [d_qr, d_qi, numx, ref_r, ref_i](const sim::GlobalMemory& m) {
+    std::vector<float> got(static_cast<std::size_t>(numx));
+    m.read<float>(d_qr, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::abs(got[i] - ref_r[i]) > 2e-3f * (1.0f + std::abs(ref_r[i]))) {
+        return false;
+      }
+    }
+    m.read<float>(d_qi, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::abs(got[i] - ref_i[i]) > 2e-3f * (1.0f + std::abs(ref_i[i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

@@ -1,0 +1,226 @@
+// Rodinia pathfinder: dynamic-programming shortest path over a weight grid.
+// This is the paper's running example (Figure 2); the hot-loop additions are
+// emitted at recorded PCs so the Figure 2 bench can trace their values.
+#include <algorithm>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads {
+
+namespace {
+
+constexpr int kBlockSize = 256;
+PathfinderPcs g_pcs{};  // recorded when the kernel is built
+
+struct PathfinderKernel {
+  isa::Kernel kernel;
+};
+
+// Builds the dynproc kernel, mirroring Rodinia's structure:
+//   if (tx >= i+1 && tx <= BLOCK_SIZE-2-i && isValid) {
+//     shortest = MIN(left, up); shortest = MIN(shortest, right);
+//     index = cols*(startStep+i) + xidx;
+//     result[tx] = shortest + gpuWall[index];
+//   }
+isa::Kernel build_kernel() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("pathfinder_dynproc");
+
+  const Reg wall = kb.param(0);      // int32 weights, rows x cols (row 0 unused)
+  const Reg src = kb.param(1);       // int32 current costs, cols
+  const Reg results = kb.param(2);   // int32 output costs, cols
+  const Reg cols = kb.param(3);
+  const Reg iteration = kb.param(4); // pyramid height of this launch
+  const Reg start_step = kb.param(5);
+  const Reg border = kb.param(6);
+
+  const std::int64_t sh_prev = kb.alloc_shared(kBlockSize * 4);
+  const std::int64_t sh_result = kb.alloc_shared(kBlockSize * 4);
+
+  const Reg tx = kb.tid_x();
+  const Reg bx = kb.ctaid_x();
+  const Reg c0 = kb.imm(0);
+  const Reg c1 = kb.imm(1);
+  const Reg cB = kb.imm(kBlockSize);
+  const Reg cBm1 = kb.imm(kBlockSize - 1);
+
+  // small_block_cols = BLOCK_SIZE - iteration*2
+  const Reg small_cols = kb.isub(cB, kb.ishl(iteration, c1));
+  // blkX = small_block_cols*bx - border; xidx = blkX + tx
+  const Reg blkx = kb.isub(kb.imul(small_cols, bx), border);
+  const Reg xidx = kb.iadd(blkx, tx);
+
+  const Reg colsm1 = kb.isub(cols, c1);
+  // validXmin = max(0, -blkX); validXmax = min(B-1, B-1 - (blkX+B-1-(cols-1)))
+  const Reg vmin = kb.imax(c0, kb.ineg(blkx));
+  const Reg overshoot = kb.isub(kb.iadd(blkx, cBm1), colsm1);
+  const Reg vmax = kb.imin(cBm1, kb.isub(cBm1, kb.imax(c0, overshoot)));
+
+  const Reg w_idx = kb.imax(kb.isub(tx, c1), vmin);
+  const Reg e_idx = kb.imin(kb.iadd(tx, c1), vmax);
+
+  const auto is_valid = kb.pand(kb.setp(Opcode::kSetGe, tx, vmin),
+                                kb.setp(Opcode::kSetLe, tx, vmax));
+
+  // prev[tx] = src[xidx] when in range.
+  const auto in_range = kb.pand(kb.setp(Opcode::kSetGe, xidx, c0),
+                                kb.setp(Opcode::kSetLe, xidx, colsm1));
+  const Reg sh_prev_tx = kb.element_addr(kb.shared_base(sh_prev), tx, 4);
+  kb.if_then(in_range, [&] {
+    const Reg v = kb.reg();
+    kb.ld_global_s32(v, kb.element_addr(src, xidx, 4));
+    kb.st_shared(sh_prev_tx, v, 0, 4);
+  });
+  kb.bar();
+
+  const Reg sh_prev_w = kb.element_addr(kb.shared_base(sh_prev), w_idx, 4);
+  const Reg sh_prev_e = kb.element_addr(kb.shared_base(sh_prev), e_idx, 4);
+  const Reg sh_result_tx = kb.element_addr(kb.shared_base(sh_result), tx, 4);
+  const Reg computed_flag = kb.imm(0);
+
+  // The hot loop. We record the PCs of its seven additions for Figure 2.
+  const Reg i = kb.mov(c0);
+  kb.while_(
+      [&] {
+        g_pcs.pc[2] = kb.here();  // PC3: loop guard i < iteration
+        return kb.setp(Opcode::kSetLt, i, iteration);
+      },
+      [&] {
+        kb.movi_to(computed_flag, 0);  // Rodinia: computed = false
+        const Reg ip1 = kb.iadd(i, c1);
+        g_pcs.pc[0] = kb.here();  // PC1: tx >= i+1
+        const auto g1 = kb.setp(Opcode::kSetGe, tx, ip1);
+        const Reg hi = kb.isub(kb.imm(kBlockSize - 2), i);
+        g_pcs.pc[1] = kb.here();  // PC2: tx <= BLOCK_SIZE-2-i
+        const auto g2 = kb.setp(Opcode::kSetLe, tx, hi);
+        const auto guard = kb.pand(kb.pand(g1, g2), is_valid);
+        kb.if_then(guard, [&] {
+          const Reg left = kb.reg();
+          const Reg up = kb.reg();
+          const Reg right = kb.reg();
+          kb.ld_shared_s32(left, sh_prev_w);
+          kb.ld_shared_s32(up, sh_prev_tx);
+          kb.ld_shared_s32(right, sh_prev_e);
+          g_pcs.pc[3] = kb.here();  // PC4: MIN(left, up)
+          const Reg shortest = kb.imin(left, up);
+          g_pcs.pc[4] = kb.here();  // PC5: MIN(shortest, right)
+          kb.imin_to(shortest, shortest, right);
+          const Reg row = kb.iadd(start_step, i);
+          g_pcs.pc[5] = kb.here();  // PC6: cols*(startStep+i) + xidx
+          const Reg index = kb.imad(cols, row, xidx);
+          const Reg w = kb.reg();
+          kb.ld_global_s32(w, kb.element_addr(wall, index, 4));
+          g_pcs.pc[6] = kb.here();  // PC7: shortest + gpuWall[index]
+          const Reg res = kb.iadd(shortest, w);
+          kb.st_shared(sh_result_tx, res, 0, 4);
+          kb.movi_to(computed_flag, 1);
+        });
+        kb.bar();
+        // if (i < iteration-1 && computed) prev[tx] = result[tx]
+        const auto more = kb.setp(Opcode::kSetLt, kb.iadd(i, c1), iteration);
+        const auto flag_set = kb.setp(Opcode::kSetGt, computed_flag, c0);
+        kb.if_then(kb.pand(more, flag_set), [&] {
+          const Reg r = kb.reg();
+          kb.ld_shared_s32(r, sh_result_tx);
+          kb.st_shared(sh_prev_tx, r, 0, 4);
+        });
+        kb.bar();
+        kb.iadd_to(i, i, c1);
+      });
+
+  const auto flag_set = kb.setp(Opcode::kSetGt, computed_flag, c0);
+  kb.if_then(flag_set, [&] {
+    const Reg r = kb.reg();
+    kb.ld_shared_s32(r, sh_result_tx);
+    kb.st_global(kb.element_addr(results, xidx, 4), r, 0, 4);
+  });
+  kb.exit();
+  return kb.build();
+}
+
+}  // namespace
+
+PathfinderPcs pathfinder_fig2_pcs() {
+  if (g_pcs.pc[6] == 0) (void)build_kernel();  // populate on demand
+  return g_pcs;
+}
+
+namespace detail {
+
+PreparedCase make_pathfinder(double scale) {
+  const int cols = scaled(2048, scale, kBlockSize, kBlockSize);
+  const int rows = scaled(24, scale, 4);
+  const int pyramid = 4;
+
+  PreparedCase pc;
+  pc.name = "pathfinder";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_kernel();
+
+  Xoshiro256 rng(0xF1BD);
+  std::vector<std::int32_t> wall(static_cast<std::size_t>(rows) * cols);
+  for (auto& v : wall) v = static_cast<std::int32_t>(rng.next_below(10));
+
+  const std::uint64_t d_wall = pc.mem->alloc(wall.size() * 4);
+  const std::uint64_t d_a = pc.mem->alloc(static_cast<std::size_t>(cols) * 4);
+  const std::uint64_t d_b = pc.mem->alloc(static_cast<std::size_t>(cols) * 4);
+  pc.mem->write<std::int32_t>(d_wall, wall);
+  // Row 0 seeds the costs.
+  pc.mem->write<std::int32_t>(
+      d_a, std::span<const std::int32_t>(wall.data(),
+                                         static_cast<std::size_t>(cols)));
+
+  // One launch per pyramid step, ping-ponging src/dst like Rodinia.
+  std::uint64_t src = d_a;
+  std::uint64_t dst = d_b;
+  const int border = pyramid;
+  const int small_cols = kBlockSize - 2 * pyramid;
+  const int blocks = (cols + small_cols - 1) / small_cols;
+  for (int t = 0; t < rows - 1; t += pyramid) {
+    const int iteration = std::min(pyramid, rows - 1 - t);
+    sim::LaunchConfig lc;
+    lc.block_x = kBlockSize;
+    lc.grid_x = blocks;
+    lc.args = {d_wall,
+               src,
+               dst,
+               static_cast<std::uint64_t>(cols),
+               static_cast<std::uint64_t>(iteration),
+               static_cast<std::uint64_t>(t + 1),
+               static_cast<std::uint64_t>(border)};
+    pc.launches.push_back(lc);
+    std::swap(src, dst);
+  }
+  const std::uint64_t final_buf = src;  // last-written buffer after swaps
+
+  // Host reference: plain DP sweep.
+  std::vector<std::int32_t> ref(wall.begin(),
+                                wall.begin() + cols);  // row 0
+  for (int r = 1; r < rows; ++r) {
+    std::vector<std::int32_t> next(static_cast<std::size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+      std::int32_t best = ref[static_cast<std::size_t>(c)];
+      if (c > 0) best = std::min(best, ref[static_cast<std::size_t>(c - 1)]);
+      if (c + 1 < cols) {
+        best = std::min(best, ref[static_cast<std::size_t>(c + 1)]);
+      }
+      next[static_cast<std::size_t>(c)] =
+          best + wall[static_cast<std::size_t>(r) * cols + c];
+    }
+    ref = std::move(next);
+  }
+
+  pc.validate = [final_buf, cols, ref](const sim::GlobalMemory& m) {
+    std::vector<std::int32_t> got(static_cast<std::size_t>(cols));
+    m.read<std::int32_t>(final_buf, got);
+    return got == ref;
+  };
+  return pc;
+}
+
+}  // namespace detail
+}  // namespace st2::workloads

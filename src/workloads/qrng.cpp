@@ -1,0 +1,226 @@
+// CUDA Samples quasirandomGenerator.
+//  K1 (quasirandomGeneratorKernel): Niederreiter-style table method — for
+//     sample i, XOR together the direction-vector entries of i's set bits,
+//     then scale to (0,1]. Integer shift/and/xor dominated ("ALU Other").
+//  K2 (inverseCNDKernel): Moro's inverse cumulative normal — a rational
+//     polynomial in FFMA/FDIV plus a log for the tails.
+#include <cmath>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+constexpr int kDims = 3;
+constexpr int kBits = 31;
+
+isa::Kernel build_k1() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("qrng_K1");
+
+  const Reg table = kb.param(0);  // i32 [kDims][kBits] direction numbers
+  const Reg out = kb.param(1);    // f32 [kDims][n]
+  const Reg n = kb.param(2);
+
+  const Reg gtid = kb.gtid();
+  const Reg dim = kb.ctaid_y();  // one grid row per dimension
+  // n is a power of two (as in the CUDA sample): mask instead of divide.
+  const Reg tid_in_dim = kb.iand(gtid, kb.isub(n, kb.imm(1)));
+
+  const Reg acc = kb.imm(0);
+  const Reg i = kb.mov(tid_in_dim);
+  const Reg tab_base = kb.imul(dim, kb.imm(kBits));
+  const Reg bit = kb.imm(0);
+  const Reg one = kb.imm(1);
+  kb.while_(
+      [&] { return kb.setp(Opcode::kSetGt, i, kb.imm(0)); },
+      [&] {
+        const auto lsb_set = kb.setp(Opcode::kSetNe, kb.iand(i, one), kb.imm(0));
+        kb.if_then(lsb_set, [&] {
+          const Reg dv = kb.reg();
+          kb.ld_global_s32(
+              dv, kb.element_addr(table, kb.iadd(tab_base, bit), 4));
+          kb.emit3_to(Opcode::kIXor, acc, acc, dv);
+        });
+        kb.emit3_to(Opcode::kIShrL, i, i, one);
+        kb.iadd_to(bit, bit, one);
+      });
+
+  // value = (acc + 1) * 2^-31
+  const Reg f = kb.fmul(kb.i2f(kb.iadd(acc, one)), kb.fimm(0x1.0p-31f));
+  const Reg out_idx = kb.imad(dim, n, tid_in_dim);
+  kb.st_global(kb.element_addr(out, out_idx, 4), f, 0, 4);
+  kb.exit();
+  return kb.build();
+}
+
+isa::Kernel build_k2() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("qrng_K2");
+
+  const Reg data = kb.param(0);  // f32 in (0,1), transformed in place
+  const Reg n = kb.param(1);
+
+  const Reg gtid = kb.gtid();
+  const auto in_range = kb.setp(Opcode::kSetLt, gtid, n);
+  kb.if_then(in_range, [&] {
+    const Reg addr = kb.element_addr(data, gtid, 4);
+    const Reg p = kb.reg();
+    kb.ld_global(p, addr, 0, 4);
+
+    // Moro's central region rational approximation in y = p - 0.5 (central
+    // branch only; inputs are kept within (0.08, 0.92)).
+    const Reg y = kb.fsub(p, kb.fimm(0.5f));
+    const Reg z = kb.fmul(y, y);
+    // num = y * (a0 + z*(a1 + z*(a2 + z*a3)))
+    const Reg num = kb.fimm(-25.44106049637f);
+    kb.ffma_to(num, z, kb.fimm(41.39119773534f), num);
+    // Horner steps emitted explicitly for a long FFMA chain:
+    const Reg t1 = kb.fimm(-18.61500062529f);
+    kb.ffma_to(t1, z, num, t1);
+    const Reg t0 = kb.fimm(2.50662823884f);
+    kb.ffma_to(t0, z, t1, t0);
+    const Reg numerator = kb.fmul(y, t0);
+    // den = 1 + z*(b0 + z*(b1 + z*(b2 + z*b3)))
+    const Reg d3 = kb.fimm(-13.28068155288f);
+    kb.ffma_to(d3, z, kb.fimm(15.04253856929f), d3);
+    const Reg d1 = kb.fimm(-8.47351093090f);
+    kb.ffma_to(d1, z, d3, d1);
+    const Reg d0 = kb.fimm(3.13082909833f);
+    kb.ffma_to(d0, z, d1, d0);
+    const Reg den = kb.fimm(1.0f);
+    kb.ffma_to(den, z, d0, den);
+
+    kb.st_global(addr, kb.fdiv(numerator, den), 0, 4);
+  });
+  kb.exit();
+  return kb.build();
+}
+
+std::vector<std::int32_t> direction_table() {
+  // Simple Sobol-like direction numbers: v[bit] = m << (kBits - 1 - bit)
+  // with per-dimension odd multipliers (adequate as a workload; the paper
+  // cares about the instruction stream, not QMC quality).
+  std::vector<std::int32_t> t(kDims * kBits);
+  const std::uint32_t seeds[kDims] = {1, 3, 5};
+  for (int d = 0; d < kDims; ++d) {
+    std::uint32_t m = seeds[d];
+    for (int b = 0; b < kBits; ++b) {
+      t[static_cast<std::size_t>(d) * kBits + b] =
+          static_cast<std::int32_t>((m << (kBits - 1 - b)) & 0x7fffffff);
+      m = m * 3u + 1u;  // unsigned: wraps harmlessly, feeds the next entry
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+PreparedCase make_qrng_k1(double scale) {
+  int n = 512;
+  while (n * 2 <= scaled(1 << 13, scale, 512, 256)) n *= 2;
+
+  PreparedCase pc;
+  pc.name = "qrng_K1";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_k1();
+
+  const auto table = direction_table();
+  const std::uint64_t d_table = pc.mem->alloc(table.size() * 4);
+  const std::uint64_t d_out =
+      pc.mem->alloc(static_cast<std::size_t>(kDims) * n * 4);
+  pc.mem->write<std::int32_t>(d_table, table);
+
+  sim::LaunchConfig lc;
+  lc.block_x = 256;
+  lc.grid_x = n / 256;
+  lc.grid_y = kDims;
+  lc.args = {d_table, d_out, static_cast<std::uint64_t>(n)};
+  pc.launches.push_back(lc);
+
+  std::vector<float> ref(static_cast<std::size_t>(kDims) * n);
+  for (int d = 0; d < kDims; ++d) {
+    for (int i = 0; i < n; ++i) {
+      std::int32_t acc = 0;
+      int v = i;
+      int bit = 0;
+      while (v > 0) {
+        if (v & 1) acc ^= table[static_cast<std::size_t>(d) * kBits + bit];
+        v >>= 1;
+        ++bit;
+      }
+      ref[static_cast<std::size_t>(d) * n + i] =
+          static_cast<float>(acc + 1) * 0x1.0p-31f;
+    }
+  }
+
+  pc.validate = [d_out, n, ref](const sim::GlobalMemory& m) {
+    std::vector<float> got(static_cast<std::size_t>(kDims) * n);
+    m.read<float>(d_out, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::abs(got[i] - ref[i]) > 1e-6f) return false;
+    }
+    return true;
+  };
+  return pc;
+}
+
+PreparedCase make_qrng_k2(double scale) {
+  const int n = scaled(1 << 14, scale, 512, 256);
+
+  PreparedCase pc;
+  pc.name = "qrng_K2";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_k2();
+
+  Xoshiro256 rng(0x9189);
+  std::vector<float> p(static_cast<std::size_t>(n));
+  for (auto& v : p) v = 0.08f + 0.84f * rng.next_float();
+
+  const std::uint64_t d_data = pc.mem->alloc(p.size() * 4);
+  pc.mem->write<float>(d_data, p);
+  pc.launches.push_back(
+      sim::launch_1d(n, 256, {d_data, static_cast<std::uint64_t>(n)}));
+
+  std::vector<float> ref(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float y = p[i] - 0.5f;
+    const float z = y * y;
+    float num = -25.44106049637f;
+    num = std::fma(z, 41.39119773534f, num);
+    float t1 = -18.61500062529f;
+    t1 = std::fma(z, num, t1);
+    float t0 = 2.50662823884f;
+    t0 = std::fma(z, t1, t0);
+    const float numerator = y * t0;
+    float d3 = -13.28068155288f;
+    d3 = std::fma(z, 15.04253856929f, d3);
+    float d1 = -8.47351093090f;
+    d1 = std::fma(z, d3, d1);
+    float d0 = 3.13082909833f;
+    d0 = std::fma(z, d1, d0);
+    float den = 1.0f;
+    den = std::fma(z, d0, den);
+    ref[i] = numerator / den;
+  }
+
+  pc.validate = [d_data, n, ref](const sim::GlobalMemory& m) {
+    std::vector<float> got(static_cast<std::size_t>(n));
+    m.read<float>(d_data, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::abs(got[i] - ref[i]) > 1e-5f * (1.0f + std::abs(ref[i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

@@ -1,0 +1,67 @@
+#include <stdexcept>
+
+#include "src/common/contracts.hpp"
+#include "src/workloads/cases.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace st2::workloads {
+
+namespace {
+
+using Factory = PreparedCase (*)(double);
+
+struct Entry {
+  CaseInfo info;
+  Factory factory;
+};
+
+const Entry kEntries[] = {
+    {{"binomial", "CUDA-Samples"}, detail::make_binomial},
+    {{"kmeans_K1", "Rodinia"}, detail::make_kmeans_k1},
+    {{"sgemm", "Parboil"}, detail::make_sgemm},
+    {{"walsh_K1", "CUDA-Samples"}, detail::make_walsh_k1},
+    {{"mri-q_K1", "Parboil"}, detail::make_mriq_k1},
+    {{"bprop_K2", "Rodinia"}, detail::make_bprop_k2},
+    {{"sradv1_K1", "Rodinia"}, detail::make_sradv1_k1},
+    {{"dct8x8_K1", "CUDA-Samples"}, detail::make_dct8x8_k1},
+    {{"dwt2d_K1", "Rodinia"}, detail::make_dwt2d_k1},
+    {{"pathfinder", "Rodinia"}, detail::make_pathfinder},
+    {{"sortNets_K1", "CUDA-Samples"}, detail::make_sortnets_k1},
+    {{"msort_K1", "CUDA-Samples"}, detail::make_msort_k1},
+    {{"bprop_K1", "Rodinia"}, detail::make_bprop_k1},
+    {{"walsh_K2", "CUDA-Samples"}, detail::make_walsh_k2},
+    {{"b+tree_K1", "Rodinia"}, detail::make_btree_k1},
+    {{"sortNets_K2", "CUDA-Samples"}, detail::make_sortnets_k2},
+    {{"qrng_K2", "CUDA-Samples"}, detail::make_qrng_k2},
+    {{"msort_K2", "CUDA-Samples"}, detail::make_msort_k2},
+    {{"b+tree_K2", "Rodinia"}, detail::make_btree_k2},
+    {{"sad_K1", "Parboil"}, detail::make_sad_k1},
+    {{"sobolQrng", "CUDA-Samples"}, detail::make_sobolqrng},
+    {{"qrng_K1", "CUDA-Samples"}, detail::make_qrng_k1},
+    {{"histo_K1", "CUDA-Samples"}, detail::make_histo_k1},
+};
+
+}  // namespace
+
+std::vector<CaseInfo> case_list() {
+  std::vector<CaseInfo> out;
+  for (const Entry& e : kEntries) out.push_back(e.info);
+  ST2_ASSERT(out.size() == 23);
+  return out;
+}
+
+PreparedCase prepare_case(const std::string& name, double scale) {
+  ST2_EXPECTS(scale > 0.0 && scale <= 4.0);
+  for (const Entry& e : kEntries) {
+    if (e.info.name == name) return e.factory(scale);
+  }
+  throw std::invalid_argument("unknown workload case: " + name);
+}
+
+std::vector<PreparedCase> prepare_all(double scale) {
+  std::vector<PreparedCase> out;
+  for (const Entry& e : kEntries) out.push_back(e.factory(scale));
+  return out;
+}
+
+}  // namespace st2::workloads

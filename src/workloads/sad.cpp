@@ -1,0 +1,141 @@
+// Parboil sad, kernel 1: sum-of-absolute-differences block matching. Each
+// thread evaluates one (macroblock, search-offset) pair over a 4x4 block:
+// a tight |cur - ref| accumulation loop — the archetypal "ALU Add" kernel.
+#include <cstdlib>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+constexpr int kMb = 4;       // macroblock edge (Parboil uses 4x4 sub-blocks)
+constexpr int kSearch = 8;   // search window edge (offsets 0..7 each axis)
+
+isa::Kernel build_kernel(int width) {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("sad_K1");
+
+  const Reg cur = kb.param(0);   // u8 current frame [h][w]
+  const Reg ref = kb.param(1);   // u8 reference frame [h][w]
+  const Reg sads = kb.param(2);  // i32 [nblocks][kSearch*kSearch]
+  const Reg nmb_x = kb.param(3); // macroblocks per row
+  const Reg total = kb.param(4);
+
+  // gtid = (mb * kSearch*kSearch) + offset
+  const Reg gtid0 = kb.gtid();
+  const auto in_range = kb.setp(Opcode::kSetLt, gtid0, total);
+  // Clamp out-of-range threads to slot 0 (they recompute it, store is exact).
+  const Reg gtid = kb.selp(in_range, gtid0, kb.imm(0));
+  // kSearch and kSearch^2 are powers of two: shift/mask index math.
+  const Reg mb = kb.ishr(gtid, kb.imm(6));
+  const Reg off = kb.iand(gtid, kb.imm(kSearch * kSearch - 1));
+  const Reg off_y = kb.ishr(off, kb.imm(3));
+  const Reg off_x = kb.iand(off, kb.imm(kSearch - 1));
+
+  const Reg mb_y = kb.idiv(mb, nmb_x);
+  const Reg mb_x = kb.irem(mb, nmb_x);
+  const Reg base_y = kb.imul(mb_y, kb.imm(kMb));
+  const Reg base_x = kb.imul(mb_x, kb.imm(kMb));
+  const Reg w = kb.imm(width);
+
+  const Reg acc = kb.imm(0);
+  for (int dy = 0; dy < kMb; ++dy) {
+    for (int dx = 0; dx < kMb; ++dx) {
+      const Reg cy = kb.iadd(base_y, kb.imm(dy));
+      const Reg cx = kb.iadd(base_x, kb.imm(dx));
+      const Reg cidx = kb.imad(cy, w, cx);
+      const Reg ry = kb.iadd(cy, off_y);
+      const Reg rx = kb.iadd(cx, off_x);
+      const Reg ridx = kb.imad(ry, w, rx);
+      const Reg cv = kb.reg();
+      const Reg rv = kb.reg();
+      kb.ld_global(cv, kb.element_addr(cur, cidx, 1), 0, 1);
+      kb.ld_global(rv, kb.element_addr(ref, ridx, 1), 0, 1);
+      kb.iadd_to(acc, acc, kb.iabs(kb.isub(cv, rv)));
+    }
+  }
+  kb.st_global(kb.element_addr(sads, gtid, 4), acc, 0, 4);
+  kb.exit();
+  return kb.build();
+}
+
+}  // namespace
+
+PreparedCase make_sad_k1(double scale) {
+  const int width = scaled(64, scale, 32, kMb);
+  const int height = scaled(64, scale, 32, kMb);
+  // Keep a kSearch-pixel apron so every search offset stays in frame.
+  const int nmb_x = (width - kSearch) / kMb;
+  const int nmb_y = (height - kSearch) / kMb;
+  const int nmb = nmb_x * nmb_y;
+  const int total = nmb * kSearch * kSearch;
+
+  PreparedCase pc;
+  pc.name = "sad_K1";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_kernel(width);
+
+  Xoshiro256 rng(0x5AD1);
+  std::vector<std::uint8_t> curf(static_cast<std::size_t>(width) * height);
+  std::vector<std::uint8_t> reff(curf.size());
+  std::uint8_t v = 100;
+  for (auto& p : curf) {
+    v = static_cast<std::uint8_t>(v + rng.next_in(-4, 4));
+    p = v;
+  }
+  // Reference frame: the current frame shifted with noise (video-like).
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const int sy = std::min(y + 2, height - 1);
+      const int sx = std::min(x + 1, width - 1);
+      reff[static_cast<std::size_t>(y) * width + x] = static_cast<std::uint8_t>(
+          curf[static_cast<std::size_t>(sy) * width + sx] + rng.next_in(-2, 2));
+    }
+  }
+
+  const std::uint64_t d_cur = pc.mem->alloc(curf.size());
+  const std::uint64_t d_ref = pc.mem->alloc(reff.size());
+  const std::uint64_t d_sads =
+      pc.mem->alloc(static_cast<std::size_t>(total) * 4);
+  pc.mem->write<std::uint8_t>(d_cur, curf);
+  pc.mem->write<std::uint8_t>(d_ref, reff);
+
+  pc.launches.push_back(sim::launch_1d(
+      total, 256,
+      {d_cur, d_ref, d_sads, static_cast<std::uint64_t>(nmb_x),
+       static_cast<std::uint64_t>(total)}));
+
+  std::vector<std::int32_t> refsad(static_cast<std::size_t>(total));
+  for (int g = 0; g < total; ++g) {
+    const int mb = g / (kSearch * kSearch);
+    const int off = g % (kSearch * kSearch);
+    const int oy = off / kSearch;
+    const int ox = off % kSearch;
+    const int by = (mb / nmb_x) * kMb;
+    const int bx = (mb % nmb_x) * kMb;
+    std::int32_t acc = 0;
+    for (int dy = 0; dy < kMb; ++dy) {
+      for (int dx = 0; dx < kMb; ++dx) {
+        const int c = curf[static_cast<std::size_t>(by + dy) * width + bx + dx];
+        const int r =
+            reff[static_cast<std::size_t>(by + dy + oy) * width + bx + dx + ox];
+        acc += std::abs(c - r);
+      }
+    }
+    refsad[static_cast<std::size_t>(g)] = acc;
+  }
+
+  pc.validate = [d_sads, total, refsad](const sim::GlobalMemory& m) {
+    std::vector<std::int32_t> got(static_cast<std::size_t>(total));
+    m.read<std::int32_t>(d_sads, got);
+    return got == refsad;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

@@ -1,0 +1,133 @@
+// Parboil sgemm: tiled single-precision matrix multiply C = A * B with
+// 16x16 shared-memory tiles and an FFMA inner loop.
+#include <cmath>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+constexpr int kTile = 16;
+
+isa::Kernel build_kernel(int k_dim) {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("sgemm");
+
+  const Reg a = kb.param(0);  // f32 [m][k]
+  const Reg b = kb.param(1);  // f32 [k][n]
+  const Reg c = kb.param(2);  // f32 [m][n]
+  const Reg ncols = kb.param(3);
+  const Reg kcols = kb.param(4);
+
+  const std::int64_t sh_a = kb.alloc_shared(kTile * kTile * 4);
+  const std::int64_t sh_b = kb.alloc_shared(kTile * kTile * 4);
+
+  const Reg tx = kb.tid_x();
+  const Reg ty = kb.tid_y();
+  const Reg bx = kb.ctaid_x();
+  const Reg by = kb.ctaid_y();
+  const Reg t16 = kb.imm(kTile);
+
+  const Reg row = kb.imad(by, t16, ty);
+  const Reg col = kb.imad(bx, t16, tx);
+  const Reg lidx = kb.imad(ty, t16, tx);
+  const Reg sa_addr = kb.element_addr(kb.shared_base(sh_a), lidx, 4);
+  const Reg sb_addr = kb.element_addr(kb.shared_base(sh_b), lidx, 4);
+
+  const Reg acc = kb.fimm(0.0f);
+  const int ktiles = k_dim / kTile;
+  for (int kt = 0; kt < ktiles; ++kt) {
+    // Load A[row][kt*16+tx] and B[kt*16+ty][col].
+    const Reg a_idx = kb.iadd(kb.imul(row, kcols),
+                              kb.iadd(kb.imm(kt * kTile), tx));
+    const Reg b_idx = kb.iadd(
+        kb.imul(kb.iadd(kb.imm(kt * kTile), ty), ncols), col);
+    const Reg av = kb.reg();
+    const Reg bv = kb.reg();
+    kb.ld_global(av, kb.element_addr(a, a_idx, 4), 0, 4);
+    kb.ld_global(bv, kb.element_addr(b, b_idx, 4), 0, 4);
+    kb.st_shared(sa_addr, av, 0, 4);
+    kb.st_shared(sb_addr, bv, 0, 4);
+    kb.bar();
+    const Reg sa_row = kb.element_addr(kb.shared_base(sh_a),
+                                       kb.imul(ty, t16), 4);
+    const Reg sb_col = kb.element_addr(kb.shared_base(sh_b), tx, 4);
+    for (int kk = 0; kk < kTile; ++kk) {
+      const Reg av2 = kb.reg();
+      const Reg bv2 = kb.reg();
+      kb.ld_shared(av2, sa_row, kk * 4, 4);
+      kb.ld_shared(bv2, sb_col, kk * kTile * 4, 4);
+      kb.ffma_to(acc, av2, bv2, acc);
+    }
+    kb.bar();
+  }
+  kb.st_global(kb.element_addr(c, kb.iadd(kb.imul(row, ncols), col), 4), acc,
+               0, 4);
+  kb.exit();
+  return kb.build();
+}
+
+}  // namespace
+
+PreparedCase make_sgemm(double scale) {
+  const int m = scaled(96, scale, kTile * 2, kTile);
+  const int n = scaled(96, scale, kTile * 2, kTile);
+  const int k = scaled(96, scale, kTile * 2, kTile);
+
+  PreparedCase pc;
+  pc.name = "sgemm";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_kernel(k);
+
+  Xoshiro256 rng(0x56E33);
+  std::vector<float> A(static_cast<std::size_t>(m) * k);
+  std::vector<float> B(static_cast<std::size_t>(k) * n);
+  for (auto& v : A) v = rng.next_float() * 2.0f - 1.0f;
+  for (auto& v : B) v = rng.next_float() * 2.0f - 1.0f;
+
+  const std::uint64_t d_a = pc.mem->alloc(A.size() * 4);
+  const std::uint64_t d_b = pc.mem->alloc(B.size() * 4);
+  const std::uint64_t d_c = pc.mem->alloc(static_cast<std::size_t>(m) * n * 4);
+  pc.mem->write<float>(d_a, A);
+  pc.mem->write<float>(d_b, B);
+
+  sim::LaunchConfig lc;
+  lc.block_x = kTile;
+  lc.block_y = kTile;
+  lc.grid_x = n / kTile;
+  lc.grid_y = m / kTile;
+  lc.args = {d_a, d_b, d_c, static_cast<std::uint64_t>(n),
+             static_cast<std::uint64_t>(k)};
+  pc.launches.push_back(lc);
+
+  std::vector<float> ref(static_cast<std::size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) {
+        acc = std::fma(A[static_cast<std::size_t>(i) * k + kk],
+                       B[static_cast<std::size_t>(kk) * n + j], acc);
+      }
+      ref[static_cast<std::size_t>(i) * n + j] = acc;
+    }
+  }
+
+  pc.validate = [d_c, ref](const sim::GlobalMemory& m2) {
+    std::vector<float> got(ref.size());
+    m2.read<float>(d_c, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::abs(got[i] - ref[i]) > 1e-3f * (1.0f + std::abs(ref[i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

@@ -1,0 +1,123 @@
+// CUDA Samples SobolQRNG (sobolGPU kernel): one grid row per dimension;
+// each thread generates one Sobol point by XOR-ing the direction numbers of
+// the set bits of the index's Gray code. Shift/XOR integer work plus the
+// int->float conversion, like the sample.
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+constexpr int kDims = 4;
+constexpr int kBits = 32;
+
+isa::Kernel build_kernel() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("sobolQrng");
+
+  const Reg directions = kb.param(0);  // i32 [kDims][kBits]
+  const Reg out = kb.param(1);         // f32 [kDims][n]
+  const Reg n = kb.param(2);
+
+  const Reg gtid = kb.gtid();
+  const Reg dim = kb.ctaid_y();
+  // n is a power of two: mask instead of divide.
+  const Reg i = kb.iand(gtid, kb.isub(n, kb.imm(1)));
+
+  // Gray code g = i ^ (i >> 1).
+  const Reg g = kb.ixor(i, kb.ishr(i, kb.imm(1)));
+  const Reg acc = kb.imm(0);
+  const Reg v = kb.mov(g);
+  const Reg bit = kb.imm(0);
+  const Reg one = kb.imm(1);
+  const Reg dir_base = kb.imul(dim, kb.imm(kBits));
+  kb.while_(
+      [&] { return kb.setp(Opcode::kSetGt, v, kb.imm(0)); },
+      [&] {
+        const auto lsb = kb.setp(Opcode::kSetNe, kb.iand(v, one), kb.imm(0));
+        kb.if_then(lsb, [&] {
+          const Reg dv = kb.reg();
+          kb.ld_global_s32(
+              dv, kb.element_addr(directions, kb.iadd(dir_base, bit), 4));
+          kb.emit3_to(Opcode::kIXor, acc, acc, dv);
+        });
+        kb.emit3_to(Opcode::kIShrL, v, v, one);
+        kb.iadd_to(bit, bit, one);
+      });
+
+  const Reg f = kb.fmul(kb.i2f(acc), kb.fimm(0x1.0p-32f));
+  kb.st_global(kb.element_addr(out, kb.imad(dim, n, i), 4), f, 0, 4);
+  kb.exit();
+  return kb.build();
+}
+
+}  // namespace
+
+PreparedCase make_sobolqrng(double scale) {
+  int n = 512;
+  while (n * 2 <= scaled(1 << 13, scale, 512, 256)) n *= 2;
+
+  PreparedCase pc;
+  pc.name = "sobolQrng";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_kernel();
+
+  // Direction numbers: v_j = m_j << (32 - j - 1) from a simple recurrence
+  // per dimension (standalone stand-in for the sample's precomputed table).
+  std::vector<std::int32_t> dirs(kDims * kBits);
+  for (int d = 0; d < kDims; ++d) {
+    std::uint32_t m = static_cast<std::uint32_t>(2 * d + 1);
+    for (int b = 0; b < kBits; ++b) {
+      dirs[static_cast<std::size_t>(d) * kBits + b] =
+          static_cast<std::int32_t>((m << (kBits - 1 - b)));
+      m = m ^ (m << 1) ^ 5u;
+    }
+  }
+
+  const std::uint64_t d_dirs = pc.mem->alloc(dirs.size() * 4);
+  const std::uint64_t d_out =
+      pc.mem->alloc(static_cast<std::size_t>(kDims) * n * 4);
+  pc.mem->write<std::int32_t>(d_dirs, dirs);
+
+  sim::LaunchConfig lc;
+  lc.block_x = 256;
+  lc.grid_x = n / 256;
+  lc.grid_y = kDims;
+  lc.args = {d_dirs, d_out, static_cast<std::uint64_t>(n)};
+  pc.launches.push_back(lc);
+
+  std::vector<float> ref(static_cast<std::size_t>(kDims) * n);
+  for (int d = 0; d < kDims; ++d) {
+    for (int i = 0; i < n; ++i) {
+      const std::uint32_t g = static_cast<std::uint32_t>(i) ^
+                              (static_cast<std::uint32_t>(i) >> 1);
+      std::int64_t acc = 0;
+      for (int b = 0; b < kBits; ++b) {
+        if ((g >> b) & 1u) {
+          // The kernel XORs sign-extended 64-bit values; mirror that.
+          acc ^= static_cast<std::int64_t>(
+              dirs[static_cast<std::size_t>(d) * kBits + b]);
+        }
+      }
+      ref[static_cast<std::size_t>(d) * n + i] =
+          static_cast<float>(acc) * 0x1.0p-32f;
+    }
+  }
+
+  pc.validate = [d_out, n, ref](const sim::GlobalMemory& m) {
+    std::vector<float> got(static_cast<std::size_t>(kDims) * n);
+    m.read<float>(d_out, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i] != ref[i]) return false;
+    }
+    return true;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

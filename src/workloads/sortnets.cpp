@@ -1,0 +1,201 @@
+// CUDA Samples sortingNetworks (bitonic sort).
+//  K1 (bitonicSortShared): each block sorts a 2*blockDim chunk in shared
+//     memory with the full bitonic network — compare-exchange = the
+//     subtract-based min/max pattern that makes this an "ALU Add" kernel.
+//  K2 (bitonicMergeGlobal): one global compare-exchange step for a given
+//     (size, stride) pair of the large-array merge.
+#include <algorithm>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+constexpr int kBlock = 256;         // threads per block
+constexpr int kChunk = 2 * kBlock;  // elements sorted per block in K1
+
+isa::Kernel build_k1() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("sortNets_K1");
+
+  const Reg data = kb.param(0);  // u32-as-i32 keys
+
+  const std::int64_t sh = kb.alloc_shared(kChunk * 4);
+  const Reg sh_base = kb.shared_base(sh);
+  const Reg tid = kb.tid_x();
+  const Reg blk = kb.ctaid_x();
+  const Reg base = kb.imul(blk, kb.imm(kChunk));
+
+  // Cooperative load: elements tid and tid+kBlock.
+  for (int k = 0; k < 2; ++k) {
+    const Reg li = kb.iadd(tid, kb.imm(k * kBlock));
+    const Reg val = kb.reg();
+    kb.ld_global_s32(val, kb.element_addr(data, kb.iadd(base, li), 4));
+    kb.st_shared(kb.element_addr(sh_base, li, 4), val, 0, 4);
+  }
+  kb.bar();
+
+  // Bitonic network. All blocks sort ascending (dir fixed), which keeps K1
+  // independently verifiable; K2 builds its own bitonic inputs.
+  for (int size = 2; size <= kChunk; size <<= 1) {
+    for (int stride = size / 2; stride >= 1; stride >>= 1) {
+      // pos = 2*tid - (tid & (stride-1))
+      const Reg pos = kb.isub(kb.ishl(tid, kb.imm(1)),
+                              kb.iand(tid, kb.imm(stride - 1)));
+      const Reg p0 = kb.element_addr(sh_base, pos, 4);
+      const Reg a = kb.reg();
+      const Reg b = kb.reg();
+      kb.ld_shared_s32(a, p0, 0);
+      kb.ld_shared_s32(b, p0, stride * 4);
+      // Direction: ascending iff (pos & size) == 0.
+      const Reg dirbit = kb.iand(pos, kb.imm(size == kChunk ? 0 : size));
+      const auto asc = kb.setp(Opcode::kSetEq, dirbit, kb.imm(0));
+      const Reg lo = kb.imin(a, b);
+      const Reg hi = kb.imax(a, b);
+      const Reg first = kb.selp(asc, lo, hi);
+      const Reg second = kb.selp(asc, hi, lo);
+      kb.st_shared(p0, first, 0, 4);
+      kb.st_shared(p0, second, stride * 4, 4);
+      kb.bar();
+    }
+  }
+
+  for (int k = 0; k < 2; ++k) {
+    const Reg li = kb.iadd(tid, kb.imm(k * kBlock));
+    const Reg val = kb.reg();
+    kb.ld_shared_s32(val, kb.element_addr(sh_base, li, 4));
+    kb.st_global(kb.element_addr(data, kb.iadd(base, li), 4), val, 0, 4);
+  }
+  kb.exit();
+  return kb.build();
+}
+
+isa::Kernel build_k2() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("sortNets_K2");
+
+  const Reg data = kb.param(0);
+  const Reg size = kb.param(1);    // current bitonic size
+  const Reg stride = kb.param(2);  // current stride
+
+  const Reg gtid = kb.gtid();
+  const Reg pos = kb.isub(kb.ishl(gtid, kb.imm(1)),
+                          kb.iand(gtid, kb.isub(stride, kb.imm(1))));
+  const Reg p0 = kb.element_addr(data, pos, 4);
+  const Reg p1 = kb.element_addr(data, kb.iadd(pos, stride), 4);
+  const Reg a = kb.reg();
+  const Reg b = kb.reg();
+  kb.ld_global_s32(a, p0, 0);
+  kb.ld_global_s32(b, p1, 0);
+  const Reg dirbit = kb.iand(pos, size);
+  const auto asc = kb.setp(Opcode::kSetEq, dirbit, kb.imm(0));
+  const Reg lo = kb.imin(a, b);
+  const Reg hi = kb.imax(a, b);
+  kb.st_global(p0, kb.selp(asc, lo, hi), 0, 4);
+  kb.st_global(p1, kb.selp(asc, hi, lo), 0, 4);
+  kb.exit();
+  return kb.build();
+}
+
+std::vector<std::int32_t> random_keys(int n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::int32_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    x = static_cast<std::int32_t>(rng.next_below(1 << 20));
+  }
+  return v;
+}
+
+void host_merge_step(std::vector<std::int32_t>& d, int size, int stride) {
+  const int n = static_cast<int>(d.size());
+  for (int t = 0; t < n / 2; ++t) {
+    const int pos = 2 * t - (t & (stride - 1));
+    const bool asc = (pos & size) == 0;
+    auto& a = d[static_cast<std::size_t>(pos)];
+    auto& b = d[static_cast<std::size_t>(pos + stride)];
+    if (asc ? (a > b) : (a < b)) std::swap(a, b);
+  }
+}
+
+}  // namespace
+
+PreparedCase make_sortnets_k1(double scale) {
+  const int n = scaled(1 << 14, scale, kChunk * 2, kChunk);
+
+  PreparedCase pc;
+  pc.name = "sortNets_K1";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_k1();
+
+  auto keys = random_keys(n, 0x5047A);
+  const std::uint64_t d_data = pc.mem->alloc(keys.size() * 4);
+  pc.mem->write<std::int32_t>(d_data, keys);
+
+  sim::LaunchConfig lc;
+  lc.block_x = kBlock;
+  lc.grid_x = n / kChunk;
+  lc.args = {d_data};
+  pc.launches.push_back(lc);
+
+  std::vector<std::int32_t> ref = keys;
+  for (int c = 0; c < n / kChunk; ++c) {
+    std::sort(ref.begin() + c * kChunk, ref.begin() + (c + 1) * kChunk);
+  }
+
+  pc.validate = [d_data, n, ref](const sim::GlobalMemory& m) {
+    std::vector<std::int32_t> got(static_cast<std::size_t>(n));
+    m.read<std::int32_t>(d_data, got);
+    return got == ref;
+  };
+  return pc;
+}
+
+PreparedCase make_sortnets_k2(double scale) {
+  // The merge level pairs chunks, so the element count must be a multiple of
+  // 2*kChunk.
+  const int n = scaled(1 << 14, scale, kChunk * 2, kChunk * 2);
+
+  PreparedCase pc;
+  pc.name = "sortNets_K2";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_k2();
+
+  // Input: kChunk-sorted chunks (as K1 leaves them, alternating direction so
+  // adjacent chunks form bitonic sequences for the merge).
+  auto keys = random_keys(n, 0x5047B);
+  for (int c = 0; c < n / kChunk; ++c) {
+    const auto first = keys.begin() + c * kChunk;
+    if (c % 2 == 0) {
+      std::sort(first, first + kChunk);
+    } else {
+      std::sort(first, first + kChunk, std::greater<>());
+    }
+  }
+  const std::uint64_t d_data = pc.mem->alloc(keys.size() * 4);
+  pc.mem->write<std::int32_t>(d_data, keys);
+
+  std::vector<std::int32_t> ref = keys;
+  // One full merge level: size = 2*kChunk, strides kChunk..1.
+  for (int stride = kChunk; stride >= 1; stride >>= 1) {
+    pc.launches.push_back(sim::launch_1d(
+        n / 2, kBlock,
+        {d_data, static_cast<std::uint64_t>(2 * kChunk),
+         static_cast<std::uint64_t>(stride)}));
+    host_merge_step(ref, 2 * kChunk, stride);
+  }
+
+  pc.validate = [d_data, n, ref](const sim::GlobalMemory& m) {
+    std::vector<std::int32_t> got(static_cast<std::size_t>(n));
+    m.read<std::int32_t>(d_data, got);
+    return got == ref;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

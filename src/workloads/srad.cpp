@@ -1,0 +1,168 @@
+// Rodinia sradv1, kernel 1 (srad_cuda_1): anisotropic diffusion coefficient.
+// Each thread owns one pixel: computes the four directional derivatives, the
+// normalized gradient/laplacian, and the diffusion coefficient
+// c = 1 / (1 + (G2 - L^2/...)), clamped to [0,1]. Division-heavy FP32.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+isa::Kernel build_kernel() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("sradv1_K1");
+
+  const Reg img = kb.param(0);   // f32 [rows][cols]
+  const Reg dN = kb.param(1);
+  const Reg dS = kb.param(2);
+  const Reg dW = kb.param(3);
+  const Reg dE = kb.param(4);
+  const Reg cout = kb.param(5);  // f32 coefficient out
+  const Reg rows = kb.param(6);
+  const Reg cols = kb.param(7);
+  const Reg q0sqr = kb.param(8);  // bit pattern of f32
+
+  // 16x16 thread blocks tile the image, as in Rodinia's srad_cuda_1.
+  const Reg r = kb.imad(kb.ctaid_y(), kb.imm(16), kb.tid_y());
+  const Reg c = kb.imad(kb.ctaid_x(), kb.imm(16), kb.tid_x());
+  const Reg gtid = kb.imad(r, cols, c);  // linear pixel index for the stores
+  const auto in_range =
+      kb.pand(kb.setp(Opcode::kSetLt, r, rows), kb.setp(Opcode::kSetLt, c, cols));
+  kb.if_then(in_range, [&] {
+    const Reg c0 = kb.imm(0);
+    const Reg c1 = kb.imm(1);
+    // Clamped neighbor coordinates (Rodinia mirrors at the borders).
+    const Reg rn = kb.imax(kb.isub(r, c1), c0);
+    const Reg rs = kb.imin(kb.iadd(r, c1), kb.isub(rows, c1));
+    const Reg cw = kb.imax(kb.isub(c, c1), c0);
+    const Reg ce = kb.imin(kb.iadd(c, c1), kb.isub(cols, c1));
+
+    auto pix = [&](Reg rr, Reg cc) {
+      const Reg v = kb.reg();
+      kb.ld_global(v, kb.element_addr(img, kb.imad(rr, cols, cc), 4), 0, 4);
+      return v;
+    };
+    const Reg jc = pix(r, c);
+    const Reg n = kb.fsub(pix(rn, c), jc);
+    const Reg s = kb.fsub(pix(rs, c), jc);
+    const Reg w = kb.fsub(pix(r, cw), jc);
+    const Reg e = kb.fsub(pix(r, ce), jc);
+
+    // G2 = (n^2+s^2+w^2+e^2) / jc^2 ; L = (n+s+w+e) / jc
+    const Reg sumsq = kb.fmul(n, n);
+    kb.ffma_to(sumsq, s, s, sumsq);
+    kb.ffma_to(sumsq, w, w, sumsq);
+    kb.ffma_to(sumsq, e, e, sumsq);
+    const Reg jc2 = kb.fmul(jc, jc);
+    const Reg g2 = kb.fdiv(sumsq, jc2);
+    const Reg lsum = kb.fadd(kb.fadd(n, s), kb.fadd(w, e));
+    const Reg l = kb.fdiv(lsum, jc);
+
+    const Reg half = kb.fimm(0.5f);
+    const Reg sixteenth = kb.fimm(1.0f / 16.0f);
+    const Reg one = kb.fimm(1.0f);
+    const Reg num = kb.fsub(kb.fmul(half, g2),
+                            kb.fmul(sixteenth, kb.fmul(l, l)));
+    const Reg hl = kb.fmul(half, l);
+    const Reg den1 = kb.fadd(one, hl);
+    const Reg qsqr = kb.fdiv(num, kb.fmul(den1, den1));
+
+    // c = 1 / (1 + (qsqr - q0sqr) / (q0sqr * (1 + q0sqr)))
+    const Reg dq = kb.fsub(qsqr, q0sqr);
+    const Reg den2 = kb.fmul(q0sqr, kb.fadd(one, q0sqr));
+    const Reg cval = kb.fdiv(one, kb.fadd(one, kb.fdiv(dq, den2)));
+    const Reg clamped = kb.fmax(kb.fimm(0.0f), kb.fmin(cval, one));
+
+    kb.st_global(kb.element_addr(dN, gtid, 4), n, 0, 4);
+    kb.st_global(kb.element_addr(dS, gtid, 4), s, 0, 4);
+    kb.st_global(kb.element_addr(dW, gtid, 4), w, 0, 4);
+    kb.st_global(kb.element_addr(dE, gtid, 4), e, 0, 4);
+    kb.st_global(kb.element_addr(cout, gtid, 4), clamped, 0, 4);
+  });
+  kb.exit();
+  return kb.build();
+}
+
+}  // namespace
+
+PreparedCase make_sradv1_k1(double scale) {
+  const int rows = scaled(96, scale, 16, 8);
+  const int cols = scaled(96, scale, 16, 8);
+  const int n = rows * cols;
+  const float q0sqr = 0.053f;
+
+  PreparedCase pc;
+  pc.name = "sradv1_K1";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_kernel();
+
+  Xoshiro256 rng(0x52AD);
+  std::vector<float> img(static_cast<std::size_t>(n));
+  // SRAD operates on exp-transformed speckled images; values stay positive.
+  for (auto& v : img) v = std::exp(rng.next_float() * 2.0f - 1.0f);
+
+  const std::uint64_t d_img = pc.mem->alloc(img.size() * 4);
+  const std::uint64_t d_n = pc.mem->alloc(img.size() * 4);
+  const std::uint64_t d_s = pc.mem->alloc(img.size() * 4);
+  const std::uint64_t d_w = pc.mem->alloc(img.size() * 4);
+  const std::uint64_t d_e = pc.mem->alloc(img.size() * 4);
+  const std::uint64_t d_c = pc.mem->alloc(img.size() * 4);
+  pc.mem->write<float>(d_img, img);
+
+  sim::LaunchConfig lc;
+  lc.block_x = 16;
+  lc.block_y = 16;
+  lc.grid_x = (cols + 15) / 16;
+  lc.grid_y = (rows + 15) / 16;
+  lc.args = {d_img, d_n, d_s, d_w, d_e, d_c, static_cast<std::uint64_t>(rows),
+             static_cast<std::uint64_t>(cols),
+             static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(q0sqr))};
+  pc.launches.push_back(lc);
+
+  std::vector<float> ref_c(static_cast<std::size_t>(n));
+  for (int g = 0; g < n; ++g) {
+    const int r = g / cols;
+    const int c = g % cols;
+    const auto at = [&](int rr, int cc) {
+      return img[static_cast<std::size_t>(rr) * cols + cc];
+    };
+    const float jc = at(r, c);
+    const float dn = at(std::max(r - 1, 0), c) - jc;
+    const float ds = at(std::min(r + 1, rows - 1), c) - jc;
+    const float dw = at(r, std::max(c - 1, 0)) - jc;
+    const float de = at(r, std::min(c + 1, cols - 1)) - jc;
+    float sumsq = dn * dn;
+    sumsq = std::fma(ds, ds, sumsq);
+    sumsq = std::fma(dw, dw, sumsq);
+    sumsq = std::fma(de, de, sumsq);
+    const float g2 = sumsq / (jc * jc);
+    const float l = (dn + ds) + (dw + de);
+    const float ll = l / jc;
+    const float num = 0.5f * g2 - (1.0f / 16.0f) * (ll * ll);
+    const float den1 = 1.0f + 0.5f * ll;
+    const float qsqr = num / (den1 * den1);
+    const float cval =
+        1.0f / (1.0f + (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr)));
+    ref_c[static_cast<std::size_t>(g)] =
+        std::fmax(0.0f, std::fmin(cval, 1.0f));
+  }
+
+  pc.validate = [d_c, n, ref_c](const sim::GlobalMemory& m) {
+    std::vector<float> got(static_cast<std::size_t>(n));
+    m.read<float>(d_c, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::abs(got[i] - ref_c[i]) > 1e-4f) return false;
+    }
+    return true;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

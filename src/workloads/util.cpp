@@ -1,0 +1,15 @@
+#include <algorithm>
+
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+int scaled(int v, double scale, int lo, int mult) {
+  int s = static_cast<int>(v * scale);
+  s = std::max(s, lo);
+  s = (s / mult) * mult;
+  s = std::max(s, mult);
+  return s;
+}
+
+}  // namespace st2::workloads::detail

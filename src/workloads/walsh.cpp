@@ -1,0 +1,206 @@
+// CUDA Samples fastWalshTransform.
+//  K1 (fwtBatch2Kernel): global-memory butterfly for large strides:
+//     d[i] = a + b; d[i+stride] = a - b           — pure FP add/sub.
+//  K2 (fwtBatch1Kernel): shared-memory stage covering the low log2(1024)
+//     strides of each 1024-element chunk.
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/workloads/cases.hpp"
+
+namespace st2::workloads::detail {
+
+namespace {
+
+constexpr int kChunk = 1024;  // K2 shared chunk (CUDA sample: 1024)
+constexpr int kBlockK2 = 256;
+
+isa::Kernel build_k1() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("walsh_K1");
+
+  const Reg data = kb.param(0);       // f32 [n]
+  const Reg stride = kb.param(1);     // power of two
+  const Reg log2stride = kb.param(2);
+
+  const Reg gtid = kb.gtid();
+  // pos = (gtid / stride) * 2*stride + gtid % stride; stride is a power of
+  // two, so nvcc-style codegen uses shift/mask instead of divide.
+  const Reg grp = kb.ishr(gtid, log2stride);
+  const Reg off = kb.iand(gtid, kb.isub(stride, kb.imm(1)));
+  const Reg i0 = kb.iadd(kb.imul(grp, kb.ishl(stride, kb.imm(1))), off);
+  const Reg a0 = kb.element_addr(data, i0, 4);
+  const Reg a1 = kb.element_addr(data, kb.iadd(i0, stride), 4);
+  const Reg a = kb.reg();
+  const Reg b = kb.reg();
+  kb.ld_global(a, a0, 0, 4);
+  kb.ld_global(b, a1, 0, 4);
+  kb.st_global(a0, kb.fadd(a, b), 0, 4);
+  kb.st_global(a1, kb.fsub(a, b), 0, 4);
+  kb.exit();
+  return kb.build();
+}
+
+isa::Kernel build_k2() {
+  using isa::Opcode;
+  using isa::Reg;
+  isa::KernelBuilder kb("walsh_K2");
+
+  const Reg data = kb.param(0);  // f32 [n], chunk per block
+
+  const std::int64_t sh = kb.alloc_shared(kChunk * 4);
+  const Reg sh_base = kb.shared_base(sh);
+  const Reg tid = kb.tid_x();
+  const Reg blk = kb.ctaid_x();
+  const Reg chunk_base = kb.imul(blk, kb.imm(kChunk));
+
+  // Load the chunk cooperatively (kChunk / kBlockK2 = 4 per thread).
+  for (int k = 0; k < kChunk / kBlockK2; ++k) {
+    const Reg li = kb.iadd(tid, kb.imm(k * kBlockK2));
+    const Reg v = kb.reg();
+    kb.ld_global(v, kb.element_addr(data, kb.iadd(chunk_base, li), 4), 0, 4);
+    kb.st_shared(kb.element_addr(sh_base, li, 4), v, 0, 4);
+  }
+  kb.bar();
+
+  // log2(kChunk) butterfly stages; each thread handles kChunk/2 / kBlockK2
+  // pairs per stage.
+  for (int stride = kChunk / 2; stride >= 1; stride >>= 1) {
+    for (int k = 0; k < (kChunk / 2) / kBlockK2; ++k) {
+      const Reg t = kb.iadd(tid, kb.imm(k * kBlockK2));
+      const Reg grp = kb.ishr(t, kb.imm(std::countr_zero(unsigned(stride))));
+      const Reg off = kb.iand(t, kb.imm(stride - 1));
+      const Reg i0 = kb.imad(grp, kb.imm(2 * stride), off);
+      const Reg p0 = kb.element_addr(sh_base, i0, 4);
+      const Reg a = kb.reg();
+      const Reg b = kb.reg();
+      kb.ld_shared(a, p0, 0, 4);
+      kb.ld_shared(b, p0, stride * 4, 4);
+      kb.st_shared(p0, kb.fadd(a, b), 0, 4);
+      kb.st_shared(p0, kb.fsub(a, b), stride * 4, 4);
+    }
+    kb.bar();
+  }
+
+  for (int k = 0; k < kChunk / kBlockK2; ++k) {
+    const Reg li = kb.iadd(tid, kb.imm(k * kBlockK2));
+    const Reg v = kb.reg();
+    kb.ld_shared(v, kb.element_addr(sh_base, li, 4), 0, 4);
+    kb.st_global(kb.element_addr(data, kb.iadd(chunk_base, li), 4), v, 0, 4);
+  }
+  kb.exit();
+  return kb.build();
+}
+
+/// Walsh-Hadamard butterflies require a power-of-two length.
+int walsh_size(double scale) {
+  const int want = scaled(1 << 15, scale, kChunk * 2, kChunk);
+  int n = kChunk * 2;
+  while (n * 2 <= want) n *= 2;
+  return n;
+}
+
+std::vector<float> make_data(int n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    // Smooth signal: WHT inputs in the sample are real signals.
+    v[i] = std::sin(0.01f * static_cast<float>(i)) +
+           0.1f * rng.next_float();
+  }
+  return v;
+}
+
+/// In-place reference Walsh-Hadamard butterflies for the given strides,
+/// matching the kernels' operation order per element pair.
+void host_wht(std::vector<float>& d, int stride_hi, int stride_lo) {
+  for (int stride = stride_hi; stride >= stride_lo; stride >>= 1) {
+    for (std::size_t base = 0; base < d.size();
+         base += 2 * static_cast<std::size_t>(stride)) {
+      for (int j = 0; j < stride; ++j) {
+        const float a = d[base + static_cast<std::size_t>(j)];
+        const float b = d[base + static_cast<std::size_t>(j + stride)];
+        d[base + static_cast<std::size_t>(j)] = a + b;
+        d[base + static_cast<std::size_t>(j + stride)] = a - b;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PreparedCase make_walsh_k1(double scale) {
+  const int n = walsh_size(scale);
+
+  PreparedCase pc;
+  pc.name = "walsh_K1";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_k1();
+
+  auto data = make_data(n, 0x3A15);
+  const std::uint64_t d_data = pc.mem->alloc(data.size() * 4);
+  pc.mem->write<float>(d_data, data);
+
+  // Global stages: strides n/2 down to kChunk (K2 handles the rest).
+  for (int stride = n / 2; stride >= kChunk; stride >>= 1) {
+    pc.launches.push_back(sim::launch_1d(
+        n / 2, 256,
+        {d_data, static_cast<std::uint64_t>(stride),
+         static_cast<std::uint64_t>(std::countr_zero(unsigned(stride)))}));
+  }
+
+  std::vector<float> ref = data;
+  host_wht(ref, n / 2, kChunk);
+
+  pc.validate = [d_data, n, ref](const sim::GlobalMemory& m) {
+    std::vector<float> got(static_cast<std::size_t>(n));
+    m.read<float>(d_data, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::abs(got[i] - ref[i]) > 1e-3f * (1.0f + std::abs(ref[i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return pc;
+}
+
+PreparedCase make_walsh_k2(double scale) {
+  const int n = walsh_size(scale);
+
+  PreparedCase pc;
+  pc.name = "walsh_K2";
+  pc.mem = std::make_shared<sim::GlobalMemory>();
+  pc.kernel = build_k2();
+
+  auto data = make_data(n, 0x3A16);
+  const std::uint64_t d_data = pc.mem->alloc(data.size() * 4);
+  pc.mem->write<float>(d_data, data);
+
+  sim::LaunchConfig lc;
+  lc.block_x = kBlockK2;
+  lc.grid_x = n / kChunk;
+  lc.args = {d_data};
+  pc.launches.push_back(lc);
+
+  std::vector<float> ref = data;
+  host_wht(ref, kChunk / 2, 1);
+
+  pc.validate = [d_data, n, ref](const sim::GlobalMemory& m) {
+    std::vector<float> got(static_cast<std::size_t>(n));
+    m.read<float>(d_data, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::abs(got[i] - ref[i]) > 1e-3f * (1.0f + std::abs(ref[i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return pc;
+}
+
+}  // namespace st2::workloads::detail

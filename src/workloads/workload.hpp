@@ -1,0 +1,60 @@
+// The 23-kernel evaluation suite (paper Section V-A): kernels from Rodinia
+// (kmeans, backprop, sradv1, dwt2d, b+tree, pathfinder), NVIDIA CUDA Samples
+// (binomialOptions, fastWalshTransform, dct8x8, sortingNetworks,
+// quasirandomGenerator, histogram, mergesort, SobolQRNG) and Parboil (sgemm,
+// mri-q, sad), re-implemented in mini-PTX at laptop-scale inputs.
+//
+// Each case is self-contained: it allocates and initializes device memory,
+// provides the kernel and its launch sequence, and validates device results
+// against a host C++ reference after the run — so every simulation doubles
+// as a functional correctness check of the simulator and the kernels.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/isa/instruction.hpp"
+#include "src/sim/launch.hpp"
+#include "src/sim/memory.hpp"
+
+namespace st2::workloads {
+
+struct PreparedCase {
+  std::string name;
+  std::shared_ptr<sim::GlobalMemory> mem;
+  isa::Kernel kernel;
+  /// The kernel may be launched several times (e.g. pathfinder runs one
+  /// launch per pyramid step); all launches count toward the measurement.
+  std::vector<sim::LaunchConfig> launches;
+  /// Host-reference check; runs after all launches complete.
+  std::function<bool(const sim::GlobalMemory&)> validate;
+};
+
+struct CaseInfo {
+  std::string name;   ///< paper's label, e.g. "msort_K2"
+  std::string suite;  ///< "Rodinia", "CUDA-Samples" or "Parboil"
+};
+
+/// Names of all 23 kernels in the paper's Figure order.
+std::vector<CaseInfo> case_list();
+
+/// Builds a case by name (see case_list). `scale` in (0, 1] shrinks inputs
+/// for quick tests; 1.0 is the default evaluation size.
+PreparedCase prepare_case(const std::string& name, double scale = 1.0);
+
+/// Convenience: prepares every case at the given scale.
+std::vector<PreparedCase> prepare_all(double scale = 1.0);
+
+// --- Figure 2 support -------------------------------------------------------
+/// The logical PCs of the seven additions in pathfinder's hot loop, in the
+/// paper's PC1..PC7 order. Valid for the kernel returned by
+/// prepare_case("pathfinder").
+struct PathfinderPcs {
+  std::uint32_t pc[7];
+};
+PathfinderPcs pathfinder_fig2_pcs();
+
+}  // namespace st2::workloads

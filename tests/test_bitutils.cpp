@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "src/common/bitutils.hpp"
+#include "src/common/rng.hpp"
+
+namespace st2 {
+namespace {
+
+TEST(BitUtils, LowMaskEdges) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xffu);
+  EXPECT_EQ(low_mask(63), 0x7fffffffffffffffull);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(BitUtils, BitsExtraction) {
+  EXPECT_EQ(bits(0xABCD, 4, 8), 0xBCu);
+  EXPECT_EQ(bits(~0ull, 60, 4), 0xFu);
+  EXPECT_EQ(bits(0x12345678, 0, 4), 0x8u);
+}
+
+TEST(BitUtils, CarryOutMatchesWideArithmetic) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const bool cin = (i & 1) != 0;
+    const unsigned __int128 wide =
+        (unsigned __int128)a + b + (cin ? 1 : 0);
+    EXPECT_EQ(carry_out(a, b, cin), (wide >> 64) != 0);
+  }
+}
+
+TEST(BitUtils, CarryOutEdgeCases) {
+  EXPECT_FALSE(carry_out(0, 0, false));
+  EXPECT_FALSE(carry_out(~0ull, 0, false));
+  EXPECT_TRUE(carry_out(~0ull, 0, true));
+  EXPECT_TRUE(carry_out(~0ull, 1, false));
+  EXPECT_TRUE(carry_out(~0ull, ~0ull, false));
+  EXPECT_TRUE(carry_out(1ull << 63, 1ull << 63, false));
+}
+
+// Property: carry_into_bit must agree with a bit-serial ripple adder.
+TEST(BitUtils, CarryIntoBitMatchesRippleReference) {
+  Xoshiro256 rng(2);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const bool cin = (iter & 1) != 0;
+    bool c = cin;
+    for (int i = 0; i <= 64; ++i) {
+      ASSERT_EQ(carry_into_bit(a, b, cin, i), c)
+          << "a=" << a << " b=" << b << " bit=" << i;
+      if (i < 64) {
+        const int ai = static_cast<int>(bit(a, i));
+        const int bi = static_cast<int>(bit(b, i));
+        c = (ai + bi + (c ? 1 : 0)) >= 2;
+      }
+    }
+  }
+}
+
+TEST(BitUtils, SliceCarriesPacksRippleCarries) {
+  Xoshiro256 rng(3);
+  for (int iter = 0; iter < 5000; ++iter) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const std::uint8_t packed = slice_carries(a, b, false);
+    for (int s = 1; s < kNumSlices; ++s) {
+      EXPECT_EQ(((packed >> (s - 1)) & 1) != 0,
+                carry_into_bit(a, b, false, s * kSliceBits));
+    }
+  }
+}
+
+TEST(BitUtils, LongestCarryChainKnownCases) {
+  EXPECT_EQ(longest_carry_chain(0, 0, false), 0);
+  // 1 + 1: generate at bit 0, no propagation beyond it.
+  EXPECT_EQ(longest_carry_chain(1, 1, false), 1);
+  // 0xFF + 1: carry generated at bit 0 propagates through bits 1..7.
+  EXPECT_EQ(longest_carry_chain(0xFF, 1, false), 8);
+  // All-ones + 1 ripples across the whole word.
+  EXPECT_EQ(longest_carry_chain(~0ull, 1, false), 64);
+}
+
+// Property: a nonzero chain exists iff some carry is produced.
+TEST(BitUtils, ChainLengthZeroIffNoCarries) {
+  Xoshiro256 rng(4);
+  for (int iter = 0; iter < 5000; ++iter) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64() & a;  // bias towards overlap
+    const bool any_carry = ((a + b) ^ a ^ b) != 0 || carry_out(a, b, false);
+    EXPECT_EQ(longest_carry_chain(a, b, false) > 0, any_carry);
+  }
+}
+
+TEST(BitUtils, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xFFFF'FFFF, 32), -1);
+  EXPECT_EQ(sign_extend(0x7FFF'FFFF, 32), 0x7FFF'FFFF);
+  EXPECT_EQ(sign_extend(~0ull, 64), -1);
+}
+
+class SliceCarryInParam : public ::testing::TestWithParam<int> {};
+
+// Property sweep over every slice boundary: slice_carry_in equals
+// carry_into_bit at the boundary.
+TEST_P(SliceCarryInParam, MatchesBoundaryCarry) {
+  const int s = GetParam();
+  Xoshiro256 rng(100 + static_cast<std::uint64_t>(s));
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    EXPECT_EQ(slice_carry_in(a, b, true, s),
+              carry_into_bit(a, b, true, s * kSliceBits));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSlices, SliceCarryInParam,
+                         ::testing::Range(0, kNumSlices));
+
+}  // namespace
+}  // namespace st2

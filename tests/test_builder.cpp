@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/builder.hpp"
+
+namespace st2::isa {
+namespace {
+
+TEST(Builder, EmitsTerminatedKernels) {
+  KernelBuilder kb("k");
+  kb.iadd(kb.imm(1), kb.imm(2));
+  kb.exit();
+  const Kernel k = kb.build();
+  EXPECT_EQ(k.code.back().op, Opcode::kExit);
+  EXPECT_EQ(k.name, "k");
+  EXPECT_GT(k.regs_used, 0);
+}
+
+TEST(Builder, IfThenFixupsPointPastBody) {
+  KernelBuilder kb("k");
+  const Preg p = kb.setp(Opcode::kSetLt, kb.imm(1), kb.imm(2));
+  const std::uint32_t before = kb.here();
+  kb.if_then(p, [&] {
+    kb.iadd(kb.imm(1), kb.imm(1));  // 3 instructions (2 imm + add)
+  });
+  const std::uint32_t after = kb.here();
+  kb.exit();
+  const Kernel k = kb.build();
+  const Instruction& br = k.code[before];
+  EXPECT_EQ(br.op, Opcode::kBra);
+  EXPECT_TRUE(br.pred_negate);
+  EXPECT_EQ(br.target, after);
+  EXPECT_EQ(br.reconv, after);
+}
+
+TEST(Builder, IfThenElseHasJumpOverElse) {
+  KernelBuilder kb("k");
+  const Preg p = kb.setp(Opcode::kSetEq, kb.imm(0), kb.imm(0));
+  const std::uint32_t br_pc = kb.here();
+  kb.if_then_else(
+      p, [&] { kb.imm(10); }, [&] { kb.imm(20); });
+  const std::uint32_t end = kb.here();
+  kb.exit();
+  const Kernel k = kb.build();
+  const Instruction& br = k.code[br_pc];
+  EXPECT_EQ(br.op, Opcode::kBra);
+  EXPECT_EQ(br.reconv, end);
+  // The branch target (else block) lies between the jump and the end.
+  EXPECT_GT(br.target, br_pc + 1);
+  EXPECT_LT(br.target, end);
+  // An unconditional jmp right before the else block targets the join.
+  const Instruction& jmp = k.code[br.target - 1];
+  EXPECT_EQ(jmp.op, Opcode::kJmp);
+  EXPECT_EQ(jmp.target, end);
+}
+
+TEST(Builder, WhileLoopBranchesBack) {
+  KernelBuilder kb("k");
+  const Reg i = kb.imm(0);
+  const std::uint32_t start = kb.here();
+  kb.while_([&] { return kb.setp(Opcode::kSetLt, i, kb.imm(10)); },
+            [&] { kb.iadd_to(i, i, kb.imm(1)); });
+  kb.exit();
+  const Kernel k = kb.build();
+  // Find the backward jmp: it must target `start`.
+  bool found = false;
+  for (const Instruction& in : k.code) {
+    if (in.op == Opcode::kJmp && in.target == start) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Builder, ImmediatesAndParams) {
+  KernelBuilder kb("k");
+  const Reg a = kb.imm(-42);
+  const Reg p = kb.param(3);
+  kb.iadd(a, p);
+  kb.exit();
+  const Kernel k = kb.build();
+  EXPECT_EQ(k.code[0].op, Opcode::kMovImm);
+  EXPECT_EQ(k.code[0].imm, -42);
+  EXPECT_EQ(k.code[1].op, Opcode::kLdParam);
+  EXPECT_EQ(k.code[1].imm, 3);
+}
+
+TEST(Builder, FimmStoresBitPattern) {
+  KernelBuilder kb("k");
+  kb.fimm(1.0f);
+  kb.exit();
+  const Kernel k = kb.build();
+  EXPECT_EQ(static_cast<std::uint32_t>(k.code[0].imm), 0x3f800000u);
+}
+
+TEST(Builder, SharedAllocationAligns) {
+  KernelBuilder kb("k");
+  EXPECT_EQ(kb.alloc_shared(4), 0);
+  EXPECT_EQ(kb.alloc_shared(10), 8);   // previous rounded up to 8
+  EXPECT_EQ(kb.alloc_shared(8), 24);   // 10 -> 16
+  kb.exit();
+  EXPECT_EQ(kb.build().shared_bytes, 32);
+}
+
+TEST(Builder, RegistersAreSequential) {
+  KernelBuilder kb("k");
+  const Reg a = kb.reg();
+  const Reg b = kb.reg();
+  EXPECT_EQ(b.idx, a.idx + 1);
+  EXPECT_EQ(kb.regs_used(), 2);
+  kb.exit();
+}
+
+TEST(Builder, MemoryInstructionEncoding) {
+  KernelBuilder kb("k");
+  const Reg addr = kb.param(0);
+  const Reg v = kb.reg();
+  kb.ld_global_s32(v, addr, 12);
+  kb.st_shared(addr, v, 4, 8);
+  kb.exit();
+  const Kernel k = kb.build();
+  const Instruction& ld = k.code[1];
+  EXPECT_EQ(ld.op, Opcode::kLdGlobal);
+  EXPECT_EQ(ld.msize, 4);
+  EXPECT_TRUE(ld.msext);
+  EXPECT_EQ(ld.imm, 12);
+  const Instruction& st = k.code[2];
+  EXPECT_EQ(st.op, Opcode::kStShared);
+  EXPECT_EQ(st.msize, 8);
+  EXPECT_EQ(st.imm, 4);
+}
+
+TEST(Builder, ForRangeCountsExactly) {
+  // Structural check: for_range(0, 5) emits a loop whose trip count the
+  // functional tests verify; here we check the pieces exist.
+  KernelBuilder kb("k");
+  int body_emissions = 0;
+  kb.for_range(kb.imm(0), kb.imm(5), 1, [&](Reg) { ++body_emissions; });
+  kb.exit();
+  EXPECT_EQ(body_emissions, 1);  // body lambda runs once at build time
+  const Kernel k = kb.build();
+  int branches = 0;
+  for (const Instruction& in : k.code) {
+    branches += in.op == Opcode::kBra;
+  }
+  EXPECT_EQ(branches, 1);
+}
+
+}  // namespace
+}  // namespace st2::isa

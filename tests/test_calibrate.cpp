@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/power/calibrate.hpp"
+
+namespace st2::power {
+namespace {
+
+std::vector<Observation> synthetic_observations(
+    const std::array<double, kNumComponents>& truth, int n,
+    double noise_sigma, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Observation> obs;
+  for (int i = 0; i < n; ++i) {
+    Observation o;
+    double e = 0;
+    for (int c = 0; c < kNumComponents; ++c) {
+      o.component_energy[static_cast<std::size_t>(c)] =
+          rng.next_double() * 1000.0;
+      e += truth[static_cast<std::size_t>(c)] *
+           o.component_energy[static_cast<std::size_t>(c)];
+    }
+    o.measured = e * (1.0 + noise_sigma * rng.next_gaussian());
+    obs.push_back(o);
+  }
+  return obs;
+}
+
+std::array<double, kNumComponents> some_truth() {
+  std::array<double, kNumComponents> t{};
+  for (int i = 0; i < kNumComponents; ++i) {
+    t[static_cast<std::size_t>(i)] = 0.8 + 0.05 * i;
+  }
+  return t;
+}
+
+TEST(Calibrate, RecoversExactScalesWithoutNoise) {
+  const auto truth = some_truth();
+  const auto obs = synthetic_observations(truth, 123, 0.0, 1);
+  const CalibrationResult r = calibrate(obs);
+  for (int i = 0; i < kNumComponents; ++i) {
+    EXPECT_NEAR(r.scales[static_cast<std::size_t>(i)],
+                truth[static_cast<std::size_t>(i)], 1e-6);
+  }
+  EXPECT_LT(r.training_mape, 1e-8);
+}
+
+TEST(Calibrate, RobustToMeasurementNoise) {
+  const auto truth = some_truth();
+  const auto obs = synthetic_observations(truth, 123, 0.05, 2);
+  const CalibrationResult r = calibrate(obs);
+  for (int i = 0; i < kNumComponents; ++i) {
+    EXPECT_NEAR(r.scales[static_cast<std::size_t>(i)],
+                truth[static_cast<std::size_t>(i)], 0.15);
+  }
+  EXPECT_LT(r.training_mape, 0.10);
+}
+
+TEST(Calibrate, ValidationMetricsOnHeldOutData) {
+  const auto truth = some_truth();
+  const auto train = synthetic_observations(truth, 123, 0.05, 3);
+  const auto held = synthetic_observations(truth, 23, 0.05, 4);
+  const CalibrationResult r = calibrate(train);
+  const ValidationResult v = validate(r.scales, held);
+  EXPECT_LT(v.mape, 0.15);
+  EXPECT_GT(v.pearson_r, 0.95);
+  EXPECT_GT(v.mape_ci95, 0.0);
+}
+
+TEST(Calibrate, PerfectModelValidatesPerfectly) {
+  const auto truth = some_truth();
+  const auto held = synthetic_observations(truth, 23, 0.0, 5);
+  const ValidationResult v = validate(truth, held);
+  EXPECT_LT(v.mape, 1e-9);
+  EXPECT_NEAR(v.pearson_r, 1.0, 1e-9);
+}
+
+TEST(Oracle, DeterministicAndScaledAroundUnity) {
+  SiliconOracle a(99), b(99);
+  std::array<double, kNumComponents> e{};
+  e.fill(100.0);
+  EXPECT_DOUBLE_EQ(a.measure(e), b.measure(e));
+  for (double s : a.true_scales()) {
+    EXPECT_GT(s, 0.6);
+    EXPECT_LT(s, 1.5);
+  }
+}
+
+TEST(Oracle, NoiseMakesRepeatsDiffer) {
+  SiliconOracle o(7);
+  std::array<double, kNumComponents> e{};
+  e.fill(100.0);
+  const double m1 = o.measure(e);
+  const double m2 = o.measure(e);
+  EXPECT_NE(m1, m2);          // sampling noise
+  EXPECT_NEAR(m1 / m2, 1.0, 0.5);  // but same order of magnitude
+}
+
+}  // namespace
+}  // namespace st2::power

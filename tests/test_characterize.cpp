@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "src/circuit/characterize.hpp"
+#include "src/common/bitutils.hpp"
+
+namespace st2::circuit {
+namespace {
+
+TEST(Characterize, ReferenceAdderSanity) {
+  const ReferenceCharacterization ref = characterize_reference(200, 1);
+  EXPECT_GT(ref.gate_count, 300u);   // a 64-bit prefix adder is not tiny
+  EXPECT_LT(ref.gate_count, 2000u);
+  EXPECT_GT(ref.period, 10.0);
+  EXPECT_GT(ref.energy_per_op, 0.0);
+}
+
+TEST(Characterize, EightBitSliceScalesNearPaperVoltage) {
+  const ReferenceCharacterization ref = characterize_reference(200, 1);
+  const SliceCharacterization sc = characterize_slice_width(8, ref, 200, 1);
+  // Paper: supply scales to ~60% of nominal for 8-bit slices.
+  EXPECT_GT(sc.v_scaled, 0.50);
+  EXPECT_LT(sc.v_scaled, 0.70);
+  EXPECT_EQ(sc.num_slices, 8);
+}
+
+TEST(Characterize, EightBitSliceSavesMostOfTheAdderEnergy) {
+  const ReferenceCharacterization ref = characterize_reference(500, 2);
+  const SliceCharacterization sc = characterize_slice_width(8, ref, 500, 2);
+  // Paper band: 75-87% potential savings; we accept a wider window since the
+  // gate-level model is not PDK-calibrated, but the savings must be large.
+  EXPECT_GT(sc.saving_vs_reference, 0.55);
+  EXPECT_LT(sc.saving_vs_reference, 0.92);
+}
+
+TEST(Characterize, SliceDelayGrowsWithWidth) {
+  const auto sweep = slice_width_sweep(200, 3);
+  ASSERT_GE(sweep.size(), 4u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].slice_delay_nom, sweep[i - 1].slice_delay_nom);
+    EXPECT_GE(sweep[i].v_scaled, sweep[i - 1].v_scaled - 1e-9);
+  }
+}
+
+TEST(Characterize, WideSlicesSaveLess) {
+  const auto sweep = slice_width_sweep(300, 4);
+  // The 32-bit "slice" barely scales and must save much less than 8-bit.
+  const auto& s8 = sweep[2];
+  const auto& s32 = sweep[4];
+  ASSERT_EQ(s8.slice_bits, 8);
+  ASSERT_EQ(s32.slice_bits, 32);
+  EXPECT_GT(s8.saving_vs_reference, s32.saving_vs_reference + 0.15);
+}
+
+TEST(Characterize, DeterministicForFixedSeed) {
+  const auto a = slice_width_sweep(100, 5);
+  const auto b = slice_width_sweep(100, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].energy_scaled, b[i].energy_scaled);
+    EXPECT_DOUBLE_EQ(a[i].v_scaled, b[i].v_scaled);
+  }
+}
+
+}  // namespace
+}  // namespace st2::circuit

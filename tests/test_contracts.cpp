@@ -1,0 +1,65 @@
+// Contract-violation death tests: the library must refuse, loudly, to do
+// the undefined thing — these are the guard rails the correctness claims
+// lean on.
+#include <gtest/gtest.h>
+
+#include "src/circuit/netlist.hpp"
+#include "src/common/contracts.hpp"
+#include "src/isa/builder.hpp"
+#include "src/sim/memory.hpp"
+
+namespace st2 {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(ContractDeath, OutOfBoundsDeviceLoadAborts) {
+  sim::GlobalMemory m;
+  const std::uint64_t a = m.alloc(8);
+  EXPECT_DEATH((void)m.load(a + m.size(), 8), "Precondition");
+}
+
+TEST(ContractDeath, MisalignedSizeRejected) {
+  sim::GlobalMemory m;
+  const std::uint64_t a = m.alloc(8);
+  EXPECT_DEATH((void)m.load(a, 3), "Precondition");
+}
+
+TEST(ContractDeath, NetlistForwardReferenceRejected) {
+  circuit::Netlist nl;
+  const circuit::NodeId a = nl.add_input("a");
+  // Fanin id >= own id: not yet created.
+  EXPECT_DEATH((void)nl.add_gate(circuit::GateKind::kAnd, a, a + 5),
+               "Precondition");
+}
+
+TEST(ContractDeath, DoubleDffConnectRejected) {
+  circuit::Netlist nl;
+  const circuit::NodeId d = nl.add_input("d");
+  const circuit::NodeId q = nl.add_dff("q");
+  nl.connect_dff(q, d);
+  EXPECT_DEATH(nl.connect_dff(q, d), "Precondition");
+}
+
+TEST(ContractDeath, UnconnectedDffCannotClock) {
+  circuit::Netlist nl;
+  nl.add_dff("q");
+  circuit::Evaluator ev(nl);
+  ev.evaluate();
+  EXPECT_DEATH(ev.clock_edge(), "Precondition");
+}
+
+TEST(ContractDeath, KernelMustEndWithExit) {
+  isa::KernelBuilder kb("bad");
+  kb.iadd(kb.imm(1), kb.imm(2));
+  EXPECT_DEATH((void)kb.build(), "Precondition");
+}
+
+TEST(ContractDeath, BadMemorySizeInBuilder) {
+  isa::KernelBuilder kb("bad");
+  const isa::Reg r = kb.reg();
+  EXPECT_DEATH(kb.ld_global(r, r, 0, 2), "Precondition");
+}
+
+}  // namespace
+}  // namespace st2

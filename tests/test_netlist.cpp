@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "src/circuit/netlist.hpp"
+
+namespace st2::circuit {
+namespace {
+
+// Truth-table check for every 2-input gate kind.
+struct GateCase {
+  GateKind kind;
+  bool truth[4];  // indexed by (b<<1)|a
+};
+
+class GateTruth : public ::testing::TestWithParam<GateCase> {};
+
+TEST_P(GateTruth, MatchesTruthTable) {
+  const GateCase& gc = GetParam();
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  nl.mark_output(nl.add_gate(gc.kind, a, b), "o");
+  Evaluator ev(nl);
+  for (int in = 0; in < 4; ++in) {
+    EXPECT_EQ(ev.step(static_cast<std::uint64_t>(in)),
+              gc.truth[in] ? 1u : 0u)
+        << to_string(gc.kind) << " input " << in;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, GateTruth,
+    ::testing::Values(
+        GateCase{GateKind::kAnd, {false, false, false, true}},
+        GateCase{GateKind::kOr, {false, true, true, true}},
+        GateCase{GateKind::kXor, {false, true, true, false}},
+        GateCase{GateKind::kNand, {true, true, true, false}},
+        GateCase{GateKind::kNor, {true, false, false, false}},
+        GateCase{GateKind::kXnor, {true, false, false, true}}),
+    [](const ::testing::TestParamInfo<GateCase>& info) {
+      return to_string(info.param.kind);
+    });
+
+TEST(NetlistTest, NotAndConstants) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId c1 = nl.add_const(true);
+  const NodeId c0 = nl.add_const(false);
+  nl.mark_output(nl.not_(a), "na");
+  nl.mark_output(c1, "one");
+  nl.mark_output(c0, "zero");
+  Evaluator ev(nl);
+  EXPECT_EQ(ev.step(0), 0b011u);
+  EXPECT_EQ(ev.step(1), 0b010u);
+}
+
+TEST(NetlistTest, MuxSelects) {
+  Netlist nl;
+  const NodeId sel = nl.add_input("sel");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  nl.mark_output(nl.mux_(sel, a, b), "o");
+  Evaluator ev(nl);
+  // inputs packed: bit0=sel, bit1=a, bit2=b
+  EXPECT_EQ(ev.step(0b010), 1u);  // sel=0 -> a=1
+  EXPECT_EQ(ev.step(0b100), 0u);  // sel=0 -> a=0
+  EXPECT_EQ(ev.step(0b101), 1u);  // sel=1 -> b=1
+  EXPECT_EQ(ev.step(0b011), 0u);  // sel=1 -> b=0
+}
+
+TEST(NetlistTest, ToggleCountingIsExact) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId x = nl.xor_(a, b);
+  nl.mark_output(x, "x");
+  Evaluator ev(nl);
+  ev.step(0b00);  // first step: settles, no toggles counted
+  EXPECT_EQ(ev.raw_toggles(), 0u);
+  ev.step(0b01);  // a toggles (inputs don't count), xor output toggles
+  EXPECT_EQ(ev.raw_toggles(), 1u);
+  ev.step(0b11);  // b toggles too, xor back to 0: one more toggle
+  EXPECT_EQ(ev.raw_toggles(), 2u);
+  ev.step(0b11);  // no change
+  EXPECT_EQ(ev.raw_toggles(), 2u);
+  ev.reset_activity();
+  EXPECT_EQ(ev.raw_toggles(), 0u);
+}
+
+TEST(NetlistTest, WeightedTogglesUseGateWeights) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  nl.mark_output(nl.not_(a), "o");
+  Evaluator ev(nl);
+  ev.step(0);
+  ev.step(1);
+  EXPECT_DOUBLE_EQ(ev.weighted_toggles(), gate_energy_weight(GateKind::kNot));
+}
+
+TEST(NetlistTest, GlitchWeightingScalesWithDepth) {
+  // A chain of 4 inverters: deeper nodes cost more under glitch weighting.
+  Netlist nl;
+  NodeId n = nl.add_input("a");
+  for (int i = 0; i < 4; ++i) n = nl.not_(n);
+  nl.mark_output(n, "o");
+  Evaluator plain(nl, 0.0);
+  Evaluator glitchy(nl, 0.5);
+  plain.step(0);
+  plain.step(1);
+  glitchy.step(0);
+  glitchy.step(1);
+  // All four inverters toggle; glitch weights are 1.5, 2.0, 2.5, 3.0.
+  const double w = gate_energy_weight(GateKind::kNot);
+  EXPECT_DOUBLE_EQ(plain.weighted_toggles(), 4 * w);
+  EXPECT_DOUBLE_EQ(glitchy.weighted_toggles(), (1.5 + 2.0 + 2.5 + 3.0) * w);
+}
+
+TEST(NetlistTest, CriticalPathAndDepths) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId x = nl.and_(a, b);
+  const NodeId y = nl.or_(x, b);
+  nl.mark_output(y, "o");
+  EXPECT_DOUBLE_EQ(nl.critical_path_delay(),
+                   gate_delay_weight(GateKind::kAnd) +
+                       gate_delay_weight(GateKind::kOr));
+  const auto depths = nl.node_depths();
+  EXPECT_EQ(depths[a], 0);
+  EXPECT_EQ(depths[x], 1);
+  EXPECT_EQ(depths[y], 2);
+}
+
+TEST(NetlistTest, GateCountExcludesInputsAndConstants) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  nl.add_const(true);
+  nl.mark_output(nl.not_(a), "o");
+  EXPECT_EQ(nl.gate_count(), 1u);
+  EXPECT_EQ(nl.num_nodes(), 3u);
+}
+
+}  // namespace
+}  // namespace st2::circuit

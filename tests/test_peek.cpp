@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "src/common/bitutils.hpp"
+#include "src/common/rng.hpp"
+#include "src/spec/peek.hpp"
+
+namespace st2::spec {
+namespace {
+
+// THE peek guarantee (paper Section IV-B): whenever the mask says a slice's
+// carry-in is statically known, it must equal the true carry-in — for any
+// operands whatsoever.
+TEST(Peek, PeekedBitsAreAlwaysCorrect) {
+  Xoshiro256 rng(21);
+  for (int iter = 0; iter < 200000; ++iter) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const int slices = 2 + static_cast<int>(rng.next_below(7));
+    const bool cin = (iter & 1) != 0;
+    const PeekResult pk = peek(a, b, slices);
+    for (int s = 1; s < slices; ++s) {
+      if ((pk.mask >> (s - 1)) & 1) {
+        ASSERT_EQ(((pk.carries >> (s - 1)) & 1) != 0,
+                  slice_carry_in(a, b, cin, s))
+            << "a=" << a << " b=" << b << " slice=" << s;
+      }
+    }
+  }
+}
+
+TEST(Peek, BothMsbsZeroForcesCarryZero) {
+  // Slice 0 operands with MSB (bit 7) zero in both: carry into slice 1 is 0.
+  const PeekResult pk = peek(0x7f, 0x7f, 8);
+  EXPECT_TRUE(pk.mask & 1);
+  EXPECT_FALSE(pk.carries & 1);
+}
+
+TEST(Peek, BothMsbsOneForcesCarryOne) {
+  const PeekResult pk = peek(0x80, 0x80, 8);
+  EXPECT_TRUE(pk.mask & 1);
+  EXPECT_TRUE(pk.carries & 1);
+}
+
+TEST(Peek, DifferingMsbsAreNotPeekable) {
+  const PeekResult pk = peek(0x80, 0x00, 8);
+  EXPECT_FALSE(pk.mask & 1);
+}
+
+TEST(Peek, MaskCoversOnlyRequestedSlices) {
+  const PeekResult pk = peek(0, 0, 3);  // FP32 mantissa: slices 1..2 only
+  EXPECT_EQ(pk.mask & ~0x3u, 0u);
+  EXPECT_EQ(pk.mask, 0x3u);  // all-zero operands: everything certain
+}
+
+// Statistical property from the paper's intuition: for small positive
+// operand pairs (the common case), almost every slice is peekable.
+TEST(Peek, SmallValuesAreMostlyPeeked) {
+  Xoshiro256 rng(22);
+  int certain = 0, total = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t a = rng.next_below(1 << 16);
+    const std::uint64_t b = rng.next_below(1 << 16);
+    const PeekResult pk = peek(a, b, 8);
+    certain += std::popcount(static_cast<unsigned>(pk.mask));
+    total += 7;
+  }
+  // Slices 3..7 (bits above 23) are always 0+0 -> certain; slice 2 usually.
+  EXPECT_GT(double(certain) / total, 0.70);
+}
+
+}  // namespace
+}  // namespace st2::spec

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "src/power/model.hpp"
+
+namespace st2::power {
+namespace {
+
+TEST(PowerModel, ComponentsMapToTheRightBuckets) {
+  PowerModel pm;
+  sim::EventCounters c;
+  c.dram_accesses = 100;
+  c.cycles = 10;
+  const EnergyBreakdown e = pm.energy(c, false);
+  EXPECT_GT(e[Component::kDram], 0.0);
+  EXPECT_GT(e[Component::kConst], 0.0);
+  EXPECT_EQ(e[Component::kAluFpu], 0.0);
+  EXPECT_EQ(e[Component::kSfu], 0.0);
+  EXPECT_EQ(e[Component::kRegFile], 0.0);
+}
+
+TEST(PowerModel, TotalIsSumAndChipExcludesDramConst) {
+  PowerModel pm;
+  sim::EventCounters c;
+  c.alu_ops = c.alu_adder_ops = 1000;
+  c.dram_accesses = 10;
+  c.cycles = 5;
+  const EnergyBreakdown e = pm.energy(c, false);
+  double sum = 0;
+  for (double v : e.by_component) sum += v;
+  EXPECT_DOUBLE_EQ(e.total(), sum);
+  EXPECT_DOUBLE_EQ(e.chip(),
+                   e.total() - e[Component::kDram] - e[Component::kConst]);
+}
+
+TEST(PowerModel, St2ModeCutsAdderEnergyByAboutSeventyPercent) {
+  PowerModel pm;
+  sim::EventCounters c;
+  c.alu_ops = c.alu_adder_ops = 1'000'000;
+  c.adder_thread_ops = 1'000'000;
+  c.slice_computes = 4'000'000;   // 4 slices each
+  c.slice_recomputes = 200'000;   // ~20% mispredicts x ~1 slice
+  c.crf_row_reads = 31'250;       // one row read per warp instruction
+  c.crf_writes = 50'000;
+  const EnergyBreakdown base = pm.energy(c, false);
+  const EnergyBreakdown st2 = pm.energy(c, true);
+  const double ratio = st2[Component::kAluFpu] / base[Component::kAluFpu];
+  EXPECT_LT(ratio, 0.40);
+  EXPECT_GT(ratio, 0.20);  // the paper's 70% saving, plus-minus overheads
+}
+
+TEST(PowerModel, RecomputesCostEnergyInSt2Mode) {
+  PowerModel pm;
+  sim::EventCounters clean;
+  clean.alu_adder_ops = clean.alu_ops = 100000;
+  clean.adder_thread_ops = 100000;
+  clean.slice_computes = 400000;
+  sim::EventCounters dirty = clean;
+  dirty.slice_recomputes = 200000;  // heavy misprediction traffic
+  EXPECT_GT(pm.energy(dirty, true)[Component::kAluFpu],
+            pm.energy(clean, true)[Component::kAluFpu]);
+}
+
+TEST(PowerModel, ScalesMultiplyComponents) {
+  PowerModel pm;
+  std::array<double, kNumComponents> s;
+  s.fill(1.0);
+  s[static_cast<int>(Component::kDram)] = 2.5;
+  pm.set_scales(s);
+  sim::EventCounters c;
+  c.dram_accesses = 10;
+  PowerModel unit;
+  EXPECT_DOUBLE_EQ(pm.energy(c, false)[Component::kDram],
+                   2.5 * unit.energy(c, false)[Component::kDram]);
+}
+
+TEST(PowerModel, FusedOpsChargeTheirMultipliers) {
+  PowerModel pm;
+  sim::EventCounters c;
+  c.fpu_ops = c.fpu_adder_ops = 1000;  // all FFMA
+  c.fused_fp_mul_ops = 1000;
+  const EnergyBreakdown e = pm.energy(c, false);
+  EXPECT_GT(e[Component::kAluFpu], 0.0);    // the accumulate
+  EXPECT_GT(e[Component::kFpMulDiv], 0.0);  // the multiply
+}
+
+TEST(PowerModel, ComponentNamesAreStable) {
+  EXPECT_STREQ(component_name(Component::kAluFpu), "ALU+FPU");
+  EXPECT_STREQ(component_name(Component::kDram), "DRAM");
+  EXPECT_STREQ(component_name(Component::kNoc), "NoC");
+  for (int i = 0; i < kNumComponents; ++i) {
+    EXPECT_STRNE(component_name(static_cast<Component>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace st2::power

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "src/common/rng.hpp"
+#include "src/spec/predictor.hpp"
+
+namespace st2::spec {
+namespace {
+
+AddOp make_op(std::uint64_t a, std::uint64_t b, std::uint64_t pc = 0,
+              std::uint32_t gtid = 0, std::uint32_t ltid = 0,
+              int slices = 8, bool cin = false) {
+  AddOp op;
+  op.pc = pc;
+  op.gtid = gtid;
+  op.ltid = ltid;
+  op.a = a;
+  op.b = b;
+  op.cin = cin;
+  op.num_slices = slices;
+  return op;
+}
+
+TEST(Predictor, StaticZeroPredictsNoCarries) {
+  CarrySpeculator sp(SpeculationConfig::static_zero());
+  const AddOp op = make_op(0x1234, 0x5678);
+  const Prediction p = sp.predict(op);
+  EXPECT_EQ(p.carries, 0);
+  EXPECT_EQ(p.peek_mask, 0);  // no peek in this config
+  EXPECT_EQ(p.dynamic_mask, 0x7f);
+}
+
+TEST(Predictor, StaticOnePredictsAllCarries) {
+  CarrySpeculator sp(SpeculationConfig::static_one());
+  const Prediction p = sp.predict(make_op(1, 2, 0, 0, 0, 4));
+  EXPECT_EQ(p.carries, 0x7);  // 3 relevant bits for 4 slices
+  EXPECT_EQ(p.dynamic_mask, 0x7);
+}
+
+TEST(Predictor, PrevLearnsARepeatingPattern) {
+  CarrySpeculator sp(SpeculationConfig::prev());
+  // 0xFF + 0x01 produces a carry into slice 1 only.
+  const AddOp op = make_op(0xFF, 0x01);
+  const Prediction p1 = sp.predict(op);
+  const SpeculationOutcome o1 = sp.resolve(op, p1);
+  EXPECT_TRUE(o1.any_misprediction());  // cold table predicted 0
+  // The second occurrence of the same pattern must hit.
+  const Prediction p2 = sp.predict(op);
+  const SpeculationOutcome o2 = sp.resolve(op, p2);
+  EXPECT_FALSE(o2.any_misprediction());
+  EXPECT_EQ(p2.carries, o2.actual);
+}
+
+TEST(Predictor, ModPcSeparatesInterleavedStreams) {
+  // Two instructions with different carry behaviour alternate. Without PC
+  // bits they destroy each other's history; with ModPC4 both converge.
+  const AddOp carry_op = make_op(0xFF, 0x01, /*pc=*/1);
+  const AddOp nocarry_op = make_op(0x01, 0x01, /*pc=*/2);
+
+  CarrySpeculator aliased(SpeculationConfig::prev());
+  CarrySpeculator split(SpeculationConfig::prev_modpc_peek(4));
+  int aliased_misses = 0, split_misses = 0;
+  for (int i = 0; i < 50; ++i) {
+    for (const AddOp& op : {carry_op, nocarry_op}) {
+      {
+        const Prediction p = aliased.predict(op);
+        aliased_misses += aliased.resolve(op, p).any_misprediction();
+      }
+      {
+        const Prediction p = split.predict(op);
+        split_misses += split.resolve(op, p).any_misprediction();
+      }
+    }
+  }
+  EXPECT_LE(split_misses, 2);        // cold start only
+  EXPECT_GT(aliased_misses, 50);     // thrashing between patterns
+}
+
+TEST(Predictor, GtidScopeIsolatesThreads) {
+  CarrySpeculator sp(SpeculationConfig::gtid_prev_modpc4_peek());
+  const AddOp t0 = make_op(0xFF, 0x01, 0, /*gtid=*/0);
+  const AddOp t1 = make_op(0xFF, 0x01, 0, /*gtid=*/1);
+  sp.resolve(t0, sp.predict(t0));  // trains thread 0 only
+  // Peek can't certify slice 1 here (0xFF has MSB 1, 0x01 has MSB 0), so
+  // thread 1 still mispredicts: no sharing under Gtid scope.
+  const Prediction p = sp.predict(t1);
+  EXPECT_TRUE(sp.resolve(t1, p).any_misprediction());
+}
+
+TEST(Predictor, LtidScopeSharesAcrossWarps) {
+  CarrySpeculator sp(SpeculationConfig::ltid_prev_modpc4_peek());
+  // Same lane, different global threads (i.e. different warps).
+  const AddOp w0 = make_op(0xFF, 0x01, 0, /*gtid=*/7, /*ltid=*/3);
+  const AddOp w1 = make_op(0xFF, 0x01, 0, /*gtid=*/39, /*ltid=*/3);
+  sp.resolve(w0, sp.predict(w0));
+  const Prediction p = sp.predict(w1);
+  EXPECT_FALSE(sp.resolve(w1, p).any_misprediction());
+}
+
+TEST(Predictor, PeekBitsNeverCountAsMispredictions) {
+  CarrySpeculator sp(SpeculationConfig::ltid_prev_modpc4_peek());
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 20000; ++i) {
+    const AddOp op = make_op(rng.next_u64(), rng.next_u64(),
+                             rng.next_below(64), 0,
+                             static_cast<std::uint32_t>(rng.next_below(32)));
+    const Prediction p = sp.predict(op);
+    const SpeculationOutcome out = sp.resolve(op, p);
+    ASSERT_EQ(out.mispredicted & p.peek_mask, 0);
+    ASSERT_EQ(out.mispredicted & ~p.dynamic_mask, 0);
+  }
+}
+
+TEST(Predictor, RecomputeMaskCoversErrorPropagation) {
+  Prediction pred;
+  pred.carries = 0;
+  pred.peek_mask = 0;
+  pred.dynamic_mask = 0x7f;
+  // Actual carries 0b0000100: slice 3 mispredicts; slices 3..7 recompute.
+  const SpeculationOutcome out = resolve_prediction(pred, 0b0000100, 8);
+  EXPECT_EQ(out.mispredicted, 0b0000100);
+  EXPECT_EQ(out.recompute_mask, 0b1111100);
+  EXPECT_EQ(out.recompute_count(), 5);
+}
+
+TEST(Predictor, PeekedSlicesDoNotRecompute) {
+  Prediction pred;
+  pred.peek_mask = 0b1110000;   // slices 5,6,7 statically certain
+  pred.dynamic_mask = 0b0001111;
+  pred.carries = 0;
+  const SpeculationOutcome out = resolve_prediction(pred, 0b0000001, 8);
+  EXPECT_EQ(out.mispredicted, 0b0000001);
+  // Slices 1..4 recompute; peeked 5..7 do not.
+  EXPECT_EQ(out.recompute_mask, 0b0001111);
+}
+
+TEST(Predictor, CorrectPredictionNeedsNoRecompute) {
+  Prediction pred;
+  pred.dynamic_mask = 0x7f;
+  pred.carries = 0b0101010;
+  const SpeculationOutcome out = resolve_prediction(pred, 0b0101010, 8);
+  EXPECT_FALSE(out.any_misprediction());
+  EXPECT_EQ(out.recompute_count(), 0);
+}
+
+TEST(Predictor, NarrowOpsOnlyTouchTheirBits) {
+  CarrySpeculator sp(SpeculationConfig::prev());
+  // Train the full 7-bit entry with an 8-slice op.
+  const AddOp wide = make_op(~0ull, 1, 0, 0, 0, 8);
+  sp.resolve(wide, sp.predict(wide));
+  // A 3-slice (FP32) op then trains only its low 2 bits; the wide op's high
+  // bits must survive in the shared entry.
+  const AddOp narrow = make_op(0, 0, 0, 0, 0, 3);
+  sp.resolve(narrow, sp.predict(narrow));
+  const Prediction p = sp.predict(wide);
+  EXPECT_EQ(p.carries & 0b1111100, 0b1111100u);
+}
+
+TEST(Predictor, XorHashFoldsAllPcBits) {
+  CarrySpeculator sp(SpeculationConfig::prev_xorpc_peek(4));
+  // PCs 0x00 and 0x11 fold to different keys (0x0 vs 0x1 ^ 0x1 = 0)...
+  // verify only that distinct folds learn independently: 0x1 vs 0x2.
+  const AddOp a = make_op(0xFF, 0x01, 0x1);
+  const AddOp b = make_op(0x01, 0x01, 0x2);
+  sp.resolve(a, sp.predict(a));
+  sp.resolve(b, sp.predict(b));
+  const Prediction pa = sp.predict(a);
+  const Prediction pb = sp.predict(b);
+  EXPECT_NE(pa.carries & 1, pb.carries & 1);
+}
+
+TEST(Predictor, ValhallaBroadcastsOneBit) {
+  CarrySpeculator sp(SpeculationConfig::valhalla());
+  // A long-chain subtraction result trains the broadcast bit to 1.
+  const AddOp sub = make_op(5, ~std::uint64_t{3}, 0, 0, 0, 8, true);  // 5-3
+  sp.resolve(sub, sp.predict(sub));
+  const Prediction p = sp.predict(make_op(1, 1));
+  // All dynamic bits carry the same broadcast value.
+  EXPECT_TRUE(p.carries == p.dynamic_mask || p.carries == 0);
+  EXPECT_EQ(p.carries, p.dynamic_mask);  // previous chain was long -> 1
+}
+
+TEST(Predictor, TableGrowsWithDistinctKeys) {
+  CarrySpeculator sp(SpeculationConfig::prev_fullpc_gtid());
+  for (std::uint32_t t = 0; t < 10; ++t) {
+    for (std::uint64_t pc = 0; pc < 5; ++pc) {
+      const AddOp op = make_op(0xFF, 0x01, pc, t);
+      sp.resolve(op, sp.predict(op));
+    }
+  }
+  EXPECT_EQ(sp.table_entries(), 50u);
+}
+
+TEST(Predictor, Figure5SweepHasThirteenConfigs) {
+  const auto sweep = SpeculationConfig::figure5_sweep();
+  EXPECT_EQ(sweep.size(), 13u);
+  EXPECT_EQ(sweep.back().name(), "Ltid+Prev+ModPC4+Peek");
+  EXPECT_EQ(st2_config().name(), "Ltid+Prev+ModPC4+Peek");
+}
+
+}  // namespace
+}  // namespace st2::spec

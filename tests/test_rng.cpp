@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace st2 {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+  }
+  Xoshiro256 a2(42);
+  EXPECT_NE(a2.next_u64(), c.next_u64());
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Xoshiro256 rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformFloatsInUnitInterval) {
+  Xoshiro256 rng(10);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const float f = rng.next_float();
+    ASSERT_GE(f, 0.0f);
+    ASSERT_LT(f, 1.0f);
+    sum += f;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Xoshiro256 rng(11);
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NextBelowUnbiasedForSmallBound) {
+  Xoshiro256 rng(12);
+  int counts[3] = {0, 0, 0};
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(3)];
+  for (int c : counts) {
+    EXPECT_NEAR(double(c) / n, 1.0 / 3.0, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace st2

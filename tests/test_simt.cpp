@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/simt.hpp"
+
+namespace st2::sim {
+namespace {
+
+TEST(Simt, StartsAtPcZeroFullMask) {
+  SimtStack s(0xFFFFFFFF);
+  s.settle();
+  EXPECT_EQ(s.pc(), 0u);
+  EXPECT_EQ(s.mask(), 0xFFFFFFFFu);
+  EXPECT_FALSE(s.done());
+}
+
+TEST(Simt, UniformTakenBranchJustJumps) {
+  SimtStack s(0xF);
+  s.branch(/*taken=*/0xF, /*target=*/10, /*reconv=*/20);
+  s.settle();
+  EXPECT_EQ(s.pc(), 10u);
+  EXPECT_EQ(s.mask(), 0xFu);
+  EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(Simt, UniformNotTakenFallsThrough) {
+  SimtStack s(0xF);
+  s.jump(5);
+  s.branch(0x0, 10, 20);
+  s.settle();
+  EXPECT_EQ(s.pc(), 6u);
+  EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(Simt, DivergenceExecutesBothPathsThenReconverges) {
+  SimtStack s(0xF);
+  s.jump(5);
+  s.branch(/*taken=*/0x3, /*target=*/10, /*reconv=*/20);
+  s.settle();
+  // Taken path first (pushed last).
+  EXPECT_EQ(s.pc(), 10u);
+  EXPECT_EQ(s.mask(), 0x3u);
+  s.jump(20);  // taken path reaches the reconvergence point
+  s.settle();
+  // Now the fall-through path.
+  EXPECT_EQ(s.pc(), 6u);
+  EXPECT_EQ(s.mask(), 0xCu);
+  s.jump(20);
+  s.settle();
+  // Reconverged: full mask at the join.
+  EXPECT_EQ(s.pc(), 20u);
+  EXPECT_EQ(s.mask(), 0xFu);
+  EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(Simt, NestedDivergence) {
+  SimtStack s(0xFF);
+  s.branch(0x0F, /*target=*/100, /*reconv=*/200);
+  s.settle();
+  ASSERT_EQ(s.mask(), 0x0Fu);
+  // Inner divergence inside the taken path.
+  s.branch(0x03, /*target=*/110, /*reconv=*/150);
+  s.settle();
+  EXPECT_EQ(s.pc(), 110u);
+  EXPECT_EQ(s.mask(), 0x03u);
+  s.jump(150);
+  s.settle();
+  EXPECT_EQ(s.pc(), 101u);  // inner fall-through
+  EXPECT_EQ(s.mask(), 0x0Cu);
+  s.jump(150);
+  s.settle();
+  EXPECT_EQ(s.pc(), 150u);  // inner join
+  EXPECT_EQ(s.mask(), 0x0Fu);
+  s.jump(200);
+  s.settle();
+  EXPECT_EQ(s.pc(), 1u);  // outer fall-through (pc was 0, +1)
+  EXPECT_EQ(s.mask(), 0xF0u);
+  s.jump(200);
+  s.settle();
+  EXPECT_EQ(s.pc(), 200u);
+  EXPECT_EQ(s.mask(), 0xFFu);
+}
+
+TEST(Simt, ExitLanesClearsEverywhere) {
+  SimtStack s(0xF);
+  s.branch(0x3, 10, 20);
+  s.settle();
+  s.exit_lanes(0x3);  // the whole taken path exits
+  s.settle();
+  // Fall-through path still alive.
+  EXPECT_EQ(s.mask(), 0xCu);
+  s.exit_lanes(0xC);
+  s.settle();
+  EXPECT_TRUE(s.done());
+}
+
+TEST(Simt, LoopDivergenceWithEarlyExits) {
+  // Threads leave a loop at different trip counts; all must meet at the
+  // loop exit with the full mask. Simulates:
+  //   0: branch (exit if done) -> target 3, reconv 3
+  //   1: body
+  //   2: jmp 0
+  //   3: join
+  SimtStack s(0x7);
+  std::uint32_t alive = 0x7;
+  int guard = 0;
+  const std::uint32_t exit_at[3] = {1, 3, 5};  // trip counts per lane
+  std::uint32_t trip[3] = {0, 0, 0};
+  while (true) {
+    s.settle();
+    ASSERT_LT(++guard, 200);
+    const std::uint32_t pc = s.pc();
+    if (pc == 3) break;  // reached the join with some mask; check below
+    if (pc == 0) {
+      std::uint32_t taken = 0;
+      for (int lane = 0; lane < 3; ++lane) {
+        if ((s.mask() >> lane) & 1) {
+          if (trip[lane] >= exit_at[lane]) taken |= 1u << lane;
+        }
+      }
+      s.branch(taken, /*target=*/3, /*reconv=*/3);
+    } else if (pc == 1) {
+      for (int lane = 0; lane < 3; ++lane) {
+        if ((s.mask() >> lane) & 1) ++trip[lane];
+      }
+      s.advance();
+    } else if (pc == 2) {
+      s.jump(0);
+    }
+  }
+  EXPECT_EQ(s.mask(), alive);
+  for (int lane = 0; lane < 3; ++lane) EXPECT_EQ(trip[lane], exit_at[lane]);
+}
+
+}  // namespace
+}  // namespace st2::sim

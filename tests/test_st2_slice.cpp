@@ -1,0 +1,164 @@
+// The gate-level ST2 datapath (Figure 4) held against the functional model:
+// identical sums, identical latency decisions, recompute sets bounded by the
+// functional over-approximation — across random operands, predictions and
+// peek masks.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "src/adder/adders.hpp"
+#include "src/circuit/st2_slice.hpp"
+#include "src/common/rng.hpp"
+#include "src/spec/peek.hpp"
+#include "src/spec/predictor.hpp"
+
+namespace st2::circuit {
+namespace {
+
+TEST(GateLevelSt2, PerfectPredictionsSingleCycle) {
+  GateLevelSt2Adder gla(8);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const std::uint8_t actual = slice_carries(a, b, false);
+    const auto r = gla.add(a, b, false, actual, /*peek=*/0);
+    ASSERT_EQ(r.sum, a + b);
+    ASSERT_EQ(r.cout, carry_out(a, b, false));
+    ASSERT_EQ(r.cycles, 1);
+    ASSERT_FALSE(r.mispredicted);
+    ASSERT_EQ(r.recompute_mask, 0);
+  }
+}
+
+TEST(GateLevelSt2, WrongPredictionsRecoverInOneExtraCycle) {
+  GateLevelSt2Adder gla(8);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const bool cin = (i & 1) != 0;
+    const auto pred = static_cast<std::uint8_t>(rng.next_below(128));
+    const std::uint8_t actual = slice_carries(a, b, cin);
+    const auto r = gla.add(a, b, cin, pred, 0);
+    ASSERT_EQ(r.sum, a + b + (cin ? 1 : 0)) << "a=" << a << " b=" << b;
+    ASSERT_EQ(r.cycles, pred == actual ? 1 : 2);
+    ASSERT_EQ(r.mispredicted, pred != actual);
+  }
+}
+
+TEST(GateLevelSt2, SubtractionViaComplement) {
+  GateLevelSt2Adder gla(8);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t x = rng.next_u64();
+    const std::uint64_t y = rng.next_u64();
+    const auto r = gla.add(x, ~y, true, /*pred=*/0, 0);
+    ASSERT_EQ(r.sum, x - y);
+  }
+}
+
+// The central cross-model property: gate level vs functional St2Adder under
+// the real speculator (predictions + peek), on a correlated stream.
+TEST(GateLevelSt2, MatchesFunctionalModelUnderRealSpeculation) {
+  GateLevelSt2Adder gla(8);
+  adder::St2Adder functional;
+  spec::CarrySpeculator sp(spec::st2_config());
+  Xoshiro256 rng(4);
+  std::uint64_t v = 12345;
+  int two_cycle_ops = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t x = v;
+    std::uint64_t y = rng.next_below(1 << 20);
+    if (i % 7 == 0) y = ~y;  // sprinkle in subtract-like patterns
+    const bool cin = i % 7 == 0;
+
+    spec::AddOp op;
+    op.pc = static_cast<std::uint64_t>(i % 16);
+    op.ltid = static_cast<std::uint32_t>(i % 32);
+    op.a = x;
+    op.b = y;
+    op.cin = cin;
+    op.num_slices = 8;
+    const spec::Prediction pred = sp.predict(op);
+    const spec::SpeculationOutcome out = sp.resolve(op, pred);
+    const adder::AddOutcome fr =
+        functional.add(x, y, cin, 8, pred, out);
+
+    const auto gr = gla.add(x, y, cin, pred.carries, pred.peek_mask);
+    ASSERT_EQ(gr.sum, fr.sum);
+    ASSERT_EQ(gr.cycles, fr.cycles);
+    ASSERT_EQ(gr.mispredicted, fr.mispredicted);
+    // The functional recompute mask over-approximates the netlist's E/S
+    // chain (which stops at trusted peeked slices).
+    ASSERT_EQ(gr.recompute_mask & ~out.recompute_mask, 0)
+        << "gate-level recomputed a slice the model says cannot be suspect";
+    two_cycle_ops += gr.cycles == 2;
+    v = gr.sum & 0xffffff;
+  }
+  EXPECT_GT(two_cycle_ops, 0);  // the stream must actually exercise recovery
+}
+
+TEST(GateLevelSt2, PeekedSlicesNeverRecompute) {
+  GateLevelSt2Adder gla(8);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const spec::PeekResult pk = spec::peek(a, b, 8);
+    // Predict peeked bits correctly (as hardware receives them) and the rest
+    // randomly.
+    const auto noise = static_cast<std::uint8_t>(rng.next_below(128));
+    const auto pred = static_cast<std::uint8_t>(
+        (pk.carries & pk.mask) | (noise & ~pk.mask));
+    const auto r = gla.add(a, b, false, pred, pk.mask);
+    ASSERT_EQ(r.sum, a + b);
+    ASSERT_EQ(r.recompute_mask & pk.mask, 0);
+  }
+}
+
+TEST(GateLevelSt2, NarrowDatapaths) {
+  for (int slices : {2, 3, 4, 7}) {
+    GateLevelSt2Adder gla(slices);
+    const std::uint64_t mask = low_mask(slices * kSliceBits);
+    Xoshiro256 rng(static_cast<std::uint64_t>(slices));
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t a = rng.next_u64() & mask;
+      const std::uint64_t b = rng.next_u64() & mask;
+      const auto pred = static_cast<std::uint8_t>(
+          rng.next_below(1u << (slices - 1)));
+      const auto r = gla.add(a, b, false, pred, 0);
+      ASSERT_EQ(r.sum, (a + b) & mask) << "slices=" << slices;
+      ASSERT_EQ(r.cout, ((a + b) >> (slices * kSliceBits)) & 1);
+    }
+  }
+}
+
+TEST(GateLevelSt2, RecoveryCostsMoreEnergy) {
+  GateLevelSt2Adder gla(8);
+  // Same operands, right vs wrong prediction: the wrong one must burn more
+  // (the recovery cycle's recomputation and register rewrites).
+  const std::uint64_t a = 0x00FF00FF00FF00FFull;
+  const std::uint64_t b = 0x0001000100010001ull;
+  const std::uint8_t actual = slice_carries(a, b, false);
+  const auto good = gla.add(a, b, false, actual, 0);
+  const auto bad = gla.add(a, b, false, static_cast<std::uint8_t>(~actual), 0);
+  ASSERT_EQ(good.sum, bad.sum);
+  EXPECT_GT(bad.energy, good.energy);
+}
+
+TEST(GateLevelSt2, StallSignalMirrorsLatency) {
+  GateLevelSt2Adder gla(4);  // 32-bit ALU shape
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t a = rng.next_below(1u << 20);
+    const std::uint64_t b = rng.next_below(1u << 20);
+    const auto pred = static_cast<std::uint8_t>(rng.next_below(8));
+    const auto r = gla.add(a, b, false, pred, 0);
+    ASSERT_EQ(r.cycles == 2, r.mispredicted);
+    ASSERT_EQ(r.sum, a + b);
+  }
+}
+
+}  // namespace
+}  // namespace st2::circuit

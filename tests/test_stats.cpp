@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+
+namespace st2 {
+namespace {
+
+TEST(Accumulator, MeanVarianceMinMax) {
+  Accumulator a;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(v);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 4.0, 1e-12);  // classic textbook set
+  EXPECT_NEAR(a.stddev(), 2.0, 1e-12);
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, WelfordMatchesTwoPass) {
+  Xoshiro256 rng(9);
+  std::vector<double> xs;
+  Accumulator a;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double() * 1e6 + 1e9;  // stress cancellation
+    xs.push_back(x);
+    a.add(x);
+  }
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(a.mean(), mean, 1e-3);
+  EXPECT_NEAR(a.variance() / var, 1.0, 1e-6);
+}
+
+TEST(RatioCounter, BasicAndAggregate) {
+  RatioCounter r;
+  r.record(true);
+  r.record(false);
+  r.record(false);
+  EXPECT_EQ(r.hits(), 1u);
+  EXPECT_EQ(r.misses(), 2u);
+  EXPECT_EQ(r.total(), 3u);
+  EXPECT_NEAR(r.rate(), 1.0 / 3.0, 1e-12);
+  RatioCounter r2;
+  r2.record(7, 10);
+  r2 += r;
+  EXPECT_EQ(r2.hits(), 8u);
+  EXPECT_EQ(r2.total(), 13u);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_r(x, y), 1.0, 1e-12);
+  const std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson_r(x, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceReturnsZero) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_EQ(pearson_r(x, y), 0.0);
+}
+
+TEST(Mape, KnownValue) {
+  const std::vector<double> measured{100, 200};
+  const std::vector<double> modeled{110, 180};
+  EXPECT_NEAR(mape(measured, modeled), (0.10 + 0.10) / 2, 1e-12);
+}
+
+TEST(Geomean, KnownValue) {
+  const std::vector<double> v{1.0, 4.0};
+  EXPECT_NEAR(geomean(v), 2.0, 1e-12);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-3.0);   // clamps into bin 0
+  h.add(42.0);   // clamps into bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+}
+
+}  // namespace
+}  // namespace st2

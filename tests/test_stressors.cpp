@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/power/stressors.hpp"
+#include "src/sim/config.hpp"
+
+namespace st2::power {
+namespace {
+
+TEST(Stressors, SuiteHasExactly123Kernels) {
+  const auto suite = stressor_suite();
+  EXPECT_EQ(suite.size(), 123u);  // the paper's count
+  // Names are unique.
+  std::set<std::string> names;
+  for (const auto& s : suite) names.insert(s.name);
+  EXPECT_EQ(names.size(), suite.size());
+}
+
+TEST(Stressors, EachFamilyExcitesItsComponent) {
+  sim::GpuConfig cfg;
+  cfg.num_sms = 2;
+  const PowerModel pm;
+  struct Expect {
+    int family;
+    Component dominant_or_present;
+  };
+  const Expect cases[] = {
+      {0, Component::kAluFpu},     // int ALU chains
+      {1, Component::kIntMulDiv},  // mul/div
+      {3, Component::kAluFpu},     // FMA accumulates land in the FPU adder
+      {4, Component::kAluFpu},     // FP64 adds (DPU -> ALU+FPU bucket)
+      {5, Component::kSfu},        // transcendentals
+      {8, Component::kDram},       // scattered loads
+      {9, Component::kCachesMc},   // shared memory
+  };
+  for (const auto& c : cases) {
+    StressorSpec spec{"probe", c.family, 3};
+    const auto comps = run_stressor(spec, pm, cfg);
+    EXPECT_GT(comps[static_cast<std::size_t>(c.dominant_or_present)], 0.0)
+        << "family " << c.family;
+  }
+}
+
+TEST(Stressors, ObservationsAreDeterministicPerOracleSeed) {
+  sim::GpuConfig cfg;
+  cfg.num_sms = 2;
+  const PowerModel pm;
+  StressorSpec spec{"probe", 0, 1};
+  const auto a = run_stressor(spec, pm, cfg);
+  const auto b = run_stressor(spec, pm, cfg);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Stressors, IntensityLevelsChangeTheOperatingPoint) {
+  // run_stressor reports per-cycle *power*; different intensity levels must
+  // land at measurably different operating points (that spread is what the
+  // least-squares fit needs).
+  sim::GpuConfig cfg;
+  cfg.num_sms = 2;
+  const PowerModel pm;
+  const auto lo = run_stressor(StressorSpec{"p", 0, 0}, pm, cfg);
+  const auto hi = run_stressor(StressorSpec{"p", 0, 8}, pm, cfg);
+  EXPECT_NE(lo, hi);
+  double lo_total = 0, hi_total = 0;
+  for (int i = 0; i < kNumComponents; ++i) {
+    lo_total += lo[static_cast<std::size_t>(i)];
+    hi_total += hi[static_cast<std::size_t>(i)];
+  }
+  EXPECT_GT(lo_total, 0.0);
+  EXPECT_GT(hi_total, 0.0);
+}
+
+}  // namespace
+}  // namespace st2::power

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/table.hpp"
+
+namespace st2 {
+namespace {
+
+TEST(TableTest, FormatsAlignedColumns) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.row({"x", "1"});
+  t.row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // "x" is padded to the width of "longer" before the next column starts.
+  EXPECT_NE(s.find("x       1"), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t;
+  t.header({"a", "b"});
+  t.row({"1", "2"});
+  t.row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.213), "21.3%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+  EXPECT_EQ(Table::pct(-0.05), "-5.0%");
+}
+
+TEST(TableTest, RowCountAndStream) {
+  Table t("x");
+  t.header({"h"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.row({"r"});
+  EXPECT_EQ(t.rows(), 1u);
+  std::ostringstream os;
+  os << t;
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace st2

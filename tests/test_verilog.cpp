@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "src/circuit/adder_netlists.hpp"
+#include "src/circuit/st2_slice.hpp"
+#include "src/circuit/verilog.hpp"
+
+namespace st2::circuit {
+namespace {
+
+TEST(Verilog, CombinationalModuleShape) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  nl.mark_output(nl.xor_(a, b), "y");
+  const std::string v = to_verilog(nl, "tiny");
+  EXPECT_NE(v.find("module tiny ("), std::string::npos);
+  EXPECT_NE(v.find("input  wire a,"), std::string::npos);
+  EXPECT_NE(v.find("output wire y"), std::string::npos);
+  EXPECT_NE(v.find("a ^ b"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_EQ(v.find("posedge"), std::string::npos);  // no clock needed
+}
+
+TEST(Verilog, SequentialModuleGetsClockAndAlwaysBlock) {
+  Netlist nl;
+  const NodeId d = nl.add_input("d");
+  const NodeId q = nl.add_dff("q");
+  nl.connect_dff(q, d);
+  nl.mark_output(q, "out");
+  const std::string v = to_verilog(nl, "flop");
+  EXPECT_NE(v.find("input  wire clk,"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("q <= d;"), std::string::npos);
+  EXPECT_NE(v.find("reg  q;"), std::string::npos);
+}
+
+TEST(Verilog, EveryGateKindRenders) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  nl.mark_output(nl.and_(a, b), "o_and");
+  nl.mark_output(nl.or_(a, b), "o_or");
+  nl.mark_output(nl.nand_(a, b), "o_nand");
+  nl.mark_output(nl.nor_(a, b), "o_nor");
+  nl.mark_output(nl.xnor_(a, b), "o_xnor");
+  nl.mark_output(nl.not_(a), "o_not");
+  nl.mark_output(nl.mux_(a, b, nl.add_const(true)), "o_mux");
+  nl.mark_output(nl.add_const(false), "o_zero");
+  const std::string v = to_verilog(nl, "allgates");
+  for (const char* frag :
+       {"a & b", "a | b", "~(a & b)", "~(a | b)", "~(a ^ b)", "~a",
+        "1'b1", "1'b0", " ? "}) {
+    EXPECT_NE(v.find(frag), std::string::npos) << frag;
+  }
+}
+
+TEST(Verilog, AdderNetlistsExportAtScale) {
+  Netlist nl;
+  build_brent_kung(nl, 64);
+  const std::string v = to_verilog(nl, "brent_kung_64");
+  // 64 sum wires + cout must all appear as outputs.
+  EXPECT_NE(v.find("output wire sum0,"), std::string::npos);
+  EXPECT_NE(v.find("output wire sum63,"), std::string::npos);
+  EXPECT_NE(v.find("output wire cout"), std::string::npos);
+  // One assign per logic gate.
+  std::size_t assigns = 0;
+  for (std::size_t pos = v.find("assign"); pos != std::string::npos;
+       pos = v.find("assign", pos + 1)) {
+    ++assigns;
+  }
+  EXPECT_EQ(assigns, nl.gate_count() + nl.num_outputs());
+}
+
+TEST(Verilog, GateLevelSt2Exports) {
+  Netlist nl;
+  build_gate_level_st2(nl, 8);
+  const std::string v = to_verilog(nl, "st2_adder_64");
+  EXPECT_NE(v.find("input  wire cpred1,"), std::string::npos);
+  EXPECT_NE(v.find("input  wire peeked7,"), std::string::npos);
+  EXPECT_NE(v.find("input  wire phase2,"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("state1 <="), std::string::npos);
+  EXPECT_NE(v.find("output wire any_error"), std::string::npos);
+}
+
+TEST(Verilog, SanitizesAwkwardNames) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a-b.c");
+  nl.mark_output(nl.not_(a), "3out");
+  const std::string v = to_verilog(nl, "weird name!");
+  EXPECT_NE(v.find("module weird_name_"), std::string::npos);
+  EXPECT_NE(v.find("a_b_c"), std::string::npos);
+  EXPECT_NE(v.find("n_3out"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace st2::circuit

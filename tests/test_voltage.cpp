@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "src/circuit/voltage.hpp"
+
+namespace st2::circuit {
+namespace {
+
+TEST(VoltageModel, NoScalingAtNominal) {
+  VoltageModel vm;
+  EXPECT_NEAR(vm.delay_scale(vm.vnom), 1.0, 1e-12);
+  EXPECT_NEAR(vm.energy_scale(vm.vnom), 1.0, 1e-12);
+}
+
+TEST(VoltageModel, DelayGrowsAsVoltageDrops) {
+  VoltageModel vm;
+  double prev = vm.delay_scale(1.0);
+  for (double v = 0.95; v >= 0.45; v -= 0.05) {
+    const double d = vm.delay_scale(v);
+    EXPECT_GT(d, prev) << "at v=" << v;
+    prev = d;
+  }
+}
+
+TEST(VoltageModel, EnergyIsQuadratic) {
+  VoltageModel vm;
+  EXPECT_NEAR(vm.energy_scale(0.5), 0.25, 1e-12);
+  EXPECT_NEAR(vm.energy_scale(0.6), 0.36, 1e-12);
+}
+
+TEST(VoltageModel, MinVoltageMeetsPeriodExactly) {
+  VoltageModel vm;
+  // A circuit 2x faster than the period can scale down; the chosen voltage
+  // must (a) meet timing, (b) be minimal up to bisection tolerance.
+  const double delay_nom = 10.0;
+  const double period = 20.0;
+  const double v = vm.min_voltage_for(delay_nom, period);
+  EXPECT_LE(delay_nom * vm.delay_scale(v), period * (1 + 1e-9));
+  if (v > vm.vmin + 1e-9) {
+    EXPECT_GT(delay_nom * vm.delay_scale(v - 0.01), period);
+  }
+}
+
+TEST(VoltageModel, MinVoltageClampsAtFloor) {
+  VoltageModel vm;
+  // A ridiculously fast circuit cannot scale below the library floor.
+  EXPECT_DOUBLE_EQ(vm.min_voltage_for(0.1, 100.0), vm.vmin);
+}
+
+TEST(VoltageModel, NominalWhenTimingAlreadyTight) {
+  VoltageModel vm;
+  EXPECT_DOUBLE_EQ(vm.min_voltage_for(30.0, 20.0), vm.vnom);
+}
+
+TEST(LevelShifters, OverheadArithmetic) {
+  LevelShifter ls;  // paper-cited constants
+  // One adder, 32 bits: 96 shifters.
+  const auto ov = level_shifter_overheads(ls, 1, 32, /*toggle_rate=*/1e9);
+  EXPECT_NEAR(ov.total_area_mm2, 96 * 2.8e-6, 1e-12);
+  EXPECT_NEAR(ov.static_power_w, 96 * 307e-9, 1e-15);
+  EXPECT_NEAR(ov.dynamic_power_w, 96 * 1e9 * 1.38e-15, 1e-9);
+}
+
+TEST(LevelShifters, TitanVScaleMatchesPaperBounds) {
+  // 80 SMs x 160 adder datapaths x 32 bits, as in the Table D bench.
+  LevelShifter ls;
+  const auto ov = level_shifter_overheads(ls, 80LL * 160, 32, 1.2e8);
+  EXPECT_LT(ov.total_area_mm2, 5.5);       // paper: < 5.5 mm^2
+  EXPECT_LT(ov.area_fraction, 0.0068 * 2); // paper: 0.68%
+  EXPECT_LT(ov.static_power_w, 1.0);       // paper: ~0.6 W
+}
+
+}  // namespace
+}  // namespace st2::circuit

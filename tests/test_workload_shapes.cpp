@@ -1,0 +1,112 @@
+// Shape tests over the 23-kernel suite: each kernel's instruction profile
+// must look like the workload it claims to be (sorting kernels are
+// compare-heavy, sgemm is FMA-heavy, histogram touches bytes, ...), and
+// every case must stay valid across input scales.
+#include <gtest/gtest.h>
+
+#include "src/sim/trace_run.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace st2::workloads {
+namespace {
+
+sim::EventCounters run_counters(const std::string& name, double scale) {
+  PreparedCase pc = prepare_case(name, scale);
+  sim::EventCounters c;
+  for (const auto& lc : pc.launches) {
+    c += sim::trace_run(pc.kernel, lc, *pc.mem).counters;
+  }
+  EXPECT_TRUE(pc.validate(*pc.mem)) << name << " scale " << scale;
+  return c;
+}
+
+double frac(std::uint64_t part, std::uint64_t whole) {
+  return whole ? double(part) / double(whole) : 0.0;
+}
+
+TEST(WorkloadShapes, SgemmIsFmaDominated) {
+  const auto c = run_counters("sgemm", 0.3);
+  EXPECT_GT(frac(c.fused_fp_mul_ops, c.thread_instructions), 0.15);
+  EXPECT_EQ(c.dpu_ops, 0u);
+}
+
+TEST(WorkloadShapes, SortsAreIntegerCompareHeavy) {
+  for (const char* name : {"sortNets_K1", "msort_K1"}) {
+    const auto c = run_counters(name, 0.3);
+    EXPECT_GT(frac(c.alu_adder_ops, c.thread_instructions), 0.15) << name;
+    EXPECT_EQ(c.fpu_ops, 0u) << name;
+    EXPECT_GT(c.smem_accesses, 0u) << name;  // shared-memory networks
+  }
+}
+
+TEST(WorkloadShapes, WalshIsPureFpAddSub) {
+  const auto c = run_counters("walsh_K1", 0.3);
+  EXPECT_GT(c.fig1_fpu_add, 0u);
+  EXPECT_EQ(c.fp_muldiv_ops, 0u);   // butterflies: adds/subs only
+  EXPECT_EQ(c.fused_fp_mul_ops, 0u);
+  EXPECT_EQ(c.sfu_ops, 0u);
+}
+
+TEST(WorkloadShapes, MriqUsesSfu) {
+  const auto c = run_counters("mri-q_K1", 0.3);
+  EXPECT_GT(c.sfu_ops, 0u);  // sin/cos per k-space sample
+  EXPECT_GT(c.fused_fp_mul_ops, 0u);
+}
+
+TEST(WorkloadShapes, SradDivides) {
+  const auto c = run_counters("sradv1_K1", 0.3);
+  EXPECT_GT(c.fp_div_ops, 0u);
+}
+
+TEST(WorkloadShapes, HistogramTouchesBytes) {
+  const auto c = run_counters("histo_K1", 0.3);
+  EXPECT_GT(c.smem_accesses, 0u);
+  EXPECT_GT(frac(c.fig1_alu_add, c.thread_instructions), 0.10);
+}
+
+TEST(WorkloadShapes, SadIsAbsoluteDifferenceHeavy) {
+  const auto c = run_counters("sad_K1", 0.3);
+  // ISUB + IABS + IADD per pixel: ALU Add bucket dominates.
+  EXPECT_GT(frac(c.fig1_alu_add, c.thread_instructions), 0.25);
+}
+
+TEST(WorkloadShapes, QrngK1IsIntegerLogicQrngK2IsFp) {
+  const auto k1 = run_counters("qrng_K1", 0.3);
+  const auto k2 = run_counters("qrng_K2", 0.3);
+  EXPECT_GT(frac(k1.fig1_alu_other, k1.thread_instructions), 0.4);
+  EXPECT_GT(k2.fused_fp_mul_ops, 0u);   // Moro polynomial FFMAs
+  EXPECT_GT(k2.fp_div_ops, 0u);
+}
+
+TEST(WorkloadShapes, PathfinderUsesSharedMemoryAndBarriers) {
+  const auto c = run_counters("pathfinder", 0.3);
+  EXPECT_GT(c.smem_accesses, 0u);
+  EXPECT_GT(frac(c.fig1_alu_add, c.thread_instructions), 0.10);
+}
+
+class ScaleSweep : public ::testing::TestWithParam<double> {};
+
+// Every kernel must validate at any supported scale (guards the size
+// arithmetic: power-of-two constraints, chunk multiples, halo coverage).
+TEST_P(ScaleSweep, AllKernelsValidate) {
+  const double scale = GetParam();
+  for (const auto& info : case_list()) {
+    (void)run_counters(info.name, scale);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleSweep,
+                         ::testing::Values(0.15, 0.3, 0.7),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "scale_" +
+                                  std::to_string(int(info.param * 100));
+                         });
+
+TEST(WorkloadShapes, InstructionCountsScaleWithInputs) {
+  const auto small = run_counters("kmeans_K1", 0.2);
+  const auto large = run_counters("kmeans_K1", 0.8);
+  EXPECT_GT(large.thread_instructions, 2 * small.thread_instructions);
+}
+
+}  // namespace
+}  // namespace st2::workloads

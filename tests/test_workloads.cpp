@@ -1,0 +1,74 @@
+// Functional validation of the 23-kernel suite: every case runs through the
+// trace-mode simulator at reduced scale and must match its host reference
+// bit-for-bit (integer kernels) or within tolerance (float kernels).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/sim/trace_run.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace st2::workloads {
+namespace {
+
+class WorkloadValidation : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadValidation, MatchesHostReference) {
+  PreparedCase pc = prepare_case(GetParam(), /*scale=*/0.25);
+  sim::EventCounters total;
+  for (const sim::LaunchConfig& lc : pc.launches) {
+    const sim::TraceResult r = sim::trace_run(pc.kernel, lc, *pc.mem);
+    total += r.counters;
+  }
+  EXPECT_TRUE(pc.validate(*pc.mem)) << pc.name << " output mismatch";
+  EXPECT_GT(total.thread_instructions, 0u);
+}
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> names;
+  for (const CaseInfo& info : case_list()) names.push_back(info.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadValidation, ::testing::ValuesIn(all_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string n = info.param;
+      for (char& c : n) {
+        if (c == '+' || c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(WorkloadSuite, Has23Kernels) { EXPECT_EQ(case_list().size(), 23u); }
+
+TEST(WorkloadSuite, UnknownKernelThrows) {
+  EXPECT_THROW((void)prepare_case("definitely_not_a_kernel"),
+               std::invalid_argument);
+}
+
+TEST(WorkloadSuite, SuiteAttributionCoversAllThreeBenchmarks) {
+  int rodinia = 0, cuda = 0, parboil = 0;
+  for (const CaseInfo& info : case_list()) {
+    rodinia += info.suite == "Rodinia";
+    cuda += info.suite == "CUDA-Samples";
+    parboil += info.suite == "Parboil";
+  }
+  EXPECT_EQ(rodinia, 8);   // kmeans, bprop x2, sradv1, dwt2d, b+tree x2,
+                           // pathfinder
+  EXPECT_EQ(cuda, 12);
+  EXPECT_EQ(parboil, 3);
+  EXPECT_EQ(rodinia + cuda + parboil, 23);
+}
+
+TEST(WorkloadSuite, PathfinderPcsAreDistinct) {
+  const PathfinderPcs pcs = pathfinder_fig2_pcs();
+  for (int i = 0; i < 7; ++i) {
+    for (int j = i + 1; j < 7; ++j) {
+      EXPECT_NE(pcs.pc[i], pcs.pc[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace st2::workloads

@@ -1,0 +1,196 @@
+// st2sim — command-line driver for the simulator.
+//
+//   st2sim list
+//   st2sim run <kernel|all> [--scale S] [--st2] [--sms N] [--lrr]
+//              [--spec CONFIG] [--csv FILE] [--disasm] [--trace]
+//
+// --spec selects the speculation policy measured in --trace mode (any name
+// from the Figure 5 sweep, e.g. "Prev+ModPC4+Peek").
+//
+// Examples:
+//   st2sim run pathfinder --st2            # timing run, ST2 machine
+//   st2sim run all --scale 0.25 --csv out.csv
+//   st2sim run kmeans_K1 --trace           # fast functional run + specs
+//   st2sim run msort_K2 --disasm           # print the mini-PTX
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/table.hpp"
+#include "src/power/model.hpp"
+#include "src/sim/spec_harness.hpp"
+#include "src/sim/timing.hpp"
+#include "src/sim/trace_run.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace {
+
+using namespace st2;
+
+struct Options {
+  std::string command;
+  std::string kernel;
+  std::string spec = "Ltid+Prev+ModPC4+Peek";
+  double scale = 0.5;
+  bool st2 = false;
+  bool lrr = false;
+  bool trace = false;
+  bool disasm = false;
+  int sms = 20;
+  std::string csv;
+};
+
+int usage() {
+  std::puts(
+      "usage:\n"
+      "  st2sim list\n"
+      "  st2sim run <kernel|all> [--scale S] [--st2] [--sms N] [--lrr]\n"
+      "             [--spec CONFIG] [--csv FILE] [--disasm] [--trace]");
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options* o) {
+  if (argc < 2) return false;
+  o->command = argv[1];
+  if (o->command == "list") return true;
+  if (o->command != "run" || argc < 3) return false;
+  o->kernel = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--scale") {
+      const char* v = next();
+      if (!v) return false;
+      o->scale = std::atof(v);
+    } else if (a == "--sms") {
+      const char* v = next();
+      if (!v) return false;
+      o->sms = std::atoi(v);
+    } else if (a == "--csv") {
+      const char* v = next();
+      if (!v) return false;
+      o->csv = v;
+    } else if (a == "--spec") {
+      const char* v = next();
+      if (!v) return false;
+      o->spec = v;
+    } else if (a == "--st2") {
+      o->st2 = true;
+    } else if (a == "--lrr") {
+      o->lrr = true;
+    } else if (a == "--trace") {
+      o->trace = true;
+    } else if (a == "--disasm") {
+      o->disasm = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return o->scale > 0 && o->scale <= 4.0 && o->sms >= 1;
+}
+
+int run_one(const Options& o, const std::string& name, Table* out) {
+  workloads::PreparedCase pc = workloads::prepare_case(name, o.scale);
+  if (o.disasm) {
+    std::printf("%s\n", pc.kernel.disassemble().c_str());
+    return 0;
+  }
+
+  if (o.trace) {
+    spec::SpeculationConfig cfg = spec::st2_config();
+    bool found = o.spec == cfg.name();
+    if (!found) {
+      for (const auto& c : spec::SpeculationConfig::figure5_sweep()) {
+        if (c.name() == o.spec) {
+          cfg = c;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown --spec '%s'; options:\n", o.spec.c_str());
+      for (const auto& c : spec::SpeculationConfig::figure5_sweep()) {
+        std::fprintf(stderr, "  %s\n", c.name().c_str());
+      }
+      return 2;
+    }
+    sim::SpeculationHarness spec(cfg);
+    sim::EventCounters c;
+    for (const auto& lc : pc.launches) {
+      c += sim::trace_run(pc.kernel, lc, *pc.mem,
+                          [&](const sim::ExecRecord& r) { spec.feed(r); })
+               .counters;
+    }
+    const bool ok = pc.validate(*pc.mem);
+    out->row({name, ok ? "ok" : "FAIL", std::to_string(c.thread_instructions),
+              Table::pct(c.simd_efficiency()), "-",
+              Table::pct(spec.op_misprediction_rate()), "-", "-"});
+    return ok ? 0 : 1;
+  }
+
+  sim::GpuConfig cfg = o.st2 ? sim::GpuConfig::st2()
+                             : sim::GpuConfig::baseline();
+  cfg.num_sms = o.sms;
+  if (o.lrr) cfg.scheduler = sim::WarpScheduler::kLrr;
+  sim::TimingSimulator ts(cfg);
+  sim::EventCounters c;
+  std::uint64_t cycles = 0;
+  for (const auto& lc : pc.launches) {
+    const auto r = ts.run(pc.kernel, lc, *pc.mem);
+    c += r.counters;
+    cycles += r.counters.cycles;
+  }
+  c.cycles = cycles;
+  const bool ok = pc.validate(*pc.mem);
+  const power::PowerModel pm;
+  const auto e = pm.energy(c, o.st2);
+  out->row({name, ok ? "ok" : "FAIL", std::to_string(c.thread_instructions),
+            Table::pct(c.simd_efficiency()), std::to_string(cycles),
+            o.st2 ? Table::pct(c.adder_misprediction_rate()) : "-",
+            Table::num(e.total(), 0), Table::num(e.chip(), 0)});
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, &o)) return usage();
+
+  if (o.command == "list") {
+    Table t("available kernels");
+    t.header({"kernel", "suite"});
+    for (const auto& info : workloads::case_list()) {
+      t.row({info.name, info.suite});
+    }
+    t.print(std::cout);
+    return 0;
+  }
+
+  Table t(o.trace ? "functional (trace) run" : "timing run");
+  t.header({"kernel", "valid", "thread instrs", "simd eff", "cycles",
+            "mispred", "energy", "chip energy"});
+  int rc = 0;
+  if (o.kernel == "all") {
+    for (const auto& info : workloads::case_list()) {
+      rc |= run_one(o, info.name, &t);
+    }
+  } else {
+    rc = run_one(o, o.kernel, &t);
+  }
+  if (!o.disasm) {
+    t.print(std::cout);
+    if (!o.csv.empty()) {
+      std::ofstream(o.csv) << t.to_csv();
+      std::printf("wrote %s\n", o.csv.c_str());
+    }
+  }
+  return rc;
+}
