@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_st2.dir/ablation_st2.cpp.o"
+  "CMakeFiles/ablation_st2.dir/ablation_st2.cpp.o.d"
+  "ablation_st2"
+  "ablation_st2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_st2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_sensitivity.dir/config_sensitivity.cpp.o"
+  "CMakeFiles/config_sensitivity.dir/config_sensitivity.cpp.o.d"
+  "config_sensitivity"
+  "config_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

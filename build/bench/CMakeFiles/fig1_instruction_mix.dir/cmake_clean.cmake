@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_instruction_mix.dir/fig1_instruction_mix.cpp.o"
+  "CMakeFiles/fig1_instruction_mix.dir/fig1_instruction_mix.cpp.o.d"
+  "fig1_instruction_mix"
+  "fig1_instruction_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dse.dir/fig5_dse.cpp.o"
+  "CMakeFiles/fig5_dse.dir/fig5_dse.cpp.o.d"
+  "fig5_dse"
+  "fig5_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

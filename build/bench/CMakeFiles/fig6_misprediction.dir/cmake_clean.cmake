@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_misprediction.dir/fig6_misprediction.cpp.o"
+  "CMakeFiles/fig6_misprediction.dir/fig6_misprediction.cpp.o.d"
+  "fig6_misprediction"
+  "fig6_misprediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_misprediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_sensitivity.dir/fp_sensitivity.cpp.o"
+  "CMakeFiles/fp_sensitivity.dir/fp_sensitivity.cpp.o.d"
+  "fp_sensitivity"
+  "fp_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

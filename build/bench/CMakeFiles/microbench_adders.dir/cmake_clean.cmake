@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_adders.dir/microbench_adders.cpp.o"
+  "CMakeFiles/microbench_adders.dir/microbench_adders.cpp.o.d"
+  "microbench_adders"
+  "microbench_adders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_adders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_adders.dir/related_adders.cpp.o"
+  "CMakeFiles/related_adders.dir/related_adders.cpp.o.d"
+  "related_adders"
+  "related_adders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_adders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

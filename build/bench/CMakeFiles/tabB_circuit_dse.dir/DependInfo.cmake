@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tabB_circuit_dse.cpp" "bench/CMakeFiles/tabB_circuit_dse.dir/tabB_circuit_dse.cpp.o" "gcc" "bench/CMakeFiles/tabB_circuit_dse.dir/tabB_circuit_dse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/st2_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/adder/CMakeFiles/st2_adder.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/st2_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/st2_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/st2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/st2_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/st2_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabB_circuit_dse.dir/tabB_circuit_dse.cpp.o"
+  "CMakeFiles/tabB_circuit_dse.dir/tabB_circuit_dse.cpp.o.d"
+  "tabB_circuit_dse"
+  "tabB_circuit_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabB_circuit_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabC_power_model.dir/tabC_power_model.cpp.o"
+  "CMakeFiles/tabC_power_model.dir/tabC_power_model.cpp.o.d"
+  "tabC_power_model"
+  "tabC_power_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabC_power_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

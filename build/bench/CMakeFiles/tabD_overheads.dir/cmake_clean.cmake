@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabD_overheads.dir/tabD_overheads.cpp.o"
+  "CMakeFiles/tabD_overheads.dir/tabD_overheads.cpp.o.d"
+  "tabD_overheads"
+  "tabD_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabD_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

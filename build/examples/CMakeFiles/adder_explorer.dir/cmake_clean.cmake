@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_explorer.dir/adder_explorer.cpp.o"
+  "CMakeFiles/adder_explorer.dir/adder_explorer.cpp.o.d"
+  "adder_explorer"
+  "adder_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

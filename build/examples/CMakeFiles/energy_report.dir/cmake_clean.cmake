@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_report.dir/energy_report.cpp.o"
+  "CMakeFiles/energy_report.dir/energy_report.cpp.o.d"
+  "energy_report"
+  "energy_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp64_nbody.dir/fp64_nbody.cpp.o"
+  "CMakeFiles/fp64_nbody.dir/fp64_nbody.cpp.o.d"
+  "fp64_nbody"
+  "fp64_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp64_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

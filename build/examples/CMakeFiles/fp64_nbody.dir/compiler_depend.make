@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fp64_nbody.
+# This may be replaced when dependencies are built.

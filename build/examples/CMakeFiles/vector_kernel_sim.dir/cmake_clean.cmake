@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_kernel_sim.dir/vector_kernel_sim.cpp.o"
+  "CMakeFiles/vector_kernel_sim.dir/vector_kernel_sim.cpp.o.d"
+  "vector_kernel_sim"
+  "vector_kernel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_kernel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

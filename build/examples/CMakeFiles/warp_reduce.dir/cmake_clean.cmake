@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warp_reduce.dir/warp_reduce.cpp.o"
+  "CMakeFiles/warp_reduce.dir/warp_reduce.cpp.o.d"
+  "warp_reduce"
+  "warp_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warp_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adder/adders.cpp" "src/adder/CMakeFiles/st2_adder.dir/adders.cpp.o" "gcc" "src/adder/CMakeFiles/st2_adder.dir/adders.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/st2_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/st2_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st2_adder.dir/adders.cpp.o"
+  "CMakeFiles/st2_adder.dir/adders.cpp.o.d"
+  "libst2_adder.a"
+  "libst2_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st2_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/adder_netlists.cpp" "src/circuit/CMakeFiles/st2_circuit.dir/adder_netlists.cpp.o" "gcc" "src/circuit/CMakeFiles/st2_circuit.dir/adder_netlists.cpp.o.d"
+  "/root/repo/src/circuit/characterize.cpp" "src/circuit/CMakeFiles/st2_circuit.dir/characterize.cpp.o" "gcc" "src/circuit/CMakeFiles/st2_circuit.dir/characterize.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/st2_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/st2_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/st2_slice.cpp" "src/circuit/CMakeFiles/st2_circuit.dir/st2_slice.cpp.o" "gcc" "src/circuit/CMakeFiles/st2_circuit.dir/st2_slice.cpp.o.d"
+  "/root/repo/src/circuit/verilog.cpp" "src/circuit/CMakeFiles/st2_circuit.dir/verilog.cpp.o" "gcc" "src/circuit/CMakeFiles/st2_circuit.dir/verilog.cpp.o.d"
+  "/root/repo/src/circuit/voltage.cpp" "src/circuit/CMakeFiles/st2_circuit.dir/voltage.cpp.o" "gcc" "src/circuit/CMakeFiles/st2_circuit.dir/voltage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

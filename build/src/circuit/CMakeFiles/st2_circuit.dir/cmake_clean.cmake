@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st2_circuit.dir/adder_netlists.cpp.o"
+  "CMakeFiles/st2_circuit.dir/adder_netlists.cpp.o.d"
+  "CMakeFiles/st2_circuit.dir/characterize.cpp.o"
+  "CMakeFiles/st2_circuit.dir/characterize.cpp.o.d"
+  "CMakeFiles/st2_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/st2_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/st2_circuit.dir/st2_slice.cpp.o"
+  "CMakeFiles/st2_circuit.dir/st2_slice.cpp.o.d"
+  "CMakeFiles/st2_circuit.dir/verilog.cpp.o"
+  "CMakeFiles/st2_circuit.dir/verilog.cpp.o.d"
+  "CMakeFiles/st2_circuit.dir/voltage.cpp.o"
+  "CMakeFiles/st2_circuit.dir/voltage.cpp.o.d"
+  "libst2_circuit.a"
+  "libst2_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st2_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st2_common.dir/stats.cpp.o"
+  "CMakeFiles/st2_common.dir/stats.cpp.o.d"
+  "CMakeFiles/st2_common.dir/table.cpp.o"
+  "CMakeFiles/st2_common.dir/table.cpp.o.d"
+  "libst2_common.a"
+  "libst2_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st2_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st2_isa.dir/builder.cpp.o"
+  "CMakeFiles/st2_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/st2_isa.dir/instruction.cpp.o"
+  "CMakeFiles/st2_isa.dir/instruction.cpp.o.d"
+  "libst2_isa.a"
+  "libst2_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st2_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/calibrate.cpp" "src/power/CMakeFiles/st2_power.dir/calibrate.cpp.o" "gcc" "src/power/CMakeFiles/st2_power.dir/calibrate.cpp.o.d"
+  "/root/repo/src/power/model.cpp" "src/power/CMakeFiles/st2_power.dir/model.cpp.o" "gcc" "src/power/CMakeFiles/st2_power.dir/model.cpp.o.d"
+  "/root/repo/src/power/stressors.cpp" "src/power/CMakeFiles/st2_power.dir/stressors.cpp.o" "gcc" "src/power/CMakeFiles/st2_power.dir/stressors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/st2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/st2_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/st2_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st2_power.dir/calibrate.cpp.o"
+  "CMakeFiles/st2_power.dir/calibrate.cpp.o.d"
+  "CMakeFiles/st2_power.dir/model.cpp.o"
+  "CMakeFiles/st2_power.dir/model.cpp.o.d"
+  "CMakeFiles/st2_power.dir/stressors.cpp.o"
+  "CMakeFiles/st2_power.dir/stressors.cpp.o.d"
+  "libst2_power.a"
+  "libst2_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st2_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

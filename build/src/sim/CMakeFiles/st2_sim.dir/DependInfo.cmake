@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adder_ops.cpp" "src/sim/CMakeFiles/st2_sim.dir/adder_ops.cpp.o" "gcc" "src/sim/CMakeFiles/st2_sim.dir/adder_ops.cpp.o.d"
+  "/root/repo/src/sim/functional.cpp" "src/sim/CMakeFiles/st2_sim.dir/functional.cpp.o" "gcc" "src/sim/CMakeFiles/st2_sim.dir/functional.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/st2_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/st2_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/spec_harness.cpp" "src/sim/CMakeFiles/st2_sim.dir/spec_harness.cpp.o" "gcc" "src/sim/CMakeFiles/st2_sim.dir/spec_harness.cpp.o.d"
+  "/root/repo/src/sim/timing.cpp" "src/sim/CMakeFiles/st2_sim.dir/timing.cpp.o" "gcc" "src/sim/CMakeFiles/st2_sim.dir/timing.cpp.o.d"
+  "/root/repo/src/sim/trace_run.cpp" "src/sim/CMakeFiles/st2_sim.dir/trace_run.cpp.o" "gcc" "src/sim/CMakeFiles/st2_sim.dir/trace_run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/st2_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/st2_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

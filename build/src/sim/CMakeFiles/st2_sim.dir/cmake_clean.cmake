@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st2_sim.dir/adder_ops.cpp.o"
+  "CMakeFiles/st2_sim.dir/adder_ops.cpp.o.d"
+  "CMakeFiles/st2_sim.dir/functional.cpp.o"
+  "CMakeFiles/st2_sim.dir/functional.cpp.o.d"
+  "CMakeFiles/st2_sim.dir/memory.cpp.o"
+  "CMakeFiles/st2_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/st2_sim.dir/spec_harness.cpp.o"
+  "CMakeFiles/st2_sim.dir/spec_harness.cpp.o.d"
+  "CMakeFiles/st2_sim.dir/timing.cpp.o"
+  "CMakeFiles/st2_sim.dir/timing.cpp.o.d"
+  "CMakeFiles/st2_sim.dir/trace_run.cpp.o"
+  "CMakeFiles/st2_sim.dir/trace_run.cpp.o.d"
+  "libst2_sim.a"
+  "libst2_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st2_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/config.cpp" "src/spec/CMakeFiles/st2_spec.dir/config.cpp.o" "gcc" "src/spec/CMakeFiles/st2_spec.dir/config.cpp.o.d"
+  "/root/repo/src/spec/crf.cpp" "src/spec/CMakeFiles/st2_spec.dir/crf.cpp.o" "gcc" "src/spec/CMakeFiles/st2_spec.dir/crf.cpp.o.d"
+  "/root/repo/src/spec/predictor.cpp" "src/spec/CMakeFiles/st2_spec.dir/predictor.cpp.o" "gcc" "src/spec/CMakeFiles/st2_spec.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st2_spec.dir/config.cpp.o"
+  "CMakeFiles/st2_spec.dir/config.cpp.o.d"
+  "CMakeFiles/st2_spec.dir/crf.cpp.o"
+  "CMakeFiles/st2_spec.dir/crf.cpp.o.d"
+  "CMakeFiles/st2_spec.dir/predictor.cpp.o"
+  "CMakeFiles/st2_spec.dir/predictor.cpp.o.d"
+  "libst2_spec.a"
+  "libst2_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st2_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libst2_spec.a"
+)

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/backprop.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/backprop.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/backprop.cpp.o.d"
+  "/root/repo/src/workloads/binomial.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/binomial.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/binomial.cpp.o.d"
+  "/root/repo/src/workloads/btree.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/btree.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/btree.cpp.o.d"
+  "/root/repo/src/workloads/dct8x8.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/dct8x8.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/dct8x8.cpp.o.d"
+  "/root/repo/src/workloads/dwt2d.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/dwt2d.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/dwt2d.cpp.o.d"
+  "/root/repo/src/workloads/histogram.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/histogram.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/histogram.cpp.o.d"
+  "/root/repo/src/workloads/kmeans.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/kmeans.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/kmeans.cpp.o.d"
+  "/root/repo/src/workloads/mergesort.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/mergesort.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/mergesort.cpp.o.d"
+  "/root/repo/src/workloads/mriq.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/mriq.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/mriq.cpp.o.d"
+  "/root/repo/src/workloads/pathfinder.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/pathfinder.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/pathfinder.cpp.o.d"
+  "/root/repo/src/workloads/qrng.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/qrng.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/qrng.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/sad.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/sad.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/sad.cpp.o.d"
+  "/root/repo/src/workloads/sgemm.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/sgemm.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/sgemm.cpp.o.d"
+  "/root/repo/src/workloads/sobol.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/sobol.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/sobol.cpp.o.d"
+  "/root/repo/src/workloads/sortnets.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/sortnets.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/sortnets.cpp.o.d"
+  "/root/repo/src/workloads/srad.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/srad.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/srad.cpp.o.d"
+  "/root/repo/src/workloads/util.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/util.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/util.cpp.o.d"
+  "/root/repo/src/workloads/walsh.cpp" "src/workloads/CMakeFiles/st2_workloads.dir/walsh.cpp.o" "gcc" "src/workloads/CMakeFiles/st2_workloads.dir/walsh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/st2_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/st2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/st2_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

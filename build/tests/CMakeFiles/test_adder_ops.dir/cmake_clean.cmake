@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adder_ops.dir/test_adder_ops.cpp.o"
+  "CMakeFiles/test_adder_ops.dir/test_adder_ops.cpp.o.d"
+  "test_adder_ops"
+  "test_adder_ops.pdb"
+  "test_adder_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adder_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

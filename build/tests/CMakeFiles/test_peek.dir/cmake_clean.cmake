@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peek.dir/test_peek.cpp.o"
+  "CMakeFiles/test_peek.dir/test_peek.cpp.o.d"
+  "test_peek"
+  "test_peek.pdb"
+  "test_peek[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shfl_atomics.dir/test_shfl_atomics.cpp.o"
+  "CMakeFiles/test_shfl_atomics.dir/test_shfl_atomics.cpp.o.d"
+  "test_shfl_atomics"
+  "test_shfl_atomics.pdb"
+  "test_shfl_atomics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shfl_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

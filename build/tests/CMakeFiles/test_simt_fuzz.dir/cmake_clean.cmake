@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_fuzz.dir/test_simt_fuzz.cpp.o"
+  "CMakeFiles/test_simt_fuzz.dir/test_simt_fuzz.cpp.o.d"
+  "test_simt_fuzz"
+  "test_simt_fuzz.pdb"
+  "test_simt_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stressors.dir/test_stressors.cpp.o"
+  "CMakeFiles/test_stressors.dir/test_stressors.cpp.o.d"
+  "test_stressors"
+  "test_stressors.pdb"
+  "test_stressors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_run.dir/test_trace_run.cpp.o"
+  "CMakeFiles/test_trace_run.dir/test_trace_run.cpp.o.d"
+  "test_trace_run"
+  "test_trace_run.pdb"
+  "test_trace_run[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_voltage.dir/test_voltage.cpp.o"
+  "CMakeFiles/test_voltage.dir/test_voltage.cpp.o.d"
+  "test_voltage"
+  "test_voltage.pdb"
+  "test_voltage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st2sim.dir/st2sim.cpp.o"
+  "CMakeFiles/st2sim.dir/st2sim.cpp.o.d"
+  "st2sim"
+  "st2sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st2sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
