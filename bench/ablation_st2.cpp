@@ -136,7 +136,7 @@ int main() {
     sim::TimingSimulator ts(cfg);
     sim::EventCounters c;
     for (const auto& lc : pc2.launches) {
-      c += ts.run(pc2.kernel, lc, *pc2.mem).counters;
+      c += ts.run_report(pc2.kernel, lc, *pc2.mem).chip;
     }
     st2_crf_sum += c.adder_misprediction_rate();
     ++n;
@@ -196,9 +196,9 @@ int main() {
           sim::EventCounters c2;
           std::uint64_t cycles = 0;
           for (const auto& lc : pc2.launches) {
-            const auto r = ts.run(pc2.kernel, lc, *pc2.mem);
-            c2 += r.counters;
-            cycles += r.counters.cycles;
+            const sim::RunReport r = ts.run_report(pc2.kernel, lc, *pc2.mem);
+            c2 += r.chip;
+            cycles += r.wall_cycles();
           }
           return std::pair<std::uint64_t, double>(
               cycles, c2.adder_misprediction_rate());

@@ -37,9 +37,9 @@ Outcome measure(const sim::GpuConfig& proto, double scale) {
       cfg.st2_enabled = false;
       sim::TimingSimulator ts(cfg);
       for (const auto& lc : pc.launches) {
-        const auto r = ts.run(pc.kernel, lc, *pc.mem);
-        cb += r.counters;
-        cyc_b += r.counters.cycles;
+        const sim::RunReport r = ts.run_report(pc.kernel, lc, *pc.mem);
+        cb += r.chip;
+        cyc_b += r.wall_cycles();
       }
       cb.cycles = cyc_b;
     }
@@ -49,9 +49,9 @@ Outcome measure(const sim::GpuConfig& proto, double scale) {
       cfg.st2_enabled = true;
       sim::TimingSimulator ts(cfg);
       for (const auto& lc : pc.launches) {
-        const auto r = ts.run(pc.kernel, lc, *pc.mem);
-        cs += r.counters;
-        cyc_s += r.counters.cycles;
+        const sim::RunReport r = ts.run_report(pc.kernel, lc, *pc.mem);
+        cs += r.chip;
+        cyc_s += r.wall_cycles();
       }
       cs.cycles = cyc_s;
     }

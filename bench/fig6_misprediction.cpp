@@ -25,7 +25,7 @@ int main() {
     sim::TimingSimulator sim(sim::GpuConfig::st2());
     sim::EventCounters c;
     for (const auto& lc : pc.launches) {
-      c += sim.run(pc.kernel, lc, *pc.mem).counters;
+      c += sim.run_report(pc.kernel, lc, *pc.mem).chip;
     }
     const double rate = c.adder_misprediction_rate();
     const double rps = c.slices_recomputed_per_misprediction();

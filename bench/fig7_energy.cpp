@@ -35,18 +35,20 @@ int main() {
     sim::EventCounters cb;
     std::uint64_t base_cycles = 0;
     for (const auto& lc : base_pc.launches) {
-      const auto r = base_sim.run(base_pc.kernel, lc, *base_pc.mem);
-      cb += r.counters;
-      base_cycles += r.counters.cycles;
+      const sim::RunReport r = base_sim.run_report(base_pc.kernel, lc,
+                                                   *base_pc.mem);
+      cb += r.chip;
+      base_cycles += r.wall_cycles();
     }
     workloads::PreparedCase st2_pc = workloads::prepare_case(info.name, scale);
     sim::TimingSimulator st2_sim(sim::GpuConfig::st2());
     sim::EventCounters cs;
     std::uint64_t st2_cycles = 0;
     for (const auto& lc : st2_pc.launches) {
-      const auto r = st2_sim.run(st2_pc.kernel, lc, *st2_pc.mem);
-      cs += r.counters;
-      st2_cycles += r.counters.cycles;
+      const sim::RunReport r = st2_sim.run_report(st2_pc.kernel, lc,
+                                                  *st2_pc.mem);
+      cs += r.chip;
+      st2_cycles += r.wall_cycles();
     }
     cb.cycles = base_cycles;
     cs.cycles = st2_cycles;

@@ -48,9 +48,9 @@ int main() {
     sim::EventCounters c;
     std::uint64_t cycles = 0;
     for (const auto& lc : pc.launches) {
-      const auto r = sim.run(pc.kernel, lc, *pc.mem);
-      c += r.counters;
-      cycles += r.counters.cycles;
+      const sim::RunReport r = sim.run_report(pc.kernel, lc, *pc.mem);
+      c += r.chip;
+      cycles += r.wall_cycles();
     }
     c.cycles = cycles;
     power::Observation o;

@@ -73,7 +73,7 @@ int main() {
     sim::TimingSimulator sim(sim::GpuConfig::st2());
     sim::EventCounters cnt;
     for (const auto& lc : pc.launches) {
-      cnt += sim.run(pc.kernel, lc, *pc.mem).counters;
+      cnt += sim.run_report(pc.kernel, lc, *pc.mem).chip;
     }
     const double rate =
         cnt.crf_writes ? double(cnt.crf_write_conflicts) / cnt.crf_writes

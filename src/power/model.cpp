@@ -95,7 +95,9 @@ EnergyBreakdown PowerModel::energy(const sim::EventCounters& c,
 
   e[Component::kDram] = k.dram_access * double(c.dram_accesses);
 
-  e[Component::kConst] = k.const_per_cycle * double(c.cycles);
+  // Chip-constant power burns for the kernel's wall-clock duration (the
+  // slowest SM), not the per-SM cycle sum.
+  e[Component::kConst] = k.const_per_cycle * double(c.wall_cycles());
 
   for (int i = 0; i < kNumComponents; ++i) {
     e.by_component[static_cast<std::size_t>(i)] *=

@@ -61,7 +61,16 @@ struct EventCounters {
   std::uint64_t noc_flits = 0;
 
   // --- time (timing mode only) -----------------------------------------------
+  // For a single SM, `cycles`, `sm_cycles_max` and `sm_cycles_sum` are all
+  // that SM's cycle count. The engine's chip-level reduction makes the
+  // aggregation explicit: `sm_cycles_max` is the kernel wall clock (the
+  // slowest SM), `sm_cycles_sum` is total SM-time (what per-SM static energy
+  // scales with), and `cycles` keeps its historical meaning of kernel
+  // runtime (== sm_cycles_max at chip level). operator+= sums all three,
+  // which is the right composition for *sequential* kernel launches.
   std::uint64_t cycles = 0;            ///< kernel runtime (max over SMs)
+  std::uint64_t sm_cycles_max = 0;     ///< wall clock: max over SMs
+  std::uint64_t sm_cycles_sum = 0;     ///< total SM-time: sum over SMs
   std::uint64_t sm_active_cycles = 0;  ///< sum over SMs of busy cycles
   std::uint64_t sm_idle_cycles = 0;    ///< sum over SMs of idle cycles
 
@@ -109,9 +118,20 @@ struct EventCounters {
     smem_accesses += o.smem_accesses;
     noc_flits += o.noc_flits;
     cycles += o.cycles;
+    sm_cycles_max += o.sm_cycles_max;
+    sm_cycles_sum += o.sm_cycles_sum;
     sm_active_cycles += o.sm_active_cycles;
     sm_idle_cycles += o.sm_idle_cycles;
     return *this;
+  }
+
+  bool operator==(const EventCounters&) const = default;
+
+  /// Wall-clock cycles of the execution: the explicit max-over-SMs when the
+  /// engine filled it in, else the legacy `cycles` field (hand-built
+  /// counters in tests and calibration fixtures set only that one).
+  std::uint64_t wall_cycles() const {
+    return sm_cycles_max != 0 ? sm_cycles_max : cycles;
   }
 
   /// SIMD efficiency: average fraction of the 32 lanes active per executed
@@ -134,5 +154,59 @@ struct EventCounters {
                : 0.0;
   }
 };
+
+/// Visits every counter as ("name", value) — the single source of truth for
+/// structured export (RunReport JSON, CSV) so new counters cannot silently
+/// fall out of the reports. `c` may be const or mutable.
+template <typename Counters, typename Fn>
+void for_each_counter(Counters& c, Fn&& fn) {
+  fn("warp_instructions", c.warp_instructions);
+  fn("thread_instructions", c.thread_instructions);
+  fn("alu_ops", c.alu_ops);
+  fn("alu_adder_ops", c.alu_adder_ops);
+  fn("int_muldiv_ops", c.int_muldiv_ops);
+  fn("fpu_ops", c.fpu_ops);
+  fn("fpu_adder_ops", c.fpu_adder_ops);
+  fn("fp_muldiv_ops", c.fp_muldiv_ops);
+  fn("dpu_ops", c.dpu_ops);
+  fn("dpu_adder_ops", c.dpu_adder_ops);
+  fn("sfu_ops", c.sfu_ops);
+  fn("mem_ops", c.mem_ops);
+  fn("ctrl_ops", c.ctrl_ops);
+  fn("int_div_ops", c.int_div_ops);
+  fn("fp_div_ops", c.fp_div_ops);
+  fn("fused_int_mul_ops", c.fused_int_mul_ops);
+  fn("fused_fp_mul_ops", c.fused_fp_mul_ops);
+  fn("fused_dp_mul_ops", c.fused_dp_mul_ops);
+  fn("fig1_alu_add", c.fig1_alu_add);
+  fn("fig1_alu_other", c.fig1_alu_other);
+  fn("fig1_fpu_add", c.fig1_fpu_add);
+  fn("fig1_fpu_other", c.fig1_fpu_other);
+  fn("fig1_other", c.fig1_other);
+  fn("regfile_reads", c.regfile_reads);
+  fn("regfile_writes", c.regfile_writes);
+  fn("crf_row_reads", c.crf_row_reads);
+  fn("crf_writes", c.crf_writes);
+  fn("crf_write_conflicts", c.crf_write_conflicts);
+  fn("adder_thread_ops", c.adder_thread_ops);
+  fn("adder_mispredicts", c.adder_mispredicts);
+  fn("slice_computes", c.slice_computes);
+  fn("slice_recomputes", c.slice_recomputes);
+  fn("warp_adder_insts", c.warp_adder_insts);
+  fn("warp_adder_stalls", c.warp_adder_stalls);
+  fn("gmem_insts", c.gmem_insts);
+  fn("l1_accesses", c.l1_accesses);
+  fn("l1_misses", c.l1_misses);
+  fn("l2_accesses", c.l2_accesses);
+  fn("l2_misses", c.l2_misses);
+  fn("dram_accesses", c.dram_accesses);
+  fn("smem_accesses", c.smem_accesses);
+  fn("noc_flits", c.noc_flits);
+  fn("cycles", c.cycles);
+  fn("sm_cycles_max", c.sm_cycles_max);
+  fn("sm_cycles_sum", c.sm_cycles_sum);
+  fn("sm_active_cycles", c.sm_active_cycles);
+  fn("sm_idle_cycles", c.sm_idle_cycles);
+}
 
 }  // namespace st2::sim

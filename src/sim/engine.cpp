@@ -1,0 +1,189 @@
+#include "src/sim/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "src/common/contracts.hpp"
+#include "src/sim/functional.hpp"
+#include "src/sim/trace_run.hpp"
+#include "src/spec/peek.hpp"
+#include "src/spec/predictor.hpp"
+
+namespace st2::sim {
+
+namespace {
+
+/// Appends one executed warp instruction to its replay stream.
+void append_op(WarpStream& ws, const ExecRecord& rec, int line_bytes,
+               bool capture_adder) {
+  TraceOp t;
+  t.pc = rec.pc;
+  t.active_mask = rec.active_mask;
+  if (rec.is_mem) t.flags |= TraceOp::kIsMem;
+  if (rec.is_store) t.flags |= TraceOp::kIsStore;
+  if (rec.is_shared) t.flags |= TraceOp::kIsShared;
+  if (rec.has_adder_op) t.flags |= TraceOp::kHasAdder;
+  if (rec.writes_reg) t.flags |= TraceOp::kWritesReg;
+
+  if (rec.is_mem && !rec.is_shared) {
+    // Coalesce active lanes into unique cache lines, preserving first-touch
+    // order so the replayed LRU state matches lane order exactly.
+    t.payload = static_cast<std::uint32_t>(ws.lines.size());
+    int n = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (((rec.active_mask >> lane) & 1u) == 0) continue;
+      const std::uint64_t line =
+          rec.mem_addr[static_cast<std::size_t>(lane)] /
+          static_cast<unsigned>(line_bytes);
+      bool found = false;
+      for (int i = 0; i < n; ++i) {
+        if (ws.lines[t.payload + static_cast<std::size_t>(i)] == line) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ws.lines.push_back(line);
+        ++n;
+      }
+    }
+    t.mem_lines = static_cast<std::uint16_t>(n);
+  } else if (rec.has_adder_op && capture_adder) {
+    // Pre-resolve the value-dependent speculation inputs per active lane;
+    // replay combines them with the CRF history, which is timing-dependent.
+    t.payload = static_cast<std::uint32_t>(ws.adder_lanes.size());
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (((rec.active_mask >> lane) & 1u) == 0) continue;
+      const AdderMicroOp& mop = rec.adder[static_cast<std::size_t>(lane)];
+      const spec::PeekResult pk = spec::peek(mop.a, mop.b, mop.num_slices);
+      spec::AddOp op{};
+      op.a = mop.a;
+      op.b = mop.b;
+      op.cin = mop.cin;
+      op.num_slices = mop.num_slices;
+      AdderLaneTrace lt;
+      lt.peek_mask = pk.mask;
+      lt.peek_carries = pk.carries;
+      lt.actual = spec::actual_carries(op);
+      lt.num_slices = static_cast<std::uint8_t>(mop.num_slices);
+      ws.adder_lanes.push_back(lt);
+    }
+  }
+  ws.ops.push_back(t);
+}
+
+}  // namespace
+
+GridCapture capture_grid(const GpuConfig& cfg, const isa::Kernel& kernel,
+                         const LaunchConfig& launch, GlobalMemory& gmem) {
+  launch.validate();
+  GridCapture cap;
+  cap.per_sm.resize(static_cast<std::size_t>(cfg.num_sms));
+
+  // Pre-size each SM's block list, then fill: block b goes to SM b % num_sms
+  // (the chip's round-robin block dispatcher), landing at slot b / num_sms.
+  const int warps = launch.warps_per_block();
+  const int num_blocks = launch.num_blocks();
+  for (int b = 0; b < num_blocks; ++b) {
+    cap.per_sm[static_cast<std::size_t>(b % cfg.num_sms)]
+        .blocks.emplace_back();
+  }
+  // Flat stream lookup table: the observer fires once per executed warp
+  // instruction, so it should not pay two divisions and three vector hops
+  // to find its stream. Stream pointers are stable — every vector above is
+  // fully sized before capture starts.
+  std::vector<WarpStream*> streams(static_cast<std::size_t>(num_blocks) *
+                                   static_cast<std::size_t>(warps));
+  for (int b = 0; b < num_blocks; ++b) {
+    BlockWork& bw = cap.per_sm[static_cast<std::size_t>(b % cfg.num_sms)]
+                        .blocks[static_cast<std::size_t>(b / cfg.num_sms)];
+    bw.block_flat = b;
+    bw.warps.resize(static_cast<std::size_t>(warps));
+    for (int w = 0; w < warps; ++w) {
+      streams[static_cast<std::size_t>(b) * static_cast<std::size_t>(warps) +
+              static_cast<std::size_t>(w)] =
+          &bw.warps[static_cast<std::size_t>(w)];
+    }
+  }
+
+  // The canonical functional pass IS trace mode: side effects land in block
+  // order, once, no matter how the replay is parallelized.
+  const int line_bytes = cfg.line_bytes;
+  const bool capture_adder = cfg.st2_enabled;
+  trace_run(kernel, launch, gmem, [&](const ExecRecord& rec) {
+    WarpStream& ws =
+        *streams[static_cast<std::size_t>(rec.block_flat) *
+                     static_cast<std::size_t>(warps) +
+                 static_cast<std::size_t>(rec.warp_in_block)];
+    append_op(ws, rec, line_bytes, capture_adder);
+  });
+  return cap;
+}
+
+ExecutionEngine::ExecutionEngine(const GpuConfig& cfg, EngineOptions opts)
+    : cfg_(cfg), opts_(opts) {}
+
+int ExecutionEngine::resolved_jobs() const {
+  if (opts_.jobs > 0) return opts_.jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+RunReport ExecutionEngine::replay(const isa::Kernel& kernel,
+                                  const GridCapture& capture) {
+  ST2_EXPECTS(capture.per_sm.size() ==
+              static_cast<std::size_t>(cfg_.num_sms));
+
+  // SMs with work, in ascending index order.
+  std::vector<int> work_sms;
+  for (int sm = 0; sm < cfg_.num_sms; ++sm) {
+    if (!capture.per_sm[static_cast<std::size_t>(sm)].blocks.empty()) {
+      work_sms.push_back(sm);
+    }
+  }
+
+  std::vector<SmReport> reports(work_sms.size());
+  const int jobs =
+      std::max(1, std::min<int>(resolved_jobs(),
+                                static_cast<int>(work_sms.size())));
+
+  // Each worker claims SM indices from a shared atomic cursor and writes
+  // only its own report slot; determinism needs no further coordination
+  // because every SmCore is a pure function of (config, kernel, workload).
+  auto replay_sm = [&](std::size_t i) {
+    const int sm = work_sms[i];
+    SmCore core(cfg_, kernel, capture.per_sm[static_cast<std::size_t>(sm)]);
+    reports[i].sm = sm;
+    reports[i].counters = core.run();
+  };
+
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < work_sms.size(); ++i) replay_sm(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= work_sms.size()) return;
+          replay_sm(i);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  return RunReport::reduce(std::move(reports), cfg_.num_sms, jobs);
+}
+
+RunReport ExecutionEngine::run(const isa::Kernel& kernel,
+                               const LaunchConfig& launch,
+                               GlobalMemory& gmem) {
+  const GridCapture cap = capture_grid(cfg_, kernel, launch, gmem);
+  return replay(kernel, cap);
+}
+
+}  // namespace st2::sim

@@ -1,0 +1,70 @@
+// Parallel, deterministic chip-level execution engine.
+//
+// A kernel run has two phases:
+//
+//  1. Capture (serial, canonical): the grid executes functionally exactly
+//     like trace_run — blocks in flat order, warps drained round-robin with
+//     barrier semantics — applying every architectural side effect (stores,
+//     atomics) to global memory exactly once. Each executed warp instruction
+//     is recorded into its warp's replay stream, and blocks are assigned
+//     round-robin to SMs.
+//
+//  2. Replay (parallel): each SM's SmCore replays its streams through the
+//     cycle-level pipeline. SMs share no mutable state — private L1, private
+//     L2 tag array, private CRF — so any number of worker threads produce
+//     bit-identical counters, merged by RunReport::reduce in SM order.
+//
+// SMs were already documented as independent in the serial simulator; the
+// one piece of cross-SM state it had, the shared L2 tag array, made SM i's
+// hit rate depend on SMs 0..i-1 having *finished first* — a serialization
+// artifact no real chip exhibits. The engine gives each SM a private
+// full-size tag array instead (tag-only caches carry no data, so this only
+// re-times, never corrupts).
+#pragma once
+
+#include "src/isa/instruction.hpp"
+#include "src/sim/config.hpp"
+#include "src/sim/launch.hpp"
+#include "src/sim/memory.hpp"
+#include "src/sim/report.hpp"
+#include "src/sim/sm_core.hpp"
+
+namespace st2::sim {
+
+struct EngineOptions {
+  int jobs = 0;  ///< worker threads for SM replay; 0 = hardware_concurrency
+};
+
+/// Phase-1 result: one replay workload per SM (empty for idle SMs).
+struct GridCapture {
+  std::vector<SmWorkload> per_sm;
+};
+
+/// Runs the canonical functional pass over the whole grid (mutating `gmem`
+/// exactly as trace_run would) and records the per-warp replay streams.
+/// Adder-lane payloads are only captured when `cfg.st2_enabled`.
+GridCapture capture_grid(const GpuConfig& cfg, const isa::Kernel& kernel,
+                         const LaunchConfig& launch, GlobalMemory& gmem);
+
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(const GpuConfig& cfg, EngineOptions opts = {});
+
+  /// Captures and replays one kernel launch; returns the structured report.
+  RunReport run(const isa::Kernel& kernel, const LaunchConfig& launch,
+                GlobalMemory& gmem);
+
+  /// Replays an existing capture (capture once, replay many — e.g. the same
+  /// value stream under different machine configs).
+  RunReport replay(const isa::Kernel& kernel, const GridCapture& capture);
+
+  const GpuConfig& config() const { return cfg_; }
+  /// Worker threads the replay phase will use.
+  int resolved_jobs() const;
+
+ private:
+  GpuConfig cfg_;
+  EngineOptions opts_;
+};
+
+}  // namespace st2::sim

@@ -113,13 +113,22 @@ StepStatus FunctionalCore::step(WarpContext& w, ExecRecord* rec) {
   const std::uint32_t mask = w.stack().mask();
 
   if (rec != nullptr) {
-    *rec = ExecRecord{};
+    // Reset the scalar fields only: the per-lane arrays are "valid where
+    // active" under the flag that guards them (see ExecRecord), and every
+    // such lane is rewritten below — zeroing ~800 bytes per instruction
+    // would dominate the interpreter.
     rec->instr = &in;
     rec->pc = pc;
     rec->block_flat = w.block_flat();
     rec->warp_in_block = w.warp_in_block();
     rec->active_mask = mask;
     rec->unit = isa::unit_class(in.op);
+    rec->has_adder_op = false;
+    rec->is_mem = false;
+    rec->is_store = false;
+    rec->is_shared = false;
+    rec->mem_size = 0;
+    rec->writes_reg = false;
   }
 
   const bool adder = isa::uses_adder(in.op);

@@ -1,0 +1,132 @@
+#include "src/sim/op_timing.hpp"
+
+namespace st2::sim {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::UnitClass;
+
+FuKind fu_of(UnitClass u) {
+  switch (u) {
+    case UnitClass::kAlu: return FuKind::kAlu;
+    case UnitClass::kIntMulDiv: return FuKind::kMulDiv;
+    case UnitClass::kFpu: return FuKind::kFpu;
+    case UnitClass::kFpMulDiv: return FuKind::kFpu;  // shares the FP32 pipes
+    case UnitClass::kDpu: return FuKind::kDpu;
+    case UnitClass::kSfu: return FuKind::kSfu;
+    case UnitClass::kMem: return FuKind::kMem;
+    case UnitClass::kControl: return FuKind::kAlu;  // branch unit
+  }
+  return FuKind::kAlu;
+}
+
+OpTiming op_timing(const GpuConfig& cfg, Opcode op) {
+  switch (isa::unit_class(op)) {
+    case UnitClass::kAlu:
+      return {cfg.alu_interval, cfg.alu_latency};
+    case UnitClass::kIntMulDiv:
+      if (op == Opcode::kIDiv || op == Opcode::kIRem) {
+        return {cfg.muldiv_interval * 4, cfg.idiv_latency};
+      }
+      return {cfg.muldiv_interval, cfg.imul_latency};
+    case UnitClass::kFpu:
+      return {cfg.fpu_interval, cfg.fpu_latency};
+    case UnitClass::kFpMulDiv:
+      if (op == Opcode::kFDiv) return {cfg.fpu_interval * 4, cfg.fdiv_latency};
+      return {cfg.fpu_interval, cfg.fpu_latency};
+    case UnitClass::kDpu:
+      if (op == Opcode::kDDiv) return {cfg.dpu_interval * 4, cfg.ddiv_latency};
+      return {cfg.dpu_interval, cfg.dpu_latency};
+    case UnitClass::kSfu:
+      return {cfg.sfu_interval, cfg.sfu_latency};
+    case UnitClass::kMem:
+      return {cfg.mem_interval, cfg.l1_latency};
+    case UnitClass::kControl:
+      return {1, 1};
+  }
+  return {1, 1};
+}
+
+Deps deps_of(const Instruction& in) {
+  Deps d;
+  switch (in.op) {
+    case Opcode::kNop: case Opcode::kBar: case Opcode::kExit:
+    case Opcode::kJmp:
+      break;
+    case Opcode::kMovImm: case Opcode::kMovSpecial: case Opcode::kLdParam:
+      d.write_reg = in.dst;
+      break;
+    case Opcode::kBra:
+      d.preds[0] = in.pred;
+      break;
+    case Opcode::kPAnd: case Opcode::kPOr:
+      d.preds[0] = in.src1;
+      d.preds[1] = in.src2;
+      d.write_pred = in.dst;
+      break;
+    case Opcode::kPNot:
+      d.preds[0] = in.src1;
+      d.write_pred = in.dst;
+      break;
+    case Opcode::kSelp:
+      d.reads[0] = in.src1;
+      d.reads[1] = in.src2;
+      d.preds[0] = in.pred;
+      d.write_reg = in.dst;
+      break;
+    case Opcode::kSetEq: case Opcode::kSetNe: case Opcode::kSetLt:
+    case Opcode::kSetLe: case Opcode::kSetGt: case Opcode::kSetGe:
+    case Opcode::kFSetLt: case Opcode::kFSetLe: case Opcode::kFSetGt:
+    case Opcode::kFSetGe: case Opcode::kFSetEq: case Opcode::kFSetNe:
+      d.reads[0] = in.src1;
+      d.reads[1] = in.src2;
+      d.write_pred = in.dst;
+      break;
+    case Opcode::kIMad: case Opcode::kFFma: case Opcode::kDFma:
+      d.reads[0] = in.src1;
+      d.reads[1] = in.src2;
+      d.reads[2] = in.src3;
+      d.write_reg = in.dst;
+      break;
+    case Opcode::kLdGlobal: case Opcode::kLdShared:
+      d.reads[0] = in.src1;
+      d.write_reg = in.dst;
+      break;
+    case Opcode::kStGlobal: case Opcode::kStShared:
+      d.reads[0] = in.src1;
+      d.reads[1] = in.src2;
+      break;
+    case Opcode::kAtomAddGlobal: case Opcode::kAtomAddShared:
+      d.reads[0] = in.src1;
+      d.reads[1] = in.src2;
+      d.write_reg = in.dst;
+      break;
+    case Opcode::kShflDown:
+      d.reads[0] = in.src1;
+      d.write_reg = in.dst;
+      break;
+    case Opcode::kShflIdx:
+      d.reads[0] = in.src1;
+      d.reads[1] = in.src2;
+      d.write_reg = in.dst;
+      break;
+    case Opcode::kMov: case Opcode::kINot: case Opcode::kINeg:
+    case Opcode::kIAbs: case Opcode::kFAbs: case Opcode::kFNeg:
+    case Opcode::kFSqrt: case Opcode::kFRsqrt: case Opcode::kFRcp:
+    case Opcode::kFLog2: case Opcode::kFExp2: case Opcode::kFSin:
+    case Opcode::kFCos: case Opcode::kI2F: case Opcode::kF2I:
+    case Opcode::kI2D: case Opcode::kD2I: case Opcode::kF2D:
+    case Opcode::kD2F:
+      d.reads[0] = in.src1;
+      d.write_reg = in.dst;
+      break;
+    default:
+      d.reads[0] = in.src1;
+      d.reads[1] = in.src2;
+      d.write_reg = in.dst;
+      break;
+  }
+  return d;
+}
+
+}  // namespace st2::sim

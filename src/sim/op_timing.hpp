@@ -1,0 +1,40 @@
+// Per-opcode pipeline timing: functional-unit mapping, issue intervals,
+// result latencies, and register dependencies. This is the table the SM core
+// schedules against; it is a standalone library so the latency/initiation
+// model can be unit-tested and calibrated (Accel-Sim-style) without spinning
+// up a whole chip.
+#pragma once
+
+#include "src/isa/instruction.hpp"
+#include "src/sim/config.hpp"
+
+namespace st2::sim {
+
+/// Functional-unit pools per scheduler (sub-core).
+enum class FuKind : int { kAlu = 0, kFpu, kDpu, kSfu, kMulDiv, kMem, kCount };
+
+inline constexpr int kNumFuKinds = static_cast<int>(FuKind::kCount);
+
+/// Which FU pool services a unit class (FP mul/div shares the FP32 pipes;
+/// control flow uses the branch unit co-located with the ALU).
+FuKind fu_of(isa::UnitClass u);
+
+struct OpTiming {
+  int interval;  ///< cycles the FU is occupied (initiation interval)
+  int latency;   ///< cycles until the result is ready
+};
+
+/// Timing for one opcode under a device configuration.
+OpTiming op_timing(const GpuConfig& cfg, isa::Opcode op);
+
+/// Registers an instruction reads/writes, for the scoreboard.
+struct Deps {
+  int reads[3] = {-1, -1, -1};
+  int preds[2] = {-1, -1};
+  int write_reg = -1;
+  int write_pred = -1;
+};
+
+Deps deps_of(const isa::Instruction& in);
+
+}  // namespace st2::sim

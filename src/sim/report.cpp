@@ -1,0 +1,71 @@
+#include "src/sim/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace st2::sim {
+
+RunReport RunReport::reduce(std::vector<SmReport> per_sm, int num_sms,
+                            int jobs) {
+  std::sort(per_sm.begin(), per_sm.end(),
+            [](const SmReport& a, const SmReport& b) { return a.sm < b.sm; });
+  RunReport r;
+  r.num_sms = num_sms;
+  r.jobs = jobs;
+  std::uint64_t wall = 0;
+  std::uint64_t total = 0;
+  for (const SmReport& s : per_sm) {
+    r.chip += s.counters;  // sums every field, cycle fields fixed up below
+    wall = std::max(wall, s.counters.cycles);
+    total += s.counters.cycles;
+  }
+  r.chip.cycles = wall;
+  r.chip.sm_cycles_max = wall;
+  r.chip.sm_cycles_sum = total;
+  // SMs with no blocks idle for the whole kernel.
+  const int idle_sms = num_sms - static_cast<int>(per_sm.size());
+  r.chip.sm_idle_cycles += static_cast<std::uint64_t>(idle_sms) * wall;
+  r.misprediction_rate = r.chip.adder_misprediction_rate();
+  r.per_sm = std::move(per_sm);
+  return r;
+}
+
+namespace {
+
+void counters_json(std::ostringstream& os, const EventCounters& c,
+                   const char* indent) {
+  os << "{";
+  bool first = true;
+  for_each_counter(c, [&](const char* name, std::uint64_t v) {
+    os << (first ? "\n" : ",\n") << indent << "  \"" << name << "\": " << v;
+    first = false;
+  });
+  os << "\n" << indent << "}";
+}
+
+}  // namespace
+
+std::string RunReport::to_json(const std::string& kernel, int launch) const {
+  std::ostringstream os;
+  os << "{\n";
+  if (!kernel.empty()) os << "  \"kernel\": \"" << kernel << "\",\n";
+  if (launch >= 0) os << "  \"launch\": " << launch << ",\n";
+  os << "  \"num_sms\": " << num_sms << ",\n";
+  os << "  \"jobs\": " << jobs << ",\n";
+  os << "  \"wall_cycles\": " << wall_cycles() << ",\n";
+  os << "  \"misprediction_rate\": " << misprediction_rate << ",\n";
+  os << "  \"simd_efficiency\": " << chip.simd_efficiency() << ",\n";
+  os << "  \"chip\": ";
+  counters_json(os, chip, "  ");
+  os << ",\n  \"per_sm\": [";
+  for (std::size_t i = 0; i < per_sm.size(); ++i) {
+    os << (i ? ",\n" : "\n") << "    {\"sm\": " << per_sm[i].sm
+       << ", \"counters\": ";
+    counters_json(os, per_sm[i].counters, "    ");
+    os << "}";
+  }
+  os << "\n  ]\n}";
+  return os.str();
+}
+
+}  // namespace st2::sim

@@ -1,0 +1,45 @@
+// Structured run reports: per-SM and whole-chip event counters with an
+// explicit, deterministic reduction, replacing the ad-hoc "zero the cycles
+// field before summing" plumbing. The report is what the CLI, the bench
+// figure drivers and the power model consume, and it serializes to JSON for
+// offline analysis (st2sim run ... --json FILE).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/counters.hpp"
+
+namespace st2::sim {
+
+/// One SM's contribution to a kernel execution.
+struct SmReport {
+  int sm = 0;               ///< SM index on the chip
+  EventCounters counters;   ///< counters.cycles = this SM's cycle count
+};
+
+struct RunReport {
+  EventCounters chip;            ///< reduced whole-chip counters
+  std::vector<SmReport> per_sm;  ///< SMs that had work, ascending index
+  int num_sms = 0;               ///< chip SM count (incl. idle SMs)
+  int jobs = 1;                  ///< worker threads used for the replay
+  double misprediction_rate = 0; ///< thread-level adder misprediction rate
+
+  /// Kernel runtime: the slowest SM's cycle count.
+  std::uint64_t wall_cycles() const { return chip.sm_cycles_max; }
+
+  /// Deterministic chip-level reduction, independent of the order in which
+  /// SM simulations *finished*: event counters sum in ascending SM order;
+  /// cycles aggregate explicitly (max -> sm_cycles_max / wall clock,
+  /// sum -> sm_cycles_sum). SMs with no work idle for the whole kernel.
+  static RunReport reduce(std::vector<SmReport> per_sm, int num_sms,
+                          int jobs);
+
+  /// JSON object for this run (chip counters, per-SM counters, rates).
+  /// `kernel` and `launch` label the run if non-empty.
+  std::string to_json(const std::string& kernel = std::string(),
+                      int launch = -1) const;
+};
+
+}  // namespace st2::sim

@@ -1,0 +1,440 @@
+#include "src/sim/sm_core.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/contracts.hpp"
+#include "src/sim/trace_run.hpp"
+#include "src/spec/predictor.hpp"
+
+namespace st2::sim {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::UnitClass;
+
+SmCore::SmCore(const GpuConfig& cfg, const isa::Kernel& kernel,
+               const SmWorkload& work)
+    : cfg_(cfg),
+      kernel_(kernel),
+      work_(work),
+      l1_(cfg.l1_kb, cfg.l1_ways, cfg.line_bytes),
+      l2_(cfg.l2_kb, cfg.l2_ways, cfg.line_bytes),
+      crf_(cfg.seed),
+      warps_(static_cast<std::size_t>(cfg.max_warps_per_sm)),
+      fu_busy_(static_cast<std::size_t>(cfg.schedulers_per_sm * kNumFuKinds),
+               0),
+      last_issued_(static_cast<std::size_t>(cfg.schedulers_per_sm), -1) {
+  // Precompute the per-PC scheduling facts once; the readiness polls run
+  // every cycle for every warp and must not re-derive them.
+  static_.reserve(kernel.code.size());
+  for (const Instruction& in : kernel.code) {
+    StaticInfo si;
+    si.deps = deps_of(in);
+    si.timing = op_timing(cfg, in.op);
+    si.unit = isa::unit_class(in.op);
+    si.fu = fu_of(si.unit);
+    si.is_bar = in.op == Opcode::kBar;
+    si.is_atomic =
+        in.op == Opcode::kAtomAddGlobal || in.op == Opcode::kAtomAddShared;
+    if (cfg.model_rf_bank_conflicts) {
+      // Operand collection: sources mapping to the same register-file bank
+      // serialize, extending collection by one cycle per extra access.
+      int per_bank[32] = {};
+      int worst = 0;
+      for (int r : si.deps.reads) {
+        if (r < 0) continue;
+        int& count = per_bank[r % cfg.regfile_banks];
+        worst = std::max(worst, ++count);
+      }
+      if (worst > 1) si.rf_conflict_extra = worst - 1;
+    }
+    static_.push_back(si);
+  }
+  resident_.reserve(static_cast<std::size_t>(cfg.max_blocks_per_sm));
+  admit_blocks();
+}
+
+bool SmCore::admit_blocks() {
+  bool admitted = false;
+  while (next_block_ < work_.blocks.size()) {
+    if (live_blocks_ >= cfg_.max_blocks_per_sm) break;
+    if (kernel_.shared_bytes > 0 &&
+        (live_blocks_ + 1) * kernel_.shared_bytes > cfg_.shared_mem_per_sm) {
+      break;
+    }
+    const BlockWork& bw = work_.blocks[next_block_];
+    const int warps_needed = static_cast<int>(bw.warps.size());
+    // Find free warp slots.
+    std::vector<int>& slots = slot_scratch_;
+    slots.clear();
+    for (int i = 0; i < cfg_.max_warps_per_sm &&
+                    static_cast<int>(slots.size()) < warps_needed;
+         ++i) {
+      if (!warps_[static_cast<std::size_t>(i)].active) slots.push_back(i);
+    }
+    if (static_cast<int>(slots.size()) < warps_needed) break;
+
+    int res_idx = -1;
+    for (std::size_t i = 0; i < resident_.size(); ++i) {
+      if (resident_[i].work_idx < 0) {
+        res_idx = static_cast<int>(i);
+        break;
+      }
+    }
+    if (res_idx < 0) {
+      resident_.emplace_back();
+      res_idx = static_cast<int>(resident_.size()) - 1;
+    }
+    Resident& rb = resident_[static_cast<std::size_t>(res_idx)];
+    rb.work_idx = static_cast<int>(next_block_);
+    rb.live_warps = warps_needed;
+    rb.warps_at_barrier = 0;
+
+    for (int wi = 0; wi < warps_needed; ++wi) {
+      Slot& slot = warps_[static_cast<std::size_t>(slots[wi])];
+      slot.stream = &bw.warps[static_cast<std::size_t>(wi)];
+      slot.cursor = 0;
+      slot.resident_idx = res_idx;
+      slot.active = true;
+      slot.at_barrier = false;
+      slot.ready_hint = 0;
+      slot.reg_ready.assign(static_cast<std::size_t>(kernel_.regs_used), 0);
+      slot.pred_ready.fill(0);
+    }
+    ++next_block_;
+    ++live_blocks_;
+    admitted = true;
+  }
+  if (admitted) admitted_midcycle_ = true;
+  return admitted;
+}
+
+void SmCore::skip_idle_cycles() {
+  // Event-driven fast-forward. After a cycle in which no scheduler issued,
+  // every active non-barrier warp was polled, so its scoreboard hint is
+  // *exact* (the scoreboard is warp-private: reg_ready can only change when
+  // the warp itself issues). A dep-ready warp that still failed is waiting
+  // on its functional unit, whose busy-until time is also known. Nothing
+  // observable can happen before the earliest of those wake times and the
+  // next pending CRF write-back (which must commit on its exact cycle so
+  // the write-arbitration RNG draws group identically), so jump straight
+  // there and charge the gap as idle cycles. Bit-identical to stepping.
+  if (admitted_midcycle_) return;  // fresh warps were not polled this cycle
+  std::uint64_t wake = ~0ULL;
+  for (std::size_t w = 0; w < warps_.size(); ++w) {
+    const Slot& slot = warps_[w];
+    if (!slot.active || slot.at_barrier) continue;
+    if (slot.cursor >= slot.stream->ops.size()) return;  // retires next poll
+    std::uint64_t t = slot.ready_hint;
+    if (t <= now_) {
+      // Deps are met; the warp is waiting for its functional unit.
+      const int sched = static_cast<int>(w) % cfg_.schedulers_per_sm;
+      const TraceOp& op = slot.stream->ops[slot.cursor];
+      t = fu(sched, static_[op.pc].fu);
+      if (t <= now_) return;  // looks issuable: never skip past it
+    }
+    wake = std::min(wake, t);
+  }
+  for (const PendingCrfWrite& p : pending_crf_) wake = std::min(wake, p.due);
+  if (wake == ~0ULL || wake <= now_) return;
+  counters_.sm_idle_cycles += wake - now_;
+  now_ = wake;
+}
+
+bool SmCore::warp_ready(int w, const TraceOp** out_op) {
+  Slot& slot = warps_[static_cast<std::size_t>(w)];
+  if (!slot.active || slot.at_barrier) return false;
+  if (slot.ready_hint > now_) return false;  // known-stalled, skip the scan
+  if (slot.cursor == slot.stream->ops.size()) {
+    // Retire the warp.
+    slot.active = false;
+    Resident& rb = resident_[static_cast<std::size_t>(slot.resident_idx)];
+    if (--rb.live_warps == 0) {
+      rb.work_idx = -1;
+      --live_blocks_;
+      admit_blocks();
+    }
+    return false;
+  }
+  const TraceOp& op = slot.stream->ops[slot.cursor];
+  const Deps& d = static_[op.pc].deps;
+  std::uint64_t ready = 0;
+  for (int r : d.reads) {
+    if (r >= 0) {
+      ready = std::max(ready, slot.reg_ready[static_cast<std::size_t>(r)]);
+    }
+  }
+  for (int p : d.preds) {
+    if (p >= 0) {
+      ready = std::max(ready, slot.pred_ready[static_cast<std::size_t>(p)]);
+    }
+  }
+  if (d.write_reg >= 0) {  // WAW
+    ready = std::max(ready,
+                     slot.reg_ready[static_cast<std::size_t>(d.write_reg)]);
+  }
+  if (ready > now_) {
+    // The op cannot issue before every dep retires; remember when that is.
+    slot.ready_hint = ready;
+    return false;
+  }
+  *out_op = &op;
+  return true;
+}
+
+int SmCore::mem_latency(const WarpStream& ws, const TraceOp& op, bool atomic,
+                        int* occupancy) {
+  *occupancy = cfg_.mem_interval;
+  if (op.is_shared()) {
+    ++counters_.smem_accesses;
+    return cfg_.shared_latency;
+  }
+  // The capture pass already coalesced the active lanes into unique cache
+  // lines (first-touch order preserved, so LRU state replays identically).
+  const int n = op.mem_lines;
+  bool any_l1_miss = false;
+  bool any_l2_miss = false;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t addr =
+        ws.lines[op.payload + static_cast<std::size_t>(i)] *
+        static_cast<unsigned>(cfg_.line_bytes);
+    ++counters_.l1_accesses;
+    const bool l1_hit = l1_.access(addr, op.is_store());
+    if (!l1_hit) {
+      ++counters_.l1_misses;
+      ++counters_.l2_accesses;
+      counters_.noc_flits += 2;  // request + response across the crossbar
+      const bool l2_hit = l2_.access(addr, op.is_store());
+      if (!l2_hit) {
+        ++counters_.l2_misses;
+        ++counters_.dram_accesses;
+        any_l2_miss = true;
+      }
+      any_l1_miss = true;
+    }
+  }
+  *occupancy = cfg_.mem_interval * std::max(1, n);
+  if (atomic) {
+    // Read-modify-write at the memory partition; contending lanes on one
+    // line serialize there, which the per-line transaction count plus the
+    // L2 round trip approximates.
+    return cfg_.l1_latency + cfg_.l2_latency / 2 + (n - 1) * cfg_.mem_interval;
+  }
+  if (op.is_store()) {
+    // Fire-and-forget write-through; the store unit hides the latency.
+    return cfg_.mem_interval;
+  }
+  int lat = cfg_.l1_latency;
+  if (any_l1_miss) lat += cfg_.l2_latency;
+  if (any_l2_miss) lat += cfg_.dram_latency;
+  lat += (n - 1) * cfg_.mem_interval;  // transaction serialization
+  return lat;
+}
+
+int SmCore::speculate(const WarpStream& ws, const TraceOp& op, int latency) {
+  // ST2 carry speculation for one warp adder instruction against this SM's
+  // CRF. Returns the number of extra cycles (0 or 1).
+  const auto row = crf_.read_row(op.pc);
+  ++counters_.crf_row_reads;
+  bool any_mispredict = false;
+  std::size_t lane_idx = op.payload;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (((op.active_mask >> lane) & 1u) == 0) continue;
+    const AdderLaneTrace& t = ws.adder_lanes[lane_idx++];
+    const int num_slices = t.num_slices;
+    const std::uint8_t rel =
+        static_cast<std::uint8_t>((1u << (num_slices - 1)) - 1);
+
+    spec::Prediction pred{};
+    pred.peek_mask = t.peek_mask;
+    pred.dynamic_mask = static_cast<std::uint8_t>(rel & ~t.peek_mask);
+    const std::uint8_t hist = row[static_cast<std::size_t>(lane)];
+    pred.carries = static_cast<std::uint8_t>((t.peek_carries & t.peek_mask) |
+                                             (hist & pred.dynamic_mask));
+
+    const spec::SpeculationOutcome out =
+        spec::resolve_prediction(pred, t.actual, num_slices);
+
+    ++counters_.adder_thread_ops;
+    counters_.slice_computes += static_cast<std::uint64_t>(num_slices);
+    if (out.any_misprediction()) {
+      ++counters_.adder_mispredicts;
+      counters_.slice_recomputes +=
+          static_cast<std::uint64_t>(out.recompute_count());
+      any_mispredict = true;
+      // Mispredicting threads write the true pattern back, merging the bits
+      // they own into the shared 7-bit entry. The write lands at this
+      // instruction's write-back stage (issue + latency + recovery cycle),
+      // where it arbitrates against whatever else retires that cycle.
+      const std::uint8_t merged =
+          static_cast<std::uint8_t>((hist & ~rel) | out.actual);
+      pending_crf_.push_back(PendingCrfWrite{
+          now_ + static_cast<unsigned>(latency + 1), op.pc,
+          static_cast<std::uint8_t>(lane), merged});
+      ++counters_.crf_writes;
+    }
+  }
+  ++counters_.warp_adder_insts;
+  if (any_mispredict) {
+    ++counters_.warp_adder_stalls;
+    return 1;
+  }
+  return 0;
+}
+
+void SmCore::issue(int sched, int w, const TraceOp& op) {
+  Slot& slot = warps_[static_cast<std::size_t>(w)];
+  const WarpStream& ws = *slot.stream;
+  const StaticInfo& si = static_[op.pc];
+
+  // Instruction-mix accounting (shared with trace mode) from the replayed
+  // record. The record is thread_local so the large per-lane arrays — which
+  // count_instruction never reads — are not re-zeroed on every issue.
+  static thread_local ExecRecord rec;
+  rec.instr = &kernel_.code[op.pc];
+  rec.pc = op.pc;
+  rec.active_mask = op.active_mask;
+  rec.unit = si.unit;
+  rec.is_mem = op.is_mem();
+  rec.is_store = op.is_store();
+  rec.is_shared = op.is_shared();
+  rec.has_adder_op = op.has_adder();
+  rec.writes_reg = op.writes_reg();
+  count_instruction(rec, counters_);
+
+  OpTiming t = si.timing;
+  if (op.is_mem()) {
+    t.latency = mem_latency(ws, op, si.is_atomic, &t.interval);
+  }
+  t.latency += si.rf_conflict_extra;
+  t.interval += si.rf_conflict_extra;
+  if (cfg_.st2_enabled && op.has_adder()) {
+    const int extra = speculate(ws, op, t.latency);
+    t.latency += extra;
+    t.interval += extra;
+  }
+
+  fu(sched, si.fu) = now_ + static_cast<unsigned>(t.interval);
+  const Deps& d = si.deps;
+  if (d.write_reg >= 0) {
+    slot.reg_ready[static_cast<std::size_t>(d.write_reg)] =
+        now_ + static_cast<unsigned>(t.latency);
+  }
+  if (d.write_pred >= 0) {
+    slot.pred_ready[static_cast<std::size_t>(d.write_pred)] =
+        now_ + static_cast<unsigned>(t.latency);
+  }
+  if (si.is_bar) {
+    slot.at_barrier = true;
+    ++resident_[static_cast<std::size_t>(slot.resident_idx)].warps_at_barrier;
+  }
+  ++slot.cursor;
+}
+
+bool SmCore::try_issue(int sched) {
+  if (sched >= cfg_.max_warps_per_sm) return false;
+  const TraceOp* op = nullptr;
+  const int stride = cfg_.schedulers_per_sm;
+  const int last = last_issued_[static_cast<std::size_t>(sched)];
+  const auto attempt = [&](int w) {
+    if (!warp_ready(w, &op)) return false;
+    if (fu(sched, static_[op->pc].fu) > now_) return false;  // FU busy
+    issue(sched, w, *op);
+    last_issued_[static_cast<std::size_t>(sched)] = w;
+    return true;
+  };
+  if (cfg_.scheduler == WarpScheduler::kGto) {
+    // Greedy-then-oldest: stick with the last warp while it is ready, else
+    // fall back to the oldest (lowest slot).
+    if (last >= 0 && attempt(last)) return true;
+    for (int w = sched; w < cfg_.max_warps_per_sm; w += stride) {
+      if (w != last && attempt(w)) return true;
+    }
+  } else {
+    // Loose round-robin: start from the warp after the last issued one.
+    int start = last >= 0 ? last + stride : sched;
+    if (start >= cfg_.max_warps_per_sm) start = sched;
+    int w = start;
+    do {
+      if (attempt(w)) return true;
+      w += stride;
+      if (w >= cfg_.max_warps_per_sm) w = sched;
+    } while (w != start);
+  }
+  return false;
+}
+
+void SmCore::release_barriers() {
+  for (std::size_t i = 0; i < resident_.size(); ++i) {
+    Resident& rb = resident_[i];
+    if (rb.work_idx < 0 || rb.warps_at_barrier < rb.live_warps) continue;
+    for (auto& slot : warps_) {
+      if (slot.active && slot.resident_idx == static_cast<int>(i)) {
+        slot.at_barrier = false;
+      }
+    }
+    rb.warps_at_barrier = 0;
+  }
+}
+
+void SmCore::commit_crf_writes() {
+  // Move the writes whose write-back stage is due into the CRF, then let the
+  // CRF arbitrate same-cycle collisions.
+  for (std::size_t i = 0; i < pending_crf_.size();) {
+    if (pending_crf_[i].due <= now_) {
+      crf_.request_write(pending_crf_[i].pc, pending_crf_[i].lane,
+                         pending_crf_[i].carries);
+      pending_crf_[i] = pending_crf_.back();
+      pending_crf_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  crf_.commit_cycle();
+}
+
+void SmCore::seal_counters() {
+  if (sealed_) return;
+  sealed_ = true;
+  counters_.cycles = now_;
+  counters_.sm_cycles_max = now_;
+  counters_.sm_cycles_sum = now_;
+  counters_.crf_write_conflicts = crf_.write_conflicts();
+}
+
+bool SmCore::step_cycle() {
+  if (finished()) {
+    seal_counters();
+    return false;
+  }
+  admitted_midcycle_ = false;
+  release_barriers();
+  bool issued = false;
+  for (int s = 0; s < cfg_.schedulers_per_sm; ++s) {
+    issued |= try_issue(s);
+  }
+  commit_crf_writes();
+  ++now_;
+  if (issued) {
+    ++counters_.sm_active_cycles;
+  } else {
+    ++counters_.sm_idle_cycles;
+    if (!finished()) skip_idle_cycles();
+  }
+  ST2_ASSERT(now_ < (1ULL << 40) && "timing simulation runaway");
+  if (finished()) {
+    seal_counters();
+    return false;
+  }
+  return true;
+}
+
+EventCounters SmCore::run() {
+  while (step_cycle()) {
+  }
+  seal_counters();
+  return counters_;
+}
+
+}  // namespace st2::sim

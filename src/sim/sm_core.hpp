@@ -1,0 +1,182 @@
+// One streaming multiprocessor's cycle-level pipeline model, as a
+// first-class, unit-testable component: resident-block admission, warp
+// slots with a register scoreboard, GTO/LRR warp schedulers, per-scheduler
+// functional-unit occupancy, the L1/L2 latency model, and the ST2 carry
+// speculation hooks (CRF read at operand collection, +1-cycle misprediction
+// stall, write-back arbitration).
+//
+// The core is *replay-driven* (Accel-Sim style): it consumes per-warp
+// instruction streams recorded by a single canonical functional pass
+// (engine.hpp's capture_grid) instead of executing instructions itself.
+// That split is what makes the chip-level engine parallel and deterministic:
+// all architectural side effects (global memory, atomics) land exactly once
+// during capture, and each SmCore afterwards touches nothing but its own
+// state, so SMs can replay on any number of threads with bit-identical
+// counters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/instruction.hpp"
+#include "src/sim/config.hpp"
+#include "src/sim/counters.hpp"
+#include "src/sim/memory.hpp"
+#include "src/sim/op_timing.hpp"
+#include "src/spec/crf.hpp"
+
+namespace st2::sim {
+
+/// One executed warp instruction, reduced to what timing replay needs.
+/// Payload (coalesced cache lines for global memory ops, per-lane carry
+/// data for adder ops) lives in the owning WarpStream's pools.
+struct TraceOp {
+  static constexpr std::uint8_t kIsMem = 1u << 0;
+  static constexpr std::uint8_t kIsStore = 1u << 1;
+  static constexpr std::uint8_t kIsShared = 1u << 2;
+  static constexpr std::uint8_t kHasAdder = 1u << 3;
+  static constexpr std::uint8_t kWritesReg = 1u << 4;
+
+  std::uint32_t pc = 0;
+  std::uint32_t active_mask = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t mem_lines = 0;  ///< coalesced line count (global mem ops)
+  std::uint32_t payload = 0;    ///< start index into the stream's pools
+
+  bool is_mem() const { return (flags & kIsMem) != 0; }
+  bool is_store() const { return (flags & kIsStore) != 0; }
+  bool is_shared() const { return (flags & kIsShared) != 0; }
+  bool has_adder() const { return (flags & kHasAdder) != 0; }
+  bool writes_reg() const { return (flags & kWritesReg) != 0; }
+};
+
+/// Pre-resolved carry-speculation inputs for one active lane of an adder
+/// instruction: the Peek result and the ground-truth carries are functions
+/// of the operand values only, so capture computes them once and replay
+/// combines them with the (timing-dependent) CRF history.
+struct AdderLaneTrace {
+  std::uint8_t peek_mask = 0;
+  std::uint8_t peek_carries = 0;
+  std::uint8_t actual = 0;
+  std::uint8_t num_slices = 0;
+};
+
+/// The recorded instruction stream of one warp, in program-execution order.
+struct WarpStream {
+  std::vector<TraceOp> ops;
+  std::vector<std::uint64_t> lines;        ///< coalesced line addresses
+  std::vector<AdderLaneTrace> adder_lanes; ///< per (op, active lane) order
+};
+
+/// One thread block's warps, ready for admission to an SM.
+struct BlockWork {
+  int block_flat = -1;
+  std::vector<WarpStream> warps;
+};
+
+/// Everything one SM will simulate: its blocks, in launch order.
+struct SmWorkload {
+  std::vector<BlockWork> blocks;
+};
+
+/// Cycle-level model of one SM. Deterministic: state depends only on
+/// (config, kernel, workload), never on wall-clock or other SMs.
+class SmCore {
+ public:
+  SmCore(const GpuConfig& cfg, const isa::Kernel& kernel,
+         const SmWorkload& work);
+
+  /// Advances one cycle. Returns false once all blocks have retired (the
+  /// final counters are sealed on the transition).
+  bool step_cycle();
+
+  /// Runs to completion and returns this SM's counters.
+  EventCounters run();
+
+  bool finished() const { return live_blocks_ == 0 && next_block_ == work_.blocks.size(); }
+  std::uint64_t now() const { return now_; }
+  const EventCounters& counters() const { return counters_; }
+  const spec::CarryRegisterFile& crf() const { return crf_; }
+  int live_blocks() const { return live_blocks_; }
+  /// Blocks admitted so far (resident or retired).
+  std::size_t blocks_admitted() const { return next_block_; }
+
+ private:
+  struct Resident {
+    int work_idx = -1;  ///< index into work_.blocks; -1 = slot free
+    int live_warps = 0;
+    int warps_at_barrier = 0;
+  };
+
+  struct Slot {
+    const WarpStream* stream = nullptr;
+    std::size_t cursor = 0;   ///< next op to issue
+    int resident_idx = -1;
+    bool active = false;
+    bool at_barrier = false;
+    /// Cycle at which the current op's scoreboard deps are all ready;
+    /// memoizes failed polls so stalled warps cost one compare per cycle.
+    std::uint64_t ready_hint = 0;
+    std::vector<std::uint64_t> reg_ready;
+    std::array<std::uint64_t, isa::kNumPredRegs> pred_ready{};
+  };
+
+  struct PendingCrfWrite {
+    std::uint64_t due;
+    std::uint32_t pc;
+    std::uint8_t lane;
+    std::uint8_t carries;
+  };
+
+  /// Per-PC scheduling facts, precomputed once so the per-cycle readiness
+  /// polls and issue path never re-derive them.
+  struct StaticInfo {
+    Deps deps;
+    OpTiming timing;
+    isa::UnitClass unit;
+    FuKind fu;
+    bool is_bar = false;
+    bool is_atomic = false;
+    int rf_conflict_extra = 0;  ///< operand-collector bank serialization
+  };
+
+  bool admit_blocks();
+  void skip_idle_cycles();
+  bool warp_ready(int w, const TraceOp** out_op);
+  bool try_issue(int sched);
+  void issue(int sched, int w, const TraceOp& op);
+  int mem_latency(const WarpStream& ws, const TraceOp& op, bool atomic,
+                  int* occupancy);
+  int speculate(const WarpStream& ws, const TraceOp& op, int latency);
+  void release_barriers();
+  void commit_crf_writes();
+  void seal_counters();
+
+  std::uint64_t& fu(int sched, FuKind k) {
+    return fu_busy_[static_cast<std::size_t>(sched * kNumFuKinds + int(k))];
+  }
+
+  const GpuConfig& cfg_;
+  const isa::Kernel& kernel_;
+  const SmWorkload& work_;
+  std::vector<StaticInfo> static_;  ///< indexed by pc
+  Cache l1_;
+  Cache l2_;  ///< private tag array: keeps SMs independent (see engine.hpp)
+  spec::CarryRegisterFile crf_;
+
+  std::size_t next_block_ = 0;  ///< next work_.blocks entry to admit
+  std::vector<PendingCrfWrite> pending_crf_;
+  std::vector<Resident> resident_;
+  std::vector<Slot> warps_;
+  std::vector<std::uint64_t> fu_busy_;
+  std::vector<int> last_issued_;
+  std::vector<int> slot_scratch_;  ///< admit_blocks working set, reused
+  std::uint64_t now_ = 0;
+  int live_blocks_ = 0;
+  bool admitted_midcycle_ = false;  ///< blocks landed during this cycle's polls
+  bool sealed_ = false;
+  EventCounters counters_;
+};
+
+}  // namespace st2::sim

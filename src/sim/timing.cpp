@@ -1,645 +1,23 @@
 #include "src/sim/timing.hpp"
 
-#include <algorithm>
-#include <bit>
-#include <memory>
-#include <vector>
-
-#include "src/common/contracts.hpp"
-#include "src/sim/functional.hpp"
-#include "src/sim/trace_run.hpp"
-#include "src/spec/crf.hpp"
-#include "src/spec/peek.hpp"
-#include "src/spec/predictor.hpp"
-
 namespace st2::sim {
 
-namespace {
+TimingSimulator::TimingSimulator(const GpuConfig& cfg, EngineOptions opts)
+    : engine_(cfg, opts) {}
 
-using isa::Instruction;
-using isa::Opcode;
-using isa::UnitClass;
-
-/// Functional-unit pools per scheduler (sub-core).
-enum class FuKind : int { kAlu = 0, kFpu, kDpu, kSfu, kMulDiv, kMem, kCount };
-
-FuKind fu_of(UnitClass u) {
-  switch (u) {
-    case UnitClass::kAlu: return FuKind::kAlu;
-    case UnitClass::kIntMulDiv: return FuKind::kMulDiv;
-    case UnitClass::kFpu: return FuKind::kFpu;
-    case UnitClass::kFpMulDiv: return FuKind::kFpu;  // shares the FP32 pipes
-    case UnitClass::kDpu: return FuKind::kDpu;
-    case UnitClass::kSfu: return FuKind::kSfu;
-    case UnitClass::kMem: return FuKind::kMem;
-    case UnitClass::kControl: return FuKind::kAlu;  // branch unit
-  }
-  return FuKind::kAlu;
+RunReport TimingSimulator::run_report(const isa::Kernel& kernel,
+                                      const LaunchConfig& launch,
+                                      GlobalMemory& gmem) {
+  return engine_.run(kernel, launch, gmem);
 }
-
-struct OpTiming {
-  int interval;  ///< cycles the FU is occupied
-  int latency;   ///< cycles until the result is ready
-};
-
-OpTiming op_timing(const GpuConfig& cfg, Opcode op) {
-  switch (isa::unit_class(op)) {
-    case UnitClass::kAlu:
-      return {cfg.alu_interval, cfg.alu_latency};
-    case UnitClass::kIntMulDiv:
-      if (op == Opcode::kIDiv || op == Opcode::kIRem) {
-        return {cfg.muldiv_interval * 4, cfg.idiv_latency};
-      }
-      return {cfg.muldiv_interval, cfg.imul_latency};
-    case UnitClass::kFpu:
-      return {cfg.fpu_interval, cfg.fpu_latency};
-    case UnitClass::kFpMulDiv:
-      if (op == Opcode::kFDiv) return {cfg.fpu_interval * 4, cfg.fdiv_latency};
-      return {cfg.fpu_interval, cfg.fpu_latency};
-    case UnitClass::kDpu:
-      if (op == Opcode::kDDiv) return {cfg.dpu_interval * 4, cfg.ddiv_latency};
-      return {cfg.dpu_interval, cfg.dpu_latency};
-    case UnitClass::kSfu:
-      return {cfg.sfu_interval, cfg.sfu_latency};
-    case UnitClass::kMem:
-      return {cfg.mem_interval, cfg.l1_latency};
-    case UnitClass::kControl:
-      return {1, 1};
-  }
-  return {1, 1};
-}
-
-/// Registers an instruction reads/writes, for the scoreboard.
-struct Deps {
-  int reads[3] = {-1, -1, -1};
-  int preds[2] = {-1, -1};
-  int write_reg = -1;
-  int write_pred = -1;
-};
-
-Deps deps_of(const Instruction& in) {
-  Deps d;
-  switch (in.op) {
-    case Opcode::kNop: case Opcode::kBar: case Opcode::kExit:
-    case Opcode::kJmp:
-      break;
-    case Opcode::kMovImm: case Opcode::kMovSpecial: case Opcode::kLdParam:
-      d.write_reg = in.dst;
-      break;
-    case Opcode::kBra:
-      d.preds[0] = in.pred;
-      break;
-    case Opcode::kPAnd: case Opcode::kPOr:
-      d.preds[0] = in.src1;
-      d.preds[1] = in.src2;
-      d.write_pred = in.dst;
-      break;
-    case Opcode::kPNot:
-      d.preds[0] = in.src1;
-      d.write_pred = in.dst;
-      break;
-    case Opcode::kSelp:
-      d.reads[0] = in.src1;
-      d.reads[1] = in.src2;
-      d.preds[0] = in.pred;
-      d.write_reg = in.dst;
-      break;
-    case Opcode::kSetEq: case Opcode::kSetNe: case Opcode::kSetLt:
-    case Opcode::kSetLe: case Opcode::kSetGt: case Opcode::kSetGe:
-    case Opcode::kFSetLt: case Opcode::kFSetLe: case Opcode::kFSetGt:
-    case Opcode::kFSetGe: case Opcode::kFSetEq: case Opcode::kFSetNe:
-      d.reads[0] = in.src1;
-      d.reads[1] = in.src2;
-      d.write_pred = in.dst;
-      break;
-    case Opcode::kIMad: case Opcode::kFFma: case Opcode::kDFma:
-      d.reads[0] = in.src1;
-      d.reads[1] = in.src2;
-      d.reads[2] = in.src3;
-      d.write_reg = in.dst;
-      break;
-    case Opcode::kLdGlobal: case Opcode::kLdShared:
-      d.reads[0] = in.src1;
-      d.write_reg = in.dst;
-      break;
-    case Opcode::kStGlobal: case Opcode::kStShared:
-      d.reads[0] = in.src1;
-      d.reads[1] = in.src2;
-      break;
-    case Opcode::kAtomAddGlobal: case Opcode::kAtomAddShared:
-      d.reads[0] = in.src1;
-      d.reads[1] = in.src2;
-      d.write_reg = in.dst;
-      break;
-    case Opcode::kShflDown:
-      d.reads[0] = in.src1;
-      d.write_reg = in.dst;
-      break;
-    case Opcode::kShflIdx:
-      d.reads[0] = in.src1;
-      d.reads[1] = in.src2;
-      d.write_reg = in.dst;
-      break;
-    case Opcode::kMov: case Opcode::kINot: case Opcode::kINeg:
-    case Opcode::kIAbs: case Opcode::kFAbs: case Opcode::kFNeg:
-    case Opcode::kFSqrt: case Opcode::kFRsqrt: case Opcode::kFRcp:
-    case Opcode::kFLog2: case Opcode::kFExp2: case Opcode::kFSin:
-    case Opcode::kFCos: case Opcode::kI2F: case Opcode::kF2I:
-    case Opcode::kI2D: case Opcode::kD2I: case Opcode::kF2D:
-    case Opcode::kD2F:
-      d.reads[0] = in.src1;
-      d.write_reg = in.dst;
-      break;
-    default:
-      d.reads[0] = in.src1;
-      d.reads[1] = in.src2;
-      d.write_reg = in.dst;
-      break;
-  }
-  return d;
-}
-
-struct ResidentBlock {
-  int block_flat = -1;
-  std::vector<std::uint8_t> smem;
-  std::unique_ptr<FunctionalCore> core;
-  int live_warps = 0;
-  int warps_at_barrier = 0;
-};
-
-struct WarpSlot {
-  std::unique_ptr<WarpContext> ctx;
-  int resident_idx = -1;   ///< which ResidentBlock
-  bool active = false;     ///< slot occupied
-  bool finished = false;
-  std::vector<std::uint64_t> reg_ready;
-  std::array<std::uint64_t, isa::kNumPredRegs> pred_ready{};
-};
-
-/// One streaming multiprocessor's timing state + simulation loop.
-class SmSim {
- public:
-  SmSim(const GpuConfig& cfg, const isa::Kernel& kernel,
-        const LaunchConfig& launch, GlobalMemory& gmem, Cache& l2,
-        std::vector<int> blocks)
-      : cfg_(cfg),
-        kernel_(kernel),
-        launch_(launch),
-        gmem_(gmem),
-        l2_(l2),
-        l1_(cfg.l1_kb, cfg.l1_ways, cfg.line_bytes),
-        crf_(cfg.seed),
-        pending_blocks_(std::move(blocks)),
-        warps_(static_cast<std::size_t>(cfg.max_warps_per_sm)),
-        fu_busy_(static_cast<std::size_t>(cfg.schedulers_per_sm *
-                                          int(FuKind::kCount)),
-                 0),
-        last_issued_(static_cast<std::size_t>(cfg.schedulers_per_sm), -1) {
-    std::reverse(pending_blocks_.begin(), pending_blocks_.end());
-    // FunctionalCore instances hold references into ResidentBlock::smem, so
-    // the resident vector must never reallocate.
-    resident_.reserve(static_cast<std::size_t>(cfg.max_blocks_per_sm));
-  }
-
-  EventCounters run();
-
- private:
-  bool admit_blocks();
-  bool try_issue(int sched);
-  bool warp_ready(int w, const Instruction** out_instr);
-  void issue(int sched, int w, const Instruction& in);
-  int mem_latency(const ExecRecord& rec, int* occupancy);
-  int speculate(const ExecRecord& rec, int latency);
-  void release_barriers();
-  void commit_crf_writes();
-
-  std::uint64_t& fu(int sched, FuKind k) {
-    return fu_busy_[static_cast<std::size_t>(sched * int(FuKind::kCount) +
-                                             int(k))];
-  }
-
-  const GpuConfig& cfg_;
-  const isa::Kernel& kernel_;
-  const LaunchConfig& launch_;
-  GlobalMemory& gmem_;
-  Cache& l2_;
-  Cache l1_;
-  spec::CarryRegisterFile crf_;
-
-  struct PendingCrfWrite {
-    std::uint64_t due;
-    std::uint32_t pc;
-    std::uint8_t lane;
-    std::uint8_t carries;
-  };
-
-  std::vector<int> pending_blocks_;  // back() = next to admit
-  std::vector<PendingCrfWrite> pending_crf_;
-  std::vector<ResidentBlock> resident_;
-  std::vector<WarpSlot> warps_;
-  std::vector<std::uint64_t> fu_busy_;
-  std::vector<int> last_issued_;
-  std::uint64_t now_ = 0;
-  int live_blocks_ = 0;
-  EventCounters counters_;
-  ExecRecord rec_;
-};
-
-bool SmSim::admit_blocks() {
-  bool admitted = false;
-  while (!pending_blocks_.empty()) {
-    if (live_blocks_ >= cfg_.max_blocks_per_sm) break;
-    if (kernel_.shared_bytes > 0 &&
-        (live_blocks_ + 1) * kernel_.shared_bytes > cfg_.shared_mem_per_sm) {
-      break;
-    }
-    const int warps_needed = launch_.warps_per_block();
-    // Find free warp slots.
-    std::vector<int> slots;
-    for (int i = 0; i < cfg_.max_warps_per_sm &&
-                    static_cast<int>(slots.size()) < warps_needed;
-         ++i) {
-      if (!warps_[static_cast<std::size_t>(i)].active) slots.push_back(i);
-    }
-    if (static_cast<int>(slots.size()) < warps_needed) break;
-
-    const int block = pending_blocks_.back();
-    pending_blocks_.pop_back();
-
-    int res_idx = -1;
-    for (std::size_t i = 0; i < resident_.size(); ++i) {
-      if (resident_[i].block_flat < 0) {
-        res_idx = static_cast<int>(i);
-        break;
-      }
-    }
-    if (res_idx < 0) {
-      resident_.emplace_back();
-      res_idx = static_cast<int>(resident_.size()) - 1;
-    }
-    ResidentBlock& rb = resident_[static_cast<std::size_t>(res_idx)];
-    rb.block_flat = block;
-    rb.smem.assign(static_cast<std::size_t>(kernel_.shared_bytes), 0);
-    rb.core = std::make_unique<FunctionalCore>(kernel_, launch_, gmem_,
-                                               rb.smem);
-    rb.live_warps = warps_needed;
-    rb.warps_at_barrier = 0;
-
-    for (int wi = 0; wi < warps_needed; ++wi) {
-      WarpSlot& slot = warps_[static_cast<std::size_t>(slots[wi])];
-      slot.ctx = std::make_unique<WarpContext>(
-          block, wi, rb.core->initial_mask(wi), kernel_.regs_used);
-      slot.resident_idx = res_idx;
-      slot.active = true;
-      slot.finished = false;
-      slot.reg_ready.assign(static_cast<std::size_t>(kernel_.regs_used), 0);
-      slot.pred_ready.fill(0);
-    }
-    ++live_blocks_;
-    admitted = true;
-  }
-  return admitted;
-}
-
-bool SmSim::warp_ready(int w, const Instruction** out_instr) {
-  WarpSlot& slot = warps_[static_cast<std::size_t>(w)];
-  if (!slot.active || slot.finished) return false;
-  WarpContext& ctx = *slot.ctx;
-  if (ctx.at_barrier) return false;
-  ctx.stack().settle();
-  if (ctx.done()) {
-    // Retire the warp.
-    slot.finished = true;
-    slot.active = false;
-    ResidentBlock& rb = resident_[static_cast<std::size_t>(slot.resident_idx)];
-    if (--rb.live_warps == 0) {
-      rb.block_flat = -1;
-      rb.core.reset();
-      --live_blocks_;
-      admit_blocks();
-    }
-    return false;
-  }
-  const Instruction& in = kernel_.code[ctx.stack().pc()];
-  const Deps d = deps_of(in);
-  for (int r : d.reads) {
-    if (r >= 0 && slot.reg_ready[static_cast<std::size_t>(r)] > now_) {
-      return false;
-    }
-  }
-  for (int p : d.preds) {
-    if (p >= 0 && slot.pred_ready[static_cast<std::size_t>(p)] > now_) {
-      return false;
-    }
-  }
-  if (d.write_reg >= 0 &&
-      slot.reg_ready[static_cast<std::size_t>(d.write_reg)] > now_) {
-    return false;  // WAW
-  }
-  *out_instr = &in;
-  return true;
-}
-
-int SmSim::mem_latency(const ExecRecord& rec, int* occupancy) {
-  *occupancy = cfg_.mem_interval;
-  if (rec.is_shared) {
-    ++counters_.smem_accesses;
-    return cfg_.shared_latency;
-  }
-  // Coalesce active lanes into cache lines.
-  std::array<std::uint64_t, kWarpSize> lines{};
-  int n = 0;
-  for (int lane = 0; lane < kWarpSize; ++lane) {
-    if (((rec.active_mask >> lane) & 1u) == 0) continue;
-    const std::uint64_t line =
-        rec.mem_addr[static_cast<std::size_t>(lane)] /
-        static_cast<unsigned>(cfg_.line_bytes);
-    bool found = false;
-    for (int i = 0; i < n; ++i) {
-      if (lines[static_cast<std::size_t>(i)] == line) {
-        found = true;
-        break;
-      }
-    }
-    if (!found) lines[static_cast<std::size_t>(n++)] = line;
-  }
-  bool any_l1_miss = false;
-  bool any_l2_miss = false;
-  for (int i = 0; i < n; ++i) {
-    const std::uint64_t addr =
-        lines[static_cast<std::size_t>(i)] *
-        static_cast<unsigned>(cfg_.line_bytes);
-    ++counters_.l1_accesses;
-    const bool l1_hit = l1_.access(addr, rec.is_store);
-    if (!l1_hit) {
-      ++counters_.l1_misses;
-      ++counters_.l2_accesses;
-      counters_.noc_flits += 2;  // request + response across the crossbar
-      const bool l2_hit = l2_.access(addr, rec.is_store);
-      if (!l2_hit) {
-        ++counters_.l2_misses;
-        ++counters_.dram_accesses;
-        any_l2_miss = true;
-      }
-      any_l1_miss = true;
-    }
-  }
-  const bool atomic = rec.instr->op == Opcode::kAtomAddGlobal ||
-                      rec.instr->op == Opcode::kAtomAddShared;
-  *occupancy = cfg_.mem_interval * std::max(1, n);
-  if (atomic) {
-    // Read-modify-write at the memory partition; contending lanes on one
-    // line serialize there, which the per-line transaction count plus the
-    // L2 round trip approximates.
-    return cfg_.l1_latency + cfg_.l2_latency / 2 +
-           (n - 1) * cfg_.mem_interval;
-  }
-  if (rec.is_store) {
-    // Fire-and-forget write-through; the store unit hides the latency.
-    return cfg_.mem_interval;
-  }
-  int lat = cfg_.l1_latency;
-  if (any_l1_miss) lat += cfg_.l2_latency;
-  if (any_l2_miss) lat += cfg_.dram_latency;
-  lat += (n - 1) * cfg_.mem_interval;  // transaction serialization
-  return lat;
-}
-
-int SmSim::speculate(const ExecRecord& rec, int latency) {
-  // ST2 carry speculation for one warp adder instruction against this SM's
-  // CRF. Returns the number of extra cycles (0 or 1).
-  const auto row = crf_.read_row(rec.pc);
-  ++counters_.crf_row_reads;
-  bool any_mispredict = false;
-  for (int lane = 0; lane < kWarpSize; ++lane) {
-    if (((rec.active_mask >> lane) & 1u) == 0) continue;
-    const AdderMicroOp& mop = rec.adder[static_cast<std::size_t>(lane)];
-    const std::uint8_t rel =
-        static_cast<std::uint8_t>((1u << (mop.num_slices - 1)) - 1);
-
-    spec::Prediction pred{};
-    const spec::PeekResult pk = spec::peek(mop.a, mop.b, mop.num_slices);
-    pred.peek_mask = pk.mask;
-    pred.dynamic_mask = static_cast<std::uint8_t>(rel & ~pk.mask);
-    const std::uint8_t hist = row[static_cast<std::size_t>(lane)];
-    pred.carries = static_cast<std::uint8_t>((pk.carries & pk.mask) |
-                                             (hist & pred.dynamic_mask));
-
-    spec::AddOp op{};
-    op.a = mop.a;
-    op.b = mop.b;
-    op.cin = mop.cin;
-    op.num_slices = mop.num_slices;
-    const std::uint8_t actual = spec::actual_carries(op);
-    const spec::SpeculationOutcome out =
-        spec::resolve_prediction(pred, actual, mop.num_slices);
-
-    ++counters_.adder_thread_ops;
-    counters_.slice_computes += static_cast<std::uint64_t>(mop.num_slices);
-    if (out.any_misprediction()) {
-      ++counters_.adder_mispredicts;
-      counters_.slice_recomputes +=
-          static_cast<std::uint64_t>(out.recompute_count());
-      any_mispredict = true;
-      // Mispredicting threads write the true pattern back, merging the bits
-      // they own into the shared 7-bit entry. The write lands at this
-      // instruction's write-back stage (issue + latency + recovery cycle),
-      // where it arbitrates against whatever else retires that cycle.
-      const std::uint8_t merged = static_cast<std::uint8_t>(
-          (hist & ~rel) | out.actual);
-      pending_crf_.push_back(PendingCrfWrite{
-          now_ + static_cast<unsigned>(latency + 1), rec.pc,
-          static_cast<std::uint8_t>(lane), merged});
-      ++counters_.crf_writes;
-    }
-  }
-  ++counters_.warp_adder_insts;
-  if (any_mispredict) {
-    ++counters_.warp_adder_stalls;
-    return 1;
-  }
-  return 0;
-}
-
-void SmSim::issue(int sched, int w, const Instruction& in) {
-  WarpSlot& slot = warps_[static_cast<std::size_t>(w)];
-  const StepStatus st = resident_[static_cast<std::size_t>(slot.resident_idx)]
-                            .core->step(*slot.ctx, &rec_);
-  ST2_ASSERT(st == StepStatus::kExecuted);
-  count_instruction(rec_, counters_);
-
-  OpTiming t = op_timing(cfg_, in.op);
-  if (rec_.is_mem) {
-    t.latency = mem_latency(rec_, &t.interval);
-  }
-  if (cfg_.model_rf_bank_conflicts) {
-    // Operand collection: sources mapping to the same register-file bank
-    // serialize, extending collection by one cycle per extra access.
-    const Deps dd = deps_of(in);
-    int per_bank[32] = {};
-    int worst = 0;
-    for (int r : dd.reads) {
-      if (r < 0) continue;
-      int& count = per_bank[r % cfg_.regfile_banks];
-      worst = std::max(worst, ++count);
-    }
-    if (worst > 1) {
-      t.latency += worst - 1;
-      t.interval += worst - 1;
-    }
-  }
-  if (cfg_.st2_enabled && rec_.has_adder_op) {
-    const int extra = speculate(rec_, t.latency);
-    t.latency += extra;
-    t.interval += extra;
-  }
-
-  fu(sched, fu_of(rec_.unit)) = now_ + static_cast<unsigned>(t.interval);
-  const Deps d = deps_of(in);
-  if (d.write_reg >= 0) {
-    slot.reg_ready[static_cast<std::size_t>(d.write_reg)] =
-        now_ + static_cast<unsigned>(t.latency);
-  }
-  if (d.write_pred >= 0) {
-    slot.pred_ready[static_cast<std::size_t>(d.write_pred)] =
-        now_ + static_cast<unsigned>(t.latency);
-  }
-  if (in.op == Opcode::kBar) {
-    ++resident_[static_cast<std::size_t>(slot.resident_idx)].warps_at_barrier;
-  }
-}
-
-bool SmSim::try_issue(int sched) {
-  const Instruction* in = nullptr;
-  const int last = last_issued_[static_cast<std::size_t>(sched)];
-  std::vector<int> order;
-  order.reserve(static_cast<std::size_t>(cfg_.max_warps_per_sm /
-                                         cfg_.schedulers_per_sm) + 1);
-  if (cfg_.scheduler == WarpScheduler::kGto) {
-    // Greedy-then-oldest: stick with the last warp while it is ready, else
-    // fall back to the oldest (lowest slot).
-    if (last >= 0) order.push_back(last);
-    for (int w = sched; w < cfg_.max_warps_per_sm;
-         w += cfg_.schedulers_per_sm) {
-      if (w != last) order.push_back(w);
-    }
-  } else {
-    // Loose round-robin: start from the warp after the last issued one.
-    std::vector<int> mine;
-    for (int w = sched; w < cfg_.max_warps_per_sm;
-         w += cfg_.schedulers_per_sm) {
-      mine.push_back(w);
-    }
-    std::size_t start = 0;
-    for (std::size_t i = 0; i < mine.size(); ++i) {
-      if (mine[i] == last) {
-        start = i + 1;
-        break;
-      }
-    }
-    for (std::size_t i = 0; i < mine.size(); ++i) {
-      order.push_back(mine[(start + i) % mine.size()]);
-    }
-  }
-  for (int w : order) {
-    if (!warp_ready(w, &in)) continue;
-    // The FU must be free.
-    const FuKind k = fu_of(isa::unit_class(in->op));
-    if (fu(sched, k) > now_) continue;
-    issue(sched, w, *in);
-    last_issued_[static_cast<std::size_t>(sched)] = w;
-    return true;
-  }
-  return false;
-}
-
-void SmSim::release_barriers() {
-  for (std::size_t i = 0; i < resident_.size(); ++i) {
-    ResidentBlock& rb = resident_[i];
-    if (rb.block_flat < 0 || rb.warps_at_barrier < rb.live_warps) continue;
-    for (auto& slot : warps_) {
-      if (slot.active && slot.resident_idx == static_cast<int>(i)) {
-        FunctionalCore::release_barrier(*slot.ctx);
-      }
-    }
-    rb.warps_at_barrier = 0;
-  }
-}
-
-void SmSim::commit_crf_writes() {
-  // Move the writes whose write-back stage is due into the CRF, then let the
-  // CRF arbitrate same-cycle collisions.
-  for (std::size_t i = 0; i < pending_crf_.size();) {
-    if (pending_crf_[i].due <= now_) {
-      crf_.request_write(pending_crf_[i].pc, pending_crf_[i].lane,
-                         pending_crf_[i].carries);
-      pending_crf_[i] = pending_crf_.back();
-      pending_crf_.pop_back();
-    } else {
-      ++i;
-    }
-  }
-  crf_.commit_cycle();
-}
-
-EventCounters SmSim::run() {
-  admit_blocks();
-  while (live_blocks_ > 0 || !pending_blocks_.empty()) {
-    release_barriers();
-    bool issued = false;
-    for (int s = 0; s < cfg_.schedulers_per_sm; ++s) {
-      issued |= try_issue(s);
-    }
-    commit_crf_writes();
-    ++now_;
-    if (issued) {
-      ++counters_.sm_active_cycles;
-    } else {
-      ++counters_.sm_idle_cycles;
-    }
-    ST2_ASSERT(now_ < (1ULL << 40) && "timing simulation runaway");
-  }
-  counters_.cycles = now_;
-  counters_.crf_write_conflicts = crf_.write_conflicts();
-  return counters_;
-}
-
-}  // namespace
-
-TimingSimulator::TimingSimulator(const GpuConfig& cfg) : cfg_(cfg) {}
 
 TimingResult TimingSimulator::run(const isa::Kernel& kernel,
                                   const LaunchConfig& launch,
                                   GlobalMemory& gmem) {
-  launch.validate();
-  Cache l2(cfg_.l2_kb, cfg_.l2_ways, cfg_.line_bytes);
-
-  // Static round-robin block assignment across SMs.
-  std::vector<std::vector<int>> assignment(
-      static_cast<std::size_t>(cfg_.num_sms));
-  for (int b = 0; b < launch.num_blocks(); ++b) {
-    assignment[static_cast<std::size_t>(b % cfg_.num_sms)].push_back(b);
-  }
-
+  RunReport report = engine_.run(kernel, launch, gmem);
   TimingResult result;
-  std::uint64_t max_cycles = 0;
-  for (int sm = 0; sm < cfg_.num_sms; ++sm) {
-    if (assignment[static_cast<std::size_t>(sm)].empty()) continue;
-    SmSim sim(cfg_, kernel, launch, gmem, l2,
-              assignment[static_cast<std::size_t>(sm)]);
-    EventCounters c = sim.run();
-    max_cycles = std::max(max_cycles, c.cycles);
-    c.cycles = 0;  // avoid summing per-SM runtimes
-    result.counters += c;
-  }
-  result.counters.cycles = max_cycles;
-  // Idle SMs (no blocks) idle for the whole kernel.
-  for (int sm = 0; sm < cfg_.num_sms; ++sm) {
-    if (assignment[static_cast<std::size_t>(sm)].empty()) {
-      result.counters.sm_idle_cycles += max_cycles;
-    }
-  }
-  result.misprediction_rate = result.counters.adder_misprediction_rate();
+  result.counters = report.chip;
+  result.misprediction_rate = report.misprediction_rate;
   return result;
 }
 

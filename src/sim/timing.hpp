@@ -1,4 +1,10 @@
-// Cycle-level GPU timing simulator (the GPGPU-Sim stand-in, paper Section V).
+// Cycle-level GPU timing simulation (the GPGPU-Sim stand-in, paper Section V)
+// — the thin facade over the layered simulator:
+//
+//   op_timing.hpp  per-opcode FU mapping, latencies, scoreboard deps
+//   sm_core.hpp    one SM's pipeline (warp slots, schedulers, L1/L2, ST2 CRF)
+//   engine.hpp     capture + parallel deterministic replay across SMs
+//   report.hpp     structured per-SM / whole-chip counters, JSON export
 //
 // Models a Volta-like chip: SMs with 4 warp schedulers (greedy-then-oldest),
 // per-warp in-order issue with register scoreboarding, per-scheduler
@@ -8,17 +14,18 @@
 // the adder-class units, a one-cycle stall on any lane misprediction, and
 // CRF write-back with same-cycle random arbitration.
 //
-// SMs are simulated independently (the chip's only cross-SM coupling is the
-// L2, which is shared state but not a bandwidth bottleneck in this model);
-// kernel runtime is the max SM cycle count, matching how the paper reports
-// execution time.
+// SMs are simulated independently; kernel runtime is the max SM cycle count,
+// matching how the paper reports execution time. Parallel and serial runs
+// are bit-identical (see engine.hpp for the determinism contract).
 #pragma once
 
 #include "src/isa/instruction.hpp"
 #include "src/sim/config.hpp"
 #include "src/sim/counters.hpp"
+#include "src/sim/engine.hpp"
 #include "src/sim/launch.hpp"
 #include "src/sim/memory.hpp"
+#include "src/sim/report.hpp"
 
 namespace st2::sim {
 
@@ -29,16 +36,21 @@ struct TimingResult {
 
 class TimingSimulator {
  public:
-  explicit TimingSimulator(const GpuConfig& cfg = GpuConfig::baseline());
+  explicit TimingSimulator(const GpuConfig& cfg = GpuConfig::baseline(),
+                           EngineOptions opts = {});
 
   /// Runs the kernel to completion and returns the aggregated counters.
   TimingResult run(const isa::Kernel& kernel, const LaunchConfig& launch,
                    GlobalMemory& gmem);
 
-  const GpuConfig& config() const { return cfg_; }
+  /// Same execution, full structured report (per-SM counters, JSON export).
+  RunReport run_report(const isa::Kernel& kernel, const LaunchConfig& launch,
+                       GlobalMemory& gmem);
+
+  const GpuConfig& config() const { return engine_.config(); }
 
  private:
-  GpuConfig cfg_;
+  ExecutionEngine engine_;
 };
 
 }  // namespace st2::sim

@@ -1,0 +1,150 @@
+// The execution engine's contract: parallel replay is bit-identical to
+// serial replay, the chip-level reduction is explicit (cycles = max across
+// SMs, sm_cycles_sum = sum), and the structured report serializes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/isa/builder.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/timing.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace st2::sim {
+namespace {
+
+using isa::KernelBuilder;
+using isa::Reg;
+
+// Adder-heavy kernel: exercises the ST2 speculation path on every SM.
+isa::Kernel adder_kernel(int trips) {
+  KernelBuilder kb("adder");
+  const Reg out = kb.param(0);
+  const Reg acc = kb.imm(1);
+  kb.for_range(kb.imm(0), kb.imm(trips), 1, [&](Reg i) {
+    kb.iadd_to(acc, acc, i);
+    kb.iadd_to(acc, acc, kb.gtid());
+  });
+  kb.st_global(kb.element_addr(out, kb.gtid(), 8), acc);
+  kb.exit();
+  return kb.build();
+}
+
+// All threads hammer one global counter: cross-block atomics are the
+// hardest case for parallel simulation correctness.
+isa::Kernel atomic_kernel() {
+  KernelBuilder kb("atomic");
+  const Reg counter = kb.param(0);
+  kb.atom_add_global(counter, kb.imm(1));
+  kb.exit();
+  return kb.build();
+}
+
+GpuConfig chip(int sms, bool st2 = true) {
+  GpuConfig cfg = st2 ? GpuConfig::st2() : GpuConfig::baseline();
+  cfg.num_sms = sms;
+  return cfg;
+}
+
+TEST(Engine, ParallelReplayBitIdenticalToSerial) {
+  const isa::Kernel k = adder_kernel(12);
+  const GpuConfig cfg = chip(8);
+  GlobalMemory mem;
+  const std::uint64_t out = mem.alloc(8 * 1024);
+  const GridCapture cap =
+      capture_grid(cfg, k, launch_1d(1024, 64, {out}), mem);
+
+  ExecutionEngine serial(cfg, EngineOptions{1});
+  ExecutionEngine parallel(cfg, EngineOptions{4});
+  const RunReport r1 = serial.replay(k, cap);
+  const RunReport r4 = parallel.replay(k, cap);
+
+  EXPECT_EQ(r1.chip, r4.chip);  // every counter, including cycle fields
+  EXPECT_EQ(r1.misprediction_rate, r4.misprediction_rate);
+  ASSERT_EQ(r1.per_sm.size(), r4.per_sm.size());
+  for (std::size_t i = 0; i < r1.per_sm.size(); ++i) {
+    EXPECT_EQ(r1.per_sm[i].sm, r4.per_sm[i].sm);
+    EXPECT_EQ(r1.per_sm[i].counters, r4.per_sm[i].counters);
+  }
+}
+
+TEST(Engine, AtomicsLandExactlyOnceAcrossJobs) {
+  const isa::Kernel k = atomic_kernel();
+  for (const int jobs : {1, 4}) {
+    GlobalMemory mem;
+    const std::uint64_t counter = mem.alloc(8);
+    TimingSimulator ts(chip(4, /*st2=*/false), EngineOptions{jobs});
+    ts.run(k, launch_1d(512, 64, {counter}), mem);
+    std::vector<std::uint64_t> v(1);
+    mem.read<std::uint64_t>(counter, v);
+    EXPECT_EQ(v[0], 512u) << "jobs=" << jobs;
+  }
+}
+
+TEST(Engine, ReduceTakesMaxForWallClockAndSumForSmCycles) {
+  const isa::Kernel k = adder_kernel(8);
+  GlobalMemory mem;
+  const std::uint64_t out = mem.alloc(8 * 512);
+  ExecutionEngine eng(chip(4), EngineOptions{2});
+  const RunReport r = eng.run(k, launch_1d(512, 64, {out}), mem);
+
+  ASSERT_FALSE(r.per_sm.empty());
+  std::uint64_t max_c = 0, sum_c = 0;
+  for (const SmReport& s : r.per_sm) {
+    max_c = std::max(max_c, s.counters.cycles);
+    sum_c += s.counters.cycles;
+  }
+  EXPECT_EQ(r.chip.sm_cycles_max, max_c);
+  EXPECT_EQ(r.chip.sm_cycles_sum, sum_c);
+  EXPECT_EQ(r.chip.cycles, max_c);  // chip runtime = slowest SM
+  EXPECT_EQ(r.wall_cycles(), max_c);
+  EXPECT_EQ(r.chip.wall_cycles(), max_c);
+}
+
+TEST(Engine, IdleSmsChargeIdleCyclesForTheWholeKernel) {
+  const isa::Kernel k = adder_kernel(4);
+  GlobalMemory mem;
+  const std::uint64_t out = mem.alloc(8 * 64);
+  ExecutionEngine eng(chip(6));
+  // One block -> one busy SM, five idle SMs.
+  const RunReport r = eng.run(k, launch_1d(64, 64, {out}), mem);
+  ASSERT_EQ(r.per_sm.size(), 1u);
+  EXPECT_EQ(r.num_sms, 6);
+  EXPECT_GE(r.chip.sm_idle_cycles, 5 * r.wall_cycles());
+}
+
+TEST(Engine, JsonReportContainsTheRunStructure) {
+  const isa::Kernel k = adder_kernel(4);
+  GlobalMemory mem;
+  const std::uint64_t out = mem.alloc(8 * 256);
+  ExecutionEngine eng(chip(4), EngineOptions{2});
+  const RunReport r = eng.run(k, launch_1d(256, 64, {out}), mem);
+  const std::string js = r.to_json("adder", 0);
+  EXPECT_NE(js.find("\"kernel\": \"adder\""), std::string::npos);
+  EXPECT_NE(js.find("\"wall_cycles\""), std::string::npos);
+  EXPECT_NE(js.find("\"per_sm\""), std::string::npos);
+  EXPECT_NE(js.find("\"sm_cycles_sum\""), std::string::npos);
+  EXPECT_NE(js.find("\"jobs\": 2"), std::string::npos);
+}
+
+TEST(Engine, RealWorkloadIdenticalAcrossJobsAndValidates) {
+  // End-to-end: a histogram workload (atomics, multiple launches) must
+  // validate and produce identical counters under serial and parallel replay.
+  EventCounters totals[2];
+  int idx = 0;
+  for (const int jobs : {1, 4}) {
+    workloads::PreparedCase pc = workloads::prepare_case("histo_K1", 0.15);
+    TimingSimulator ts(chip(8), EngineOptions{jobs});
+    EventCounters c;
+    for (const auto& lc : pc.launches) {
+      c += ts.run_report(pc.kernel, lc, *pc.mem).chip;
+    }
+    EXPECT_TRUE(pc.validate(*pc.mem)) << "jobs=" << jobs;
+    totals[idx++] = c;
+  }
+  EXPECT_EQ(totals[0], totals[1]);
+}
+
+}  // namespace
+}  // namespace st2::sim

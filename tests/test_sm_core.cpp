@@ -1,0 +1,199 @@
+// Unit tests for the SM-core library: the op timing tables and the
+// public SmCore pipeline (scoreboard readiness, barrier release, block
+// admission, CRF speculation accounting, deterministic replay).
+#include <gtest/gtest.h>
+
+#include "src/isa/builder.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/op_timing.hpp"
+#include "src/sim/sm_core.hpp"
+
+namespace st2::sim {
+namespace {
+
+using isa::KernelBuilder;
+using isa::Opcode;
+using isa::Reg;
+using isa::UnitClass;
+
+TEST(OpTiming, TablesMatchTheConfiguredMachine) {
+  const GpuConfig cfg;
+  EXPECT_EQ(op_timing(cfg, Opcode::kIAdd).latency, cfg.alu_latency);
+  EXPECT_EQ(op_timing(cfg, Opcode::kIAdd).interval, cfg.alu_interval);
+  EXPECT_EQ(op_timing(cfg, Opcode::kFDiv).latency, cfg.fdiv_latency);
+  EXPECT_GT(op_timing(cfg, Opcode::kIDiv).latency,
+            op_timing(cfg, Opcode::kIAdd).latency);
+  // Distinct pools: ALU work never blocks the memory pipeline.
+  EXPECT_NE(fu_of(UnitClass::kAlu), fu_of(UnitClass::kMem));
+  EXPECT_NE(fu_of(UnitClass::kFpu), fu_of(UnitClass::kSfu));
+}
+
+TEST(OpTiming, DepsExposeScoreboardRegisters) {
+  KernelBuilder kb("deps");
+  const Reg a = kb.imm(1);
+  const Reg b = kb.imm(2);
+  kb.iadd(a, b);
+  kb.exit();
+  const isa::Kernel k = kb.build();
+  bool saw_add = false;
+  for (const auto& in : k.code) {
+    if (in.op != Opcode::kIAdd) continue;
+    const Deps d = deps_of(in);
+    EXPECT_GE(d.reads[0], 0);
+    EXPECT_GE(d.reads[1], 0);
+    EXPECT_GE(d.write_reg, 0);
+    saw_add = true;
+  }
+  EXPECT_TRUE(saw_add);
+}
+
+GpuConfig one_sm(bool st2 = false) {
+  GpuConfig cfg = st2 ? GpuConfig::st2() : GpuConfig::baseline();
+  cfg.num_sms = 1;
+  return cfg;
+}
+
+/// Captures the whole grid onto a single-SM machine and returns its workload.
+SmWorkload capture_one(const GpuConfig& cfg, const isa::Kernel& k,
+                       const LaunchConfig& lc, GlobalMemory& mem) {
+  GridCapture cap = capture_grid(cfg, k, lc, mem);
+  return std::move(cap.per_sm.at(0));
+}
+
+TEST(SmCore, DependencyChainsStallTheScoreboard) {
+  // Same instruction count; the chained version must take longer because
+  // every add waits for the previous result (RAW through the scoreboard).
+  auto build = [](bool chained) {
+    KernelBuilder kb(chained ? "chain" : "indep");
+    const Reg out = kb.param(0);
+    const Reg acc = kb.imm(1);
+    const Reg addend = kb.imm(3);
+    Reg last = acc;
+    for (int i = 0; i < 24; ++i) {
+      if (chained) {
+        kb.iadd_to(acc, acc, addend);  // RAW on acc every iteration
+        last = acc;
+      } else {
+        last = kb.iadd(acc, addend);  // fresh destination, no dependency
+      }
+    }
+    kb.st_global(kb.element_addr(out, kb.gtid(), 8), last);
+    kb.exit();
+    return kb.build();
+  };
+  const GpuConfig cfg = one_sm();
+  std::uint64_t cycles[2];
+  for (const bool chained : {false, true}) {
+    const isa::Kernel k = build(chained);
+    GlobalMemory mem;
+    const std::uint64_t out = mem.alloc(8 * 32);
+    const SmWorkload w = capture_one(cfg, k, launch_1d(32, 32, {out}), mem);
+    SmCore core(cfg, k, w);
+    core.run();
+    cycles[chained ? 1 : 0] = core.now();
+  }
+  EXPECT_GT(cycles[1], cycles[0]);
+}
+
+TEST(SmCore, BarrierReleasesOnlyWhenAllWarpsArrive) {
+  // Warp 0 reaches the barrier after far less work than warp 1; the block
+  // must still complete (no deadlock), and the run must take at least as
+  // long as the slow warp's pre-barrier chain.
+  KernelBuilder kb("bar");
+  const Reg out = kb.param(0);
+  const Reg acc = kb.imm(0);
+  // Threads 32..63 loop 32 times, threads 0..31 zero times.
+  const Reg trips = kb.imul(kb.ishr(kb.tid_x(), kb.imm(5)), kb.imm(32));
+  kb.for_range(kb.imm(0), trips, 1, [&](Reg i) { kb.iadd_to(acc, acc, i); });
+  kb.bar();
+  kb.st_global(kb.element_addr(out, kb.gtid(), 8), acc);
+  kb.exit();
+  const isa::Kernel k = kb.build();
+
+  const GpuConfig cfg = one_sm();
+  GlobalMemory mem;
+  const std::uint64_t buf = mem.alloc(8 * 64);
+  const SmWorkload w = capture_one(cfg, k, launch_1d(64, 64, {buf}), mem);
+  SmCore core(cfg, k, w);
+  const EventCounters c = core.run();
+  EXPECT_TRUE(core.finished());
+  EXPECT_EQ(core.live_blocks(), 0);
+  // The slow warp executes 32 chained adds before the barrier; the fast
+  // warp's store cannot have retired before those.
+  EXPECT_GT(c.cycles, 32u);
+  EXPECT_GT(c.warp_instructions, 0u);
+}
+
+TEST(SmCore, AdmissionRespectsTheBlockLimit) {
+  KernelBuilder kb("blocks");
+  const Reg out = kb.param(0);
+  kb.st_global(kb.element_addr(out, kb.gtid(), 8), kb.imm(7));
+  kb.exit();
+  const isa::Kernel k = kb.build();
+
+  GpuConfig cfg = one_sm();
+  cfg.max_blocks_per_sm = 2;
+  GlobalMemory mem;
+  const std::uint64_t buf = mem.alloc(8 * 512);
+  const SmWorkload w = capture_one(cfg, k, launch_1d(512, 64, {buf}), mem);
+  ASSERT_EQ(w.blocks.size(), 8u);
+
+  SmCore core(cfg, k, w);
+  EXPECT_EQ(core.blocks_admitted(), 2u);  // the residency cap, not all 8
+  EXPECT_EQ(core.live_blocks(), 2);
+  core.run();
+  EXPECT_EQ(core.blocks_admitted(), 8u);  // everyone ran eventually
+  EXPECT_EQ(core.live_blocks(), 0);
+}
+
+TEST(SmCore, SpeculationCountersAreInternallyConsistent) {
+  KernelBuilder kb("spec");
+  const Reg out = kb.param(0);
+  const Reg acc = kb.imm(1);
+  kb.for_range(kb.imm(0), kb.imm(16), 1, [&](Reg i) {
+    kb.iadd_to(acc, acc, kb.imul(i, kb.gtid()));
+  });
+  kb.st_global(kb.element_addr(out, kb.gtid(), 8), acc);
+  kb.exit();
+  const isa::Kernel k = kb.build();
+
+  const GpuConfig cfg = one_sm(/*st2=*/true);
+  GlobalMemory mem;
+  const std::uint64_t buf = mem.alloc(8 * 256);
+  const SmWorkload w = capture_one(cfg, k, launch_1d(256, 64, {buf}), mem);
+  SmCore core(cfg, k, w);
+  const EventCounters c = core.run();
+
+  EXPECT_GT(c.warp_adder_insts, 0u);
+  EXPECT_GT(c.adder_thread_ops, 0u);
+  // Every mispredicting lane requests exactly one CRF write-back.
+  EXPECT_EQ(c.crf_writes, c.adder_mispredicts);
+  // A warp stalls at most once per adder instruction.
+  EXPECT_LE(c.warp_adder_stalls, c.warp_adder_insts);
+  // Each adder warp instruction reads its CRF row exactly once.
+  EXPECT_EQ(c.crf_row_reads, c.warp_adder_insts);
+  EXPECT_LE(c.adder_mispredicts, c.adder_thread_ops);
+}
+
+TEST(SmCore, ReplayIsDeterministic) {
+  KernelBuilder kb("det");
+  const Reg out = kb.param(0);
+  const Reg acc = kb.imm(1);
+  kb.for_range(kb.imm(0), kb.imm(10), 1, [&](Reg i) {
+    kb.iadd_to(acc, acc, i);
+  });
+  kb.st_global(kb.element_addr(out, kb.gtid(), 8), acc);
+  kb.exit();
+  const isa::Kernel k = kb.build();
+
+  const GpuConfig cfg = one_sm(/*st2=*/true);
+  GlobalMemory mem;
+  const std::uint64_t buf = mem.alloc(8 * 512);
+  const SmWorkload w = capture_one(cfg, k, launch_1d(512, 128, {buf}), mem);
+  SmCore a(cfg, k, w);
+  SmCore b(cfg, k, w);
+  EXPECT_EQ(a.run(), b.run());
+}
+
+}  // namespace
+}  // namespace st2::sim

@@ -1,15 +1,19 @@
 // st2sim — command-line driver for the simulator.
 //
 //   st2sim list
-//   st2sim run <kernel|all> [--scale S] [--st2] [--sms N] [--lrr]
-//              [--spec CONFIG] [--csv FILE] [--disasm] [--trace]
+//   st2sim run <kernel|all> [--scale S] [--st2] [--sms N] [--jobs N] [--lrr]
+//              [--spec CONFIG] [--csv FILE] [--json FILE] [--disasm] [--trace]
 //
+// --jobs N replays the SMs of a timing run on N worker threads (0 = one per
+// hardware core); results are bit-identical to --jobs 1. --json dumps the
+// structured per-SM / whole-chip RunReport of every timing run to FILE.
 // --spec selects the speculation policy measured in --trace mode (any name
 // from the Figure 5 sweep, e.g. "Prev+ModPC4+Peek").
 //
 // Examples:
 //   st2sim run pathfinder --st2            # timing run, ST2 machine
 //   st2sim run all --scale 0.25 --csv out.csv
+//   st2sim run all --st2 --jobs 8 --json out.json
 //   st2sim run kmeans_K1 --trace           # fast functional run + specs
 //   st2sim run msort_K2 --disasm           # print the mini-PTX
 #include <cstdio>
@@ -40,22 +44,35 @@ struct Options {
   bool trace = false;
   bool disasm = false;
   int sms = 20;
+  int jobs = 1;
   std::string csv;
+  std::string json;
 };
+
+/// Strict integer parse: rejects partial matches like "8x" or "abc",
+/// which atoi would silently turn into 8 or 0.
+bool parse_int(const char* s, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
 
 int usage() {
   std::puts(
       "usage:\n"
       "  st2sim list\n"
-      "  st2sim run <kernel|all> [--scale S] [--st2] [--sms N] [--lrr]\n"
-      "             [--spec CONFIG] [--csv FILE] [--disasm] [--trace]");
+      "  st2sim run <kernel|all> [--scale S] [--st2] [--sms N] [--jobs N]\n"
+      "             [--lrr] [--spec CONFIG] [--csv FILE] [--json FILE]\n"
+      "             [--disasm] [--trace]");
   return 2;
 }
 
 bool parse(int argc, char** argv, Options* o) {
   if (argc < 2) return false;
   o->command = argv[1];
-  if (o->command == "list") return true;
+  if (o->command == "list") return argc == 2;
   if (o->command != "run" || argc < 3) return false;
   o->kernel = argv[2];
   for (int i = 3; i < argc; ++i) {
@@ -69,12 +86,18 @@ bool parse(int argc, char** argv, Options* o) {
       o->scale = std::atof(v);
     } else if (a == "--sms") {
       const char* v = next();
-      if (!v) return false;
-      o->sms = std::atoi(v);
+      if (!v || !parse_int(v, &o->sms)) return false;
+    } else if (a == "--jobs") {
+      const char* v = next();
+      if (!v || !parse_int(v, &o->jobs)) return false;
     } else if (a == "--csv") {
       const char* v = next();
       if (!v) return false;
       o->csv = v;
+    } else if (a == "--json") {
+      const char* v = next();
+      if (!v) return false;
+      o->json = v;
     } else if (a == "--spec") {
       const char* v = next();
       if (!v) return false;
@@ -92,10 +115,11 @@ bool parse(int argc, char** argv, Options* o) {
       return false;
     }
   }
-  return o->scale > 0 && o->scale <= 4.0 && o->sms >= 1;
+  return o->scale > 0 && o->scale <= 4.0 && o->sms >= 1 && o->jobs >= 0;
 }
 
-int run_one(const Options& o, const std::string& name, Table* out) {
+int run_one(const Options& o, const std::string& name, Table* out,
+            std::vector<std::string>* json_reports) {
   workloads::PreparedCase pc = workloads::prepare_case(name, o.scale);
   if (o.disasm) {
     std::printf("%s\n", pc.kernel.disassemble().c_str());
@@ -139,13 +163,16 @@ int run_one(const Options& o, const std::string& name, Table* out) {
                              : sim::GpuConfig::baseline();
   cfg.num_sms = o.sms;
   if (o.lrr) cfg.scheduler = sim::WarpScheduler::kLrr;
-  sim::TimingSimulator ts(cfg);
+  sim::TimingSimulator ts(cfg, sim::EngineOptions{o.jobs});
   sim::EventCounters c;
   std::uint64_t cycles = 0;
+  int launch_idx = 0;
   for (const auto& lc : pc.launches) {
-    const auto r = ts.run(pc.kernel, lc, *pc.mem);
-    c += r.counters;
-    cycles += r.counters.cycles;
+    const sim::RunReport r = ts.run_report(pc.kernel, lc, *pc.mem);
+    if (json_reports) json_reports->push_back(r.to_json(name, launch_idx));
+    ++launch_idx;
+    c += r.chip;
+    cycles += r.wall_cycles();
   }
   c.cycles = cycles;
   const bool ok = pc.validate(*pc.mem);
@@ -178,18 +205,40 @@ int main(int argc, char** argv) {
   t.header({"kernel", "valid", "thread instrs", "simd eff", "cycles",
             "mispred", "energy", "chip energy"});
   int rc = 0;
+  std::vector<std::string> json_reports;
+  std::vector<std::string>* jr = o.json.empty() ? nullptr : &json_reports;
   if (o.kernel == "all") {
     for (const auto& info : workloads::case_list()) {
-      rc |= run_one(o, info.name, &t);
+      rc |= run_one(o, info.name, &t, jr);
     }
   } else {
-    rc = run_one(o, o.kernel, &t);
+    rc = run_one(o, o.kernel, &t, jr);
   }
   if (!o.disasm) {
     t.print(std::cout);
     if (!o.csv.empty()) {
-      std::ofstream(o.csv) << t.to_csv();
-      std::printf("wrote %s\n", o.csv.c_str());
+      std::ofstream cs(o.csv);
+      cs << t.to_csv();
+      if (cs.flush()) {
+        std::printf("wrote %s\n", o.csv.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", o.csv.c_str());
+        rc = 1;
+      }
+    }
+    if (!o.json.empty()) {
+      std::ofstream js(o.json);
+      js << "[";
+      for (std::size_t i = 0; i < json_reports.size(); ++i) {
+        js << (i ? ",\n" : "\n") << json_reports[i];
+      }
+      js << "\n]\n";
+      if (js.flush()) {
+        std::printf("wrote %s\n", o.json.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", o.json.c_str());
+        rc = 1;
+      }
     }
   }
   return rc;
