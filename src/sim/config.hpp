@@ -64,6 +64,12 @@ struct GpuConfig {
   int regfile_banks = 4;
   bool model_rf_bank_conflicts = true;
 
+  // --- observability ---------------------------------------------------------
+  // Cycles per activity-timeline bucket (0 = recording off). Observation
+  // only: the timeline counts issues per bucket and never feeds back into
+  // timing, so enabling it cannot change any simulation result.
+  int timeline_bucket = 0;
+
   // --- clock ---------------------------------------------------------------
   double clock_ghz = 1.2;
 

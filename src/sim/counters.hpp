@@ -50,6 +50,16 @@ struct EventCounters {
   std::uint64_t warp_adder_insts = 0;    ///< warp-level adder instructions
   std::uint64_t warp_adder_stalls = 0;   ///< warp instrs that took the +1 cycle
 
+  // --- memory latency attribution (timing mode only) -------------------------
+  // Result latency of each issued memory instruction, bucketed by the deepest
+  // level it touched. Observation-only: sums the same `t.latency` the
+  // scoreboard charges, so the buckets explain where memory wait time goes
+  // without modeling anything new.
+  std::uint64_t mem_lat_smem_cycles = 0;  ///< shared-memory accesses
+  std::uint64_t mem_lat_l1_cycles = 0;    ///< global, all lines hit in L1
+  std::uint64_t mem_lat_l2_cycles = 0;    ///< global, worst line hit in L2
+  std::uint64_t mem_lat_dram_cycles = 0;  ///< global, worst line went to DRAM
+
   // --- memory system ------------------------------------------------------------
   std::uint64_t gmem_insts = 0;
   std::uint64_t l1_accesses = 0;
@@ -73,6 +83,23 @@ struct EventCounters {
   std::uint64_t sm_cycles_sum = 0;     ///< total SM-time: sum over SMs
   std::uint64_t sm_active_cycles = 0;  ///< sum over SMs of busy cycles
   std::uint64_t sm_idle_cycles = 0;    ///< sum over SMs of idle cycles
+
+  // --- stall-cycle attribution (timing mode only) ----------------------------
+  // Every scheduler-cycle of the run is attributed to exactly one of the six
+  // buckets below: either the scheduler issued, or its best-placed warp was
+  // held back for the recorded cause. Causes rank empty < barrier <
+  // dependency < structural < ST2-recovery (closest-to-issue wins), so the
+  // bucket names the *last* obstacle between the scheduler and an issue.
+  // Per SM the buckets reconcile exactly:
+  //   sched_issue_cycles + sum(stall_*_cycles) == schedulers_per_sm * cycles.
+  // Attribution is counter-only bookkeeping: it never feeds back into issue
+  // order, `now_`, or any architectural decision.
+  std::uint64_t sched_issue_cycles = 0;      ///< scheduler-cycles that issued
+  std::uint64_t stall_dependency_cycles = 0; ///< scoreboard (RAW/WAW) waits
+  std::uint64_t stall_structural_cycles = 0; ///< dep-ready, FU still busy
+  std::uint64_t stall_barrier_cycles = 0;    ///< all live warps at a barrier
+  std::uint64_t stall_empty_cycles = 0;      ///< no active warp on the slots
+  std::uint64_t stall_st2_recovery_cycles = 0; ///< held only by ST2 +1 repair
 
   EventCounters& operator+=(const EventCounters& o) {
     warp_instructions += o.warp_instructions;
@@ -109,6 +136,10 @@ struct EventCounters {
     slice_recomputes += o.slice_recomputes;
     warp_adder_insts += o.warp_adder_insts;
     warp_adder_stalls += o.warp_adder_stalls;
+    mem_lat_smem_cycles += o.mem_lat_smem_cycles;
+    mem_lat_l1_cycles += o.mem_lat_l1_cycles;
+    mem_lat_l2_cycles += o.mem_lat_l2_cycles;
+    mem_lat_dram_cycles += o.mem_lat_dram_cycles;
     gmem_insts += o.gmem_insts;
     l1_accesses += o.l1_accesses;
     l1_misses += o.l1_misses;
@@ -122,6 +153,12 @@ struct EventCounters {
     sm_cycles_sum += o.sm_cycles_sum;
     sm_active_cycles += o.sm_active_cycles;
     sm_idle_cycles += o.sm_idle_cycles;
+    sched_issue_cycles += o.sched_issue_cycles;
+    stall_dependency_cycles += o.stall_dependency_cycles;
+    stall_structural_cycles += o.stall_structural_cycles;
+    stall_barrier_cycles += o.stall_barrier_cycles;
+    stall_empty_cycles += o.stall_empty_cycles;
+    stall_st2_recovery_cycles += o.stall_st2_recovery_cycles;
     return *this;
   }
 
@@ -194,6 +231,10 @@ void for_each_counter(Counters& c, Fn&& fn) {
   fn("slice_recomputes", c.slice_recomputes);
   fn("warp_adder_insts", c.warp_adder_insts);
   fn("warp_adder_stalls", c.warp_adder_stalls);
+  fn("mem_lat_smem_cycles", c.mem_lat_smem_cycles);
+  fn("mem_lat_l1_cycles", c.mem_lat_l1_cycles);
+  fn("mem_lat_l2_cycles", c.mem_lat_l2_cycles);
+  fn("mem_lat_dram_cycles", c.mem_lat_dram_cycles);
   fn("gmem_insts", c.gmem_insts);
   fn("l1_accesses", c.l1_accesses);
   fn("l1_misses", c.l1_misses);
@@ -207,6 +248,12 @@ void for_each_counter(Counters& c, Fn&& fn) {
   fn("sm_cycles_sum", c.sm_cycles_sum);
   fn("sm_active_cycles", c.sm_active_cycles);
   fn("sm_idle_cycles", c.sm_idle_cycles);
+  fn("sched_issue_cycles", c.sched_issue_cycles);
+  fn("stall_dependency_cycles", c.stall_dependency_cycles);
+  fn("stall_structural_cycles", c.stall_structural_cycles);
+  fn("stall_barrier_cycles", c.stall_barrier_cycles);
+  fn("stall_empty_cycles", c.stall_empty_cycles);
+  fn("stall_st2_recovery_cycles", c.stall_st2_recovery_cycles);
 }
 
 }  // namespace st2::sim

@@ -135,10 +135,15 @@ RunReport ExecutionEngine::replay(const isa::Kernel& kernel,
   ST2_EXPECTS(capture.per_sm.size() ==
               static_cast<std::size_t>(cfg_.num_sms));
 
-  // SMs with work, in ascending index order.
+  // SMs with work, in ascending index order. Validate admissibility up
+  // front, on this thread: a block that can never fit (too many warps, too
+  // much shared memory) would otherwise leave its SmCore spinning forever,
+  // and a throw from a worker thread would terminate the process.
   std::vector<int> work_sms;
   for (int sm = 0; sm < cfg_.num_sms; ++sm) {
-    if (!capture.per_sm[static_cast<std::size_t>(sm)].blocks.empty()) {
+    const SmWorkload& work = capture.per_sm[static_cast<std::size_t>(sm)];
+    if (!work.blocks.empty()) {
+      validate_admissible(cfg_, kernel, work);
       work_sms.push_back(sm);
     }
   }
@@ -156,6 +161,7 @@ RunReport ExecutionEngine::replay(const isa::Kernel& kernel,
     SmCore core(cfg_, kernel, capture.per_sm[static_cast<std::size_t>(sm)]);
     reports[i].sm = sm;
     reports[i].counters = core.run();
+    reports[i].timeline = core.timeline();
   };
 
   if (jobs <= 1) {
@@ -176,7 +182,8 @@ RunReport ExecutionEngine::replay(const isa::Kernel& kernel,
     for (auto& th : pool) th.join();
   }
 
-  return RunReport::reduce(std::move(reports), cfg_.num_sms, jobs);
+  return RunReport::reduce(std::move(reports), cfg_.num_sms, jobs,
+                           cfg_.timeline_bucket);
 }
 
 RunReport ExecutionEngine::run(const isa::Kernel& kernel,

@@ -1,17 +1,20 @@
 #include "src/sim/report.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <sstream>
 
 namespace st2::sim {
 
 RunReport RunReport::reduce(std::vector<SmReport> per_sm, int num_sms,
-                            int jobs) {
+                            int jobs, int timeline_bucket) {
   std::sort(per_sm.begin(), per_sm.end(),
             [](const SmReport& a, const SmReport& b) { return a.sm < b.sm; });
   RunReport r;
   r.num_sms = num_sms;
   r.jobs = jobs;
+  r.timeline_bucket = timeline_bucket;
   std::uint64_t wall = 0;
   std::uint64_t total = 0;
   for (const SmReport& s : per_sm) {
@@ -32,6 +35,43 @@ RunReport RunReport::reduce(std::vector<SmReport> per_sm, int num_sms,
 
 namespace {
 
+/// JSON string escaping per RFC 8259: quote, backslash and control
+/// characters; everything else passes through byte-for-byte.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Serializes a double as a valid JSON number — JSON has no NaN/Infinity,
+/// so non-finite values become null.
+void json_double(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
 void counters_json(std::ostringstream& os, const EventCounters& c,
                    const char* indent) {
   os << "{";
@@ -48,14 +88,18 @@ void counters_json(std::ostringstream& os, const EventCounters& c,
 std::string RunReport::to_json(const std::string& kernel, int launch) const {
   std::ostringstream os;
   os << "{\n";
-  if (!kernel.empty()) os << "  \"kernel\": \"" << kernel << "\",\n";
+  if (!kernel.empty()) {
+    os << "  \"kernel\": \"" << json_escape(kernel) << "\",\n";
+  }
   if (launch >= 0) os << "  \"launch\": " << launch << ",\n";
   os << "  \"num_sms\": " << num_sms << ",\n";
   os << "  \"jobs\": " << jobs << ",\n";
   os << "  \"wall_cycles\": " << wall_cycles() << ",\n";
-  os << "  \"misprediction_rate\": " << misprediction_rate << ",\n";
-  os << "  \"simd_efficiency\": " << chip.simd_efficiency() << ",\n";
-  os << "  \"chip\": ";
+  os << "  \"misprediction_rate\": ";
+  json_double(os, misprediction_rate);
+  os << ",\n  \"simd_efficiency\": ";
+  json_double(os, chip.simd_efficiency());
+  os << ",\n  \"chip\": ";
   counters_json(os, chip, "  ");
   os << ",\n  \"per_sm\": [";
   for (std::size_t i = 0; i < per_sm.size(); ++i) {
@@ -65,6 +109,35 @@ std::string RunReport::to_json(const std::string& kernel, int launch) const {
     os << "}";
   }
   os << "\n  ]\n}";
+  return os.str();
+}
+
+std::string RunReport::chrome_trace_events(const std::string& kernel,
+                                           int launch, int pid) const {
+  bool any = false;
+  for (const SmReport& s : per_sm) any |= !s.timeline.empty();
+  if (!any || timeline_bucket <= 0) return std::string();
+
+  std::ostringstream os;
+  // Process label so chrome://tracing shows which run the rows belong to.
+  os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+     << ", \"args\": {\"name\": \"" << json_escape(kernel) << " launch "
+     << launch << "\"}}";
+  for (const SmReport& s : per_sm) {
+    for (std::size_t b = 0; b < s.timeline.size(); ++b) {
+      // One counter sample per bucket; ts is the bucket's start cycle.
+      os << ",\n{\"name\": \"SM " << s.sm << " issued\", \"ph\": \"C\", "
+         << "\"pid\": " << pid << ", \"tid\": " << s.sm
+         << ", \"ts\": " << b * static_cast<std::uint64_t>(timeline_bucket)
+         << ", \"args\": {\"issued\": " << s.timeline[b] << "}}";
+    }
+    // Close the counter track at the SM's final cycle so the last bucket
+    // renders with its real width instead of extending to infinity.
+    os << ",\n{\"name\": \"SM " << s.sm << " issued\", \"ph\": \"C\", "
+       << "\"pid\": " << pid << ", \"tid\": " << s.sm
+       << ", \"ts\": " << s.counters.cycles
+       << ", \"args\": {\"issued\": 0}}";
+  }
   return os.str();
 }
 

@@ -17,6 +17,9 @@ namespace st2::sim {
 struct SmReport {
   int sm = 0;               ///< SM index on the chip
   EventCounters counters;   ///< counters.cycles = this SM's cycle count
+  /// Issue-density timeline: instructions issued per timeline_bucket-cycle
+  /// window (empty unless GpuConfig::timeline_bucket was set).
+  std::vector<std::uint32_t> timeline;
 };
 
 struct RunReport {
@@ -24,6 +27,7 @@ struct RunReport {
   std::vector<SmReport> per_sm;  ///< SMs that had work, ascending index
   int num_sms = 0;               ///< chip SM count (incl. idle SMs)
   int jobs = 1;                  ///< worker threads used for the replay
+  int timeline_bucket = 0;       ///< cycles per timeline bucket (0 = off)
   double misprediction_rate = 0; ///< thread-level adder misprediction rate
 
   /// Kernel runtime: the slowest SM's cycle count.
@@ -34,12 +38,22 @@ struct RunReport {
   /// cycles aggregate explicitly (max -> sm_cycles_max / wall clock,
   /// sum -> sm_cycles_sum). SMs with no work idle for the whole kernel.
   static RunReport reduce(std::vector<SmReport> per_sm, int num_sms,
-                          int jobs);
+                          int jobs, int timeline_bucket = 0);
 
   /// JSON object for this run (chip counters, per-SM counters, rates).
-  /// `kernel` and `launch` label the run if non-empty.
+  /// `kernel` and `launch` label the run if non-empty. Always emits valid
+  /// JSON: strings are escaped, non-finite doubles serialize as null.
   std::string to_json(const std::string& kernel = std::string(),
                       int launch = -1) const;
+
+  /// The per-SM timelines as Chrome-trace (chrome://tracing "JSON array
+  /// format") counter events, one `"C"` event per (SM, bucket) plus a
+  /// process_name metadata event, all under process id `pid`. Returns the
+  /// comma-joined events WITHOUT the enclosing `[...]` so a caller can
+  /// concatenate several runs into one trace; empty when no timeline was
+  /// recorded.
+  std::string chrome_trace_events(const std::string& kernel, int launch,
+                                  int pid) const;
 };
 
 }  // namespace st2::sim

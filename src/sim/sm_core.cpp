@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
+#include <string>
 
 #include "src/common/contracts.hpp"
 #include "src/sim/trace_run.hpp"
@@ -12,6 +14,36 @@ namespace st2::sim {
 using isa::Instruction;
 using isa::Opcode;
 using isa::UnitClass;
+
+void validate_admissible(const GpuConfig& cfg, const isa::Kernel& kernel,
+                         const SmWorkload& work) {
+  if (work.blocks.empty()) return;
+  if (cfg.max_blocks_per_sm < 1) {
+    throw std::runtime_error("kernel '" + kernel.name +
+                             "': max_blocks_per_sm is " +
+                             std::to_string(cfg.max_blocks_per_sm) +
+                             "; no block can ever be admitted");
+  }
+  if (kernel.shared_bytes > cfg.shared_mem_per_sm) {
+    throw std::runtime_error(
+        "kernel '" + kernel.name + "': a block needs " +
+        std::to_string(kernel.shared_bytes) +
+        " bytes of shared memory but the SM has " +
+        std::to_string(cfg.shared_mem_per_sm) +
+        "; the launch can never be admitted");
+  }
+  for (const BlockWork& bw : work.blocks) {
+    const int warps = static_cast<int>(bw.warps.size());
+    if (warps > cfg.max_warps_per_sm) {
+      throw std::runtime_error(
+          "kernel '" + kernel.name + "': block " +
+          std::to_string(bw.block_flat) + " needs " + std::to_string(warps) +
+          " warp slots but the SM has " +
+          std::to_string(cfg.max_warps_per_sm) +
+          " (max_warps_per_sm); the launch can never be admitted");
+    }
+  }
+}
 
 SmCore::SmCore(const GpuConfig& cfg, const isa::Kernel& kernel,
                const SmWorkload& work)
@@ -24,7 +56,10 @@ SmCore::SmCore(const GpuConfig& cfg, const isa::Kernel& kernel,
       warps_(static_cast<std::size_t>(cfg.max_warps_per_sm)),
       fu_busy_(static_cast<std::size_t>(cfg.schedulers_per_sm * kNumFuKinds),
                0),
+      fu_st2_from_(
+          static_cast<std::size_t>(cfg.schedulers_per_sm * kNumFuKinds), 0),
       last_issued_(static_cast<std::size_t>(cfg.schedulers_per_sm), -1) {
+  validate_admissible(cfg, kernel, work);
   // Precompute the per-PC scheduling facts once; the readiness polls run
   // every cycle for every warp and must not re-derive them.
   static_.reserve(kernel.code.size());
@@ -99,7 +134,10 @@ bool SmCore::admit_blocks() {
       slot.active = true;
       slot.at_barrier = false;
       slot.ready_hint = 0;
+      slot.ready_hint_base = 0;
       slot.reg_ready.assign(static_cast<std::size_t>(kernel_.regs_used), 0);
+      slot.reg_st2_extra.assign(static_cast<std::size_t>(kernel_.regs_used),
+                                0);
       slot.pred_ready.fill(0);
     }
     ++next_block_;
@@ -138,8 +176,67 @@ void SmCore::skip_idle_cycles() {
   }
   for (const PendingCrfWrite& p : pending_crf_) wake = std::min(wake, p.due);
   if (wake == ~0ULL || wake <= now_) return;
+  // Attribute the skipped scheduler-cycles before jumping: warp states are
+  // frozen across the gap (it ends at the earliest wake time), so one
+  // classification covers every cycle in [now_, wake).
+  for (int s = 0; s < cfg_.schedulers_per_sm; ++s) {
+    attribute_stall(s, now_, wake);
+  }
   counters_.sm_idle_cycles += wake - now_;
   now_ = wake;
+}
+
+void SmCore::attribute_stall(int sched, std::uint64_t start,
+                             std::uint64_t end) {
+  // Charges the scheduler-cycles [start, end) of a non-issuing scheduler to
+  // exactly one cause each. Among the scheduler's warps the cause closest to
+  // an issue wins: empty < barrier < dependency < structural. On top of
+  // that, any cycle where some warp is held back *only* by an ST2 repair
+  // cycle — its scoreboard deps or its functional unit would already be free
+  // without the +1 — is charged to ST2 recovery. Within a skip_idle_cycles
+  // gap every warp's status is constant (the gap ends at the first wake
+  // time), and ST2 tails are by construction the final cycles before a wake,
+  // so they fold into one suffix [st2_from, end). Counter-only bookkeeping:
+  // reads warp state, writes nothing but counters_.
+  enum { kEmpty = 0, kBarrier = 1, kDependency = 2, kStructural = 3 };
+  int best = kEmpty;
+  std::uint64_t st2_from = end;
+  for (int w = sched; w < cfg_.max_warps_per_sm;
+       w += cfg_.schedulers_per_sm) {
+    const Slot& slot = warps_[static_cast<std::size_t>(w)];
+    if (!slot.active) continue;  // free slot: contributes "empty"
+    if (slot.at_barrier) {
+      best = std::max(best, +kBarrier);
+      continue;
+    }
+    if (slot.cursor >= slot.stream->ops.size()) continue;  // retiring
+    if (slot.ready_hint > start) {
+      // Scoreboard stall; the hint pair is exact (set at the last poll).
+      best = std::max(best, +kDependency);
+      if (slot.ready_hint_base < slot.ready_hint &&
+          slot.ready_hint_base < end) {
+        st2_from = std::min(st2_from, std::max(start, slot.ready_hint_base));
+      }
+    } else {
+      // Deps are met, so the warp can only be waiting on its functional
+      // unit (the scheduler polled it this cycle and did not issue).
+      const TraceOp& op = slot.stream->ops[slot.cursor];
+      const FuKind k = static_[op.pc].fu;
+      best = std::max(best, +kStructural);
+      const std::uint64_t tail = fu_st2_from(sched, k);
+      if (tail < fu(sched, k) && tail < end) {
+        st2_from = std::min(st2_from, std::max(start, tail));
+      }
+    }
+  }
+  counters_.stall_st2_recovery_cycles += end - st2_from;
+  const std::uint64_t rest = st2_from - start;
+  switch (best) {
+    case kStructural: counters_.stall_structural_cycles += rest; break;
+    case kDependency: counters_.stall_dependency_cycles += rest; break;
+    case kBarrier: counters_.stall_barrier_cycles += rest; break;
+    default: counters_.stall_empty_cycles += rest; break;
+  }
 }
 
 bool SmCore::warp_ready(int w, const TraceOp** out_op) {
@@ -175,8 +272,32 @@ bool SmCore::warp_ready(int w, const TraceOp** out_op) {
                      slot.reg_ready[static_cast<std::size_t>(d.write_reg)]);
   }
   if (ready > now_) {
-    // The op cannot issue before every dep retires; remember when that is.
+    // The op cannot issue before every dep retires; remember when that is,
+    // plus the counterfactual point with the producers' ST2 repair cycles
+    // subtracted (stall attribution charges the difference to ST2, not to
+    // the dependency). Second pass only on the stall path, so ready polls
+    // stay as cheap as before.
+    std::uint64_t base = 0;
+    for (int r : d.reads) {
+      if (r >= 0) {
+        base = std::max(
+            base, slot.reg_ready[static_cast<std::size_t>(r)] -
+                      slot.reg_st2_extra[static_cast<std::size_t>(r)]);
+      }
+    }
+    for (int p : d.preds) {
+      if (p >= 0) {
+        base = std::max(base, slot.pred_ready[static_cast<std::size_t>(p)]);
+      }
+    }
+    if (d.write_reg >= 0) {
+      base = std::max(
+          base,
+          slot.reg_ready[static_cast<std::size_t>(d.write_reg)] -
+              slot.reg_st2_extra[static_cast<std::size_t>(d.write_reg)]);
+    }
     slot.ready_hint = ready;
+    slot.ready_hint_base = base;
     return false;
   }
   *out_op = &op;
@@ -188,6 +309,8 @@ int SmCore::mem_latency(const WarpStream& ws, const TraceOp& op, bool atomic,
   *occupancy = cfg_.mem_interval;
   if (op.is_shared()) {
     ++counters_.smem_accesses;
+    counters_.mem_lat_smem_cycles +=
+        static_cast<std::uint64_t>(cfg_.shared_latency);
     return cfg_.shared_latency;
   }
   // The capture pass already coalesced the active lanes into unique cache
@@ -215,21 +338,31 @@ int SmCore::mem_latency(const WarpStream& ws, const TraceOp& op, bool atomic,
     }
   }
   *occupancy = cfg_.mem_interval * std::max(1, n);
+  // Latency attribution by the deepest level the instruction touched —
+  // counter-only, charging exactly the latency returned to the scoreboard.
+  const auto charge = [&](int lat) {
+    std::uint64_t& bucket = any_l2_miss   ? counters_.mem_lat_dram_cycles
+                            : any_l1_miss ? counters_.mem_lat_l2_cycles
+                                          : counters_.mem_lat_l1_cycles;
+    bucket += static_cast<std::uint64_t>(lat);
+    return lat;
+  };
   if (atomic) {
     // Read-modify-write at the memory partition; contending lanes on one
     // line serialize there, which the per-line transaction count plus the
     // L2 round trip approximates.
-    return cfg_.l1_latency + cfg_.l2_latency / 2 + (n - 1) * cfg_.mem_interval;
+    return charge(cfg_.l1_latency + cfg_.l2_latency / 2 +
+                  (n - 1) * cfg_.mem_interval);
   }
   if (op.is_store()) {
     // Fire-and-forget write-through; the store unit hides the latency.
-    return cfg_.mem_interval;
+    return charge(cfg_.mem_interval);
   }
   int lat = cfg_.l1_latency;
   if (any_l1_miss) lat += cfg_.l2_latency;
   if (any_l2_miss) lat += cfg_.dram_latency;
   lat += (n - 1) * cfg_.mem_interval;  // transaction serialization
-  return lat;
+  return charge(lat);
 }
 
 int SmCore::speculate(const WarpStream& ws, const TraceOp& op, int latency) {
@@ -309,17 +442,25 @@ void SmCore::issue(int sched, int w, const TraceOp& op) {
   }
   t.latency += si.rf_conflict_extra;
   t.interval += si.rf_conflict_extra;
+  int st2_extra = 0;
   if (cfg_.st2_enabled && op.has_adder()) {
-    const int extra = speculate(ws, op, t.latency);
-    t.latency += extra;
-    t.interval += extra;
+    st2_extra = speculate(ws, op, t.latency);
+    t.latency += st2_extra;
+    t.interval += st2_extra;
   }
 
   fu(sched, si.fu) = now_ + static_cast<unsigned>(t.interval);
+  // The final st2_extra cycles of the busy window (and of the result
+  // latency below) exist only because of the repair cycle; the stall
+  // attribution charges waits that land in them to ST2 recovery.
+  fu_st2_from(sched, si.fu) =
+      now_ + static_cast<unsigned>(t.interval - st2_extra);
   const Deps& d = si.deps;
   if (d.write_reg >= 0) {
     slot.reg_ready[static_cast<std::size_t>(d.write_reg)] =
         now_ + static_cast<unsigned>(t.latency);
+    slot.reg_st2_extra[static_cast<std::size_t>(d.write_reg)] =
+        static_cast<std::uint8_t>(st2_extra);
   }
   if (d.write_pred >= 0) {
     slot.pred_ready[static_cast<std::size_t>(d.write_pred)] =
@@ -328,6 +469,12 @@ void SmCore::issue(int sched, int w, const TraceOp& op) {
   if (si.is_bar) {
     slot.at_barrier = true;
     ++resident_[static_cast<std::size_t>(slot.resident_idx)].warps_at_barrier;
+  }
+  if (cfg_.timeline_bucket > 0) {
+    const std::size_t b = static_cast<std::size_t>(
+        now_ / static_cast<unsigned>(cfg_.timeline_bucket));
+    if (b >= timeline_.size()) timeline_.resize(b + 1, 0);
+    ++timeline_[b];
   }
   ++slot.cursor;
 }
@@ -401,6 +548,15 @@ void SmCore::seal_counters() {
   counters_.sm_cycles_max = now_;
   counters_.sm_cycles_sum = now_;
   counters_.crf_write_conflicts = crf_.write_conflicts();
+  // Reconciliation invariant: every scheduler-cycle of the run is attributed
+  // to exactly one bucket (an issue or one stall cause).
+  ST2_ENSURES(counters_.sched_issue_cycles +
+                  counters_.stall_dependency_cycles +
+                  counters_.stall_structural_cycles +
+                  counters_.stall_barrier_cycles +
+                  counters_.stall_empty_cycles +
+                  counters_.stall_st2_recovery_cycles ==
+              static_cast<std::uint64_t>(cfg_.schedulers_per_sm) * now_);
 }
 
 bool SmCore::step_cycle() {
@@ -412,7 +568,12 @@ bool SmCore::step_cycle() {
   release_barriers();
   bool issued = false;
   for (int s = 0; s < cfg_.schedulers_per_sm; ++s) {
-    issued |= try_issue(s);
+    if (try_issue(s)) {
+      issued = true;
+      ++counters_.sched_issue_cycles;
+    } else {
+      attribute_stall(s, now_, now_ + 1);
+    }
   }
   commit_crf_writes();
   ++now_;

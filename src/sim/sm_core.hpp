@@ -80,6 +80,13 @@ struct SmWorkload {
   std::vector<BlockWork> blocks;
 };
 
+/// Checks that every block of `work` can be admitted to an SM under `cfg`
+/// (enough warp slots, enough shared memory). Throws std::runtime_error with
+/// a one-line message otherwise — an inadmissible block would leave the SM
+/// spinning forever with finished() == false.
+void validate_admissible(const GpuConfig& cfg, const isa::Kernel& kernel,
+                         const SmWorkload& work);
+
 /// Cycle-level model of one SM. Deterministic: state depends only on
 /// (config, kernel, workload), never on wall-clock or other SMs.
 class SmCore {
@@ -101,6 +108,9 @@ class SmCore {
   int live_blocks() const { return live_blocks_; }
   /// Blocks admitted so far (resident or retired).
   std::size_t blocks_admitted() const { return next_block_; }
+  /// Issues per `cfg.timeline_bucket`-cycle bucket (empty when recording is
+  /// off). Bucket i covers cycles [i*bucket, (i+1)*bucket).
+  const std::vector<std::uint32_t>& timeline() const { return timeline_; }
 
  private:
   struct Resident {
@@ -118,7 +128,14 @@ class SmCore {
     /// Cycle at which the current op's scoreboard deps are all ready;
     /// memoizes failed polls so stalled warps cost one compare per cycle.
     std::uint64_t ready_hint = 0;
+    /// Same point with the producers' ST2 recovery cycles subtracted: the
+    /// window [ready_hint_base, ready_hint) is wait time the stall
+    /// attribution charges to ST2 repair rather than to the dependency.
+    std::uint64_t ready_hint_base = 0;
     std::vector<std::uint64_t> reg_ready;
+    /// Per register: how many of the cycles up to reg_ready[r] are ST2
+    /// recovery cycles of the producing instruction (0 or 1).
+    std::vector<std::uint8_t> reg_st2_extra;
     std::array<std::uint64_t, isa::kNumPredRegs> pred_ready{};
   };
 
@@ -152,9 +169,14 @@ class SmCore {
   void release_barriers();
   void commit_crf_writes();
   void seal_counters();
+  void attribute_stall(int sched, std::uint64_t start, std::uint64_t end);
 
   std::uint64_t& fu(int sched, FuKind k) {
     return fu_busy_[static_cast<std::size_t>(sched * kNumFuKinds + int(k))];
+  }
+  std::uint64_t& fu_st2_from(int sched, FuKind k) {
+    return fu_st2_from_[static_cast<std::size_t>(sched * kNumFuKinds +
+                                                 int(k))];
   }
 
   const GpuConfig& cfg_;
@@ -170,6 +192,11 @@ class SmCore {
   std::vector<Resident> resident_;
   std::vector<Slot> warps_;
   std::vector<std::uint64_t> fu_busy_;
+  /// Per (scheduler, FU): start of the ST2-recovery tail of the current busy
+  /// window. The window [fu_st2_from, fu_busy) is occupancy the unit only
+  /// has because of a +1 repair cycle; equal values mean no tail.
+  std::vector<std::uint64_t> fu_st2_from_;
+  std::vector<std::uint32_t> timeline_;  ///< issues per bucket (opt-in)
   std::vector<int> last_issued_;
   std::vector<int> slot_scratch_;  ///< admit_blocks working set, reused
   std::uint64_t now_ = 0;

@@ -3,6 +3,9 @@
 // admission, CRF speculation accounting, deterministic replay).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "src/isa/builder.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/op_timing.hpp"
@@ -144,6 +147,55 @@ TEST(SmCore, AdmissionRespectsTheBlockLimit) {
   core.run();
   EXPECT_EQ(core.blocks_admitted(), 8u);  // everyone ran eventually
   EXPECT_EQ(core.live_blocks(), 0);
+}
+
+TEST(SmCore, ImpossibleWarpCountFailsFastWithAClearError) {
+  // A config-sweep point with max_warps_per_sm below the block's warp count
+  // used to spin until the 2^40-cycle runaway assert; it must throw at
+  // construction instead.
+  KernelBuilder kb("toobig");
+  const Reg out = kb.param(0);
+  kb.st_global(kb.element_addr(out, kb.gtid(), 8), kb.imm(1));
+  kb.exit();
+  const isa::Kernel k = kb.build();
+
+  GpuConfig cfg = one_sm();
+  GlobalMemory mem;
+  const std::uint64_t buf = mem.alloc(8 * 128);
+  const SmWorkload w = capture_one(cfg, k, launch_1d(128, 64, {buf}), mem);
+  cfg.max_warps_per_sm = 1;  // a 64-thread block needs 2 slots
+  try {
+    SmCore core(cfg, k, w);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("never be admitted"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("toobig"), std::string::npos);
+  }
+}
+
+TEST(SmCore, OversizedSharedMemoryFailsFast) {
+  KernelBuilder kb("shmem");
+  const Reg out = kb.param(0);
+  const std::int64_t sh = kb.alloc_shared(1024);
+  kb.st_shared(kb.shared_base(sh), kb.imm(3));
+  kb.bar();
+  kb.st_global(kb.element_addr(out, kb.gtid(), 8), kb.imm(1));
+  kb.exit();
+  const isa::Kernel k = kb.build();
+
+  GpuConfig cfg = one_sm();
+  GlobalMemory mem;
+  const std::uint64_t buf = mem.alloc(8 * 64);
+  const SmWorkload w = capture_one(cfg, k, launch_1d(64, 64, {buf}), mem);
+  cfg.shared_mem_per_sm = 512;  // below the block's 1024 bytes
+  EXPECT_THROW(SmCore(cfg, k, w), std::runtime_error);
+  // The same machine with enough shared memory runs to completion.
+  cfg.shared_mem_per_sm = 1024;
+  SmCore core(cfg, k, w);
+  core.run();
+  EXPECT_TRUE(core.finished());
 }
 
 TEST(SmCore, SpeculationCountersAreInternallyConsistent) {

@@ -2,13 +2,17 @@
 //
 //   st2sim list
 //   st2sim run <kernel|all> [--scale S] [--st2] [--sms N] [--jobs N] [--lrr]
-//              [--spec CONFIG] [--csv FILE] [--json FILE] [--disasm] [--trace]
+//              [--max-warps N] [--spec CONFIG] [--csv FILE] [--json FILE]
+//              [--timeline FILE] [--disasm] [--trace]
 //
 // --jobs N replays the SMs of a timing run on N worker threads (0 = one per
 // hardware core); results are bit-identical to --jobs 1. --json dumps the
 // structured per-SM / whole-chip RunReport of every timing run to FILE.
-// --spec selects the speculation policy measured in --trace mode (any name
-// from the Figure 5 sweep, e.g. "Prev+ModPC4+Peek").
+// --timeline dumps every SM's issue-density timeline as a Chrome-trace JSON
+// array (open FILE in chrome://tracing or ui.perfetto.dev). --max-warps
+// caps warp slots per SM (config sweeps; a launch whose blocks cannot fit
+// exits with an error). --spec selects the speculation policy measured in
+// --trace mode (any name from the Figure 5 sweep, e.g. "Prev+ModPC4+Peek").
 //
 // Examples:
 //   st2sim run pathfinder --st2            # timing run, ST2 machine
@@ -20,6 +24,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -45,9 +50,14 @@ struct Options {
   bool disasm = false;
   int sms = 20;
   int jobs = 1;
+  int max_warps = 0;  ///< 0 = the config default
   std::string csv;
   std::string json;
+  std::string timeline;
 };
+
+/// Chrome-trace bucket width used for --timeline, in cycles.
+constexpr int kTimelineBucket = 1024;
 
 /// Strict integer parse: rejects partial matches like "8x" or "abc",
 /// which atoi would silently turn into 8 or 0.
@@ -59,13 +69,23 @@ bool parse_int(const char* s, int* out) {
   return true;
 }
 
+/// Strict double parse, mirroring parse_int: rejects trailing junk like
+/// "0.5x" or a lone "1e", which atof would silently accept as 0.5 / 1.
+bool parse_double(const char* s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
 int usage() {
   std::puts(
       "usage:\n"
       "  st2sim list\n"
       "  st2sim run <kernel|all> [--scale S] [--st2] [--sms N] [--jobs N]\n"
-      "             [--lrr] [--spec CONFIG] [--csv FILE] [--json FILE]\n"
-      "             [--disasm] [--trace]");
+      "             [--lrr] [--max-warps N] [--spec CONFIG] [--csv FILE]\n"
+      "             [--json FILE] [--timeline FILE] [--disasm] [--trace]");
   return 2;
 }
 
@@ -82,8 +102,14 @@ bool parse(int argc, char** argv, Options* o) {
     };
     if (a == "--scale") {
       const char* v = next();
+      if (!v || !parse_double(v, &o->scale)) return false;
+    } else if (a == "--max-warps") {
+      const char* v = next();
+      if (!v || !parse_int(v, &o->max_warps)) return false;
+    } else if (a == "--timeline") {
+      const char* v = next();
       if (!v) return false;
-      o->scale = std::atof(v);
+      o->timeline = v;
     } else if (a == "--sms") {
       const char* v = next();
       if (!v || !parse_int(v, &o->sms)) return false;
@@ -115,11 +141,13 @@ bool parse(int argc, char** argv, Options* o) {
       return false;
     }
   }
-  return o->scale > 0 && o->scale <= 4.0 && o->sms >= 1 && o->jobs >= 0;
+  return o->scale > 0 && o->scale <= 4.0 && o->sms >= 1 && o->jobs >= 0 &&
+         o->max_warps >= 0;
 }
 
 int run_one(const Options& o, const std::string& name, Table* out,
-            std::vector<std::string>* json_reports) {
+            std::vector<std::string>* json_reports,
+            std::vector<std::string>* trace_events, int* next_pid) {
   workloads::PreparedCase pc = workloads::prepare_case(name, o.scale);
   if (o.disasm) {
     std::printf("%s\n", pc.kernel.disassemble().c_str());
@@ -163,6 +191,8 @@ int run_one(const Options& o, const std::string& name, Table* out,
                              : sim::GpuConfig::baseline();
   cfg.num_sms = o.sms;
   if (o.lrr) cfg.scheduler = sim::WarpScheduler::kLrr;
+  if (o.max_warps > 0) cfg.max_warps_per_sm = o.max_warps;
+  if (trace_events) cfg.timeline_bucket = kTimelineBucket;
   sim::TimingSimulator ts(cfg, sim::EngineOptions{o.jobs});
   sim::EventCounters c;
   std::uint64_t cycles = 0;
@@ -170,6 +200,11 @@ int run_one(const Options& o, const std::string& name, Table* out,
   for (const auto& lc : pc.launches) {
     const sim::RunReport r = ts.run_report(pc.kernel, lc, *pc.mem);
     if (json_reports) json_reports->push_back(r.to_json(name, launch_idx));
+    if (trace_events) {
+      const std::string ev =
+          r.chrome_trace_events(name, launch_idx, (*next_pid)++);
+      if (!ev.empty()) trace_events->push_back(ev);
+    }
     ++launch_idx;
     c += r.chip;
     cycles += r.wall_cycles();
@@ -207,12 +242,26 @@ int main(int argc, char** argv) {
   int rc = 0;
   std::vector<std::string> json_reports;
   std::vector<std::string>* jr = o.json.empty() ? nullptr : &json_reports;
+  std::vector<std::string> trace_events;
+  std::vector<std::string>* te = o.timeline.empty() ? nullptr : &trace_events;
+  int next_pid = 0;
+  // Unknown kernels and launches that can never be admitted (e.g. --max-warps
+  // below the block's warp count) throw; report the one-line reason and fail
+  // instead of crashing or spinning.
+  auto guarded = [&](const std::string& name) {
+    try {
+      return run_one(o, name, &t, jr, te, &next_pid);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  };
   if (o.kernel == "all") {
     for (const auto& info : workloads::case_list()) {
-      rc |= run_one(o, info.name, &t, jr);
+      rc |= guarded(info.name);
     }
   } else {
-    rc = run_one(o, o.kernel, &t, jr);
+    rc = guarded(o.kernel);
   }
   if (!o.disasm) {
     t.print(std::cout);
@@ -237,6 +286,22 @@ int main(int argc, char** argv) {
         std::printf("wrote %s\n", o.json.c_str());
       } else {
         std::fprintf(stderr, "error: cannot write %s\n", o.json.c_str());
+        rc = 1;
+      }
+    }
+    if (!o.timeline.empty()) {
+      // Chrome-trace JSON array format: a flat array of events, viewable in
+      // chrome://tracing or ui.perfetto.dev.
+      std::ofstream tl(o.timeline);
+      tl << "[";
+      for (std::size_t i = 0; i < trace_events.size(); ++i) {
+        tl << (i ? ",\n" : "\n") << trace_events[i];
+      }
+      tl << "\n]\n";
+      if (tl.flush()) {
+        std::printf("wrote %s\n", o.timeline.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", o.timeline.c_str());
         rc = 1;
       }
     }
