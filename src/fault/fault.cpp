@@ -1,0 +1,78 @@
+#include "src/fault/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace st2::fault {
+
+namespace {
+
+/// Strict double parse: the whole token must be consumed ("1e-4x" is an
+/// error, not 1e-4), mirroring the CLI's strict --scale parsing.
+bool parse_rate(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::parse(const std::string& spec) {
+  FaultConfig cfg;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+
+    const std::size_t colon = tok.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("bad --inject token '" + tok +
+                                  "': expected kind:rate");
+    }
+    const std::string kind = tok.substr(0, colon);
+    double rate = 0.0;
+    if (!parse_rate(tok.substr(colon + 1), &rate) || rate < 0.0 ||
+        rate > 1.0) {
+      throw std::invalid_argument("bad --inject rate in '" + tok +
+                                  "': expected a number in [0, 1]");
+    }
+    if (kind == "crf") {
+      cfg.crf = rate;
+    } else if (kind == "hist") {
+      cfg.hist = rate;
+    } else if (kind == "detect") {
+      cfg.detect = rate;
+    } else if (kind == "mask") {
+      cfg.mask = rate;
+    } else {
+      throw std::invalid_argument(
+          "unknown --inject kind '" + kind +
+          "': expected crf, hist, detect or mask");
+    }
+  }
+  return cfg;
+}
+
+std::string FaultConfig::describe() const {
+  if (!enabled()) return "off";
+  std::ostringstream os;
+  const char* sep = "";
+  const auto emit = [&](const char* kind, double rate) {
+    if (rate <= 0.0) return;
+    os << sep << kind << ":" << rate;
+    sep = ",";
+  };
+  emit("crf", crf);
+  emit("hist", hist);
+  emit("detect", detect);
+  emit("mask", mask);
+  return os.str();
+}
+
+}  // namespace st2::fault

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "src/fault/fault.hpp"
 #include "src/spec/config.hpp"
 
 namespace st2::sim {
@@ -76,6 +77,13 @@ struct GpuConfig {
   // --- ST2 ------------------------------------------------------------------
   bool st2_enabled = false;                      ///< speculative adders on?
   spec::SpeculationConfig st2_spec = spec::st2_config();
+
+  // --- fault injection -------------------------------------------------------
+  // Seeded faults into the speculation state (CRF entries, history reads,
+  // the misprediction detector); default-disabled and guaranteed zero-impact
+  // when disabled. See src/fault/fault.hpp for the kinds and the determinism
+  // contract.
+  fault::FaultConfig inject;
 
   std::uint64_t seed = 0x57257257ULL;  ///< CRF arbitration seed
 

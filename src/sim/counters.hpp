@@ -50,6 +50,17 @@ struct EventCounters {
   std::uint64_t warp_adder_insts = 0;    ///< warp-level adder instructions
   std::uint64_t warp_adder_stalls = 0;   ///< warp instrs that took the +1 cycle
 
+  // --- fault injection (timing mode, only when --inject is active) -----------
+  // Seeded faults applied to the speculation state (src/fault). Injection is
+  // timing/energy-only by construction: architectural results come from the
+  // capture pass and are bit-identical to the fault-free run — the invariant
+  // the fault harness checks. All five counters stay 0 with injection off.
+  std::uint64_t faults_crf_flips = 0;      ///< stored CRF bits flipped (SEU)
+  std::uint64_t faults_hist_flips = 0;     ///< history read bits flipped
+  std::uint64_t faults_forced_mispredicts = 0;  ///< detector forced to fire
+  std::uint64_t faults_masked_repairs = 0; ///< detector forced silent (unsafe)
+  std::uint64_t faults_extra_repairs = 0;  ///< +1 stalls caused only by faults
+
   // --- memory latency attribution (timing mode only) -------------------------
   // Result latency of each issued memory instruction, bucketed by the deepest
   // level it touched. Observation-only: sums the same `t.latency` the
@@ -136,6 +147,11 @@ struct EventCounters {
     slice_recomputes += o.slice_recomputes;
     warp_adder_insts += o.warp_adder_insts;
     warp_adder_stalls += o.warp_adder_stalls;
+    faults_crf_flips += o.faults_crf_flips;
+    faults_hist_flips += o.faults_hist_flips;
+    faults_forced_mispredicts += o.faults_forced_mispredicts;
+    faults_masked_repairs += o.faults_masked_repairs;
+    faults_extra_repairs += o.faults_extra_repairs;
     mem_lat_smem_cycles += o.mem_lat_smem_cycles;
     mem_lat_l1_cycles += o.mem_lat_l1_cycles;
     mem_lat_l2_cycles += o.mem_lat_l2_cycles;
@@ -231,6 +247,11 @@ void for_each_counter(Counters& c, Fn&& fn) {
   fn("slice_recomputes", c.slice_recomputes);
   fn("warp_adder_insts", c.warp_adder_insts);
   fn("warp_adder_stalls", c.warp_adder_stalls);
+  fn("faults_crf_flips", c.faults_crf_flips);
+  fn("faults_hist_flips", c.faults_hist_flips);
+  fn("faults_forced_mispredicts", c.faults_forced_mispredicts);
+  fn("faults_masked_repairs", c.faults_masked_repairs);
+  fn("faults_extra_repairs", c.faults_extra_repairs);
   fn("mem_lat_smem_cycles", c.mem_lat_smem_cycles);
   fn("mem_lat_l1_cycles", c.mem_lat_l1_cycles);
   fn("mem_lat_l2_cycles", c.mem_lat_l2_cycles);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <exception>
 #include <thread>
 
 #include "src/common/contracts.hpp"
@@ -28,25 +30,25 @@ void append_op(WarpStream& ws, const ExecRecord& rec, int line_bytes,
 
   if (rec.is_mem && !rec.is_shared) {
     // Coalesce active lanes into unique cache lines, preserving first-touch
-    // order so the replayed LRU state matches lane order exactly.
+    // order so the replayed LRU state matches lane order exactly. The
+    // duplicate probe runs over a sorted shadow of the ≤32 lines (binary
+    // search + small memmove insert) instead of rescanning the emitted list
+    // per lane — same lines, same order, fewer compares on memory-heavy
+    // kernels.
     t.payload = static_cast<std::uint32_t>(ws.lines.size());
+    std::uint64_t sorted[kWarpSize];
     int n = 0;
     for (int lane = 0; lane < kWarpSize; ++lane) {
       if (((rec.active_mask >> lane) & 1u) == 0) continue;
       const std::uint64_t line =
           rec.mem_addr[static_cast<std::size_t>(lane)] /
           static_cast<unsigned>(line_bytes);
-      bool found = false;
-      for (int i = 0; i < n; ++i) {
-        if (ws.lines[t.payload + static_cast<std::size_t>(i)] == line) {
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
-        ws.lines.push_back(line);
-        ++n;
-      }
+      std::uint64_t* const pos = std::lower_bound(sorted, sorted + n, line);
+      if (pos != sorted + n && *pos == line) continue;
+      std::copy_backward(pos, sorted + n, sorted + n + 1);
+      *pos = line;
+      ++n;
+      ws.lines.push_back(line);
     }
     t.mem_lines = static_cast<std::uint16_t>(n);
   } else if (rec.has_adder_op && capture_adder) {
@@ -153,19 +155,70 @@ RunReport ExecutionEngine::replay(const isa::Kernel& kernel,
       std::max(1, std::min<int>(resolved_jobs(),
                                 static_cast<int>(work_sms.size())));
 
+  // Watchdog / cancellation state shared by the workers. The cycle budget is
+  // applied per SM (each stops at min(own finish, budget) — deterministic
+  // across any thread schedule); the wall deadline and the external cancel
+  // flag propagate through `stop` so already-running and still-queued SMs
+  // wind down within one check quantum.
+  const std::uint64_t budget = opts_.watchdog_cycles;
+  const bool timed = opts_.watchdog_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(timed ? opts_.watchdog_ms : 0);
+  const std::atomic<bool>* const cancel = opts_.cancel;
+  const bool async_checks = timed || cancel != nullptr;
+  std::atomic<const char*> stop{nullptr};  // set once: the first async cause
+  constexpr std::uint64_t kQuantumMask = 0x1fff;  // async checks every 8192
+
   // Each worker claims SM indices from a shared atomic cursor and writes
   // only its own report slot; determinism needs no further coordination
   // because every SmCore is a pure function of (config, kernel, workload).
+  // A throw inside a worker (e.g. an invariant violation at seal) is
+  // captured and rethrown on this thread — never std::terminate.
+  std::vector<std::exception_ptr> errors(work_sms.size());
   auto replay_sm = [&](std::size_t i) {
     const int sm = work_sms[i];
     SmCore core(cfg_, kernel, capture.per_sm[static_cast<std::size_t>(sm)]);
     reports[i].sm = sm;
-    reports[i].counters = core.run();
+    const char* reason = stop.load(std::memory_order_relaxed);
+    std::uint64_t steps = 0;
+    while (reason == nullptr && core.step_cycle()) {
+      if (budget != 0 && core.now() >= budget) {
+        reason = "watchdog-cycles";
+        break;
+      }
+      if (async_checks && (++steps & kQuantumMask) == 0) {
+        if (cancel && cancel->load(std::memory_order_relaxed)) {
+          reason = "interrupted";
+        } else if (timed && std::chrono::steady_clock::now() >= deadline) {
+          reason = "watchdog-deadline";
+        }
+        if (reason != nullptr) {
+          const char* expected = nullptr;
+          stop.compare_exchange_strong(expected, reason,
+                                       std::memory_order_relaxed);
+        }
+      }
+    }
+    core.seal();  // partial or final; runs the always-on invariants
+    reports[i].counters = core.counters();
     reports[i].timeline = core.timeline();
+    if (reason != nullptr && !core.finished()) {
+      reports[i].aborted = true;
+      reports[i].abort_reason = reason;
+    }
+  };
+  auto guarded_replay = [&](std::size_t i) {
+    try {
+      replay_sm(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+      reports[i].sm = work_sms[i];
+    }
   };
 
   if (jobs <= 1) {
-    for (std::size_t i = 0; i < work_sms.size(); ++i) replay_sm(i);
+    for (std::size_t i = 0; i < work_sms.size(); ++i) guarded_replay(i);
   } else {
     std::atomic<std::size_t> next{0};
     std::vector<std::thread> pool;
@@ -175,11 +228,16 @@ RunReport ExecutionEngine::replay(const isa::Kernel& kernel,
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= work_sms.size()) return;
-          replay_sm(i);
+          guarded_replay(i);
         }
       });
     }
     for (auto& th : pool) th.join();
+  }
+
+  // Rethrow the first captured error in SM order (deterministic choice).
+  for (std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
   }
 
   return RunReport::reduce(std::move(reports), cfg_.num_sms, jobs,

@@ -22,6 +22,9 @@
 // re-times, never corrupts).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+
 #include "src/isa/instruction.hpp"
 #include "src/sim/config.hpp"
 #include "src/sim/launch.hpp"
@@ -33,6 +36,25 @@ namespace st2::sim {
 
 struct EngineOptions {
   int jobs = 0;  ///< worker threads for SM replay; 0 = hardware_concurrency
+
+  // --- watchdog -------------------------------------------------------------
+  // A runaway replay (a kernel far larger than intended, a pathological
+  // config) is cancelled gracefully instead of spinning to the 2^40-cycle
+  // runaway abort: the run returns a partial RunReport marked "aborted" and
+  // st2sim exits with the documented watchdog code.
+  //
+  // The cycle budget is enforced per SM — every SM stops at
+  // min(own finish, budget) independently of thread schedule — so even the
+  // *partial* aborted report is bit-identical across --jobs N. The wall
+  // deadline and external cancellation are inherently schedule-dependent;
+  // their partial counters are valid but not reproducible.
+  std::uint64_t watchdog_cycles = 0;  ///< per-SM cycle budget; 0 = off
+  std::uint64_t watchdog_ms = 0;      ///< replay wall deadline; 0 = off
+
+  /// External cancellation (e.g. st2sim's SIGINT/SIGTERM flag): when it
+  /// becomes true, workers stop at the next check quantum and the run
+  /// reports "interrupted". Not owned; may be null.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Phase-1 result: one replay workload per SM (empty for idle SMs).

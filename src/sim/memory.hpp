@@ -23,6 +23,10 @@ class GlobalMemory {
 
   std::size_t size() const { return data_.size(); }
 
+  /// Whole device memory, read-only — the self-check mode diffs two runs'
+  /// architectural state byte-for-byte through this view.
+  std::span<const std::uint8_t> bytes() const { return data_; }
+
   std::uint64_t load(std::uint64_t addr, int size) const;
   void store(std::uint64_t addr, std::uint64_t value, int size);
 

@@ -25,6 +25,15 @@ RunReport RunReport::reduce(std::vector<SmReport> per_sm, int num_sms,
   r.chip.cycles = wall;
   r.chip.sm_cycles_max = wall;
   r.chip.sm_cycles_sum = total;
+  // Aborted SMs mark the whole run aborted; per_sm is already in ascending
+  // SM order, so the first aborted SM's reason is deterministic.
+  for (const SmReport& s : per_sm) {
+    if (s.aborted) {
+      r.status = "aborted";
+      r.abort_reason = s.abort_reason ? s.abort_reason : "aborted";
+      break;
+    }
+  }
   // SMs with no blocks idle for the whole kernel.
   const int idle_sms = num_sms - static_cast<int>(per_sm.size());
   r.chip.sm_idle_cycles += static_cast<std::uint64_t>(idle_sms) * wall;
@@ -92,6 +101,10 @@ std::string RunReport::to_json(const std::string& kernel, int launch) const {
     os << "  \"kernel\": \"" << json_escape(kernel) << "\",\n";
   }
   if (launch >= 0) os << "  \"launch\": " << launch << ",\n";
+  os << "  \"status\": \"" << json_escape(status) << "\",\n";
+  if (aborted()) {
+    os << "  \"abort_reason\": \"" << json_escape(abort_reason) << "\",\n";
+  }
   os << "  \"num_sms\": " << num_sms << ",\n";
   os << "  \"jobs\": " << jobs << ",\n";
   os << "  \"wall_cycles\": " << wall_cycles() << ",\n";
@@ -104,6 +117,7 @@ std::string RunReport::to_json(const std::string& kernel, int launch) const {
   os << ",\n  \"per_sm\": [";
   for (std::size_t i = 0; i < per_sm.size(); ++i) {
     os << (i ? ",\n" : "\n") << "    {\"sm\": " << per_sm[i].sm
+       << ", \"aborted\": " << (per_sm[i].aborted ? "true" : "false")
        << ", \"counters\": ";
     counters_json(os, per_sm[i].counters, "    ");
     os << "}";

@@ -20,6 +20,12 @@ struct SmReport {
   /// Issue-density timeline: instructions issued per timeline_bucket-cycle
   /// window (empty unless GpuConfig::timeline_bucket was set).
   std::vector<std::uint32_t> timeline;
+  /// This SM's replay was cut short (watchdog, deadline or interrupt); the
+  /// counters are a valid, internally consistent snapshot of the partial
+  /// run. `abort_reason` points at a static string and is null when not
+  /// aborted.
+  bool aborted = false;
+  const char* abort_reason = nullptr;
 };
 
 struct RunReport {
@@ -29,6 +35,13 @@ struct RunReport {
   int jobs = 1;                  ///< worker threads used for the replay
   int timeline_bucket = 0;       ///< cycles per timeline bucket (0 = off)
   double misprediction_rate = 0; ///< thread-level adder misprediction rate
+  /// "ok", or "aborted" when any SM's replay was cut short; `abort_reason`
+  /// then names the cause ("watchdog-cycles", "watchdog-deadline",
+  /// "interrupted") of the first aborted SM in ascending SM order.
+  std::string status = "ok";
+  std::string abort_reason;
+
+  bool aborted() const { return status != "ok"; }
 
   /// Kernel runtime: the slowest SM's cycle count.
   std::uint64_t wall_cycles() const { return chip.sm_cycles_max; }

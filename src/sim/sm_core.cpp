@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <bit>
-#include <stdexcept>
 #include <string>
 
 #include "src/common/contracts.hpp"
+#include "src/sim/error.hpp"
 #include "src/sim/trace_run.hpp"
 #include "src/spec/predictor.hpp"
 
@@ -19,28 +19,31 @@ void validate_admissible(const GpuConfig& cfg, const isa::Kernel& kernel,
                          const SmWorkload& work) {
   if (work.blocks.empty()) return;
   if (cfg.max_blocks_per_sm < 1) {
-    throw std::runtime_error("kernel '" + kernel.name +
-                             "': max_blocks_per_sm is " +
-                             std::to_string(cfg.max_blocks_per_sm) +
-                             "; no block can ever be admitted");
+    throw SimError(SimErrorKind::kInadmissibleLaunch,
+                   "kernel '" + kernel.name + "'",
+                   "max_blocks_per_sm is " +
+                       std::to_string(cfg.max_blocks_per_sm) +
+                       "; no block can ever be admitted");
   }
   if (kernel.shared_bytes > cfg.shared_mem_per_sm) {
-    throw std::runtime_error(
-        "kernel '" + kernel.name + "': a block needs " +
-        std::to_string(kernel.shared_bytes) +
-        " bytes of shared memory but the SM has " +
-        std::to_string(cfg.shared_mem_per_sm) +
-        "; the launch can never be admitted");
+    throw SimError(SimErrorKind::kInadmissibleLaunch,
+                   "kernel '" + kernel.name + "'",
+                   "a block needs " + std::to_string(kernel.shared_bytes) +
+                       " bytes of shared memory but the SM has " +
+                       std::to_string(cfg.shared_mem_per_sm) +
+                       "; the launch can never be admitted");
   }
   for (const BlockWork& bw : work.blocks) {
     const int warps = static_cast<int>(bw.warps.size());
     if (warps > cfg.max_warps_per_sm) {
-      throw std::runtime_error(
-          "kernel '" + kernel.name + "': block " +
-          std::to_string(bw.block_flat) + " needs " + std::to_string(warps) +
-          " warp slots but the SM has " +
-          std::to_string(cfg.max_warps_per_sm) +
-          " (max_warps_per_sm); the launch can never be admitted");
+      throw SimError(SimErrorKind::kInadmissibleLaunch,
+                     "kernel '" + kernel.name + "'",
+                     "block " + std::to_string(bw.block_flat) + " needs " +
+                         std::to_string(warps) +
+                         " warp slots but the SM has " +
+                         std::to_string(cfg.max_warps_per_sm) +
+                         " (max_warps_per_sm); the launch can never be "
+                         "admitted");
     }
   }
 }
@@ -60,6 +63,18 @@ SmCore::SmCore(const GpuConfig& cfg, const isa::Kernel& kernel,
           static_cast<std::size_t>(cfg.schedulers_per_sm * kNumFuKinds), 0),
       last_issued_(static_cast<std::size_t>(cfg.schedulers_per_sm), -1) {
   validate_admissible(cfg, kernel, work);
+  if (cfg.inject.enabled()) {
+    // Decorrelate the fault stream across SMs: blocks dispatch round-robin
+    // (block b -> SM b % num_sms), so the first block's flat id identifies
+    // this SM's workload deterministically — a pure function of the capture,
+    // not of thread schedule — while identical seeds on every SM would fire
+    // the same faults at the same draw indices chip-wide.
+    fault::FaultConfig fc = cfg.inject;
+    const std::uint64_t salt =
+        static_cast<std::uint64_t>(work.blocks.front().block_flat) + 1;
+    fc.seed ^= salt * 0x9e3779b97f4a7c15ULL;
+    inject_.emplace(fc);
+  }
   // Precompute the per-PC scheduling facts once; the readiness polls run
   // every cycle for every warp and must not re-derive them.
   static_.reserve(kernel.code.size());
@@ -368,9 +383,35 @@ int SmCore::mem_latency(const WarpStream& ws, const TraceOp& op, bool atomic,
 int SmCore::speculate(const WarpStream& ws, const TraceOp& op, int latency) {
   // ST2 carry speculation for one warp adder instruction against this SM's
   // CRF. Returns the number of extra cycles (0 or 1).
+  //
+  // Fault hooks (src/fault; off by default): every selection for this
+  // instruction is drawn up front so the injector's RNG advances as a pure
+  // function of the replay stream, keeping fault placement bit-identical
+  // across --jobs N. Injected faults can only perturb prediction *history*
+  // and the detector — the repaired result is always the ground-truth carry
+  // pattern from capture, which is the paper's safe-by-construction claim.
+  int flip_lane = -1;   // transient history-read flip target
+  int flip_bit = 0;
+  int force_lane = -1;  // forced-mispredict detector fault target
+  int mask_lane = -1;   // forced-hit (masked repair) detector fault target
+  if (inject_) {
+    if (inject_->fire_crf()) {
+      crf_.flip_bit(op.pc, inject_->pick(spec::CarryRegisterFile::kLanes),
+                    inject_->pick(spec::CarryRegisterFile::kBitsPerLane));
+      ++counters_.faults_crf_flips;
+    }
+    if (inject_->fire_hist()) {
+      flip_lane = inject_->pick(kWarpSize);
+      flip_bit = inject_->pick(spec::CarryRegisterFile::kBitsPerLane);
+    }
+    if (inject_->fire_detect()) force_lane = inject_->pick(kWarpSize);
+    if (inject_->fire_mask()) mask_lane = inject_->pick(kWarpSize);
+  }
+
   const auto row = crf_.read_row(op.pc);
   ++counters_.crf_row_reads;
-  bool any_mispredict = false;
+  bool any_repair = false;
+  bool any_genuine_repair = false;
   std::size_t lane_idx = op.payload;
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if (((op.active_mask >> lane) & 1u) == 0) continue;
@@ -379,10 +420,17 @@ int SmCore::speculate(const WarpStream& ws, const TraceOp& op, int latency) {
     const std::uint8_t rel =
         static_cast<std::uint8_t>((1u << (num_slices - 1)) - 1);
 
+    std::uint8_t hist = row[static_cast<std::size_t>(lane)];
+    if (lane == flip_lane) {
+      // The corrupted value flows through prediction AND the write-back
+      // merge below — the adversarial read-modify-write path.
+      hist ^= static_cast<std::uint8_t>(1u << flip_bit);
+      ++counters_.faults_hist_flips;
+    }
+
     spec::Prediction pred{};
     pred.peek_mask = t.peek_mask;
     pred.dynamic_mask = static_cast<std::uint8_t>(rel & ~t.peek_mask);
-    const std::uint8_t hist = row[static_cast<std::size_t>(lane)];
     pred.carries = static_cast<std::uint8_t>((t.peek_carries & t.peek_mask) |
                                              (hist & pred.dynamic_mask));
 
@@ -391,12 +439,34 @@ int SmCore::speculate(const WarpStream& ws, const TraceOp& op, int latency) {
 
     ++counters_.adder_thread_ops;
     counters_.slice_computes += static_cast<std::uint64_t>(num_slices);
-    if (out.any_misprediction()) {
-      ++counters_.adder_mispredicts;
-      counters_.slice_recomputes +=
-          static_cast<std::uint64_t>(out.recompute_count());
-      any_mispredict = true;
-      // Mispredicting threads write the true pattern back, merging the bits
+
+    const bool genuine = out.any_misprediction();
+    bool repair = genuine;
+    if (lane == mask_lane && genuine) {
+      // Forced-hit fault: the detector stays silent on a real mispredict.
+      // The one fault class outside ST2's safety envelope — counted so the
+      // self-check layer can fail the run (in hardware the result would be
+      // corrupt); no repair cycle, no recompute, no retraining write.
+      repair = false;
+      ++counters_.faults_masked_repairs;
+    } else if (lane == force_lane && !genuine) {
+      // Forced-mispredict fault: a spurious repair. Harmless by
+      // construction — the "repaired" carries equal the predicted ones —
+      // but it costs the +1 cycle and a retraining write like any genuine
+      // misprediction.
+      repair = true;
+      ++counters_.faults_forced_mispredicts;
+    }
+
+    if (repair) {
+      if (genuine) {
+        ++counters_.adder_mispredicts;
+        counters_.slice_recomputes +=
+            static_cast<std::uint64_t>(out.recompute_count());
+        any_genuine_repair = true;
+      }
+      any_repair = true;
+      // Repairing threads write the true pattern back, merging the bits
       // they own into the shared 7-bit entry. The write lands at this
       // instruction's write-back stage (issue + latency + recovery cycle),
       // where it arbitrates against whatever else retires that cycle.
@@ -409,8 +479,11 @@ int SmCore::speculate(const WarpStream& ws, const TraceOp& op, int latency) {
     }
   }
   ++counters_.warp_adder_insts;
-  if (any_mispredict) {
+  if (any_repair) {
     ++counters_.warp_adder_stalls;
+    // The +1 cycle exists only because of injected faults when no genuine
+    // misprediction repaired this instruction.
+    if (!any_genuine_repair) ++counters_.faults_extra_repairs;
     return 1;
   }
   return 0;
@@ -548,15 +621,48 @@ void SmCore::seal_counters() {
   counters_.sm_cycles_max = now_;
   counters_.sm_cycles_sum = now_;
   counters_.crf_write_conflicts = crf_.write_conflicts();
-  // Reconciliation invariant: every scheduler-cycle of the run is attributed
-  // to exactly one bucket (an issue or one stall cause).
-  ST2_ENSURES(counters_.sched_issue_cycles +
-                  counters_.stall_dependency_cycles +
-                  counters_.stall_structural_cycles +
-                  counters_.stall_barrier_cycles +
-                  counters_.stall_empty_cycles +
-                  counters_.stall_st2_recovery_cycles ==
-              static_cast<std::uint64_t>(cfg_.schedulers_per_sm) * now_);
+  // Always-on consistency invariants, promoted from abort-style asserts to
+  // typed errors so a violation fails the run through the taxonomy (distinct
+  // exit code, structured stderr) instead of killing the process. Both hold
+  // at any cycle boundary, so they are checked on watchdog-aborted partial
+  // runs too.
+  //
+  // (1) Reconciliation: every scheduler-cycle of the run is attributed to
+  // exactly one bucket (an issue or one stall cause).
+  const std::uint64_t attributed =
+      counters_.sched_issue_cycles + counters_.stall_dependency_cycles +
+      counters_.stall_structural_cycles + counters_.stall_barrier_cycles +
+      counters_.stall_empty_cycles + counters_.stall_st2_recovery_cycles;
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(cfg_.schedulers_per_sm) * now_;
+  if (attributed != expected) {
+    throw SimError(SimErrorKind::kInvariantViolation,
+                   "kernel '" + kernel_.name + "'",
+                   "scheduler-cycle attribution does not reconcile: " +
+                       std::to_string(attributed) + " attributed vs " +
+                       std::to_string(expected) + " scheduler-cycles at cycle " +
+                       std::to_string(now_));
+  }
+  // (2) CRF consistency: every requested write is accounted for (committed,
+  // dropped in arbitration, or still in flight), and every stored entry is a
+  // legal 7-bit pattern — even under injected bit flips.
+  const std::uint64_t crf_accounted = crf_.lane_writes() +
+                                      crf_.write_conflicts() +
+                                      pending_crf_.size() +
+                                      crf_.pending_writes();
+  if (counters_.crf_writes != crf_accounted) {
+    throw SimError(SimErrorKind::kInvariantViolation,
+                   "kernel '" + kernel_.name + "'",
+                   "CRF write accounting does not reconcile: " +
+                       std::to_string(counters_.crf_writes) +
+                       " requested vs " + std::to_string(crf_accounted) +
+                       " committed+dropped+in-flight");
+  }
+  if (!crf_.entries_valid()) {
+    throw SimError(SimErrorKind::kInvariantViolation,
+                   "kernel '" + kernel_.name + "'",
+                   "CRF holds an entry wider than 7 bits");
+  }
 }
 
 bool SmCore::step_cycle() {

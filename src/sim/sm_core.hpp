@@ -17,8 +17,10 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "src/fault/fault.hpp"
 #include "src/isa/instruction.hpp"
 #include "src/sim/config.hpp"
 #include "src/sim/counters.hpp"
@@ -81,9 +83,10 @@ struct SmWorkload {
 };
 
 /// Checks that every block of `work` can be admitted to an SM under `cfg`
-/// (enough warp slots, enough shared memory). Throws std::runtime_error with
-/// a one-line message otherwise — an inadmissible block would leave the SM
-/// spinning forever with finished() == false.
+/// (enough warp slots, enough shared memory). Throws
+/// SimError(kInadmissibleLaunch) with a one-line message otherwise — an
+/// inadmissible block would leave the SM spinning forever with
+/// finished() == false.
 void validate_admissible(const GpuConfig& cfg, const isa::Kernel& kernel,
                          const SmWorkload& work);
 
@@ -100,6 +103,12 @@ class SmCore {
 
   /// Runs to completion and returns this SM's counters.
   EventCounters run();
+
+  /// Seals the counters at the current cycle, finished or not — the
+  /// watchdog's graceful-abort path. Idempotent; runs the always-on
+  /// consistency invariants (counter reconciliation, CRF validity) and
+  /// throws SimError(kInvariantViolation) if any fails.
+  void seal() { seal_counters(); }
 
   bool finished() const { return live_blocks_ == 0 && next_block_ == work_.blocks.size(); }
   std::uint64_t now() const { return now_; }
@@ -186,6 +195,10 @@ class SmCore {
   Cache l1_;
   Cache l2_;  ///< private tag array: keeps SMs independent (see engine.hpp)
   spec::CarryRegisterFile crf_;
+  /// Fault source, engaged only when cfg.inject.enabled(): draws are a pure
+  /// function of this SM's replay stream, so fault placement is
+  /// bit-identical across --jobs N. Disengaged = zero simulation impact.
+  std::optional<fault::FaultInjector> inject_;
 
   std::size_t next_block_ = 0;  ///< next work_.blocks entry to admit
   std::vector<PendingCrfWrite> pending_crf_;

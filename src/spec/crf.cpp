@@ -22,6 +22,22 @@ std::uint8_t CarryRegisterFile::peek_lane(std::uint64_t pc, int lane) const {
               [static_cast<std::size_t>(lane)];
 }
 
+void CarryRegisterFile::flip_bit(std::uint64_t pc, int lane, int bit) {
+  ST2_EXPECTS(lane >= 0 && lane < kLanes);
+  ST2_EXPECTS(bit >= 0 && bit < kBitsPerLane);
+  rows_[static_cast<std::size_t>(row_of(pc))][static_cast<std::size_t>(lane)] ^=
+      static_cast<std::uint8_t>(1u << bit);
+}
+
+bool CarryRegisterFile::entries_valid() const {
+  for (const auto& row : rows_) {
+    for (const std::uint8_t e : row) {
+      if (e >= 0x80) return false;
+    }
+  }
+  return true;
+}
+
 void CarryRegisterFile::request_write(std::uint64_t pc, int lane,
                                       std::uint8_t carries) {
   ST2_EXPECTS(lane >= 0 && lane < kLanes);

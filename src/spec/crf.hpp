@@ -43,9 +43,20 @@ class CarryRegisterFile {
   /// simply mispredict-and-retrain later). Clears the queue.
   void commit_cycle();
 
+  /// SEU-style fault injection (src/fault): XORs one bit of the stored 7-bit
+  /// pattern of (row PC[3:0], lane). Flipping within the 7 pattern bits keeps
+  /// every entry valid (< 0x80), so `entries_valid` holds under any number of
+  /// injected flips — corrupted history can only mispredict, never corrupt.
+  void flip_bit(std::uint64_t pc, int lane, int bit);
+
+  /// Consistency invariant: every stored entry is a legal 7-bit pattern.
+  /// Checked (always-on) when an SM core seals its counters.
+  bool entries_valid() const;
+
   std::uint64_t row_reads() const { return row_reads_; }
   std::uint64_t lane_writes() const { return lane_writes_; }
   std::uint64_t write_conflicts() const { return write_conflicts_; }
+  std::size_t pending_writes() const { return pending_.size(); }
 
  private:
   static int row_of(std::uint64_t pc) { return static_cast<int>(pc & 0xf); }

@@ -1,0 +1,255 @@
+// Fault-injection subsystem tests: the paper's "always correct" claim under
+// seeded faults. The invariant throughout: injected faults may move timing
+// and energy counters, but architectural results stay bit-identical to the
+// fault-free run — and fault placement itself is a pure function of
+// (config, kernel, workload), bit-identical across worker-thread counts.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fault/fault.hpp"
+#include "src/sim/error.hpp"
+#include "src/sim/timing.hpp"
+#include "src/spec/crf.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace st2 {
+namespace {
+
+// ---------------------------------------------------------------- parsing
+
+TEST(FaultSpec, ParsesRatesAndKinds) {
+  const fault::FaultConfig c = fault::FaultConfig::parse("crf:1e-4,detect:1e-5");
+  EXPECT_DOUBLE_EQ(c.crf, 1e-4);
+  EXPECT_DOUBLE_EQ(c.detect, 1e-5);
+  EXPECT_DOUBLE_EQ(c.hist, 0.0);
+  EXPECT_DOUBLE_EQ(c.mask, 0.0);
+  EXPECT_TRUE(c.enabled());
+
+  const fault::FaultConfig all =
+      fault::FaultConfig::parse("crf:0.5,hist:0.25,detect:0.125,mask:1");
+  EXPECT_DOUBLE_EQ(all.hist, 0.25);
+  EXPECT_DOUBLE_EQ(all.mask, 1.0);
+
+  EXPECT_FALSE(fault::FaultConfig{}.enabled());
+  EXPECT_EQ(fault::FaultConfig{}.describe(), "off");
+  EXPECT_NE(c.describe().find("crf:"), std::string::npos);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(fault::FaultConfig::parse("crf"), std::invalid_argument);
+  EXPECT_THROW(fault::FaultConfig::parse("crf:"), std::invalid_argument);
+  EXPECT_THROW(fault::FaultConfig::parse("crf:0.5x"), std::invalid_argument);
+  EXPECT_THROW(fault::FaultConfig::parse("bogus:0.1"), std::invalid_argument);
+  EXPECT_THROW(fault::FaultConfig::parse("crf:-0.1"), std::invalid_argument);
+  EXPECT_THROW(fault::FaultConfig::parse("crf:1.5"), std::invalid_argument);
+  EXPECT_THROW(fault::FaultConfig::parse("crf:1e-4,,"), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- injector
+
+TEST(FaultInjector, SameConfigSameSequence) {
+  fault::FaultConfig cfg;
+  cfg.crf = 0.3;
+  cfg.detect = 0.1;
+  cfg.seed = 1234;
+  fault::FaultInjector a(cfg), b(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.fire_crf(), b.fire_crf());
+    ASSERT_EQ(a.fire_detect(), b.fire_detect());
+    ASSERT_EQ(a.pick(32), b.pick(32));
+  }
+}
+
+TEST(FaultInjector, ZeroRateNeverFiresOrAdvancesTheRng) {
+  fault::FaultConfig cfg;
+  cfg.crf = 0.5;
+  cfg.seed = 99;
+  fault::FaultInjector with_hist_calls(cfg), plain(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    // hist is 0.0: must not fire, and must not perturb the crf stream.
+    ASSERT_FALSE(with_hist_calls.fire_hist());
+    ASSERT_EQ(with_hist_calls.fire_crf(), plain.fire_crf());
+  }
+}
+
+// ---------------------------------------------------- golden cross-run
+
+struct CaseResult {
+  bool valid = false;
+  std::string status = "ok";
+  std::vector<std::uint8_t> mem;
+  sim::EventCounters chip;
+  std::uint64_t wall_cycles = 0;
+};
+
+std::uint64_t total_faults(const sim::EventCounters& c) {
+  return c.faults_crf_flips + c.faults_hist_flips +
+         c.faults_forced_mispredicts + c.faults_masked_repairs +
+         c.faults_extra_repairs;
+}
+
+std::vector<std::uint64_t> counter_values(const sim::EventCounters& c) {
+  std::vector<std::uint64_t> v;
+  sim::for_each_counter(c, [&](const char*, std::uint64_t x) { v.push_back(x); });
+  return v;
+}
+
+CaseResult run_case(const std::string& kernel, const fault::FaultConfig& inject,
+                    int jobs, std::uint64_t watchdog_cycles = 0) {
+  workloads::PreparedCase pc = workloads::prepare_case(kernel, 0.15);
+  sim::GpuConfig cfg = sim::GpuConfig::st2();
+  cfg.num_sms = 4;
+  cfg.inject = inject;
+  sim::EngineOptions opts;
+  opts.jobs = jobs;
+  opts.watchdog_cycles = watchdog_cycles;
+  sim::TimingSimulator ts(cfg, opts);
+  CaseResult r;
+  for (const auto& lc : pc.launches) {
+    const sim::RunReport rep = ts.run_report(pc.kernel, lc, *pc.mem);
+    r.chip += rep.chip;
+    r.wall_cycles += rep.wall_cycles();
+    if (rep.aborted()) {
+      r.status = rep.status + ":" + rep.abort_reason;
+      break;
+    }
+  }
+  r.valid = pc.validate(*pc.mem);
+  const auto bytes = pc.mem->bytes();
+  r.mem.assign(bytes.begin(), bytes.end());
+  return r;
+}
+
+TEST(FaultInvariant, ResultsBitIdenticalToFaultFreeRunAcrossSeeds) {
+  for (const char* kernel : {"sad_K1", "pathfinder"}) {
+    const CaseResult clean = run_case(kernel, fault::FaultConfig{}, 1);
+    ASSERT_TRUE(clean.valid) << kernel;
+    EXPECT_EQ(total_faults(clean.chip), 0u);
+    for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+      fault::FaultConfig inject;
+      inject.crf = 0.05;
+      inject.hist = 0.02;
+      inject.detect = 0.02;
+      inject.seed = seed;
+      const CaseResult faulty = run_case(kernel, inject, 1);
+      // Architectural outputs: host validation passes and every byte of
+      // device memory matches the fault-free run.
+      EXPECT_TRUE(faulty.valid) << kernel << " seed " << seed;
+      EXPECT_EQ(faulty.mem, clean.mem) << kernel << " seed " << seed;
+      // The faults were not a no-op: they actually landed...
+      EXPECT_GT(total_faults(faulty.chip), 0u) << kernel << " seed " << seed;
+      // ...and only timing/energy may move, never functional work counts.
+      EXPECT_EQ(faulty.chip.thread_instructions, clean.chip.thread_instructions);
+      EXPECT_EQ(faulty.chip.adder_thread_ops, clean.chip.adder_thread_ops);
+    }
+  }
+}
+
+TEST(FaultInvariant, FaultPlacementBitIdenticalAcrossJobs) {
+  fault::FaultConfig inject;
+  inject.crf = 0.05;
+  inject.hist = 0.02;
+  inject.detect = 0.02;
+  inject.seed = 3;
+  const CaseResult one = run_case("pathfinder", inject, 1);
+  const CaseResult four = run_case("pathfinder", inject, 4);
+  EXPECT_GT(total_faults(one.chip), 0u);
+  EXPECT_EQ(counter_values(one.chip), counter_values(four.chip));
+  EXPECT_EQ(one.wall_cycles, four.wall_cycles);
+  EXPECT_EQ(one.mem, four.mem);
+}
+
+TEST(FaultInvariant, MaskedRepairsAreCountedButResultsStayCorrect) {
+  // `mask` silences the detector on genuine mispredictions — the one fault
+  // outside the safety envelope. The simulator's functional results still
+  // come from capture (by construction), so memory stays correct; the
+  // counter is what lets --selfcheck fail the run.
+  fault::FaultConfig inject;
+  inject.mask = 0.5;
+  const CaseResult clean = run_case("sad_K1", fault::FaultConfig{}, 1);
+  const CaseResult faulty = run_case("sad_K1", inject, 1);
+  EXPECT_GT(faulty.chip.faults_masked_repairs, 0u);
+  EXPECT_TRUE(faulty.valid);
+  EXPECT_EQ(faulty.mem, clean.mem);
+  // The functional work is untouched; only the speculation bookkeeping moves.
+  EXPECT_EQ(faulty.chip.warp_adder_insts, clean.chip.warp_adder_insts);
+  EXPECT_EQ(faulty.chip.thread_instructions, clean.chip.thread_instructions);
+}
+
+// ---------------------------------------------------------------- watchdog
+
+TEST(Watchdog, AbortsWithConsistentPartialCounters) {
+  const CaseResult r = run_case("pathfinder", fault::FaultConfig{}, 1, 10);
+  EXPECT_EQ(r.status, "aborted:watchdog-cycles");
+  // Each SM stops at min(own finish, budget); seal_counters() ran its
+  // always-on invariants on the partial state without throwing.
+  EXPECT_LE(r.wall_cycles, 10u);
+  EXPECT_GT(r.chip.cycles, 0u);
+}
+
+TEST(Watchdog, PartialReportBitIdenticalAcrossJobs) {
+  const CaseResult one = run_case("pathfinder", fault::FaultConfig{}, 1, 64);
+  const CaseResult four = run_case("pathfinder", fault::FaultConfig{}, 4, 64);
+  EXPECT_EQ(one.status, "aborted:watchdog-cycles");
+  EXPECT_EQ(four.status, one.status);
+  EXPECT_EQ(counter_values(one.chip), counter_values(four.chip));
+}
+
+// ------------------------------------------------------------- error model
+
+TEST(SimErrorTaxonomy, KindsMapToDistinctExitCodes) {
+  using sim::SimErrorKind;
+  EXPECT_EQ(sim::exit_code(SimErrorKind::kBadArguments), 2);
+  EXPECT_EQ(sim::exit_code(SimErrorKind::kInadmissibleLaunch), 3);
+  EXPECT_EQ(sim::exit_code(SimErrorKind::kInvariantViolation), 5);
+  EXPECT_EQ(sim::exit_code(SimErrorKind::kSelfCheckFailed), 6);
+  EXPECT_EQ(sim::exit_code(SimErrorKind::kIo), 7);
+  EXPECT_EQ(sim::kExitWatchdogAborted, 4);
+  EXPECT_EQ(sim::kExitInterrupted, 130);
+}
+
+TEST(SimErrorTaxonomy, StructuredMessageNamesTheKind) {
+  const sim::SimError e(sim::SimErrorKind::kSelfCheckFailed, "kmeans_K1",
+                        "state diverges at byte 42");
+  EXPECT_EQ(std::string(sim::to_string(e.kind())), "selfcheck-failed");
+  const std::string s = e.structured();
+  EXPECT_EQ(s.rfind("error[selfcheck-failed]: ", 0), 0u) << s;
+  EXPECT_NE(s.find("kmeans_K1"), std::string::npos);
+}
+
+TEST(SimErrorTaxonomy, InadmissibleLaunchThrowsTypedError) {
+  workloads::PreparedCase pc = workloads::prepare_case("sad_K1", 0.15);
+  sim::GpuConfig cfg = sim::GpuConfig::st2();
+  cfg.num_sms = 2;
+  cfg.max_warps_per_sm = 1;  // the launch's blocks can never fit
+  sim::TimingSimulator ts(cfg);
+  try {
+    ts.run_report(pc.kernel, pc.launches.front(), *pc.mem);
+    FAIL() << "expected SimError";
+  } catch (const sim::SimError& e) {
+    EXPECT_EQ(e.kind(), sim::SimErrorKind::kInadmissibleLaunch);
+  }
+}
+
+// ------------------------------------------------------------------- CRF
+
+TEST(CrfFaults, FlippedEntriesStayLegalPatterns) {
+  spec::CarryRegisterFile crf(7);
+  ASSERT_TRUE(crf.entries_valid());
+  fault::FaultConfig cfg;
+  cfg.crf = 1.0;
+  fault::FaultInjector inj(cfg);
+  for (int i = 0; i < 4096; ++i) {
+    crf.flip_bit(static_cast<std::uint64_t>(inj.pick(64)), inj.pick(32),
+                 inj.pick(spec::CarryRegisterFile::kBitsPerLane));
+  }
+  EXPECT_TRUE(crf.entries_valid());
+  for (std::uint64_t pc = 0; pc < 16; ++pc) {
+    for (std::uint8_t v : crf.read_row(pc)) EXPECT_LT(v, 0x80);
+  }
+}
+
+}  // namespace
+}  // namespace st2

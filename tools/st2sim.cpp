@@ -4,6 +4,8 @@
 //   st2sim run <kernel|all> [--scale S] [--st2] [--sms N] [--jobs N] [--lrr]
 //              [--max-warps N] [--spec CONFIG] [--csv FILE] [--json FILE]
 //              [--timeline FILE] [--disasm] [--trace]
+//              [--inject SPEC] [--inject-seed N] [--selfcheck]
+//              [--watchdog-cycles N] [--watchdog-ms N]
 //
 // --jobs N replays the SMs of a timing run on N worker threads (0 = one per
 // hardware core); results are bit-identical to --jobs 1. --json dumps the
@@ -14,12 +16,31 @@
 // exits with an error). --spec selects the speculation policy measured in
 // --trace mode (any name from the Figure 5 sweep, e.g. "Prev+ModPC4+Peek").
 //
+// Robustness layer (docs/robustness.md):
+//   --inject crf:1e-4,detect:1e-5   seeded faults into the ST2 speculation
+//                                   state (requires --st2); results stay
+//                                   bit-identical, only timing/energy moves
+//   --inject-seed N                 fault RNG seed (default fixed)
+//   --selfcheck                     after the timing run, re-execute
+//                                   functionally and diff architectural state
+//   --watchdog-cycles N             cancel any SM replay after N cycles and
+//                                   emit a partial report marked "aborted"
+//   --watchdog-ms N                 wall-clock deadline per replay
+// SIGINT/SIGTERM stop the run at the next check quantum and still flush the
+// partial --csv/--json/--timeline files (all report files are written
+// atomically: FILE.tmp then rename). Exit codes are documented and distinct
+// per failure kind; errors print one structured line: `error[kind]: message`.
+//
 // Examples:
 //   st2sim run pathfinder --st2            # timing run, ST2 machine
 //   st2sim run all --scale 0.25 --csv out.csv
 //   st2sim run all --st2 --jobs 8 --json out.json
+//   st2sim run pathfinder --st2 --inject crf:1e-3 --selfcheck
 //   st2sim run kmeans_K1 --trace           # fast functional run + specs
 //   st2sim run msort_K2 --disasm           # print the mini-PTX
+#include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,7 +50,9 @@
 #include <vector>
 
 #include "src/common/table.hpp"
+#include "src/fault/fault.hpp"
 #include "src/power/model.hpp"
+#include "src/sim/error.hpp"
 #include "src/sim/spec_harness.hpp"
 #include "src/sim/timing.hpp"
 #include "src/sim/trace_run.hpp"
@@ -38,6 +61,12 @@
 namespace {
 
 using namespace st2;
+
+/// Set by the SIGINT/SIGTERM handler; the engine polls it every check
+/// quantum and winds the replay down gracefully (partial report, exit 130).
+std::atomic<bool> g_cancel{false};
+
+extern "C" void on_signal(int) { g_cancel.store(true); }
 
 struct Options {
   std::string command;
@@ -48,9 +77,13 @@ struct Options {
   bool lrr = false;
   bool trace = false;
   bool disasm = false;
+  bool selfcheck = false;
   int sms = 20;
   int jobs = 1;
   int max_warps = 0;  ///< 0 = the config default
+  fault::FaultConfig inject;
+  std::uint64_t watchdog_cycles = 0;
+  std::uint64_t watchdog_ms = 0;
   std::string csv;
   std::string json;
   std::string timeline;
@@ -66,6 +99,16 @@ bool parse_int(const char* s, int* out) {
   const long v = std::strtol(s, &end, 10);
   if (end == s || *end != '\0') return false;
   *out = static_cast<int>(v);
+  return true;
+}
+
+/// Strict unsigned 64-bit parse for cycle budgets and seeds.
+bool parse_u64(const char* s, std::uint64_t* out) {
+  if (*s == '\0' || *s == '-') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
   return true;
 }
 
@@ -85,8 +128,14 @@ int usage() {
       "  st2sim list\n"
       "  st2sim run <kernel|all> [--scale S] [--st2] [--sms N] [--jobs N]\n"
       "             [--lrr] [--max-warps N] [--spec CONFIG] [--csv FILE]\n"
-      "             [--json FILE] [--timeline FILE] [--disasm] [--trace]");
-  return 2;
+      "             [--json FILE] [--timeline FILE] [--disasm] [--trace]\n"
+      "             [--inject SPEC] [--inject-seed N] [--selfcheck]\n"
+      "             [--watchdog-cycles N] [--watchdog-ms N]\n"
+      "exit codes: 0 ok, 1 validation failed, 2 bad arguments,\n"
+      "            3 inadmissible launch, 4 watchdog aborted, 5 invariant\n"
+      "            violation, 6 selfcheck failed, 7 io error,\n"
+      "            130 interrupted (see docs/robustness.md)");
+  return sim::kExitBadArguments;
 }
 
 bool parse(int argc, char** argv, Options* o) {
@@ -128,6 +177,23 @@ bool parse(int argc, char** argv, Options* o) {
       const char* v = next();
       if (!v) return false;
       o->spec = v;
+    } else if (a == "--inject") {
+      const char* v = next();
+      if (!v) return false;
+      const std::uint64_t seed = o->inject.seed;  // --inject-seed may precede
+      o->inject = fault::FaultConfig::parse(v);   // throws on a bad spec
+      o->inject.seed = seed;
+    } else if (a == "--inject-seed") {
+      const char* v = next();
+      if (!v || !parse_u64(v, &o->inject.seed)) return false;
+    } else if (a == "--watchdog-cycles") {
+      const char* v = next();
+      if (!v || !parse_u64(v, &o->watchdog_cycles)) return false;
+    } else if (a == "--watchdog-ms") {
+      const char* v = next();
+      if (!v || !parse_u64(v, &o->watchdog_ms)) return false;
+    } else if (a == "--selfcheck") {
+      o->selfcheck = true;
     } else if (a == "--st2") {
       o->st2 = true;
     } else if (a == "--lrr") {
@@ -145,13 +211,78 @@ bool parse(int argc, char** argv, Options* o) {
          o->max_warps >= 0;
 }
 
+/// Crash-consistent report write: the content lands under FILE.tmp and is
+/// renamed into place only once fully flushed, so an interrupted run never
+/// leaves truncated JSON/CSV on disk — FILE either has the old content, the
+/// complete new content, or does not exist.
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    os << content;
+    if (!os.flush()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Golden cross-run self-check: re-executes the workload functionally on
+/// fresh inputs (the fault-free reference — injection and timing cannot
+/// touch it) and requires the timing run's architectural state to match it
+/// byte for byte. Also fails the run if any injected forced-hit fault masked
+/// a real misprediction: that fault class is outside ST2's safety envelope
+/// and would corrupt results in hardware.
+void run_selfcheck(const Options& o, const std::string& name,
+                   const workloads::PreparedCase& pc,
+                   const sim::EventCounters& c) {
+  workloads::PreparedCase ref = workloads::prepare_case(name, o.scale);
+  for (const auto& lc : ref.launches) {
+    sim::trace_run(ref.kernel, lc, *ref.mem);
+  }
+  if (!ref.validate(*ref.mem)) {
+    throw sim::SimError(sim::SimErrorKind::kSelfCheckFailed, name,
+                        "functional reference run failed host validation");
+  }
+  const auto got = pc.mem->bytes();
+  const auto want = ref.mem->bytes();
+  if (got.size() != want.size()) {
+    throw sim::SimError(sim::SimErrorKind::kSelfCheckFailed, name,
+                        "device memory size diverges from the functional "
+                        "reference (" +
+                            std::to_string(got.size()) + " vs " +
+                            std::to_string(want.size()) + " bytes)");
+  }
+  const auto diff =
+      std::mismatch(got.begin(), got.end(), want.begin());
+  if (diff.first != got.end()) {
+    throw sim::SimError(
+        sim::SimErrorKind::kSelfCheckFailed, name,
+        "architectural state diverges from the functional reference at "
+        "byte offset " +
+            std::to_string(diff.first - got.begin()));
+  }
+  if (c.faults_masked_repairs > 0) {
+    throw sim::SimError(
+        sim::SimErrorKind::kSelfCheckFailed, name,
+        std::to_string(c.faults_masked_repairs) +
+            " forced-hit fault(s) masked real mispredictions; in hardware "
+            "the results would be corrupt");
+  }
+}
+
 int run_one(const Options& o, const std::string& name, Table* out,
             std::vector<std::string>* json_reports,
             std::vector<std::string>* trace_events, int* next_pid) {
   workloads::PreparedCase pc = workloads::prepare_case(name, o.scale);
   if (o.disasm) {
     std::printf("%s\n", pc.kernel.disassemble().c_str());
-    return 0;
+    return sim::kExitOk;
   }
 
   if (o.trace) {
@@ -167,11 +298,12 @@ int run_one(const Options& o, const std::string& name, Table* out,
       }
     }
     if (!found) {
-      std::fprintf(stderr, "unknown --spec '%s'; options:\n", o.spec.c_str());
+      std::fprintf(stderr, "error[bad-arguments]: unknown --spec '%s'; options:\n",
+                   o.spec.c_str());
       for (const auto& c : spec::SpeculationConfig::figure5_sweep()) {
         std::fprintf(stderr, "  %s\n", c.name().c_str());
       }
-      return 2;
+      return sim::kExitBadArguments;
     }
     sim::SpeculationHarness spec(cfg);
     sim::EventCounters c;
@@ -184,7 +316,7 @@ int run_one(const Options& o, const std::string& name, Table* out,
     out->row({name, ok ? "ok" : "FAIL", std::to_string(c.thread_instructions),
               Table::pct(c.simd_efficiency()), "-",
               Table::pct(spec.op_misprediction_rate()), "-", "-"});
-    return ok ? 0 : 1;
+    return ok ? sim::kExitOk : sim::kExitValidationFailed;
   }
 
   sim::GpuConfig cfg = o.st2 ? sim::GpuConfig::st2()
@@ -193,10 +325,17 @@ int run_one(const Options& o, const std::string& name, Table* out,
   if (o.lrr) cfg.scheduler = sim::WarpScheduler::kLrr;
   if (o.max_warps > 0) cfg.max_warps_per_sm = o.max_warps;
   if (trace_events) cfg.timeline_bucket = kTimelineBucket;
-  sim::TimingSimulator ts(cfg, sim::EngineOptions{o.jobs});
+  cfg.inject = o.inject;
+  sim::EngineOptions eopts;
+  eopts.jobs = o.jobs;
+  eopts.watchdog_cycles = o.watchdog_cycles;
+  eopts.watchdog_ms = o.watchdog_ms;
+  eopts.cancel = &g_cancel;
+  sim::TimingSimulator ts(cfg, eopts);
   sim::EventCounters c;
   std::uint64_t cycles = 0;
   int launch_idx = 0;
+  std::string abort_reason;
   for (const auto& lc : pc.launches) {
     const sim::RunReport r = ts.run_report(pc.kernel, lc, *pc.mem);
     if (json_reports) json_reports->push_back(r.to_json(name, launch_idx));
@@ -208,23 +347,53 @@ int run_one(const Options& o, const std::string& name, Table* out,
     ++launch_idx;
     c += r.chip;
     cycles += r.wall_cycles();
+    if (r.aborted()) {
+      abort_reason = r.abort_reason;
+      break;  // remaining launches would run on inconsistent timing state
+    }
   }
-  c.cycles = cycles;
+  if (!abort_reason.empty()) {
+    // The partial report (already in json_reports) is the deliverable; the
+    // table row records why the run stopped.
+    out->row({name, "aborted:" + abort_reason,
+              std::to_string(c.thread_instructions), "-",
+              std::to_string(cycles), "-", "-", "-"});
+    return abort_reason == "interrupted" ? sim::kExitInterrupted
+                                         : sim::kExitWatchdogAborted;
+  }
   const bool ok = pc.validate(*pc.mem);
+  if (ok && o.selfcheck) run_selfcheck(o, name, pc, c);
   const power::PowerModel pm;
   const auto e = pm.energy(c, o.st2);
   out->row({name, ok ? "ok" : "FAIL", std::to_string(c.thread_instructions),
             Table::pct(c.simd_efficiency()), std::to_string(cycles),
             o.st2 ? Table::pct(c.adder_misprediction_rate()) : "-",
             Table::num(e.total(), 0), Table::num(e.chip(), 0)});
-  return ok ? 0 : 1;
+  return ok ? sim::kExitOk : sim::kExitValidationFailed;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Options o;
-  if (!parse(argc, argv, &o)) return usage();
+  try {
+    if (!parse(argc, argv, &o)) return usage();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error[bad-arguments]: %s\n", e.what());
+    return sim::kExitBadArguments;
+  }
+  if (o.inject.enabled() && !o.st2) {
+    std::fprintf(stderr,
+                 "error[bad-arguments]: --inject targets the ST2 speculation "
+                 "state; add --st2\n");
+    return sim::kExitBadArguments;
+  }
+  if (o.selfcheck && (o.trace || o.disasm)) {
+    std::fprintf(stderr,
+                 "error[bad-arguments]: --selfcheck applies to timing runs "
+                 "only\n");
+    return sim::kExitBadArguments;
+  }
 
   if (o.command == "list") {
     Table t("available kernels");
@@ -233,32 +402,49 @@ int main(int argc, char** argv) {
       t.row({info.name, info.suite});
     }
     t.print(std::cout);
-    return 0;
+    return sim::kExitOk;
   }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
 
   Table t(o.trace ? "functional (trace) run" : "timing run");
   t.header({"kernel", "valid", "thread instrs", "simd eff", "cycles",
             "mispred", "energy", "chip energy"});
-  int rc = 0;
+  int rc = sim::kExitOk;
   std::vector<std::string> json_reports;
   std::vector<std::string>* jr = o.json.empty() ? nullptr : &json_reports;
   std::vector<std::string> trace_events;
   std::vector<std::string>* te = o.timeline.empty() ? nullptr : &trace_events;
   int next_pid = 0;
-  // Unknown kernels and launches that can never be admitted (e.g. --max-warps
-  // below the block's warp count) throw; report the one-line reason and fail
-  // instead of crashing or spinning.
+  // Every failure is classified: unknown kernels and bad specs are user
+  // errors, launches that can never be admitted are inadmissible, broken
+  // internal invariants are simulator bugs — each with its own exit code and
+  // a one-line structured stderr message instead of a bare what().
   auto guarded = [&](const std::string& name) {
     try {
       return run_one(o, name, &t, jr, te, &next_pid);
+    } catch (const sim::SimError& e) {
+      std::fprintf(stderr, "%s\n", e.structured().c_str());
+      return sim::exit_code(e.kind());
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error[bad-arguments]: %s\n", e.what());
+      return sim::kExitBadArguments;
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-      return 1;
+      std::fprintf(stderr, "error[internal]: %s\n", e.what());
+      return sim::kExitInvariantViolation;
     }
   };
   if (o.kernel == "all") {
     for (const auto& info : workloads::case_list()) {
-      rc |= guarded(info.name);
+      const int code = guarded(info.name);
+      if (rc == sim::kExitOk) rc = code;
+      // An interrupt stops the sweep; the files below still flush whatever
+      // completed (plus the partial report of the interrupted kernel).
+      if (code == sim::kExitInterrupted || g_cancel.load()) {
+        if (rc == sim::kExitOk) rc = sim::kExitInterrupted;
+        break;
+      }
     }
   } else {
     rc = guarded(o.kernel);
@@ -266,43 +452,42 @@ int main(int argc, char** argv) {
   if (!o.disasm) {
     t.print(std::cout);
     if (!o.csv.empty()) {
-      std::ofstream cs(o.csv);
-      cs << t.to_csv();
-      if (cs.flush()) {
+      if (write_file_atomic(o.csv, t.to_csv())) {
         std::printf("wrote %s\n", o.csv.c_str());
       } else {
-        std::fprintf(stderr, "error: cannot write %s\n", o.csv.c_str());
-        rc = 1;
+        std::fprintf(stderr, "error[io-error]: cannot write %s\n",
+                     o.csv.c_str());
+        if (rc == sim::kExitOk) rc = sim::kExitIo;
       }
     }
     if (!o.json.empty()) {
-      std::ofstream js(o.json);
-      js << "[";
+      std::string doc = "[";
       for (std::size_t i = 0; i < json_reports.size(); ++i) {
-        js << (i ? ",\n" : "\n") << json_reports[i];
+        doc += (i ? ",\n" : "\n") + json_reports[i];
       }
-      js << "\n]\n";
-      if (js.flush()) {
+      doc += "\n]\n";
+      if (write_file_atomic(o.json, doc)) {
         std::printf("wrote %s\n", o.json.c_str());
       } else {
-        std::fprintf(stderr, "error: cannot write %s\n", o.json.c_str());
-        rc = 1;
+        std::fprintf(stderr, "error[io-error]: cannot write %s\n",
+                     o.json.c_str());
+        if (rc == sim::kExitOk) rc = sim::kExitIo;
       }
     }
     if (!o.timeline.empty()) {
       // Chrome-trace JSON array format: a flat array of events, viewable in
       // chrome://tracing or ui.perfetto.dev.
-      std::ofstream tl(o.timeline);
-      tl << "[";
+      std::string doc = "[";
       for (std::size_t i = 0; i < trace_events.size(); ++i) {
-        tl << (i ? ",\n" : "\n") << trace_events[i];
+        doc += (i ? ",\n" : "\n") + trace_events[i];
       }
-      tl << "\n]\n";
-      if (tl.flush()) {
+      doc += "\n]\n";
+      if (write_file_atomic(o.timeline, doc)) {
         std::printf("wrote %s\n", o.timeline.c_str());
       } else {
-        std::fprintf(stderr, "error: cannot write %s\n", o.timeline.c_str());
-        rc = 1;
+        std::fprintf(stderr, "error[io-error]: cannot write %s\n",
+                     o.timeline.c_str());
+        if (rc == sim::kExitOk) rc = sim::kExitIo;
       }
     }
   }
