@@ -10,17 +10,26 @@
 #include <string>
 
 #include "src/common/table.hpp"
+#include "src/sim/error.hpp"
 
 namespace st2::bench {
 
 /// Benchmark scale factor: BENCH_SCALE env var overrides the default 0.5
-/// (full evaluation inputs = 1.0; CI smoke = 0.25).
+/// (full evaluation inputs = 1.0; CI smoke = 0.25). The value must be a
+/// plain decimal in (0, 4] — trailing junk ("0.5x"), non-numbers, and
+/// non-positive or oversized scales abort with exit code 2 rather than
+/// silently falling back and skewing every figure in the sweep.
 inline double bench_scale() {
-  if (const char* s = std::getenv("BENCH_SCALE")) {
-    const double v = std::atof(s);
-    if (v > 0.0 && v <= 4.0) return v;
+  const char* s = std::getenv("BENCH_SCALE");
+  if (s == nullptr || *s == '\0') return 0.5;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v > 0.0) || v > 4.0) {
+    std::cerr << "error[bad-arguments]: BENCH_SCALE='" << s
+              << "' is not a decimal in (0, 4]\n";
+    std::exit(sim::kExitBadArguments);
   }
-  return 0.5;
+  return v;
 }
 
 /// Prints the table and writes its CSV to bench_out/<stem>.csv.

@@ -1,0 +1,82 @@
+#!/bin/sh
+# Hostile-argv sweep for st2sim: every malformed invocation must exit with
+# the documented bad-arguments code (2) after printing usage or a one-line
+# `error[...]` diagnostic — never an unhandled exception, never a signal
+# death (exit >= 128), never a silent success.
+#
+#   usage: cli_fuzz.sh /path/to/st2sim
+set -u
+
+ST2SIM=${1:?usage: cli_fuzz.sh /path/to/st2sim}
+fails=0
+
+expect_code() {
+    want=$1
+    shift
+    out=$("$ST2SIM" "$@" 2>&1)
+    got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: st2sim $* -> exit $got (want $want)" >&2
+        echo "$out" | head -3 >&2
+        fails=$((fails + 1))
+    elif [ "$got" -ge 128 ]; then
+        echo "FAIL: st2sim $* died on a signal (exit $got)" >&2
+        fails=$((fails + 1))
+    fi
+}
+
+# --- no / unknown commands -------------------------------------------------
+expect_code 2
+expect_code 2 frobnicate
+expect_code 2 run
+expect_code 2 run no_such_kernel
+expect_code 2 run pathfinder --no-such-flag
+expect_code 2 run pathfinder extra_positional_junk
+
+# --- numeric options: junk, trailing garbage, out-of-range, non-finite -----
+expect_code 2 run pathfinder --scale
+expect_code 2 run pathfinder --scale banana
+expect_code 2 run pathfinder --scale 0.5x
+expect_code 2 run pathfinder --scale -1
+expect_code 2 run pathfinder --scale 0
+expect_code 2 run pathfinder --scale 99
+expect_code 2 run pathfinder --scale nan
+expect_code 2 run pathfinder --scale inf
+expect_code 2 run pathfinder --sms 0
+expect_code 2 run pathfinder --sms -3
+expect_code 2 run pathfinder --sms 2x
+expect_code 2 run pathfinder --jobs banana
+expect_code 2 run pathfinder --max-warps -1
+expect_code 2 run pathfinder --max-warps 2x
+expect_code 2 run pathfinder --watchdog-cycles nope
+expect_code 2 run pathfinder --watchdog-ms -5
+
+# --- fault-injection spec parser -------------------------------------------
+expect_code 2 run pathfinder --inject crf:1e-3
+expect_code 2 run pathfinder --st2 --inject
+expect_code 2 run pathfinder --st2 --inject crf
+expect_code 2 run pathfinder --st2 --inject crf:
+expect_code 2 run pathfinder --st2 --inject crf:2
+expect_code 2 run pathfinder --st2 --inject crf:nan
+expect_code 2 run pathfinder --st2 --inject :::
+expect_code 2 run pathfinder --st2 --inject bogus:0.1
+expect_code 2 run pathfinder --st2 --inject crf:1e-3,,
+expect_code 2 run pathfinder --st2 --inject-seed twelve
+
+# --- checkpoint/resume flag combinations -----------------------------------
+expect_code 2 run pathfinder --checkpoint
+expect_code 2 run pathfinder --checkpoint-every 100
+expect_code 2 run pathfinder --checkpoint c.st2 --checkpoint-every junk
+expect_code 2 run pathfinder --checkpoint c.st2 --trace
+expect_code 2 run pathfinder --resume c.st2 --trace
+expect_code 2 run pathfinder --resume c.st2 --disasm
+expect_code 2 run pathfinder --resume
+
+# --- resume targets that are not snapshots exit 8, not 2, not a crash ------
+expect_code 8 run pathfinder --st2 --resume /nonexistent/dir/x.st2
+
+if [ "$fails" -ne 0 ]; then
+    echo "cli_fuzz: $fails case(s) failed" >&2
+    exit 1
+fi
+echo "cli_fuzz: all cases rejected correctly"

@@ -1,5 +1,6 @@
 #include "src/fault/fault.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -14,7 +15,9 @@ bool parse_rate(const std::string& s, double* out) {
   if (s.empty()) return false;
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
-  if (end != s.c_str() + s.size()) return false;
+  // NaN would sail through a `< 0 || > 1` range check (both comparisons are
+  // false), so non-finite rates are rejected here, not at the range check.
+  if (end != s.c_str() + s.size() || !std::isfinite(v)) return false;
   *out = v;
   return true;
 }

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <thread>
 
 #include "src/common/contracts.hpp"
 #include "src/sim/functional.hpp"
 #include "src/sim/trace_run.hpp"
+#include "src/snapshot/serial.hpp"
 #include "src/spec/peek.hpp"
 #include "src/spec/predictor.hpp"
 
@@ -240,6 +242,254 @@ RunReport ExecutionEngine::replay(const isa::Kernel& kernel,
     if (e) std::rethrow_exception(e);
   }
 
+  return RunReport::reduce(std::move(reports), cfg_.num_sms, jobs,
+                           cfg_.timeline_bucket);
+}
+
+namespace {
+
+/// FNV-1a fingerprint of an SM workload's *structure* (block ids, warp
+/// counts, stream lengths). A snapshot taken against one capture can only
+/// be restored against a structurally identical one: every index the
+/// restored SmCore state holds (cursors, stream pointers, payload offsets)
+/// is then provably meaningful. Contents need no hashing — the capture is a
+/// deterministic function of (kernel, launch, inputs), all of which the
+/// CLI-level config hash already pins.
+std::uint64_t workload_structure_hash(const SmWorkload& work) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(work.blocks.size());
+  for (const BlockWork& bw : work.blocks) {
+    mix(static_cast<std::uint64_t>(bw.block_flat));
+    mix(bw.warps.size());
+    for (const WarpStream& ws : bw.warps) {
+      mix(ws.ops.size());
+      mix(ws.lines.size());
+      mix(ws.adder_lanes.size());
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+RunReport ExecutionEngine::replay(const isa::Kernel& kernel,
+                                  const GridCapture& capture,
+                                  const ReplayCheckpoint* ck) {
+  if (ck == nullptr || (ck->every == 0 && !ck->sink && !ck->resume)) {
+    return replay(kernel, capture);
+  }
+  ST2_EXPECTS(capture.per_sm.size() ==
+              static_cast<std::size_t>(cfg_.num_sms));
+
+  std::vector<int> work_sms;
+  for (int sm = 0; sm < cfg_.num_sms; ++sm) {
+    const SmWorkload& work = capture.per_sm[static_cast<std::size_t>(sm)];
+    if (!work.blocks.empty()) {
+      validate_admissible(cfg_, kernel, work);
+      work_sms.push_back(sm);
+    }
+  }
+  const int jobs =
+      std::max(1, std::min<int>(resolved_jobs(),
+                                static_cast<int>(work_sms.size())));
+
+  // Unlike the plain path, cores live across epochs, so they are owned here
+  // and constructed up front (serially — construction order must not depend
+  // on thread schedule when resuming).
+  struct CoreRun {
+    std::unique_ptr<SmCore> core;
+    std::uint64_t steps = 0;       ///< async-check cadence counter
+    const char* reason = nullptr;  ///< abort cause (static string)
+    bool done = false;             ///< finished or aborted; stop stepping
+  };
+  std::vector<CoreRun> runs(work_sms.size());
+  std::vector<std::uint64_t> structure(work_sms.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const SmWorkload& work =
+        capture.per_sm[static_cast<std::size_t>(work_sms[i])];
+    runs[i].core = std::make_unique<SmCore>(cfg_, kernel, work);
+    structure[i] = workload_structure_hash(work);
+  }
+
+  if (ck->resume != nullptr) {
+    snapshot::Reader r(*ck->resume, "engine state");
+    const std::uint32_t n = r.u32();
+    r.require(n == runs.size(),
+              "working-SM count differs from the current launch");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      r.require(r.u32() == static_cast<std::uint32_t>(work_sms[i]),
+                "SM index differs from the current launch");
+      r.require(r.u64() == structure[i],
+                "workload structure differs from the snapshotted capture");
+      runs[i].steps = r.u64();
+      runs[i].core->restore_state(r);
+      runs[i].done = runs[i].core->finished();
+    }
+    r.require(r.done(), "trailing bytes after the engine state");
+  }
+
+  const std::uint64_t budget = opts_.watchdog_cycles;
+  const bool timed = opts_.watchdog_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(timed ? opts_.watchdog_ms : 0);
+  const std::atomic<bool>* const cancel = opts_.cancel;
+  const bool async_checks = timed || cancel != nullptr;
+  std::atomic<const char*> stop{nullptr};
+  constexpr std::uint64_t kQuantumMask = 0x1fff;
+
+  // Advances one SM until the epoch boundary, its own finish, or an abort
+  // cause. The budget check runs *before* each step, so a core stops at the
+  // first state with now() >= budget — the same state the plain path's
+  // post-step check stops at — and a resumed core already past the budget
+  // never steps again.
+  auto advance_to = [&](std::size_t i, std::uint64_t boundary) {
+    CoreRun& cr = runs[i];
+    SmCore& core = *cr.core;
+    const char* reason = stop.load(std::memory_order_relaxed);
+    while (reason == nullptr && core.now() < boundary) {
+      if (budget != 0 && core.now() >= budget) {
+        reason = "watchdog-cycles";
+        break;
+      }
+      if (!core.step_cycle()) {
+        cr.done = true;
+        return;
+      }
+      if (async_checks && (++cr.steps & kQuantumMask) == 0) {
+        if (cancel && cancel->load(std::memory_order_relaxed)) {
+          reason = "interrupted";
+        } else if (timed && std::chrono::steady_clock::now() >= deadline) {
+          reason = "watchdog-deadline";
+        }
+        if (reason != nullptr) {
+          const char* expected = nullptr;
+          stop.compare_exchange_strong(expected, reason,
+                                       std::memory_order_relaxed);
+        }
+      }
+    }
+    if (reason != nullptr) {
+      cr.reason = reason;
+      cr.done = true;
+    }
+  };
+
+  std::vector<std::exception_ptr> errors(runs.size());
+  bool failed = false;
+  auto run_epoch = [&](std::uint64_t boundary) {
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (!runs[i].done) live.push_back(i);
+    }
+    auto guarded = [&](std::size_t i) {
+      try {
+        advance_to(i, boundary);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        runs[i].done = true;
+        failed = true;
+      }
+    };
+    const int epoch_jobs = std::min<int>(jobs, static_cast<int>(live.size()));
+    if (epoch_jobs <= 1) {
+      for (const std::size_t i : live) guarded(i);
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(epoch_jobs));
+      for (int t = 0; t < epoch_jobs; ++t) {
+        pool.emplace_back([&] {
+          for (;;) {
+            const std::size_t n = next.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            if (n >= live.size()) return;
+            guarded(live[n]);
+          }
+        });
+      }
+      for (auto& th : pool) th.join();
+    }
+  };
+
+  // Serializes the full engine state in ascending SM order; the always-on
+  // SmCore invariants are validated first so a corrupt state can never be
+  // checkpointed.
+  auto serialize_state = [&]() {
+    snapshot::Writer w;
+    w.u32(static_cast<std::uint32_t>(runs.size()));
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      runs[i].core->validate_invariants();
+      w.u32(static_cast<std::uint32_t>(work_sms[i]));
+      w.u64(structure[i]);
+      w.u64(runs[i].steps);
+      runs[i].core->save_state(w);
+    }
+    return w.take();
+  };
+
+  // Epoch-barrier loop: run every live SM to the next common boundary (the
+  // first multiple of `every` past the slowest live SM — skip_idle_cycles
+  // may leave cores past earlier boundaries), snapshot, repeat. With
+  // every == 0 there is a single epoch to completion/abort.
+  for (;;) {
+    std::uint64_t min_now = ~std::uint64_t{0};
+    for (const CoreRun& cr : runs) {
+      if (!cr.done) min_now = std::min(min_now, cr.core->now());
+    }
+    if (min_now == ~std::uint64_t{0}) break;  // all finished or aborted
+    if (stop.load(std::memory_order_relaxed) != nullptr || failed) break;
+    const std::uint64_t boundary =
+        ck->every > 0 ? (min_now / ck->every + 1) * ck->every
+                      : ~std::uint64_t{0};
+    run_epoch(boundary);
+    if (failed || stop.load(std::memory_order_relaxed) != nullptr) break;
+    bool all_done = true;
+    for (const CoreRun& cr : runs) all_done = all_done && cr.done;
+    if (ck->every > 0 && ck->sink && !all_done) {
+      ck->sink(serialize_state(), boundary, false);
+    }
+  }
+
+  // Rethrow the first captured error in SM order (deterministic choice); an
+  // errored replay is not resumable, so no abort snapshot is taken.
+  for (std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  // Abort-time snapshot: the run was cut short (watchdog budget/deadline or
+  // external cancel) but every core sits at a valid cycle boundary, so the
+  // partial state is saved and the caller can mark the run resumable.
+  bool any_aborted = false;
+  std::uint64_t abort_cycle = ~std::uint64_t{0};
+  for (const CoreRun& cr : runs) {
+    if (cr.reason != nullptr && !cr.core->finished()) {
+      any_aborted = true;
+      abort_cycle = std::min(abort_cycle, cr.core->now());
+    }
+  }
+  if (any_aborted && ck->sink) {
+    ck->sink(serialize_state(), abort_cycle, true);
+  }
+
+  std::vector<SmReport> reports(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    SmCore& core = *runs[i].core;
+    core.seal();  // partial or final; runs the always-on invariants
+    reports[i].sm = work_sms[i];
+    reports[i].counters = core.counters();
+    reports[i].timeline = core.timeline();
+    if (runs[i].reason != nullptr && !core.finished()) {
+      reports[i].aborted = true;
+      reports[i].abort_reason = runs[i].reason;
+    }
+  }
   return RunReport::reduce(std::move(reports), cfg_.num_sms, jobs,
                            cfg_.timeline_bucket);
 }

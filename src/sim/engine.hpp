@@ -24,6 +24,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <string>
 
 #include "src/isa/instruction.hpp"
 #include "src/sim/config.hpp"
@@ -62,6 +64,33 @@ struct GridCapture {
   std::vector<SmWorkload> per_sm;
 };
 
+/// Checkpoint/resume hooks for `replay` (docs/robustness.md).
+///
+/// With a non-zero cadence the engine runs all SMs to each common cycle
+/// boundary (the next multiple of `every` past the slowest live SM),
+/// barriers, and serializes the complete replay state in ascending SM order
+/// — so the snapshot bytes are a pure function of (config, kernel,
+/// workload, boundary), bit-identical across `--jobs N`. Each SmCore is
+/// itself a pure function of those inputs, which is why restoring a
+/// snapshot and replaying on yields final counters bit-identical to a run
+/// that was never paused. A final snapshot is also taken when a
+/// watchdog/cancel abort cuts the replay short, so the aborted run can be
+/// resumed instead of restarted.
+struct ReplayCheckpoint {
+  /// Snapshot cadence in cycles; 0 = abort-time snapshots only.
+  std::uint64_t every = 0;
+  /// Receives each serialized engine state. `cycle` is the boundary (for
+  /// periodic snapshots) or the first unfinished SM's cycle (on abort);
+  /// `on_abort` marks the final snapshot of an aborted replay.
+  std::function<void(const std::string& state, std::uint64_t cycle,
+                     bool on_abort)>
+      sink;
+  /// Engine state from a prior sink call to restore before replaying;
+  /// rejected with SimError(kSnapshotInvalid) if it does not match the
+  /// current workload. Null = start from cycle 0.
+  const std::string* resume = nullptr;
+};
+
 /// Runs the canonical functional pass over the whole grid (mutating `gmem`
 /// exactly as trace_run would) and records the per-warp replay streams.
 /// Adder-lane payloads are only captured when `cfg.st2_enabled`.
@@ -79,6 +108,14 @@ class ExecutionEngine {
   /// Replays an existing capture (capture once, replay many — e.g. the same
   /// value stream under different machine configs).
   RunReport replay(const isa::Kernel& kernel, const GridCapture& capture);
+
+  /// Replay with checkpoint/resume hooks. `ck == nullptr` (or an empty
+  /// ReplayCheckpoint) behaves exactly like the plain overload; otherwise
+  /// the epoch-barrier loop described at ReplayCheckpoint runs. Completed
+  /// runs produce counters bit-identical to the plain overload for any
+  /// cadence and any resume point.
+  RunReport replay(const isa::Kernel& kernel, const GridCapture& capture,
+                   const ReplayCheckpoint* ck);
 
   const GpuConfig& config() const { return cfg_; }
   /// Worker threads the replay phase will use.

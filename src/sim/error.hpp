@@ -18,7 +18,8 @@ enum class SimErrorKind {
   kInadmissibleLaunch, ///< a launch no SM can ever admit (would deadlock)
   kInvariantViolation, ///< an internal self-check failed: simulator bug
   kSelfCheckFailed,    ///< --selfcheck found an architectural-state mismatch
-  kIo,                 ///< report/timeline file could not be written
+  kIo,                 ///< report/timeline/snapshot file could not be written
+  kSnapshotInvalid,    ///< snapshot rejected: corrupt, truncated or mismatched
 };
 
 /// st2sim exit codes (see docs/robustness.md for the full table). 0 = clean
@@ -32,6 +33,7 @@ inline constexpr int kExitWatchdogAborted = 4;
 inline constexpr int kExitInvariantViolation = 5;
 inline constexpr int kExitSelfCheckFailed = 6;
 inline constexpr int kExitIo = 7;
+inline constexpr int kExitSnapshotInvalid = 8;
 inline constexpr int kExitInterrupted = 130;  ///< 128 + SIGINT, by convention
 
 constexpr const char* to_string(SimErrorKind k) {
@@ -41,6 +43,7 @@ constexpr const char* to_string(SimErrorKind k) {
     case SimErrorKind::kInvariantViolation: return "invariant-violation";
     case SimErrorKind::kSelfCheckFailed: return "selfcheck-failed";
     case SimErrorKind::kIo: return "io-error";
+    case SimErrorKind::kSnapshotInvalid: return "snapshot-invalid";
   }
   return "unknown";
 }
@@ -52,6 +55,7 @@ constexpr int exit_code(SimErrorKind k) {
     case SimErrorKind::kInvariantViolation: return kExitInvariantViolation;
     case SimErrorKind::kSelfCheckFailed: return kExitSelfCheckFailed;
     case SimErrorKind::kIo: return kExitIo;
+    case SimErrorKind::kSnapshotInvalid: return kExitSnapshotInvalid;
   }
   return kExitInvariantViolation;
 }

@@ -621,11 +621,15 @@ void SmCore::seal_counters() {
   counters_.sm_cycles_max = now_;
   counters_.sm_cycles_sum = now_;
   counters_.crf_write_conflicts = crf_.write_conflicts();
+  validate_invariants();
+}
+
+void SmCore::validate_invariants() const {
   // Always-on consistency invariants, promoted from abort-style asserts to
   // typed errors so a violation fails the run through the taxonomy (distinct
   // exit code, structured stderr) instead of killing the process. Both hold
   // at any cycle boundary, so they are checked on watchdog-aborted partial
-  // runs too.
+  // runs and before every checkpoint snapshot too.
   //
   // (1) Reconciliation: every scheduler-cycle of the run is attributed to
   // exactly one bucket (an issue or one stall cause).
@@ -702,6 +706,210 @@ EventCounters SmCore::run() {
   }
   seal_counters();
   return counters_;
+}
+
+void SmCore::save_state(snapshot::Writer& w) const {
+  w.u64(now_);
+  w.u64(next_block_);
+  w.i32(live_blocks_);
+  w.u8(admitted_midcycle_ ? 1 : 0);
+  for_each_counter(counters_,
+                   [&w](const char*, std::uint64_t v) { w.u64(v); });
+  l1_.save(w);
+  l2_.save(w);
+  crf_.save(w);
+  w.u8(inject_ ? 1 : 0);
+  if (inject_) {
+    std::uint64_t rng_state[4];
+    inject_->get_rng_state(rng_state);
+    for (const std::uint64_t word : rng_state) w.u64(word);
+  }
+  w.u32(static_cast<std::uint32_t>(pending_crf_.size()));
+  for (const PendingCrfWrite& p : pending_crf_) {
+    w.u64(p.due);
+    w.u32(p.pc);
+    w.u8(p.lane);
+    w.u8(p.carries);
+  }
+  w.u32(static_cast<std::uint32_t>(resident_.size()));
+  for (const Resident& rb : resident_) {
+    w.i32(rb.work_idx);
+    w.i32(rb.live_warps);
+    w.i32(rb.warps_at_barrier);
+  }
+  w.u32(static_cast<std::uint32_t>(warps_.size()));
+  for (const Slot& slot : warps_) {
+    // A retired/never-used slot's fields are dead (admit_blocks rewrites
+    // every field on the next admission), so only active slots carry state.
+    w.u8(slot.active ? 1 : 0);
+    if (!slot.active) continue;
+    w.i32(slot.resident_idx);
+    const Resident& rb = resident_[static_cast<std::size_t>(slot.resident_idx)];
+    const BlockWork& bw = work_.blocks[static_cast<std::size_t>(rb.work_idx)];
+    // The stream pointer is serialized as the warp's index within its block
+    // so restore can rebuild it against the re-captured workload.
+    w.u32(static_cast<std::uint32_t>(slot.stream - bw.warps.data()));
+    w.u64(slot.cursor);
+    w.u8(slot.at_barrier ? 1 : 0);
+    w.u64(slot.ready_hint);
+    w.u64(slot.ready_hint_base);
+    for (const std::uint64_t v : slot.reg_ready) w.u64(v);
+    for (const std::uint8_t v : slot.reg_st2_extra) w.u8(v);
+    for (const std::uint64_t v : slot.pred_ready) w.u64(v);
+  }
+  for (const std::uint64_t v : fu_busy_) w.u64(v);
+  for (const std::uint64_t v : fu_st2_from_) w.u64(v);
+  w.u32(static_cast<std::uint32_t>(timeline_.size()));
+  for (const std::uint32_t v : timeline_) w.u32(v);
+  for (const int v : last_issued_) w.i32(v);
+}
+
+void SmCore::restore_state(snapshot::Reader& r) {
+  // Same bound the step loop asserts as "timing simulation runaway": clocks
+  // and event times beyond it can only come from snapshot bit rot, and the
+  // idle-skip fast-forward would jump a core straight to a corrupted wake
+  // time and hard-abort instead of rejecting the file. Every time-like
+  // field below goes through this check.
+  constexpr std::uint64_t kMaxTime = 1ULL << 40;
+  const auto read_time = [&r](const char* what) {
+    const std::uint64_t t = r.u64();
+    r.require(t < kMaxTime, std::string(what) + " out of range");
+    return t;
+  };
+  now_ = read_time("SM cycle clock");
+  next_block_ = r.u64();
+  r.require(next_block_ <= work_.blocks.size(),
+            "next-block index out of range");
+  live_blocks_ = r.i32();
+  r.require(live_blocks_ >= 0 && live_blocks_ <= cfg_.max_blocks_per_sm,
+            "live-block count out of range");
+  admitted_midcycle_ = r.u8() != 0;
+  for_each_counter(counters_,
+                   [&r](const char*, std::uint64_t& v) { v = r.u64(); });
+  l1_.restore(r);
+  l2_.restore(r);
+  crf_.restore(r);
+  const bool had_inject = r.u8() != 0;
+  r.require(had_inject == inject_.has_value(),
+            "fault-injection presence differs from the current config");
+  if (inject_) {
+    std::uint64_t rng_state[4];
+    for (std::uint64_t& word : rng_state) word = r.u64();
+    inject_->set_rng_state(rng_state);
+  }
+  const std::uint32_t n_pending = r.u32();
+  r.require(n_pending <= (1u << 24), "pending CRF-write count out of range");
+  pending_crf_.clear();
+  pending_crf_.reserve(n_pending);
+  for (std::uint32_t i = 0; i < n_pending; ++i) {
+    PendingCrfWrite p{};
+    p.due = read_time("pending CRF-write due cycle");
+    p.pc = r.u32();
+    r.require(p.pc < kernel_.code.size(), "pending CRF-write pc out of range");
+    p.lane = r.u8();
+    r.require(p.lane < kWarpSize, "pending CRF-write lane out of range");
+    p.carries = r.u8();
+    r.require(p.carries < 0x80, "pending CRF-write carries out of range");
+    pending_crf_.push_back(p);
+  }
+  const std::uint32_t n_resident = r.u32();
+  r.require(n_resident <= static_cast<std::uint32_t>(cfg_.max_blocks_per_sm),
+            "resident-block count out of range");
+  resident_.assign(n_resident, Resident{});
+  for (Resident& rb : resident_) {
+    rb.work_idx = r.i32();
+    r.require(rb.work_idx >= -1 &&
+                  rb.work_idx < static_cast<int>(work_.blocks.size()),
+              "resident work index out of range");
+    rb.live_warps = r.i32();
+    rb.warps_at_barrier = r.i32();
+    r.require(rb.live_warps >= 0 && rb.warps_at_barrier >= 0 &&
+                  rb.warps_at_barrier <= rb.live_warps,
+              "resident warp accounting out of range");
+  }
+  const std::uint32_t n_warps = r.u32();
+  r.require(n_warps == warps_.size(),
+            "warp-slot count differs from the current config");
+  for (Slot& slot : warps_) {
+    slot = Slot{};
+    slot.active = r.u8() != 0;
+    if (!slot.active) continue;
+    slot.resident_idx = r.i32();
+    r.require(slot.resident_idx >= 0 &&
+                  slot.resident_idx < static_cast<int>(resident_.size()),
+              "slot resident index out of range");
+    const Resident& rb = resident_[static_cast<std::size_t>(slot.resident_idx)];
+    r.require(rb.work_idx >= 0, "slot points at a free resident entry");
+    const BlockWork& bw = work_.blocks[static_cast<std::size_t>(rb.work_idx)];
+    const std::uint32_t warp_in_block = r.u32();
+    r.require(warp_in_block < bw.warps.size(),
+              "slot warp index out of range for its block");
+    slot.stream = &bw.warps[warp_in_block];
+    slot.cursor = r.u64();
+    r.require(slot.cursor <= slot.stream->ops.size(),
+              "slot cursor past the end of its stream");
+    slot.at_barrier = r.u8() != 0;
+    slot.ready_hint = read_time("slot ready hint");
+    slot.ready_hint_base = read_time("slot ready-hint base");
+    slot.reg_ready.assign(static_cast<std::size_t>(kernel_.regs_used), 0);
+    for (std::uint64_t& v : slot.reg_ready) {
+      v = read_time("register ready cycle");
+    }
+    slot.reg_st2_extra.assign(static_cast<std::size_t>(kernel_.regs_used), 0);
+    for (std::uint8_t& v : slot.reg_st2_extra) v = r.u8();
+    for (std::uint64_t& v : slot.pred_ready) {
+      v = read_time("predicate ready cycle");
+    }
+  }
+  // Cross-field liveness accounting. The step loop trusts these counts to
+  // decide progress (a block retires when live_warps hits zero, the SM
+  // finishes when live_blocks_ does); a snapshot where they disagree with
+  // the actual warp slots would idle-step forever instead of finishing.
+  int live_residents = 0;
+  for (std::size_t i = 0; i < resident_.size(); ++i) {
+    if (resident_[i].work_idx < 0) continue;
+    ++live_residents;
+    int active = 0;
+    int at_barrier = 0;
+    for (const Slot& slot : warps_) {
+      if (!slot.active ||
+          slot.resident_idx != static_cast<int>(i)) {
+        continue;
+      }
+      ++active;
+      at_barrier += slot.at_barrier ? 1 : 0;
+    }
+    r.require(active == resident_[i].live_warps &&
+                  at_barrier == resident_[i].warps_at_barrier,
+              "resident-block warp accounting disagrees with warp slots");
+  }
+  r.require(live_residents == live_blocks_,
+            "live-block count disagrees with resident blocks");
+  for (std::uint64_t& v : fu_busy_) v = read_time("FU busy-until cycle");
+  for (std::uint64_t& v : fu_st2_from_) {
+    v = read_time("FU ST2-tail start cycle");
+  }
+  const std::uint32_t n_timeline = r.u32();
+  r.require(n_timeline <= (1u << 28), "timeline bucket count out of range");
+  timeline_.assign(n_timeline, 0);
+  for (std::uint32_t& v : timeline_) v = r.u32();
+  for (int& v : last_issued_) {
+    v = r.i32();
+    r.require(v >= -1 && v < cfg_.max_warps_per_sm,
+              "last-issued warp index out of range");
+  }
+  // Restored cores are live by definition; re-sealing at the end is
+  // deterministic and idempotent.
+  sealed_ = false;
+  // A restored state that fails the self-checks is a *snapshot* problem
+  // (bit rot that slipped past the per-field range checks), not a
+  // simulator bug — reclassify so the caller rejects the file.
+  try {
+    validate_invariants();
+  } catch (const SimError& e) {
+    throw SimError(SimErrorKind::kSnapshotInvalid, "restored SM state",
+                   e.what());
+  }
 }
 
 }  // namespace st2::sim

@@ -110,6 +110,21 @@ class SmCore {
   /// throws SimError(kInvariantViolation) if any fails.
   void seal() { seal_counters(); }
 
+  /// Runs the always-on consistency invariants without sealing. Checkpoint
+  /// snapshots call this at cycle boundaries: sealing there would make the
+  /// eventual final seal a no-op and freeze `cycles` at the snapshot point.
+  void validate_invariants() const;
+
+  /// Checkpoint support: serializes the complete mutable replay state (warp
+  /// slots, scoreboard, pending FU/memory/CRF events, CRF contents, fault
+  /// RNG position, counters, timeline). The core is a pure function of
+  /// (config, kernel, workload), so restoring into a freshly-constructed
+  /// core over the same capture and stepping on is bit-identical to never
+  /// having paused. All indices are validated on restore; violations throw
+  /// the typed snapshot error.
+  void save_state(snapshot::Writer& w) const;
+  void restore_state(snapshot::Reader& r);
+
   bool finished() const { return live_blocks_ == 0 && next_block_ == work_.blocks.size(); }
   std::uint64_t now() const { return now_; }
   const EventCounters& counters() const { return counters_; }

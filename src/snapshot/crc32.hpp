@@ -1,0 +1,32 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// guard on every snapshot header and payload. Implemented locally so the
+// snapshot format has zero external dependencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace st2::snapshot {
+
+/// CRC-32 of `data`, optionally continuing from a previous value (pass the
+/// previous return value as `seed` to checksum a buffer in pieces).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(std::string_view s, std::uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+/// FNV-1a 64-bit hash — used for the snapshot's config signature, where a
+/// cheap well-mixed fingerprint (not error detection) is what's needed.
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace st2::snapshot

@@ -1,0 +1,98 @@
+// Byte-stream serialization primitives for the snapshot subsystem.
+//
+// Snapshots must be bit-identical across runs and machines, so the encoding
+// is fixed little-endian regardless of host byte order, and every value is
+// written through an explicit width (no struct memcpy, no padding bytes).
+// The Reader is defensive: every read is bounds-checked and every structural
+// expectation is asserted through `require`, so a truncated or corrupted
+// payload surfaces as a typed SimError (kind `snapshot-invalid`) instead of
+// out-of-range indexing — the contract the corruption tests enforce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/sim/error.hpp"
+
+namespace st2::snapshot {
+
+/// Appends fixed-width little-endian values to a growing byte buffer.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) { put(v, 2); }
+  void u32(std::uint32_t v) { put(v, 4); }
+  void u64(std::uint64_t v) { put(v, 8); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  void put(std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a serialized buffer. All failures — running
+/// past the end, a failed structural expectation — throw
+/// SimError(kSnapshotInvalid) carrying `context` so the CLI reports which
+/// snapshot section was bad.
+class Reader {
+ public:
+  Reader(std::string_view data, std::string context)
+      : data_(data), context_(std::move(context)) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(take(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(take(4)); }
+  std::uint64_t u64() { return take(8); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    require(n <= data_.size() - pos_, "string length overruns the payload");
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  /// Structural expectation; throws the typed snapshot error when violated.
+  void require(bool cond, const std::string& what) const {
+    if (!cond) fail(what);
+  }
+  [[noreturn]] void fail(const std::string& what) const {
+    throw sim::SimError(sim::SimErrorKind::kSnapshotInvalid, context_, what);
+  }
+
+ private:
+  std::uint64_t take(int bytes) {
+    require(static_cast<std::size_t>(bytes) <= data_.size() - pos_,
+            "payload truncated");
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += static_cast<std::size_t>(bytes);
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+}  // namespace st2::snapshot

@@ -1,0 +1,135 @@
+#include "src/snapshot/snapshot.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "src/snapshot/crc32.hpp"
+#include "src/snapshot/serial.hpp"
+
+namespace st2::snapshot {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', '2', 'S', 'N', 'A', 'P', '1'};
+
+[[noreturn]] void throw_io(const std::string& path, const std::string& what,
+                           int saved_errno) {
+  std::string msg = what;
+  if (saved_errno != 0) {
+    msg += " (";
+    msg += std::strerror(saved_errno);
+    msg += ")";
+  }
+  throw sim::SimError(sim::SimErrorKind::kIo, path, msg);
+}
+
+[[noreturn]] void throw_invalid(const std::string& path,
+                                const std::string& what) {
+  throw sim::SimError(sim::SimErrorKind::kSnapshotInvalid, path, what);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  errno = 0;
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw_io(path, "cannot open '" + tmp + "' for writing", errno);
+    }
+    os.write(content.data(),
+             static_cast<std::streamsize>(content.size()));
+    os.flush();
+    // Check the stream *after* flushing and again after close: a short
+    // write (ENOSPC, quota) can surface at either point, and renaming a
+    // truncated tmp file into place would hand the reader silent garbage.
+    const bool wrote_ok = os.good();
+    os.close();
+    if (!wrote_ok || os.fail()) {
+      const int e = errno;
+      std::remove(tmp.c_str());
+      throw_io(path, "short write to '" + tmp + "'", e);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int e = errno;
+    std::remove(tmp.c_str());
+    throw_io(path, "cannot rename '" + tmp + "' into place", e);
+  }
+}
+
+void write_snapshot(const std::string& path, std::uint64_t config_hash,
+                    std::string_view payload) {
+  Writer w;
+  for (const char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(kFormatVersion);
+  w.u64(config_hash);
+  w.u64(payload.size());
+  w.u32(crc32(payload));
+  w.u32(crc32(w.data()));  // header CRC covers the 32 bytes above
+  std::string file = w.take();
+  file.append(payload.data(), payload.size());
+  atomic_write_file(path, file);
+}
+
+std::string read_snapshot(const std::string& path,
+                          std::uint64_t expected_config_hash) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw_invalid(path, "cannot open snapshot for reading");
+  }
+  std::string file((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  if (is.bad()) {
+    throw_invalid(path, "read error while loading snapshot");
+  }
+  if (file.size() < kHeaderBytes) {
+    throw_invalid(path, "truncated snapshot: " +
+                            std::to_string(file.size()) +
+                            " bytes, header needs " +
+                            std::to_string(kHeaderBytes));
+  }
+  Reader r(std::string_view(file).substr(0, kHeaderBytes), path);
+  char magic[8];
+  for (char& c : magic) c = static_cast<char>(r.u8());
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw_invalid(path, "bad magic: not an ST2 snapshot");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kFormatVersion) {
+    throw_invalid(path, "unsupported snapshot format version " +
+                            std::to_string(version) + " (expected " +
+                            std::to_string(kFormatVersion) + ")");
+  }
+  const std::uint64_t config_hash = r.u64();
+  const std::uint64_t payload_size = r.u64();
+  const std::uint32_t payload_crc = r.u32();
+  const std::uint32_t header_crc =
+      crc32(std::string_view(file).substr(0, kHeaderBytes - 4));
+  if (r.u32() != header_crc) {
+    throw_invalid(path, "header CRC mismatch: snapshot is corrupt");
+  }
+  if (file.size() - kHeaderBytes != payload_size) {
+    throw_invalid(path, "size mismatch: header promises " +
+                            std::to_string(payload_size) +
+                            " payload bytes, file carries " +
+                            std::to_string(file.size() - kHeaderBytes));
+  }
+  std::string payload = file.substr(kHeaderBytes);
+  if (crc32(payload) != payload_crc) {
+    throw_invalid(path, "payload CRC mismatch: snapshot is corrupt");
+  }
+  if (config_hash != expected_config_hash) {
+    throw_invalid(path,
+                  "config mismatch: this snapshot was written under "
+                  "different simulation options; rerun with the original "
+                  "kernel, --scale/--st2/--lrr/--sms/--max-warps/--spec/"
+                  "--inject flags and --json/--timeline presence");
+  }
+  return payload;
+}
+
+}  // namespace st2::snapshot

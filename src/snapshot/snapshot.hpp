@@ -1,0 +1,55 @@
+// Crash-safe snapshot files for the timing replay (docs/robustness.md).
+//
+// File layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       8     magic "ST2SNAP1"
+//   8       4     format version (kFormatVersion)
+//   12      8     config hash — fingerprint of every option that affects
+//                 simulation state; resuming under different options is
+//                 rejected instead of silently producing wrong results
+//   20      8     payload size in bytes
+//   28      4     CRC-32 of the payload
+//   32      4     CRC-32 of the 32 header bytes above
+//   36      ...   payload (opaque to this layer; see st2sim + engine)
+//
+// The file length must equal 36 + payload size exactly, so any single-bit
+// flip or truncation anywhere in the file is caught by exactly one of: bad
+// magic, bad version, header CRC, size mismatch, payload CRC, or config-hash
+// mismatch — all rejected with SimError kind `snapshot-invalid` (exit 8).
+//
+// Writes are atomic (FILE.tmp + rename): a crash — including SIGKILL mid-
+// write — leaves either the previous complete snapshot or the new complete
+// snapshot, never a torn one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace st2::snapshot {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 36;
+
+/// Writes `content` to `path` crash-consistently: the bytes land in
+/// `path + ".tmp"`, are flushed and close-checked, and only then renamed
+/// into place. Short writes, ENOSPC and rename failures throw
+/// SimError(kIo) naming the path and the OS error — the tmp file is removed,
+/// and the destination is never left truncated.
+void atomic_write_file(const std::string& path, std::string_view content);
+
+/// Serializes header + payload and writes the snapshot atomically.
+/// Throws SimError(kIo) on any write failure.
+void write_snapshot(const std::string& path, std::uint64_t config_hash,
+                    std::string_view payload);
+
+/// Reads and validates a snapshot: magic, version, header CRC, exact file
+/// size, payload CRC, and the config hash against `expected_config_hash`.
+/// Returns the payload. Any failure — unreadable file, corruption,
+/// truncation, version or config mismatch — throws
+/// SimError(kSnapshotInvalid) with a one-line cause.
+std::string read_snapshot(const std::string& path,
+                          std::uint64_t expected_config_hash);
+
+}  // namespace st2::snapshot

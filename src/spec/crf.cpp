@@ -72,4 +72,49 @@ void CarryRegisterFile::commit_cycle() {
   pending_.clear();
 }
 
+void CarryRegisterFile::save(snapshot::Writer& w) const {
+  for (const auto& row : rows_) {
+    for (const std::uint8_t e : row) w.u8(e);
+  }
+  w.u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const PendingWrite& p : pending_) {
+    w.u16(p.row_lane);
+    w.u8(p.carries);
+  }
+  std::uint64_t rng_state[4];
+  rng_.get_state(rng_state);
+  for (const std::uint64_t word : rng_state) w.u64(word);
+  w.u64(row_reads_);
+  w.u64(lane_writes_);
+  w.u64(write_conflicts_);
+}
+
+void CarryRegisterFile::restore(snapshot::Reader& r) {
+  for (auto& row : rows_) {
+    for (std::uint8_t& e : row) {
+      e = r.u8();
+      r.require(e < 0x80, "CRF entry is not a legal 7-bit pattern");
+    }
+  }
+  const std::uint32_t n_pending = r.u32();
+  r.require(n_pending <= kRows * kLanes * 64u,
+            "CRF pending-write count out of range");
+  pending_.clear();
+  pending_.reserve(n_pending);
+  for (std::uint32_t i = 0; i < n_pending; ++i) {
+    PendingWrite p;
+    p.row_lane = r.u16();
+    r.require(p.row_lane < kRows * kLanes, "CRF pending row/lane out of range");
+    p.carries = r.u8();
+    r.require(p.carries < 0x80, "CRF pending carries out of range");
+    pending_.push_back(p);
+  }
+  std::uint64_t rng_state[4];
+  for (std::uint64_t& word : rng_state) word = r.u64();
+  rng_.set_state(rng_state);
+  row_reads_ = r.u64();
+  lane_writes_ = r.u64();
+  write_conflicts_ = r.u64();
+}
+
 }  // namespace st2::spec

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/rng.hpp"
+#include "src/snapshot/serial.hpp"
 
 namespace st2::spec {
 
@@ -52,6 +53,14 @@ class CarryRegisterFile {
   /// Consistency invariant: every stored entry is a legal 7-bit pattern.
   /// Checked (always-on) when an SM core seals its counters.
   bool entries_valid() const;
+
+  /// Checkpoint support: serializes the full history table, the pending
+  /// write queue (order matters for random arbitration), the arbitration RNG
+  /// state, and the access counters. `restore` rejects out-of-range
+  /// row/lane indices and illegal (>= 0x80) patterns with the typed
+  /// snapshot error.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
   std::uint64_t row_reads() const { return row_reads_; }
   std::uint64_t lane_writes() const { return lane_writes_; }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.hpp"
 #include "src/fault/fault.hpp"
 #include "src/sim/error.hpp"
 #include "src/sim/timing.hpp"
@@ -45,6 +46,38 @@ TEST(FaultSpec, RejectsMalformedSpecs) {
   EXPECT_THROW(fault::FaultConfig::parse("crf:-0.1"), std::invalid_argument);
   EXPECT_THROW(fault::FaultConfig::parse("crf:1.5"), std::invalid_argument);
   EXPECT_THROW(fault::FaultConfig::parse("crf:1e-4,,"), std::invalid_argument);
+  // NaN/inf satisfy neither `< 0` nor `> 1`; they must be rejected anyway.
+  EXPECT_THROW(fault::FaultConfig::parse("crf:nan"), std::invalid_argument);
+  EXPECT_THROW(fault::FaultConfig::parse("crf:inf"), std::invalid_argument);
+  EXPECT_THROW(fault::FaultConfig::parse("crf:-inf"), std::invalid_argument);
+}
+
+TEST(FaultSpec, FuzzedSpecsNeverEscapeTheDocumentedContract) {
+  // Hostile-input sweep: every spec either parses to in-range rates or
+  // throws std::invalid_argument — never another exception type, never a
+  // crash, never an out-of-range rate slipping through. Seeded, so a
+  // failure reproduces.
+  Xoshiro256 rng(0xfa117u);
+  const std::string alphabet = "crfhistdetectmask:,.0123456789eE+-x \tnaninf";
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::string spec;
+    const std::uint64_t len = rng.next_below(24);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      spec.push_back(alphabet[static_cast<std::size_t>(
+          rng.next_below(alphabet.size()))]);
+    }
+    try {
+      const fault::FaultConfig c = fault::FaultConfig::parse(spec);
+      for (const double rate : {c.crf, c.hist, c.detect, c.mask}) {
+        EXPECT_TRUE(rate >= 0.0 && rate <= 1.0) << "spec: '" << spec << "'";
+      }
+    } catch (const std::invalid_argument&) {
+      // the documented rejection path
+    } catch (const std::exception& e) {
+      FAIL() << "spec '" << spec << "' threw non-contract exception: "
+             << e.what();
+    }
+  }
 }
 
 // --------------------------------------------------------------- injector

@@ -6,6 +6,7 @@
 //              [--timeline FILE] [--disasm] [--trace]
 //              [--inject SPEC] [--inject-seed N] [--selfcheck]
 //              [--watchdog-cycles N] [--watchdog-ms N]
+//              [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
 //
 // --jobs N replays the SMs of a timing run on N worker threads (0 = one per
 // hardware core); results are bit-identical to --jobs 1. --json dumps the
@@ -26,6 +27,15 @@
 //   --watchdog-cycles N             cancel any SM replay after N cycles and
 //                                   emit a partial report marked "aborted"
 //   --watchdog-ms N                 wall-clock deadline per replay
+//   --checkpoint FILE               crash-safe snapshot of the replay state,
+//                                   written atomically at every cadence
+//                                   boundary and on any watchdog/signal abort
+//                                   (the abort report is then "resumable")
+//   --checkpoint-every N            snapshot cadence in cycles (with
+//                                   --checkpoint; default: abort-time only)
+//   --resume FILE                   restore a snapshot and continue; final
+//                                   counters/CSV/JSON/timelines are
+//                                   bit-identical to the uninterrupted run
 // SIGINT/SIGTERM stop the run at the next check quantum and still flush the
 // partial --csv/--json/--timeline files (all report files are written
 // atomically: FILE.tmp then rename). Exit codes are documented and distinct
@@ -56,6 +66,9 @@
 #include "src/sim/spec_harness.hpp"
 #include "src/sim/timing.hpp"
 #include "src/sim/trace_run.hpp"
+#include "src/snapshot/crc32.hpp"
+#include "src/snapshot/serial.hpp"
+#include "src/snapshot/snapshot.hpp"
 #include "src/workloads/workload.hpp"
 
 namespace {
@@ -87,6 +100,9 @@ struct Options {
   std::string csv;
   std::string json;
   std::string timeline;
+  std::string checkpoint;              ///< --checkpoint snapshot file
+  std::uint64_t checkpoint_every = 0;  ///< snapshot cadence; 0 = abort only
+  std::string resume;                  ///< --resume snapshot file
 };
 
 /// Chrome-trace bucket width used for --timeline, in cycles.
@@ -131,10 +147,13 @@ int usage() {
       "             [--json FILE] [--timeline FILE] [--disasm] [--trace]\n"
       "             [--inject SPEC] [--inject-seed N] [--selfcheck]\n"
       "             [--watchdog-cycles N] [--watchdog-ms N]\n"
+      "             [--checkpoint FILE] [--checkpoint-every N]\n"
+      "             [--resume FILE]\n"
       "exit codes: 0 ok, 1 validation failed, 2 bad arguments,\n"
       "            3 inadmissible launch, 4 watchdog aborted, 5 invariant\n"
       "            violation, 6 selfcheck failed, 7 io error,\n"
-      "            130 interrupted (see docs/robustness.md)");
+      "            8 snapshot invalid, 130 interrupted\n"
+      "            (see docs/robustness.md)");
   return sim::kExitBadArguments;
 }
 
@@ -192,6 +211,17 @@ bool parse(int argc, char** argv, Options* o) {
     } else if (a == "--watchdog-ms") {
       const char* v = next();
       if (!v || !parse_u64(v, &o->watchdog_ms)) return false;
+    } else if (a == "--checkpoint") {
+      const char* v = next();
+      if (!v) return false;
+      o->checkpoint = v;
+    } else if (a == "--checkpoint-every") {
+      const char* v = next();
+      if (!v || !parse_u64(v, &o->checkpoint_every)) return false;
+    } else if (a == "--resume") {
+      const char* v = next();
+      if (!v) return false;
+      o->resume = v;
     } else if (a == "--selfcheck") {
       o->selfcheck = true;
     } else if (a == "--st2") {
@@ -211,25 +241,132 @@ bool parse(int argc, char** argv, Options* o) {
          o->max_warps >= 0;
 }
 
-/// Crash-consistent report write: the content lands under FILE.tmp and is
-/// renamed into place only once fully flushed, so an interrupted run never
-/// leaves truncated JSON/CSV on disk — FILE either has the old content, the
-/// complete new content, or does not exist.
-bool write_file_atomic(const std::string& path, const std::string& content) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    os << content;
-    if (!os.flush()) {
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
+/// Crash-consistent report write (CSV/JSON/timeline): delegates to the
+/// snapshot layer's atomic tmp+rename writer, which checks the stream state
+/// after flush AND close (catching short writes and ENOSPC that only surface
+/// at close) and throws SimError(kIo) naming the path and OS error. Returns
+/// false after printing the structured error so the caller can degrade the
+/// exit code without losing the simulation results already on stdout.
+bool write_report_file(const std::string& path, const std::string& content) {
+  try {
+    snapshot::atomic_write_file(path, content);
+    return true;
+  } catch (const sim::SimError& e) {
+    std::fprintf(stderr, "%s\n", e.structured().c_str());
     return false;
   }
-  return true;
+}
+
+/// Fingerprint of every option that affects simulation state, pinned in the
+/// snapshot header: resuming under a different kernel set, scale, machine
+/// config, speculation policy or fault spec would restore replay state into
+/// a different workload, so it is rejected up front (exit 8). Deliberately
+/// EXCLUDES --jobs (replay is bit-identical across thread counts), the
+/// watchdog budgets and the checkpoint flags themselves, so an aborted run
+/// can be resumed with more headroom or a different snapshot cadence.
+std::uint64_t config_hash(const Options& o) {
+  char scale[48];
+  std::snprintf(scale, sizeof scale, "%a", o.scale);  // exact hexfloat
+  std::string s;
+  s += "kernel=" + o.kernel;
+  s += ";scale=";
+  s += scale;
+  s += ";st2=";
+  s += o.st2 ? '1' : '0';
+  s += ";lrr=";
+  s += o.lrr ? '1' : '0';
+  s += ";sms=" + std::to_string(o.sms);
+  s += ";max_warps=" + std::to_string(o.max_warps);
+  s += ";spec=" + o.spec;
+  s += ";inject=" + o.inject.describe();
+  s += ";inject_seed=" + std::to_string(o.inject.seed);
+  // Output shape: --timeline changes the simulated state (timeline buffers)
+  // and --json changes which reports the run context must carry.
+  s += ";timeline=";
+  s += o.timeline.empty() ? '0' : '1';
+  s += ";json=";
+  s += o.json.empty() ? '0' : '1';
+  return snapshot::fnv1a64(s);
+}
+
+/// Everything a resumed invocation needs beyond the engine's replay state:
+/// where the run was (kernel position in the sweep, launch index), the
+/// outputs already produced (table rows, JSON reports, trace events), and
+/// the counters accumulated over the current kernel's completed launches.
+/// Snapshots are written *before* the in-flight launch pushes any output,
+/// so the context always holds exactly the completed work — which is what
+/// makes resumed outputs bit-identical to an uninterrupted run.
+struct ResumeData {
+  std::string kernel_name;
+  std::uint32_t kernel_pos = 0;  ///< position in the 'all' sweep (0 = single)
+  std::uint32_t launch_idx = 0;  ///< launch whose replay was snapshotted
+  int next_pid = 0;
+  int rc = sim::kExitOk;  ///< sweep's sticky exit code so far
+  sim::EventCounters counters;  ///< over the kernel's completed launches
+  std::uint64_t cycles = 0;
+  std::vector<std::vector<std::string>> table_rows;
+  std::vector<std::string> json_reports;
+  std::vector<std::string> trace_events;
+  std::string engine_state;
+};
+
+void write_checkpoint(const std::string& path, std::uint64_t hash,
+                      const ResumeData& d) {
+  snapshot::Writer w;
+  w.str(d.kernel_name);
+  w.u32(d.kernel_pos);
+  w.u32(d.launch_idx);
+  w.i32(d.next_pid);
+  w.i32(d.rc);
+  sim::for_each_counter(d.counters,
+                        [&w](const char*, std::uint64_t v) { w.u64(v); });
+  w.u64(d.cycles);
+  w.u32(static_cast<std::uint32_t>(d.table_rows.size()));
+  for (const auto& row : d.table_rows) {
+    w.u32(static_cast<std::uint32_t>(row.size()));
+    for (const auto& cell : row) w.str(cell);
+  }
+  w.u32(static_cast<std::uint32_t>(d.json_reports.size()));
+  for (const auto& s : d.json_reports) w.str(s);
+  w.u32(static_cast<std::uint32_t>(d.trace_events.size()));
+  for (const auto& s : d.trace_events) w.str(s);
+  w.str(d.engine_state);
+  snapshot::write_snapshot(path, hash, w.take());
+}
+
+ResumeData read_checkpoint(const std::string& path, std::uint64_t hash) {
+  const std::string payload = snapshot::read_snapshot(path, hash);
+  snapshot::Reader r(payload, "snapshot '" + path + "'");
+  ResumeData d;
+  d.kernel_name = r.str();
+  d.kernel_pos = r.u32();
+  d.launch_idx = r.u32();
+  d.next_pid = r.i32();
+  d.rc = r.i32();
+  r.require(d.next_pid >= 0 && d.rc >= 0, "run context out of range");
+  sim::for_each_counter(d.counters,
+                        [&r](const char*, std::uint64_t& v) { v = r.u64(); });
+  d.cycles = r.u64();
+  const std::uint32_t n_rows = r.u32();
+  r.require(n_rows <= 4096, "table row count out of range");
+  d.table_rows.resize(n_rows);
+  for (auto& row : d.table_rows) {
+    const std::uint32_t n_cells = r.u32();
+    r.require(n_cells <= 64, "table column count out of range");
+    row.resize(n_cells);
+    for (auto& cell : row) cell = r.str();
+  }
+  const std::uint32_t n_json = r.u32();
+  r.require(n_json <= (1u << 20), "report count out of range");
+  d.json_reports.resize(n_json);
+  for (auto& s : d.json_reports) s = r.str();
+  const std::uint32_t n_trace = r.u32();
+  r.require(n_trace <= (1u << 20), "trace event count out of range");
+  d.trace_events.resize(n_trace);
+  for (auto& s : d.trace_events) s = r.str();
+  d.engine_state = r.str();
+  r.require(r.done(), "trailing bytes after the run context");
+  return d;
 }
 
 /// Golden cross-run self-check: re-executes the workload functionally on
@@ -278,7 +415,9 @@ void run_selfcheck(const Options& o, const std::string& name,
 
 int run_one(const Options& o, const std::string& name, Table* out,
             std::vector<std::string>* json_reports,
-            std::vector<std::string>* trace_events, int* next_pid) {
+            std::vector<std::string>* trace_events, int* next_pid,
+            std::uint32_t kernel_pos, int rc_so_far,
+            const ResumeData* resume) {
   workloads::PreparedCase pc = workloads::prepare_case(name, o.scale);
   if (o.disasm) {
     std::printf("%s\n", pc.kernel.disassemble().c_str());
@@ -331,20 +470,83 @@ int run_one(const Options& o, const std::string& name, Table* out,
   eopts.watchdog_cycles = o.watchdog_cycles;
   eopts.watchdog_ms = o.watchdog_ms;
   eopts.cancel = &g_cancel;
-  sim::TimingSimulator ts(cfg, eopts);
+  sim::ExecutionEngine eng(cfg, eopts);
   sim::EventCounters c;
   std::uint64_t cycles = 0;
-  int launch_idx = 0;
+  std::size_t start_launch = 0;
+  if (resume != nullptr) {
+    if (resume->launch_idx >= pc.launches.size()) {
+      throw sim::SimError(
+          sim::SimErrorKind::kSnapshotInvalid, "snapshot '" + o.resume + "'",
+          "snapshot resumes launch " + std::to_string(resume->launch_idx) +
+              " but kernel '" + name + "' has " +
+              std::to_string(pc.launches.size()) + " launches");
+    }
+    start_launch = resume->launch_idx;
+    c = resume->counters;
+    cycles = resume->cycles;
+    // Re-run the completed launches' captures: capture IS the canonical
+    // functional pass, so this re-applies their architectural side effects
+    // to global memory — which later captures and the final host validation
+    // need — deterministically and without any timing replay.
+    for (std::size_t li = 0; li < start_launch; ++li) {
+      (void)sim::capture_grid(cfg, pc.kernel, pc.launches[li], *pc.mem);
+    }
+  }
+  const bool checkpointing = !o.checkpoint.empty();
+  const std::uint64_t hash =
+      checkpointing ? config_hash(o) : 0;
   std::string abort_reason;
-  for (const auto& lc : pc.launches) {
-    const sim::RunReport r = ts.run_report(pc.kernel, lc, *pc.mem);
+  bool resumable = false;
+  for (std::size_t li = start_launch; li < pc.launches.size(); ++li) {
+    const int launch_idx = static_cast<int>(li);
+    const sim::GridCapture cap =
+        sim::capture_grid(cfg, pc.kernel, pc.launches[li], *pc.mem);
+    bool wrote_abort_snapshot = false;
+    sim::RunReport r;
+    const bool resume_this = resume != nullptr && li == start_launch;
+    if (checkpointing || resume_this) {
+      sim::ReplayCheckpoint ck;
+      ck.every = o.checkpoint_every;
+      if (checkpointing) {
+        // The sink fires at epoch barriers (and on abort) with the full
+        // engine state; everything else in the context is the completed
+        // work so far — the in-flight launch has pushed nothing yet.
+        ck.sink = [&](const std::string& state, std::uint64_t /*cycle*/,
+                      bool on_abort) {
+          ResumeData d;
+          d.kernel_name = name;
+          d.kernel_pos = kernel_pos;
+          d.launch_idx = static_cast<std::uint32_t>(li);
+          d.next_pid = *next_pid;
+          d.rc = rc_so_far;
+          d.counters = c;
+          d.cycles = cycles;
+          d.table_rows = out->raw_rows();
+          if (json_reports) d.json_reports = *json_reports;
+          if (trace_events) d.trace_events = *trace_events;
+          d.engine_state = state;
+          write_checkpoint(o.checkpoint, hash, d);
+          if (on_abort) wrote_abort_snapshot = true;
+        };
+      }
+      if (resume_this) ck.resume = &resume->engine_state;
+      r = eng.replay(pc.kernel, cap, &ck);
+    } else {
+      r = eng.replay(pc.kernel, cap);
+    }
+    if (r.aborted() && wrote_abort_snapshot) {
+      // The partial run is not lost: the abort-time snapshot makes it
+      // continuable via --resume. The exit code keeps its abort meaning.
+      r.status = "resumable";
+      resumable = true;
+    }
     if (json_reports) json_reports->push_back(r.to_json(name, launch_idx));
     if (trace_events) {
       const std::string ev =
           r.chrome_trace_events(name, launch_idx, (*next_pid)++);
       if (!ev.empty()) trace_events->push_back(ev);
     }
-    ++launch_idx;
     c += r.chip;
     cycles += r.wall_cycles();
     if (r.aborted()) {
@@ -354,8 +556,9 @@ int run_one(const Options& o, const std::string& name, Table* out,
   }
   if (!abort_reason.empty()) {
     // The partial report (already in json_reports) is the deliverable; the
-    // table row records why the run stopped.
-    out->row({name, "aborted:" + abort_reason,
+    // table row records why the run stopped and whether it can continue.
+    out->row({name,
+              (resumable ? "resumable:" : "aborted:") + abort_reason,
               std::to_string(c.thread_instructions), "-",
               std::to_string(cycles), "-", "-", "-"});
     return abort_reason == "interrupted" ? sim::kExitInterrupted
@@ -394,6 +597,18 @@ int main(int argc, char** argv) {
                  "only\n");
     return sim::kExitBadArguments;
   }
+  if ((!o.checkpoint.empty() || !o.resume.empty()) && (o.trace || o.disasm)) {
+    std::fprintf(stderr,
+                 "error[bad-arguments]: --checkpoint/--resume apply to "
+                 "timing runs only\n");
+    return sim::kExitBadArguments;
+  }
+  if (o.checkpoint_every > 0 && o.checkpoint.empty()) {
+    std::fprintf(stderr,
+                 "error[bad-arguments]: --checkpoint-every requires "
+                 "--checkpoint FILE\n");
+    return sim::kExitBadArguments;
+  }
 
   if (o.command == "list") {
     Table t("available kernels");
@@ -417,13 +632,35 @@ int main(int argc, char** argv) {
   std::vector<std::string> trace_events;
   std::vector<std::string>* te = o.timeline.empty() ? nullptr : &trace_events;
   int next_pid = 0;
-  // Every failure is classified: unknown kernels and bad specs are user
-  // errors, launches that can never be admitted are inadmissible, broken
-  // internal invariants are simulator bugs — each with its own exit code and
-  // a one-line structured stderr message instead of a bare what().
-  auto guarded = [&](const std::string& name) {
+  // Resume: validate and load the snapshot up front (header magic/version/
+  // CRCs/config hash, then the typed run context), and re-ingest the
+  // completed work — table rows, JSON reports, trace events, sweep exit
+  // code — so the final outputs are bit-identical to an uninterrupted run.
+  ResumeData resume;
+  bool resuming = false;
+  if (!o.resume.empty()) {
     try {
-      return run_one(o, name, &t, jr, te, &next_pid);
+      resume = read_checkpoint(o.resume, config_hash(o));
+    } catch (const sim::SimError& e) {
+      std::fprintf(stderr, "%s\n", e.structured().c_str());
+      return sim::exit_code(e.kind());
+    }
+    resuming = true;
+    rc = resume.rc;
+    next_pid = resume.next_pid;
+    json_reports = resume.json_reports;
+    trace_events = resume.trace_events;
+    for (const auto& row : resume.table_rows) t.row(row);
+  }
+  // Every failure is classified: unknown kernels and bad specs are user
+  // errors, launches that can never be admitted are inadmissible, corrupt
+  // snapshots are rejected with their own kind, broken internal invariants
+  // are simulator bugs — each with its own exit code and a one-line
+  // structured stderr message instead of a bare what().
+  auto guarded = [&](const std::string& name, std::uint32_t kernel_pos,
+                     const ResumeData* rd) {
+    try {
+      return run_one(o, name, &t, jr, te, &next_pid, kernel_pos, rc, rd);
     } catch (const sim::SimError& e) {
       std::fprintf(stderr, "%s\n", e.structured().c_str());
       return sim::exit_code(e.kind());
@@ -436,8 +673,23 @@ int main(int argc, char** argv) {
     }
   };
   if (o.kernel == "all") {
-    for (const auto& info : workloads::case_list()) {
-      const int code = guarded(info.name);
+    const std::vector<workloads::CaseInfo> cases = workloads::case_list();
+    std::uint32_t pos = 0;
+    if (resuming) {
+      if (resume.kernel_pos >= cases.size() ||
+          cases[resume.kernel_pos].name != resume.kernel_name) {
+        std::fprintf(stderr,
+                     "error[snapshot-invalid]: snapshot '%s': sweep position "
+                     "does not match the current kernel list\n",
+                     o.resume.c_str());
+        return sim::kExitSnapshotInvalid;
+      }
+      pos = resume.kernel_pos;
+    }
+    for (; pos < cases.size(); ++pos) {
+      const bool is_resumed = resuming && pos == resume.kernel_pos;
+      const int code =
+          guarded(cases[pos].name, pos, is_resumed ? &resume : nullptr);
       if (rc == sim::kExitOk) rc = code;
       // An interrupt stops the sweep; the files below still flush whatever
       // completed (plus the partial report of the interrupted kernel).
@@ -447,17 +699,24 @@ int main(int argc, char** argv) {
       }
     }
   } else {
-    rc = guarded(o.kernel);
+    if (resuming && resume.kernel_name != o.kernel) {
+      // The config hash pins the kernel argument already; defense in depth.
+      std::fprintf(stderr,
+                   "error[snapshot-invalid]: snapshot '%s' was taken for "
+                   "kernel '%s', not '%s'\n",
+                   o.resume.c_str(), resume.kernel_name.c_str(),
+                   o.kernel.c_str());
+      return sim::kExitSnapshotInvalid;
+    }
+    rc = guarded(o.kernel, 0, resuming ? &resume : nullptr);
   }
   if (!o.disasm) {
     t.print(std::cout);
     if (!o.csv.empty()) {
-      if (write_file_atomic(o.csv, t.to_csv())) {
+      if (write_report_file(o.csv, t.to_csv())) {
         std::printf("wrote %s\n", o.csv.c_str());
-      } else {
-        std::fprintf(stderr, "error[io-error]: cannot write %s\n",
-                     o.csv.c_str());
-        if (rc == sim::kExitOk) rc = sim::kExitIo;
+      } else if (rc == sim::kExitOk) {
+        rc = sim::kExitIo;
       }
     }
     if (!o.json.empty()) {
@@ -466,12 +725,10 @@ int main(int argc, char** argv) {
         doc += (i ? ",\n" : "\n") + json_reports[i];
       }
       doc += "\n]\n";
-      if (write_file_atomic(o.json, doc)) {
+      if (write_report_file(o.json, doc)) {
         std::printf("wrote %s\n", o.json.c_str());
-      } else {
-        std::fprintf(stderr, "error[io-error]: cannot write %s\n",
-                     o.json.c_str());
-        if (rc == sim::kExitOk) rc = sim::kExitIo;
+      } else if (rc == sim::kExitOk) {
+        rc = sim::kExitIo;
       }
     }
     if (!o.timeline.empty()) {
@@ -482,12 +739,10 @@ int main(int argc, char** argv) {
         doc += (i ? ",\n" : "\n") + trace_events[i];
       }
       doc += "\n]\n";
-      if (write_file_atomic(o.timeline, doc)) {
+      if (write_report_file(o.timeline, doc)) {
         std::printf("wrote %s\n", o.timeline.c_str());
-      } else {
-        std::fprintf(stderr, "error[io-error]: cannot write %s\n",
-                     o.timeline.c_str());
-        if (rc == sim::kExitOk) rc = sim::kExitIo;
+      } else if (rc == sim::kExitOk) {
+        rc = sim::kExitIo;
       }
     }
   }
