@@ -121,7 +121,9 @@ int main() {
       fourbit.feed(rec);
     };
     for (const auto& lc : pc.launches) {
-      sim::trace_run(pc.kernel, lc, *pc.mem, obs);
+      // The same pass that feeds the speculation harnesses also records the
+      // capture ablation C's timing run consumes below.
+      bench::trace_pass(pc.kernel, lc, *pc.mem, obs, /*store_capture=*/true);
     }
     for (std::size_t i = 0; i < hs.size(); ++i) {
       sums[i] += hs[i].op_misprediction_rate();
@@ -133,7 +135,7 @@ int main() {
     workloads::PreparedCase pc2 = workloads::prepare_case(info.name, scale);
     sim::GpuConfig cfg = sim::GpuConfig::st2();
     cfg.num_sms = 8;
-    sim::TimingSimulator ts(cfg);
+    sim::TimingSimulator ts(cfg, bench::engine_options());
     sim::EventCounters c;
     for (const auto& lc : pc2.launches) {
       c += ts.run_report(pc2.kernel, lc, *pc2.mem).chip;
@@ -192,7 +194,7 @@ int main() {
               st2_on ? sim::GpuConfig::st2() : sim::GpuConfig::baseline();
           cfg.scheduler = sched;
           cfg.num_sms = 8;
-          sim::TimingSimulator ts(cfg);
+          sim::TimingSimulator ts(cfg, bench::engine_options());
           sim::EventCounters c2;
           std::uint64_t cycles = 0;
           for (const auto& lc : pc2.launches) {

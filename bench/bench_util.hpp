@@ -7,10 +7,14 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "src/common/table.hpp"
+#include "src/sim/engine.hpp"
 #include "src/sim/error.hpp"
+#include "src/sim/trace_run.hpp"
+#include "src/tracecache/tracecache.hpp"
 
 namespace st2::bench {
 
@@ -30,6 +34,50 @@ inline double bench_scale() {
     std::exit(sim::kExitBadArguments);
   }
   return v;
+}
+
+/// Process-wide trace cache for the sweep benches: every config point of a
+/// sweep replays the same captured value streams instead of re-running the
+/// serial functional pass. BENCH_TRACE_CACHE controls the tiers:
+///   unset / ""   in-memory memo only (the default — pure intra-process)
+///   "off" / "0"  caching disabled entirely (the pre-cache behaviour)
+///   DIR          memo + content-addressed disk tier in DIR, shared across
+///                bench binaries and invocations
+/// Either way the table output is bit-identical (the cache contract).
+inline tracecache::TraceCache* trace_cache() {
+  static const std::unique_ptr<tracecache::TraceCache> cache = [] {
+    const char* s = std::getenv("BENCH_TRACE_CACHE");
+    const std::string v = s == nullptr ? "" : s;
+    if (v == "off" || v == "0") return std::unique_ptr<tracecache::TraceCache>();
+    tracecache::CacheOptions opts;
+    opts.dir = v;
+    return std::make_unique<tracecache::TraceCache>(opts);
+  }();
+  return cache.get();
+}
+
+/// EngineOptions with the bench trace cache plugged in as the capture
+/// provider (null provider when BENCH_TRACE_CACHE=off).
+inline sim::EngineOptions engine_options() {
+  sim::EngineOptions o;
+  o.capture_provider = trace_cache();
+  return o;
+}
+
+/// Functional trace pass for observer-driven benches. With the cache active
+/// it runs through TraceCache::populate, so the same pass also produces the
+/// capture later timing runs consume. `store_capture` says whether this
+/// binary has such a consumer; without one, the capture is only worth
+/// recording when a disk tier will persist it for other binaries.
+inline void trace_pass(const isa::Kernel& kernel, const sim::LaunchConfig& lc,
+                       sim::GlobalMemory& gmem, const sim::TraceObserver& obs,
+                       bool store_capture) {
+  tracecache::TraceCache* cache = trace_cache();
+  if (cache != nullptr && (store_capture || !cache->options().dir.empty())) {
+    cache->populate(sim::GpuConfig{}, kernel, lc, gmem, obs);
+  } else {
+    sim::trace_run(kernel, lc, gmem, obs);
+  }
 }
 
 /// Prints the table and writes its CSV to bench_out/<stem>.csv.

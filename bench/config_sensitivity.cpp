@@ -35,7 +35,7 @@ Outcome measure(const sim::GpuConfig& proto, double scale) {
       workloads::PreparedCase pc = workloads::prepare_case(name, scale);
       sim::GpuConfig cfg = proto;
       cfg.st2_enabled = false;
-      sim::TimingSimulator ts(cfg);
+      sim::TimingSimulator ts(cfg, bench::engine_options());
       for (const auto& lc : pc.launches) {
         const sim::RunReport r = ts.run_report(pc.kernel, lc, *pc.mem);
         cb += r.chip;
@@ -47,7 +47,7 @@ Outcome measure(const sim::GpuConfig& proto, double scale) {
       workloads::PreparedCase pc = workloads::prepare_case(name, scale);
       sim::GpuConfig cfg = proto;
       cfg.st2_enabled = true;
-      sim::TimingSimulator ts(cfg);
+      sim::TimingSimulator ts(cfg, bench::engine_options());
       for (const auto& lc : pc.launches) {
         const sim::RunReport r = ts.run_report(pc.kernel, lc, *pc.mem);
         cs += r.chip;

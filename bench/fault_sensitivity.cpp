@@ -36,7 +36,9 @@ RunResult run(const std::string& kernel, double scale,
   workloads::PreparedCase pc = workloads::prepare_case(kernel, scale);
   sim::GpuConfig cfg = sim::GpuConfig::st2();
   cfg.inject = inject;
-  sim::TimingSimulator ts(cfg);
+  // The fault config only perturbs replay, never the captured streams, so
+  // all 5 rates of a kernel replay one cached capture.
+  sim::TimingSimulator ts(cfg, bench::engine_options());
   sim::EventCounters c;
   RunResult r;
   for (const auto& lc : pc.launches) {

@@ -29,7 +29,9 @@ int main() {
       for (auto& h : hs) h.feed(rec);
     };
     for (const auto& lc : pc.launches) {
-      sim::trace_run(pc.kernel, lc, *pc.mem, obs);
+      // No timing consumer in this binary: the pass only records a capture
+      // when BENCH_TRACE_CACHE names a disk tier other binaries can reuse.
+      bench::trace_pass(pc.kernel, lc, *pc.mem, obs, /*store_capture=*/false);
     }
     for (std::size_t i = 0; i < hs.size(); ++i) {
       sums[i] += hs[i].op_misprediction_rate();

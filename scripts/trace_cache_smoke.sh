@@ -1,0 +1,94 @@
+#!/bin/sh
+# End-to-end smoke for st2sim's --trace-cache (docs/simulator.md): cached
+# runs — cold (writing the cache) and warm (reading it back in a fresh
+# process) — must produce CSV, JSON and timeline output bit-identical to an
+# uncached run, report the expected hit/miss counts, and shrug off corrupted
+# cache files as clean misses.
+#
+#   usage: trace_cache_smoke.sh /path/to/st2sim [workdir]
+set -u
+
+ST2SIM=${1:?usage: trace_cache_smoke.sh /path/to/st2sim [workdir]}
+WORK=${2:-$(mktemp -d /tmp/st2_tcsmoke.XXXXXX)}
+mkdir -p "$WORK"
+cd "$WORK" || exit 1
+
+KERNEL=pathfinder
+ARGS="--st2 --sms 4 --scale 0.25"
+CACHE=cache_dir
+fails=0
+
+fail() {
+    echo "FAIL: $*" >&2
+    fails=$((fails + 1))
+}
+
+# The trace-cache stats ride in the JSON report (leading element) and on
+# stdout; they must be stripped before byte-comparing against the uncached
+# run, which has neither. The "jobs" metadata line is stripped too: the
+# warm run uses --jobs 2 to prove hits are thread-count-independent, and
+# jobs is the one field allowed to differ.
+strip_json() { grep -v -e '"trace_cache"' -e '"jobs":' "$1"; }
+stat_of() { # stat_of memo-hits file.out -> the counter's value
+    sed -n "s/.*$1=\([0-9]*\).*/\1/p" "$2"
+}
+
+# --- golden: no cache at all ------------------------------------------------
+"$ST2SIM" run $KERNEL $ARGS --json golden.json --csv golden.csv \
+    --timeline golden.tl >golden.out 2>&1 || fail "golden run exited $?"
+
+# --- 1. cold cached run: all misses, outputs bit-identical ------------------
+rm -rf "$CACHE"
+"$ST2SIM" run $KERNEL $ARGS --trace-cache "$CACHE" --json cold.json \
+    --csv cold.csv --timeline cold.tl >cold.out 2>&1 ||
+    fail "cold run exited $?"
+cmp -s golden.csv cold.csv || fail "cold CSV != golden"
+cmp -s golden.tl cold.tl || fail "cold timeline != golden"
+strip_json cold.json >cold.json.f
+strip_json golden.json >golden.json.f
+cmp -s golden.json.f cold.json.f || fail "cold JSON (sans stats) != golden"
+grep -q '"trace_cache"' cold.json || fail "cold JSON missing cache stats"
+[ "$(stat_of misses cold.out)" -gt 0 ] || fail "cold run should miss"
+[ "$(stat_of memo-hits cold.out)" -eq 0 ] || fail "cold run memo-hit?"
+[ "$(stat_of disk-hits cold.out)" -eq 0 ] || fail "cold run disk-hit?"
+[ "$(stat_of disk-stores cold.out)" -gt 0 ] || fail "cold run stored nothing"
+
+# --- 2. warm run, fresh process: all disk hits, outputs bit-identical -------
+# --jobs 2 on the warm run doubles as the determinism check: cache hits must
+# not depend on the replay thread count.
+"$ST2SIM" run $KERNEL $ARGS --trace-cache "$CACHE" --jobs 2 \
+    --json warm.json --csv warm.csv --timeline warm.tl >warm.out 2>&1 ||
+    fail "warm run exited $?"
+cmp -s golden.csv warm.csv || fail "warm CSV != golden"
+cmp -s golden.tl warm.tl || fail "warm timeline != golden"
+strip_json warm.json >warm.json.f
+cmp -s golden.json.f warm.json.f || fail "warm JSON (sans stats) != golden"
+[ "$(stat_of misses warm.out)" -eq 0 ] || fail "warm run should not miss"
+[ "$(stat_of disk-hits warm.out)" -gt 0 ] || fail "warm run should disk-hit"
+
+# --- 3. corrupted cache entry: clean miss, correct output, then healed ------
+entry=$(ls "$CACHE"/*.st2cap 2>/dev/null | head -n 1)
+[ -n "$entry" ] || fail "no cache entry file written"
+if [ -n "$entry" ]; then
+    byte=$(od -An -tu1 -j100 -N1 "$entry" | tr -d ' ')
+    printf "$(printf '\\%03o' $((byte ^ 0xff)))" |
+        dd of="$entry" bs=1 seek=100 conv=notrunc 2>/dev/null
+    "$ST2SIM" run $KERNEL $ARGS --trace-cache "$CACHE" --json corrupt.json \
+        --csv corrupt.csv >corrupt.out 2>&1 || fail "corrupt-entry run exited $?"
+    cmp -s golden.csv corrupt.csv || fail "corrupt-entry CSV != golden"
+    strip_json corrupt.json >corrupt.json.f
+    cmp -s golden.json.f corrupt.json.f || fail "corrupt-entry JSON != golden"
+    [ "$(stat_of disk-rejects corrupt.out)" -ge 1 ] ||
+        fail "corrupt entry not counted as disk-reject"
+    # The reject was recaptured and re-stored: the next run is all hits again.
+    "$ST2SIM" run $KERNEL $ARGS --trace-cache "$CACHE" >healed.out 2>&1 ||
+        fail "healed run exited $?"
+    [ "$(stat_of misses healed.out)" -eq 0 ] || fail "cache did not heal"
+    [ "$(stat_of disk-rejects healed.out)" -eq 0 ] || fail "healed run rejected"
+fi
+
+if [ "$fails" -ne 0 ]; then
+    echo "trace_cache_smoke: $fails check(s) failed (workdir: $WORK)" >&2
+    exit 1
+fi
+echo "trace_cache_smoke: all checks passed"

@@ -80,7 +80,8 @@ void append_op(WarpStream& ws, const ExecRecord& rec, int line_bytes,
 }  // namespace
 
 GridCapture capture_grid(const GpuConfig& cfg, const isa::Kernel& kernel,
-                         const LaunchConfig& launch, GlobalMemory& gmem) {
+                         const LaunchConfig& launch, GlobalMemory& gmem,
+                         const TraceObserver& observer) {
   launch.validate();
   GridCapture cap;
   cap.per_sm.resize(static_cast<std::size_t>(cfg.num_sms));
@@ -121,6 +122,7 @@ GridCapture capture_grid(const GpuConfig& cfg, const isa::Kernel& kernel,
                      static_cast<std::size_t>(warps) +
                  static_cast<std::size_t>(rec.warp_in_block)];
     append_op(ws, rec, line_bytes, capture_adder);
+    if (observer) observer(rec);
   });
   return cap;
 }
@@ -497,7 +499,10 @@ RunReport ExecutionEngine::replay(const isa::Kernel& kernel,
 RunReport ExecutionEngine::run(const isa::Kernel& kernel,
                                const LaunchConfig& launch,
                                GlobalMemory& gmem) {
-  const GridCapture cap = capture_grid(cfg_, kernel, launch, gmem);
+  const GridCapture cap =
+      opts_.capture_provider != nullptr
+          ? opts_.capture_provider->provide(cfg_, kernel, launch, gmem)
+          : capture_grid(cfg_, kernel, launch, gmem);
   return replay(kernel, cap);
 }
 

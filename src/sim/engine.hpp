@@ -33,8 +33,24 @@
 #include "src/sim/memory.hpp"
 #include "src/sim/report.hpp"
 #include "src/sim/sm_core.hpp"
+#include "src/sim/trace_run.hpp"
 
 namespace st2::sim {
+
+struct GridCapture;
+
+/// Source of phase-1 captures. `ExecutionEngine::run` normally calls
+/// `capture_grid` directly; a provider can interpose a cache (st2::tracecache)
+/// or any other capture strategy. The contract is strict: `provide` must
+/// leave `gmem` in exactly the post-launch state `capture_grid` would, and
+/// return a capture whose replay is bit-identical to a fresh one.
+class CaptureProvider {
+ public:
+  virtual ~CaptureProvider() = default;
+  virtual GridCapture provide(const GpuConfig& cfg, const isa::Kernel& kernel,
+                              const LaunchConfig& launch,
+                              GlobalMemory& gmem) = 0;
+};
 
 struct EngineOptions {
   int jobs = 0;  ///< worker threads for SM replay; 0 = hardware_concurrency
@@ -57,6 +73,10 @@ struct EngineOptions {
   /// becomes true, workers stop at the next check quantum and the run
   /// reports "interrupted". Not owned; may be null.
   const std::atomic<bool>* cancel = nullptr;
+
+  /// Capture source for `run`; null = call `capture_grid` directly.
+  /// Not owned; must outlive the engine.
+  CaptureProvider* capture_provider = nullptr;
 };
 
 /// Phase-1 result: one replay workload per SM (empty for idle SMs).
@@ -93,9 +113,14 @@ struct ReplayCheckpoint {
 
 /// Runs the canonical functional pass over the whole grid (mutating `gmem`
 /// exactly as trace_run would) and records the per-warp replay streams.
-/// Adder-lane payloads are only captured when `cfg.st2_enabled`.
+/// Adder-lane payloads are only captured when `cfg.st2_enabled`. A non-null
+/// `observer` additionally sees every executed record, exactly as if passed
+/// to `trace_run` — so one functional pass can both build a capture and feed
+/// trace-mode consumers (the sweep benches use this to populate the trace
+/// cache for free).
 GridCapture capture_grid(const GpuConfig& cfg, const isa::Kernel& kernel,
-                         const LaunchConfig& launch, GlobalMemory& gmem);
+                         const LaunchConfig& launch, GlobalMemory& gmem,
+                         const TraceObserver& observer = {});
 
 class ExecutionEngine {
  public:

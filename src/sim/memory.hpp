@@ -28,6 +28,15 @@ class GlobalMemory {
   /// architectural state byte-for-byte through this view.
   std::span<const std::uint8_t> bytes() const { return data_; }
 
+  /// Replaces the whole device image with a previously captured one (the
+  /// trace cache's warm-hit path: a launch's architectural side effects are
+  /// applied by restoring the post-launch image instead of re-executing).
+  /// The image must be for this exact memory layout — same byte count.
+  void restore_bytes(std::span<const std::uint8_t> image) {
+    ST2_EXPECTS(image.size() == data_.size());
+    std::memcpy(data_.data(), image.data(), image.size());
+  }
+
   std::uint64_t load(std::uint64_t addr, int size) const;
   void store(std::uint64_t addr, std::uint64_t value, int size);
 

@@ -323,7 +323,8 @@ int SmCore::mem_latency(const WarpStream& ws, const TraceOp& op, bool atomic,
                         int* occupancy) {
   *occupancy = cfg_.mem_interval;
   if (op.is_shared()) {
-    ++counters_.smem_accesses;
+    // smem_accesses itself is counted by count_instruction at issue (shared
+    // with trace mode — counting it here too double-charged smem energy).
     counters_.mem_lat_smem_cycles +=
         static_cast<std::uint64_t>(cfg_.shared_latency);
     return cfg_.shared_latency;

@@ -29,4 +29,17 @@ constexpr std::uint64_t fnv1a64(std::string_view s) {
   return h;
 }
 
+/// FNV-1a over raw bytes (e.g. a device-memory image), optionally continuing
+/// from a previous hash so disjoint pieces can be folded into one signature.
+inline std::uint64_t fnv1a64(const void* data, std::size_t size,
+                             std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace st2::snapshot

@@ -29,6 +29,9 @@ class Writer {
     u32(static_cast<std::uint32_t>(s.size()));
     buf_.append(s.data(), s.size());
   }
+  /// Appends `s` verbatim, no length prefix — for large blobs whose size is
+  /// encoded separately (e.g. a u64 byte count for >4 GiB safety).
+  void raw(std::string_view s) { buf_.append(s.data(), s.size()); }
 
   const std::string& data() const { return buf_; }
   std::string take() { return std::move(buf_); }
@@ -63,6 +66,15 @@ class Reader {
     std::string s(data_.substr(pos_, n));
     pos_ += n;
     return s;
+  }
+
+  /// Consumes `n` verbatim bytes (the counterpart of Writer::raw). The view
+  /// aliases the underlying buffer and is only valid while it lives.
+  std::string_view raw(std::size_t n) {
+    require(n <= data_.size() - pos_, "payload truncated");
+    std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
   }
 
   std::size_t remaining() const { return data_.size() - pos_; }

@@ -7,6 +7,17 @@
 //              [--inject SPEC] [--inject-seed N] [--selfcheck]
 //              [--watchdog-cycles N] [--watchdog-ms N]
 //              [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
+//              [--trace-cache DIR]
+//
+// --trace-cache DIR caches the serial capture phase (the canonical
+// functional pass) in DIR, content-addressed by kernel/launch/input-memory
+// identity: within one invocation `run all` shares a single payload-bearing
+// capture between baseline and ST² timing runs, and across invocations warm
+// entries skip functional re-execution entirely. Results are bit-identical
+// to a no-cache run; corrupt or stale entries are detected (CRC + embedded
+// key) and transparently recaptured. Cache stats are printed after the
+// table and, with --json, appended as a one-line {"trace_cache": ...}
+// element.
 //
 // --jobs N replays the SMs of a timing run on N worker threads (0 = one per
 // hardware core); results are bit-identical to --jobs 1. --json dumps the
@@ -55,6 +66,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -69,6 +81,7 @@
 #include "src/snapshot/crc32.hpp"
 #include "src/snapshot/serial.hpp"
 #include "src/snapshot/snapshot.hpp"
+#include "src/tracecache/tracecache.hpp"
 #include "src/workloads/workload.hpp"
 
 namespace {
@@ -103,6 +116,8 @@ struct Options {
   std::string checkpoint;              ///< --checkpoint snapshot file
   std::uint64_t checkpoint_every = 0;  ///< snapshot cadence; 0 = abort only
   std::string resume;                  ///< --resume snapshot file
+  std::string trace_cache;             ///< --trace-cache directory
+  tracecache::TraceCache* cache = nullptr;  ///< set by main when enabled
 };
 
 /// Chrome-trace bucket width used for --timeline, in cycles.
@@ -148,7 +163,7 @@ int usage() {
       "             [--inject SPEC] [--inject-seed N] [--selfcheck]\n"
       "             [--watchdog-cycles N] [--watchdog-ms N]\n"
       "             [--checkpoint FILE] [--checkpoint-every N]\n"
-      "             [--resume FILE]\n"
+      "             [--resume FILE] [--trace-cache DIR]\n"
       "exit codes: 0 ok, 1 validation failed, 2 bad arguments,\n"
       "            3 inadmissible launch, 4 watchdog aborted, 5 invariant\n"
       "            violation, 6 selfcheck failed, 7 io error,\n"
@@ -222,6 +237,10 @@ bool parse(int argc, char** argv, Options* o) {
       const char* v = next();
       if (!v) return false;
       o->resume = v;
+    } else if (a == "--trace-cache") {
+      const char* v = next();
+      if (!v || *v == '\0') return false;
+      o->trace_cache = v;
     } else if (a == "--selfcheck") {
       o->selfcheck = true;
     } else if (a == "--st2") {
@@ -490,7 +509,11 @@ int run_one(const Options& o, const std::string& name, Table* out,
     // to global memory — which later captures and the final host validation
     // need — deterministically and without any timing replay.
     for (std::size_t li = 0; li < start_launch; ++li) {
-      (void)sim::capture_grid(cfg, pc.kernel, pc.launches[li], *pc.mem);
+      if (o.cache != nullptr) {
+        (void)o.cache->provide(cfg, pc.kernel, pc.launches[li], *pc.mem);
+      } else {
+        (void)sim::capture_grid(cfg, pc.kernel, pc.launches[li], *pc.mem);
+      }
     }
   }
   const bool checkpointing = !o.checkpoint.empty();
@@ -501,7 +524,9 @@ int run_one(const Options& o, const std::string& name, Table* out,
   for (std::size_t li = start_launch; li < pc.launches.size(); ++li) {
     const int launch_idx = static_cast<int>(li);
     const sim::GridCapture cap =
-        sim::capture_grid(cfg, pc.kernel, pc.launches[li], *pc.mem);
+        o.cache != nullptr
+            ? o.cache->provide(cfg, pc.kernel, pc.launches[li], *pc.mem)
+            : sim::capture_grid(cfg, pc.kernel, pc.launches[li], *pc.mem);
     bool wrote_abort_snapshot = false;
     sim::RunReport r;
     const bool resume_this = resume != nullptr && li == start_launch;
@@ -609,6 +634,12 @@ int main(int argc, char** argv) {
                  "--checkpoint FILE\n");
     return sim::kExitBadArguments;
   }
+  if (!o.trace_cache.empty() && (o.trace || o.disasm)) {
+    std::fprintf(stderr,
+                 "error[bad-arguments]: --trace-cache applies to timing runs "
+                 "only\n");
+    return sim::kExitBadArguments;
+  }
 
   if (o.command == "list") {
     Table t("available kernels");
@@ -622,6 +653,22 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+
+  // The cache only changes *how* captures are obtained, never their bytes,
+  // so it is deliberately excluded from config_hash (like --jobs):
+  // checkpoints interoperate freely with and without --trace-cache.
+  std::unique_ptr<tracecache::TraceCache> cache;
+  if (!o.trace_cache.empty()) {
+    try {
+      tracecache::CacheOptions copts;
+      copts.dir = o.trace_cache;
+      cache = std::make_unique<tracecache::TraceCache>(copts);
+    } catch (const sim::SimError& e) {
+      std::fprintf(stderr, "%s\n", e.structured().c_str());
+      return sim::exit_code(e.kind());
+    }
+    o.cache = cache.get();
+  }
 
   Table t(o.trace ? "functional (trace) run" : "timing run");
   t.header({"kernel", "valid", "thread instrs", "simd eff", "cycles",
@@ -712,6 +759,17 @@ int main(int argc, char** argv) {
   }
   if (!o.disasm) {
     t.print(std::cout);
+    if (o.cache != nullptr) {
+      // Stats ride after the table on stdout and as one self-contained
+      // array element in --json. The element goes *first* so the separating
+      // comma lands on its own line: stripping lines containing
+      // "trace_cache" leaves bytes identical to a no-cache report — the
+      // contract the CI smoke checks.
+      std::printf("%s\n", o.cache->stats_line().c_str());
+      if (jr != nullptr) {
+        json_reports.insert(json_reports.begin(), o.cache->stats_json());
+      }
+    }
     if (!o.csv.empty()) {
       if (write_report_file(o.csv, t.to_csv())) {
         std::printf("wrote %s\n", o.csv.c_str());
