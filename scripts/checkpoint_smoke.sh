@@ -110,6 +110,16 @@ expect_invalid "bit-flipped snapshot" flip.st2
 head -c 50 wd.st2 >trunc.st2
 expect_invalid "truncated snapshot" trunc.st2
 
+# Stale format version: a file from a previous layout (version field at
+# offset 8, checked before the header CRC) must be rejected up front and
+# name the version mismatch, not misparse the payload.
+cp wd.st2 stale.st2
+printf '\001' | dd of=stale.st2 bs=1 seek=8 conv=notrunc 2>/dev/null
+expect_invalid "stale-version snapshot" stale.st2
+"$ST2SIM" run $KERNEL $ARGS --resume stale.st2 >/dev/null 2>stale.err
+grep -q 'unsupported snapshot format version 1' stale.err ||
+    fail "stale-version cause not named"
+
 printf 'not a snapshot at all' >junk.st2
 expect_invalid "junk snapshot" junk.st2
 

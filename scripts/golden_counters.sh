@@ -1,0 +1,64 @@
+#!/bin/sh
+# Golden counter regression net for the replay-core refactors
+# (docs/simulator.md "Replay core internals"): the full design-space run's
+# JSON report — every counter of every launch of all 23 workloads — must be
+# byte-identical to the pre-refactor reference files committed under
+# tests/golden/, in both baseline and ST² modes, at scales 0.1 and 0.5,
+# single-threaded and with --jobs 2.
+#
+# A byte compare is deliberately the whole test: it diffs every counter,
+# every derived rate, and the report formatting at once, so *any* change to
+# replay semantics — scheduler order, stall attribution, speculation
+# arbitration, memory timing — trips it. The only normalization is the
+# report's own "jobs" echo field for the --jobs 2 runs, which is the flag
+# value, not a simulation result.
+#
+# When a change is *supposed* to move counters (a modeled-hardware change,
+# not a refactor), regenerate the references with this script's commands
+# and commit the diff — the review then shows exactly which counters moved.
+#
+#   usage: golden_counters.sh /path/to/st2sim /path/to/tests/golden [workdir]
+set -u
+
+ST2SIM=${1:?usage: golden_counters.sh /path/to/st2sim golden_dir [workdir]}
+GOLDEN=${2:?usage: golden_counters.sh /path/to/st2sim golden_dir [workdir]}
+WORK=${3:-$(mktemp -d /tmp/st2_golden.XXXXXX)}
+mkdir -p "$WORK"
+fails=0
+
+check() {
+    mode=$1 scale=$2 jobs=$3
+    ref="$GOLDEN/all_${mode}_scale${scale}.json"
+    out="$WORK/all_${mode}_scale${scale}_j${jobs}.json"
+    flag=
+    [ "$mode" = st2 ] && flag=--st2
+    if ! "$ST2SIM" run all $flag --scale "$scale" --jobs "$jobs" \
+        --json "$out" >/dev/null 2>&1; then
+        echo "FAIL: run all $mode scale=$scale jobs=$jobs exited $?" >&2
+        fails=$((fails + 1))
+        return
+    fi
+    if [ "$jobs" != 1 ]; then
+        sed "s/\"jobs\": $jobs/\"jobs\": 1/" "$out" >"$out.norm" &&
+            mv "$out.norm" "$out"
+    fi
+    if ! cmp -s "$ref" "$out"; then
+        echo "FAIL: $mode scale=$scale jobs=$jobs differs from $ref:" >&2
+        diff "$ref" "$out" | head -20 >&2
+        fails=$((fails + 1))
+    fi
+}
+
+for mode in base st2; do
+    for scale in 0.1 0.5; do
+        for jobs in 1 2; do
+            check "$mode" "$scale" "$jobs"
+        done
+    done
+done
+
+if [ "$fails" -ne 0 ]; then
+    echo "golden_counters: $fails run(s) diverged (workdir: $WORK)" >&2
+    exit 1
+fi
+echo "golden_counters: all 8 runs byte-identical to the references"

@@ -1,0 +1,86 @@
+#!/bin/sh
+# Perf smoke for the replay hot path (docs/simulator.md "Replay core
+# internals"): times the full design-space run `run all --st2 --scale 0.5`
+# on an optimized binary, best of N reps, and writes BENCH_replay.json:
+#
+#   { "wall_s": ..., "cycles": ..., "cycles_per_s": ... }
+#
+# `cycles` is the sum of per-case wall_cycles from the JSON report — it is
+# deterministic, so it doubles as a cheap drift check: if it differs from
+# the committed baseline's, the workload set changed and the throughput
+# comparison is reported but not enforced.
+#
+# The gate: cycles_per_s more than 25% below the committed baseline fails
+# the script. Override the baseline with ST2_PERF_BASELINE=/path/to.json,
+# or disable the gate entirely with ST2_PERF_BASELINE=none (for machines
+# with no comparable committed numbers). Rep count: ST2_PERF_REPS (3).
+#
+#   usage: perf_smoke.sh /path/to/st2sim [workdir]
+set -u
+
+ST2SIM=${1:?usage: perf_smoke.sh /path/to/st2sim [workdir]}
+WORK=${2:-$(mktemp -d /tmp/st2_perfsmoke.XXXXXX)}
+SCRIPT_DIR=$(cd "$(dirname "$0")" && pwd)
+BASELINE=${ST2_PERF_BASELINE:-$SCRIPT_DIR/../bench/BENCH_replay_baseline.json}
+REPS=${ST2_PERF_REPS:-3}
+mkdir -p "$WORK"
+
+best_ns=
+rep=1
+while [ "$rep" -le "$REPS" ]; do
+    start=$(date +%s%N)
+    "$ST2SIM" run all --st2 --scale 0.5 --json "$WORK/perf_rep.json" \
+        >/dev/null 2>&1 || {
+        echo "perf_smoke: run all --st2 --scale 0.5 exited $?" >&2
+        exit 1
+    }
+    end=$(date +%s%N)
+    ns=$((end - start))
+    [ -z "$best_ns" ] || [ "$ns" -lt "$best_ns" ] && best_ns=$ns
+    echo "perf_smoke: rep $rep/$REPS: $((ns / 1000000)) ms" >&2
+    rep=$((rep + 1))
+done
+
+cycles=$(grep -o '"wall_cycles": [0-9]*' "$WORK/perf_rep.json" |
+    awk '{s += $2} END {printf "%d", s}')
+[ -n "$cycles" ] && [ "$cycles" -gt 0 ] || {
+    echo "perf_smoke: no wall_cycles in report JSON" >&2
+    exit 1
+}
+
+OUT="$WORK/BENCH_replay.json"
+awk -v ns="$best_ns" -v cyc="$cycles" 'BEGIN {
+    wall = ns / 1e9;
+    printf "{\n  \"wall_s\": %.4f,\n  \"cycles\": %d,\n", wall, cyc;
+    printf "  \"cycles_per_s\": %.0f\n}\n", cyc / wall;
+}' >"$OUT"
+cat "$OUT"
+
+if [ "$BASELINE" = "none" ]; then
+    echo "perf_smoke: baseline gate disabled (ST2_PERF_BASELINE=none)" >&2
+    exit 0
+fi
+if [ ! -f "$BASELINE" ]; then
+    echo "perf_smoke: baseline $BASELINE missing; gate skipped" >&2
+    exit 0
+fi
+
+base_cps=$(grep -o '"cycles_per_s": [0-9.]*' "$BASELINE" | awk '{print $2}')
+base_cyc=$(grep -o '"cycles": [0-9]*' "$BASELINE" | awk '{print $2}')
+new_cps=$(grep -o '"cycles_per_s": [0-9.]*' "$OUT" | awk '{print $2}')
+if [ "$cycles" != "$base_cyc" ]; then
+    echo "perf_smoke: cycle count changed ($base_cyc -> $cycles);" \
+        "workload set differs from baseline, throughput gate skipped" \
+        "— recommit bench/BENCH_replay_baseline.json" >&2
+    exit 0
+fi
+awk -v new="$new_cps" -v base="$base_cps" 'BEGIN {
+    limit = base * 0.75;
+    printf "perf_smoke: %.0f cycles/s vs baseline %.0f (floor %.0f)\n",
+           new, base, limit > "/dev/stderr";
+    exit (new < limit) ? 1 : 0;
+}' || {
+    echo "perf_smoke: FAIL — >25% throughput regression vs $BASELINE" >&2
+    exit 1
+}
+echo "perf_smoke: within 25% of baseline"

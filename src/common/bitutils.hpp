@@ -52,15 +52,45 @@ constexpr bool slice_carry_in(std::uint64_t a, std::uint64_t b, bool cin,
   return carry_into_bit(a, b, cin, s * kSliceBits);
 }
 
+/// Gathers the MSB of every byte of `v` into one byte: result bit i = bit
+/// 8i+7 of `v`. The multiply shifts each isolated MSB into the top byte
+/// (the classic SWAR byte-mask pack); the summands never collide because
+/// each source bit lands in a distinct output position.
+constexpr std::uint8_t pack_byte_msbs(std::uint64_t v) {
+  return static_cast<std::uint8_t>(
+      ((v & 0x8080808080808080ULL) * 0x0002040810204081ULL) >> 56);
+}
+
+/// Gathers the LSB of every byte of `v` into one byte: result bit i = bit
+/// 8i of `v`.
+constexpr std::uint8_t pack_byte_lsbs(std::uint64_t v) {
+  return static_cast<std::uint8_t>(
+      ((v & 0x0101010101010101ULL) * 0x0102040810204080ULL) >> 56);
+}
+
 /// All kNumPredictedCarries true carry-ins packed LSB-first: bit i holds the
-/// carry-in of slice i+1.
-constexpr std::uint8_t slice_carries(std::uint64_t a, std::uint64_t b,
-                                     bool cin) {
+/// carry-in of slice i+1. Scalar reference implementation — the oracle the
+/// property tests hold the branchless version below to.
+constexpr std::uint8_t slice_carries_reference(std::uint64_t a,
+                                               std::uint64_t b, bool cin) {
   std::uint8_t packed = 0;
   for (int s = 1; s < kNumSlices; ++s) {
     if (slice_carry_in(a, b, cin, s)) packed |= std::uint8_t(1u << (s - 1));
   }
   return packed;
+}
+
+/// Branchless slice_carries: the carry into bit i of a+b+cin is
+/// bit(sum^a^b, i), so all seven slice-boundary carries (bits 8, 16, .., 56
+/// of that XOR) pack with one byte-LSB gather of the XOR shifted down a
+/// slice.
+constexpr std::uint8_t slice_carries(std::uint64_t a, std::uint64_t b,
+                                     bool cin) {
+  static_assert(kSliceBits == 8,
+                "byte-gather packing assumes 8-bit slices");
+  const std::uint64_t carries = (a + b + (cin ? 1u : 0u)) ^ a ^ b;
+  return static_cast<std::uint8_t>(pack_byte_lsbs(carries >> kSliceBits) &
+                                   low_mask(kNumPredictedCarries));
 }
 
 /// Length (in bits) of the longest carry-propagation chain of `a + b + cin`.

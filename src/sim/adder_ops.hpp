@@ -8,11 +8,18 @@
 // significand, complement on effective subtraction. The resulting operand
 // pair is what the speculative slices actually add, and therefore what the
 // carry history must predict.
+//
+// Everything here is defined inline: the capture pass calls adder_micro_op
+// once per active lane of every adder instruction, which makes it one of
+// the hottest functions of a run.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <optional>
 
+#include "src/common/bitutils.hpp"
 #include "src/isa/instruction.hpp"
 
 namespace st2::sim {
@@ -24,18 +31,136 @@ struct AdderMicroOp {
   int num_slices = 8;
 };
 
+namespace adder_detail {
+
+struct FpParts {
+  bool sign;
+  int exp;             // raw biased exponent
+  std::uint64_t mant;  // significand with implicit bit when normal
+};
+
+inline FpParts decode_f32(float x) {
+  const auto bits32 = std::bit_cast<std::uint32_t>(x);
+  FpParts p{};
+  p.sign = (bits32 >> 31) != 0;
+  p.exp = static_cast<int>((bits32 >> 23) & 0xff);
+  p.mant = bits32 & 0x7fffff;
+  if (p.exp != 0) p.mant |= 0x800000;  // implicit leading 1 -> 24 bits
+  return p;
+}
+
+inline FpParts decode_f64(double x) {
+  const auto bits64 = std::bit_cast<std::uint64_t>(x);
+  FpParts p{};
+  p.sign = (bits64 >> 63) != 0;
+  p.exp = static_cast<int>((bits64 >> 52) & 0x7ff);
+  p.mant = bits64 & 0xfffffffffffffULL;
+  if (p.exp != 0) p.mant |= 1ULL << 52;  // 53 bits
+  return p;
+}
+
+inline AdderMicroOp mantissa_op(FpParts x, FpParts y, int mant_bits,
+                                int num_slices) {
+  // Larger-exponent operand stays put; the other shifts right to align.
+  if (y.exp > x.exp || (y.exp == x.exp && y.mant > x.mant)) {
+    std::swap(x, y);
+  }
+  const int shift = std::min(x.exp - y.exp, 63);
+  const std::uint64_t aligned = y.mant >> shift;
+
+  AdderMicroOp op{};
+  op.num_slices = num_slices;
+  op.a = x.mant;
+  if (x.sign == y.sign) {
+    op.b = aligned;
+    op.cin = false;
+  } else {
+    // Effective subtraction: two's-complement the smaller significand over
+    // the slice datapath width.
+    const std::uint64_t mask = low_mask(num_slices * kSliceBits);
+    op.b = ~aligned & mask;
+    op.cin = true;
+    (void)mant_bits;
+  }
+  return op;
+}
+
+inline float as_f32(std::uint64_t raw) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(raw));
+}
+
+inline double as_f64(std::uint64_t raw) { return std::bit_cast<double>(raw); }
+
+}  // namespace adder_detail
+
 /// Mantissa-adder micro-op for an FP32 effective addition x + y (callers
 /// pre-negate y for subtraction). 3 slices (24-bit significands).
-AdderMicroOp fp32_mantissa_op(float x, float y);
+inline AdderMicroOp fp32_mantissa_op(float x, float y) {
+  return adder_detail::mantissa_op(adder_detail::decode_f32(x),
+                                   adder_detail::decode_f32(y), 24, 3);
+}
 
 /// Mantissa-adder micro-op for FP64. 7 slices (53-bit significands).
-AdderMicroOp fp64_mantissa_op(double x, double y);
+inline AdderMicroOp fp64_mantissa_op(double x, double y) {
+  return adder_detail::mantissa_op(adder_detail::decode_f64(x),
+                                   adder_detail::decode_f64(y), 53, 7);
+}
 
 /// Builds the adder micro-op for instruction `op` given the source values
 /// (raw 64-bit register contents, FP32 in the low 32 bits). Returns nullopt
 /// for instructions that do not engage the adder datapath.
-std::optional<AdderMicroOp> adder_micro_op(isa::Opcode op, std::uint64_t s1,
-                                           std::uint64_t s2,
-                                           std::uint64_t s3);
+inline std::optional<AdderMicroOp> adder_micro_op(isa::Opcode op,
+                                                  std::uint64_t s1,
+                                                  std::uint64_t s2,
+                                                  std::uint64_t s3) {
+  using isa::Opcode;
+  using adder_detail::as_f32;
+  using adder_detail::as_f64;
+  // The evaluation platform is a TITAN V, whose ALUs are 32-bit (paper
+  // Section IV-A: "The NVIDIA TITAN V Volta GPU has only 32-bit adders");
+  // integer operations therefore run through a 4-slice datapath. Our ISA's
+  // 64-bit registers hold int32-range values in all evaluation kernels, so
+  // the low 32 bits are exactly what the hardware adder would see.
+  constexpr std::uint64_t kMask32 = 0xffffffffu;
+  switch (op) {
+    case Opcode::kIAdd:
+      return AdderMicroOp{s1 & kMask32, s2 & kMask32, false, 4};
+    case Opcode::kIMad:
+      // Multiplier produces s1*s2; the ALU adder then adds s3.
+      return AdderMicroOp{(s1 * s2) & kMask32, s3 & kMask32, false, 4};
+    case Opcode::kISub:
+    case Opcode::kIMin:
+    case Opcode::kIMax:
+    case Opcode::kSetEq: case Opcode::kSetNe: case Opcode::kSetLt:
+    case Opcode::kSetLe: case Opcode::kSetGt: case Opcode::kSetGe:
+      // All comparison-class ops run a subtraction through the adder.
+      return AdderMicroOp{s1 & kMask32, ~s2 & kMask32, true, 4};
+
+    case Opcode::kFAdd:
+      return fp32_mantissa_op(as_f32(s1), as_f32(s2));
+    case Opcode::kFSub:
+      return fp32_mantissa_op(as_f32(s1), -as_f32(s2));
+    case Opcode::kFFma:
+      // The FMA's final addition: product significand + addend.
+      return fp32_mantissa_op(as_f32(s1) * as_f32(s2), as_f32(s3));
+    case Opcode::kFMin: case Opcode::kFMax:
+    case Opcode::kFSetLt: case Opcode::kFSetLe: case Opcode::kFSetGt:
+    case Opcode::kFSetGe: case Opcode::kFSetEq: case Opcode::kFSetNe:
+      // FP compare = effective mantissa subtraction.
+      return fp32_mantissa_op(as_f32(s1), -as_f32(s2));
+
+    case Opcode::kDAdd:
+      return fp64_mantissa_op(as_f64(s1), as_f64(s2));
+    case Opcode::kDSub:
+      return fp64_mantissa_op(as_f64(s1), -as_f64(s2));
+    case Opcode::kDFma:
+      return fp64_mantissa_op(as_f64(s1) * as_f64(s2), as_f64(s3));
+    case Opcode::kDMin: case Opcode::kDMax:
+      return fp64_mantissa_op(as_f64(s1), -as_f64(s2));
+
+    default:
+      return std::nullopt;
+  }
+}
 
 }  // namespace st2::sim

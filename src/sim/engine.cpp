@@ -116,7 +116,9 @@ GridCapture capture_grid(const GpuConfig& cfg, const isa::Kernel& kernel,
   // order, once, no matter how the replay is parallelized.
   const int line_bytes = cfg.line_bytes;
   const bool capture_adder = cfg.st2_enabled;
-  trace_run(kernel, launch, gmem, [&](const ExecRecord& rec) {
+  // trace_run_observed: the append lambda inlines into the trace loop —
+  // no type-erased dispatch on the once-per-instruction path.
+  trace_run_observed(kernel, launch, gmem, [&](const ExecRecord& rec) {
     WarpStream& ws =
         *streams[static_cast<std::size_t>(rec.block_flat) *
                      static_cast<std::size_t>(warps) +

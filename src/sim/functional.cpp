@@ -70,6 +70,10 @@ FunctionalCore::FunctionalCore(const isa::Kernel& kernel,
   if (smem_.size() < static_cast<std::size_t>(kernel.shared_bytes)) {
     smem_.resize(static_cast<std::size_t>(kernel.shared_bytes), 0);
   }
+  decode_.reserve(kernel.code.size());
+  for (const Instruction& in : kernel.code) {
+    decode_.push_back(DecodedOp{isa::unit_class(in.op), isa::uses_adder(in.op)});
+  }
 }
 
 std::uint32_t FunctionalCore::initial_mask(int warp_in_block) const {
@@ -102,7 +106,7 @@ std::uint64_t FunctionalCore::special_value(isa::SpecialReg s, int block_flat,
   return 0;
 }
 
-StepStatus FunctionalCore::step(WarpContext& w, ExecRecord* rec) {
+StepStatus FunctionalCore::step(WarpContext& w, ExecRecord& rec) {
   if (w.at_barrier) return StepStatus::kAtBarrier;
   w.stack().settle();
   if (w.done()) return StepStatus::kDone;
@@ -110,156 +114,174 @@ StepStatus FunctionalCore::step(WarpContext& w, ExecRecord* rec) {
   const std::uint32_t pc = w.stack().pc();
   ST2_ASSERT(pc < kernel_.code.size());
   const Instruction& in = kernel_.code[pc];
+  const DecodedOp dec = decode_[pc];
   const std::uint32_t mask = w.stack().mask();
 
-  if (rec != nullptr) {
-    // Reset the scalar fields only: the per-lane arrays are "valid where
-    // active" under the flag that guards them (see ExecRecord), and every
-    // such lane is rewritten below — zeroing ~800 bytes per instruction
-    // would dominate the interpreter.
-    rec->instr = &in;
-    rec->pc = pc;
-    rec->block_flat = w.block_flat();
-    rec->warp_in_block = w.warp_in_block();
-    rec->active_mask = mask;
-    rec->unit = isa::unit_class(in.op);
-    rec->has_adder_op = false;
-    rec->is_mem = false;
-    rec->is_store = false;
-    rec->is_shared = false;
-    rec->mem_size = 0;
-    rec->writes_reg = false;
-  }
+  // Reset the scalar fields only: the per-lane arrays are "valid where
+  // active" under the flag that guards them (see ExecRecord), and every
+  // such lane is rewritten below — zeroing ~800 bytes per instruction
+  // would dominate the interpreter.
+  rec.instr = &in;
+  rec.pc = pc;
+  rec.block_flat = w.block_flat();
+  rec.warp_in_block = w.warp_in_block();
+  rec.active_mask = mask;
+  rec.unit = dec.unit;
+  rec.has_adder_op = false;
+  rec.is_mem = false;
+  rec.is_store = false;
+  rec.is_shared = false;
+  rec.mem_size = 0;
+  rec.writes_reg = false;
 
-  const bool adder = isa::uses_adder(in.op);
+  const bool adder = dec.uses_adder;
 
+  // Visits active lanes in ascending order by peeling set bits — no work and
+  // no branch misprediction for inactive lanes (divergent masks are common).
   auto for_lanes = [&](auto&& fn) {
-    for (int lane = 0; lane < kWarpSize; ++lane) {
-      if ((mask >> lane) & 1u) fn(lane);
+    for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+      fn(std::countr_zero(m));
     }
   };
 
   auto write_result = [&](int lane, std::uint64_t v) {
     w.set_reg(lane, in.dst, v);
-    if (rec != nullptr) {
-      rec->writes_reg = true;
-      rec->result[static_cast<std::size_t>(lane)] = v;
+    rec.writes_reg = true;
+    if (rec.record_results) {
+      rec.result[static_cast<std::size_t>(lane)] = v;
     }
   };
 
   auto record_adder = [&](int lane, std::uint64_t s1, std::uint64_t s2,
                           std::uint64_t s3) {
-    if (rec == nullptr || !adder) return;
+    if (!adder) return;
     const auto mop = adder_micro_op(in.op, s1, s2, s3);
     if (mop.has_value()) {
-      rec->has_adder_op = true;
-      rec->adder[static_cast<std::size_t>(lane)] = *mop;
+      rec.has_adder_op = true;
+      rec.adder[static_cast<std::size_t>(lane)] = *mop;
     }
   };
 
-  // Generic 3-source integer/float execute.
-  auto exec_lane = [&](int lane) {
-    const std::uint64_t s1 = w.reg(lane, in.src1);
-    const std::uint64_t s2 = w.reg(lane, in.src2);
-    const std::uint64_t s3 = w.reg(lane, in.src3);
-    record_adder(lane, s1, s2, s3);
-    switch (in.op) {
-      case Opcode::kIAdd: write_result(lane, from_s64(s64(s1) + s64(s2))); break;
-      case Opcode::kISub: write_result(lane, from_s64(s64(s1) - s64(s2))); break;
-      case Opcode::kIMul: write_result(lane, from_s64(s64(s1) * s64(s2))); break;
-      case Opcode::kIMulHi: {
-        const __int128 p = static_cast<__int128>(s64(s1)) * s64(s2);
-        write_result(lane, from_s64(static_cast<std::int64_t>(p >> 64)));
-        break;
-      }
-      case Opcode::kIDiv: write_result(lane, from_s64(safe_div(s64(s1), s64(s2)))); break;
-      case Opcode::kIRem: write_result(lane, from_s64(safe_rem(s64(s1), s64(s2)))); break;
-      case Opcode::kIMad: write_result(lane, from_s64(s64(s1) * s64(s2) + s64(s3))); break;
-      case Opcode::kIMin: write_result(lane, from_s64(std::min(s64(s1), s64(s2)))); break;
-      case Opcode::kIMax: write_result(lane, from_s64(std::max(s64(s1), s64(s2)))); break;
-      case Opcode::kIAbs: write_result(lane, from_s64(std::abs(s64(s1)))); break;
-      case Opcode::kINeg: write_result(lane, from_s64(-s64(s1))); break;
-      case Opcode::kIAnd: write_result(lane, s1 & s2); break;
-      case Opcode::kIOr: write_result(lane, s1 | s2); break;
-      case Opcode::kIXor: write_result(lane, s1 ^ s2); break;
-      case Opcode::kINot: write_result(lane, ~s1); break;
-      case Opcode::kIShl: write_result(lane, s1 << (s2 & 63)); break;
-      case Opcode::kIShrL: write_result(lane, s1 >> (s2 & 63)); break;
-      case Opcode::kIShrA:
-        write_result(lane, from_s64(s64(s1) >> (s2 & 63)));
-        break;
+  // Generic 3-source integer/float execute. The opcode is warp-invariant, so
+  // dispatch on it ONCE and run a tight per-lane loop inside each case: the
+  // old shape (a per-lane switch) paid an indirect branch per active lane and
+  // dominated the interpreter's profile. ST2_LANE_OP expands to the lane loop
+  // body shared by every case — source reads, adder capture, then the op.
+  // Inside a case the opcode is a compile-time constant, so the inline
+  // adder_micro_op switch folds away too.
+#define ST2_LANE_OP(...)                             \
+  for_lanes([&](int lane) {                          \
+    const std::uint64_t s1 = w.reg(lane, in.src1);   \
+    const std::uint64_t s2 = w.reg(lane, in.src2);   \
+    const std::uint64_t s3 = w.reg(lane, in.src3);   \
+    record_adder(lane, s1, s2, s3);                  \
+    __VA_ARGS__;                                     \
+  })
 
-      case Opcode::kSetEq: w.set_pred(lane, in.dst, s64(s1) == s64(s2)); break;
-      case Opcode::kSetNe: w.set_pred(lane, in.dst, s64(s1) != s64(s2)); break;
-      case Opcode::kSetLt: w.set_pred(lane, in.dst, s64(s1) < s64(s2)); break;
-      case Opcode::kSetLe: w.set_pred(lane, in.dst, s64(s1) <= s64(s2)); break;
-      case Opcode::kSetGt: w.set_pred(lane, in.dst, s64(s1) > s64(s2)); break;
-      case Opcode::kSetGe: w.set_pred(lane, in.dst, s64(s1) >= s64(s2)); break;
+  auto exec_generic = [&] {
+    switch (in.op) {
+      // Integer add/sub/mul/mad/neg wrap modulo 2^64 like the modeled
+      // hardware, so they are computed in unsigned arithmetic (same bits as
+      // two's-complement, without the signed-overflow UB that workloads with
+      // LCG-style constants actually hit).
+      case Opcode::kIAdd: ST2_LANE_OP(write_result(lane, s1 + s2)); break;
+      case Opcode::kISub: ST2_LANE_OP(write_result(lane, s1 - s2)); break;
+      case Opcode::kIMul: ST2_LANE_OP(write_result(lane, s1 * s2)); break;
+      case Opcode::kIMulHi:
+        ST2_LANE_OP({
+          const __int128 p = static_cast<__int128>(s64(s1)) * s64(s2);
+          write_result(lane, from_s64(static_cast<std::int64_t>(p >> 64)));
+        });
+        break;
+      case Opcode::kIDiv: ST2_LANE_OP(write_result(lane, from_s64(safe_div(s64(s1), s64(s2))))); break;
+      case Opcode::kIRem: ST2_LANE_OP(write_result(lane, from_s64(safe_rem(s64(s1), s64(s2))))); break;
+      case Opcode::kIMad: ST2_LANE_OP(write_result(lane, s1 * s2 + s3)); break;
+      case Opcode::kIMin: ST2_LANE_OP(write_result(lane, from_s64(std::min(s64(s1), s64(s2))))); break;
+      case Opcode::kIMax: ST2_LANE_OP(write_result(lane, from_s64(std::max(s64(s1), s64(s2))))); break;
+      case Opcode::kIAbs: ST2_LANE_OP(write_result(lane, from_s64(std::abs(s64(s1))))); break;
+      case Opcode::kINeg: ST2_LANE_OP(write_result(lane, 0 - s1)); break;
+      case Opcode::kIAnd: ST2_LANE_OP(write_result(lane, s1 & s2)); break;
+      case Opcode::kIOr: ST2_LANE_OP(write_result(lane, s1 | s2)); break;
+      case Opcode::kIXor: ST2_LANE_OP(write_result(lane, s1 ^ s2)); break;
+      case Opcode::kINot: ST2_LANE_OP(write_result(lane, ~s1)); break;
+      case Opcode::kIShl: ST2_LANE_OP(write_result(lane, s1 << (s2 & 63))); break;
+      case Opcode::kIShrL: ST2_LANE_OP(write_result(lane, s1 >> (s2 & 63))); break;
+      case Opcode::kIShrA: ST2_LANE_OP(write_result(lane, from_s64(s64(s1) >> (s2 & 63)))); break;
+
+      case Opcode::kSetEq: ST2_LANE_OP(w.set_pred(lane, in.dst, s64(s1) == s64(s2))); break;
+      case Opcode::kSetNe: ST2_LANE_OP(w.set_pred(lane, in.dst, s64(s1) != s64(s2))); break;
+      case Opcode::kSetLt: ST2_LANE_OP(w.set_pred(lane, in.dst, s64(s1) < s64(s2))); break;
+      case Opcode::kSetLe: ST2_LANE_OP(w.set_pred(lane, in.dst, s64(s1) <= s64(s2))); break;
+      case Opcode::kSetGt: ST2_LANE_OP(w.set_pred(lane, in.dst, s64(s1) > s64(s2))); break;
+      case Opcode::kSetGe: ST2_LANE_OP(w.set_pred(lane, in.dst, s64(s1) >= s64(s2))); break;
 
       case Opcode::kPAnd:
-        w.set_pred(lane, in.dst, w.pred(lane, in.src1) && w.pred(lane, in.src2));
+        ST2_LANE_OP(w.set_pred(lane, in.dst,
+                               w.pred(lane, in.src1) && w.pred(lane, in.src2)));
         break;
       case Opcode::kPOr:
-        w.set_pred(lane, in.dst, w.pred(lane, in.src1) || w.pred(lane, in.src2));
+        ST2_LANE_OP(w.set_pred(lane, in.dst,
+                               w.pred(lane, in.src1) || w.pred(lane, in.src2)));
         break;
       case Opcode::kPNot:
-        w.set_pred(lane, in.dst, !w.pred(lane, in.src1));
+        ST2_LANE_OP(w.set_pred(lane, in.dst, !w.pred(lane, in.src1)));
         break;
       case Opcode::kSelp:
-        write_result(lane, w.pred(lane, in.pred) ? s1 : s2);
+        ST2_LANE_OP(write_result(lane, w.pred(lane, in.pred) ? s1 : s2));
         break;
 
-      case Opcode::kFAdd: write_result(lane, from_f32(f32(s1) + f32(s2))); break;
-      case Opcode::kFSub: write_result(lane, from_f32(f32(s1) - f32(s2))); break;
-      case Opcode::kFMul: write_result(lane, from_f32(f32(s1) * f32(s2))); break;
-      case Opcode::kFDiv: write_result(lane, from_f32(f32(s1) / f32(s2))); break;
+      case Opcode::kFAdd: ST2_LANE_OP(write_result(lane, from_f32(f32(s1) + f32(s2)))); break;
+      case Opcode::kFSub: ST2_LANE_OP(write_result(lane, from_f32(f32(s1) - f32(s2)))); break;
+      case Opcode::kFMul: ST2_LANE_OP(write_result(lane, from_f32(f32(s1) * f32(s2)))); break;
+      case Opcode::kFDiv: ST2_LANE_OP(write_result(lane, from_f32(f32(s1) / f32(s2)))); break;
       case Opcode::kFFma:
-        write_result(lane, from_f32(std::fma(f32(s1), f32(s2), f32(s3))));
+        ST2_LANE_OP(write_result(lane, from_f32(std::fma(f32(s1), f32(s2), f32(s3)))));
         break;
-      case Opcode::kFMin: write_result(lane, from_f32(std::fmin(f32(s1), f32(s2)))); break;
-      case Opcode::kFMax: write_result(lane, from_f32(std::fmax(f32(s1), f32(s2)))); break;
-      case Opcode::kFAbs: write_result(lane, from_f32(std::fabs(f32(s1)))); break;
-      case Opcode::kFNeg: write_result(lane, from_f32(-f32(s1))); break;
+      case Opcode::kFMin: ST2_LANE_OP(write_result(lane, from_f32(std::fmin(f32(s1), f32(s2))))); break;
+      case Opcode::kFMax: ST2_LANE_OP(write_result(lane, from_f32(std::fmax(f32(s1), f32(s2))))); break;
+      case Opcode::kFAbs: ST2_LANE_OP(write_result(lane, from_f32(std::fabs(f32(s1))))); break;
+      case Opcode::kFNeg: ST2_LANE_OP(write_result(lane, from_f32(-f32(s1)))); break;
 
-      case Opcode::kFSetLt: w.set_pred(lane, in.dst, f32(s1) < f32(s2)); break;
-      case Opcode::kFSetLe: w.set_pred(lane, in.dst, f32(s1) <= f32(s2)); break;
-      case Opcode::kFSetGt: w.set_pred(lane, in.dst, f32(s1) > f32(s2)); break;
-      case Opcode::kFSetGe: w.set_pred(lane, in.dst, f32(s1) >= f32(s2)); break;
-      case Opcode::kFSetEq: w.set_pred(lane, in.dst, f32(s1) == f32(s2)); break;
-      case Opcode::kFSetNe: w.set_pred(lane, in.dst, f32(s1) != f32(s2)); break;
+      case Opcode::kFSetLt: ST2_LANE_OP(w.set_pred(lane, in.dst, f32(s1) < f32(s2))); break;
+      case Opcode::kFSetLe: ST2_LANE_OP(w.set_pred(lane, in.dst, f32(s1) <= f32(s2))); break;
+      case Opcode::kFSetGt: ST2_LANE_OP(w.set_pred(lane, in.dst, f32(s1) > f32(s2))); break;
+      case Opcode::kFSetGe: ST2_LANE_OP(w.set_pred(lane, in.dst, f32(s1) >= f32(s2))); break;
+      case Opcode::kFSetEq: ST2_LANE_OP(w.set_pred(lane, in.dst, f32(s1) == f32(s2))); break;
+      case Opcode::kFSetNe: ST2_LANE_OP(w.set_pred(lane, in.dst, f32(s1) != f32(s2))); break;
 
-      case Opcode::kFSqrt: write_result(lane, from_f32(std::sqrt(f32(s1)))); break;
+      case Opcode::kFSqrt: ST2_LANE_OP(write_result(lane, from_f32(std::sqrt(f32(s1))))); break;
       case Opcode::kFRsqrt:
-        write_result(lane, from_f32(1.0f / std::sqrt(f32(s1))));
+        ST2_LANE_OP(write_result(lane, from_f32(1.0f / std::sqrt(f32(s1)))));
         break;
-      case Opcode::kFRcp: write_result(lane, from_f32(1.0f / f32(s1))); break;
-      case Opcode::kFLog2: write_result(lane, from_f32(std::log2(f32(s1)))); break;
-      case Opcode::kFExp2: write_result(lane, from_f32(std::exp2(f32(s1)))); break;
-      case Opcode::kFSin: write_result(lane, from_f32(std::sin(f32(s1)))); break;
-      case Opcode::kFCos: write_result(lane, from_f32(std::cos(f32(s1)))); break;
+      case Opcode::kFRcp: ST2_LANE_OP(write_result(lane, from_f32(1.0f / f32(s1)))); break;
+      case Opcode::kFLog2: ST2_LANE_OP(write_result(lane, from_f32(std::log2(f32(s1))))); break;
+      case Opcode::kFExp2: ST2_LANE_OP(write_result(lane, from_f32(std::exp2(f32(s1))))); break;
+      case Opcode::kFSin: ST2_LANE_OP(write_result(lane, from_f32(std::sin(f32(s1))))); break;
+      case Opcode::kFCos: ST2_LANE_OP(write_result(lane, from_f32(std::cos(f32(s1))))); break;
 
-      case Opcode::kDAdd: write_result(lane, from_f64(f64(s1) + f64(s2))); break;
-      case Opcode::kDSub: write_result(lane, from_f64(f64(s1) - f64(s2))); break;
-      case Opcode::kDMul: write_result(lane, from_f64(f64(s1) * f64(s2))); break;
-      case Opcode::kDDiv: write_result(lane, from_f64(f64(s1) / f64(s2))); break;
+      case Opcode::kDAdd: ST2_LANE_OP(write_result(lane, from_f64(f64(s1) + f64(s2)))); break;
+      case Opcode::kDSub: ST2_LANE_OP(write_result(lane, from_f64(f64(s1) - f64(s2)))); break;
+      case Opcode::kDMul: ST2_LANE_OP(write_result(lane, from_f64(f64(s1) * f64(s2)))); break;
+      case Opcode::kDDiv: ST2_LANE_OP(write_result(lane, from_f64(f64(s1) / f64(s2)))); break;
       case Opcode::kDFma:
-        write_result(lane, from_f64(std::fma(f64(s1), f64(s2), f64(s3))));
+        ST2_LANE_OP(write_result(lane, from_f64(std::fma(f64(s1), f64(s2), f64(s3)))));
         break;
-      case Opcode::kDMin: write_result(lane, from_f64(std::fmin(f64(s1), f64(s2)))); break;
-      case Opcode::kDMax: write_result(lane, from_f64(std::fmax(f64(s1), f64(s2)))); break;
+      case Opcode::kDMin: ST2_LANE_OP(write_result(lane, from_f64(std::fmin(f64(s1), f64(s2))))); break;
+      case Opcode::kDMax: ST2_LANE_OP(write_result(lane, from_f64(std::fmax(f64(s1), f64(s2))))); break;
 
-      case Opcode::kMov: write_result(lane, s1); break;
-      case Opcode::kI2F: write_result(lane, from_f32(static_cast<float>(s64(s1)))); break;
-      case Opcode::kF2I: write_result(lane, from_s64(f2i(f32(s1)))); break;
-      case Opcode::kI2D: write_result(lane, from_f64(static_cast<double>(s64(s1)))); break;
-      case Opcode::kD2I: write_result(lane, from_s64(d2i(f64(s1)))); break;
-      case Opcode::kF2D: write_result(lane, from_f64(static_cast<double>(f32(s1)))); break;
-      case Opcode::kD2F: write_result(lane, from_f32(static_cast<float>(f64(s1)))); break;
+      case Opcode::kMov: ST2_LANE_OP(write_result(lane, s1)); break;
+      case Opcode::kI2F: ST2_LANE_OP(write_result(lane, from_f32(static_cast<float>(s64(s1))))); break;
+      case Opcode::kF2I: ST2_LANE_OP(write_result(lane, from_s64(f2i(f32(s1))))); break;
+      case Opcode::kI2D: ST2_LANE_OP(write_result(lane, from_f64(static_cast<double>(s64(s1))))); break;
+      case Opcode::kD2I: ST2_LANE_OP(write_result(lane, from_s64(d2i(f64(s1))))); break;
+      case Opcode::kF2D: ST2_LANE_OP(write_result(lane, from_f64(static_cast<double>(f32(s1))))); break;
+      case Opcode::kD2F: ST2_LANE_OP(write_result(lane, from_f32(static_cast<float>(f64(s1))))); break;
 
       default:
-        ST2_ASSERT(false && "unhandled opcode in exec_lane");
+        ST2_ASSERT(false && "unhandled opcode in exec_generic");
     }
   };
+#undef ST2_LANE_OP
 
   switch (in.op) {
     case Opcode::kNop:
@@ -292,11 +314,9 @@ StepStatus FunctionalCore::step(WarpContext& w, ExecRecord* rec) {
     case Opcode::kLdGlobal:
     case Opcode::kLdShared: {
       const bool shared = in.op == Opcode::kLdShared;
-      if (rec != nullptr) {
-        rec->is_mem = true;
-        rec->is_shared = shared;
-        rec->mem_size = in.msize;
-      }
+      rec.is_mem = true;
+      rec.is_shared = shared;
+      rec.mem_size = in.msize;
       for_lanes([&](int lane) {
         const std::uint64_t addr =
             w.reg(lane, in.src1) + static_cast<std::uint64_t>(in.imm);
@@ -312,7 +332,7 @@ StepStatus FunctionalCore::step(WarpContext& w, ExecRecord* rec) {
           v = static_cast<std::uint64_t>(sign_extend(v, 8 * in.msize));
         }
         write_result(lane, v);
-        if (rec != nullptr) rec->mem_addr[static_cast<std::size_t>(lane)] = addr;
+        rec.mem_addr[static_cast<std::size_t>(lane)] = addr;
       });
       w.stack().advance();
       break;
@@ -321,12 +341,10 @@ StepStatus FunctionalCore::step(WarpContext& w, ExecRecord* rec) {
     case Opcode::kStGlobal:
     case Opcode::kStShared: {
       const bool shared = in.op == Opcode::kStShared;
-      if (rec != nullptr) {
-        rec->is_mem = true;
-        rec->is_store = true;
-        rec->is_shared = shared;
-        rec->mem_size = in.msize;
-      }
+      rec.is_mem = true;
+      rec.is_store = true;
+      rec.is_shared = shared;
+      rec.mem_size = in.msize;
       for_lanes([&](int lane) {
         const std::uint64_t addr =
             w.reg(lane, in.src1) + static_cast<std::uint64_t>(in.imm);
@@ -337,7 +355,7 @@ StepStatus FunctionalCore::step(WarpContext& w, ExecRecord* rec) {
         } else {
           gmem_.store(addr, v, in.msize);
         }
-        if (rec != nullptr) rec->mem_addr[static_cast<std::size_t>(lane)] = addr;
+        rec.mem_addr[static_cast<std::size_t>(lane)] = addr;
       });
       w.stack().advance();
       break;
@@ -348,12 +366,10 @@ StepStatus FunctionalCore::step(WarpContext& w, ExecRecord* rec) {
       // Active lanes serialize in lane order (how GPU atomic units resolve
       // intra-warp contention deterministically in simulators).
       const bool shared = in.op == Opcode::kAtomAddShared;
-      if (rec != nullptr) {
-        rec->is_mem = true;
-        rec->is_store = true;  // timing: read-modify-write transaction
-        rec->is_shared = shared;
-        rec->mem_size = in.msize;
-      }
+      rec.is_mem = true;
+      rec.is_store = true;  // timing: read-modify-write transaction
+      rec.is_shared = shared;
+      rec.mem_size = in.msize;
       for_lanes([&](int lane) {
         const std::uint64_t addr =
             w.reg(lane, in.src1) + static_cast<std::uint64_t>(in.imm);
@@ -372,9 +388,7 @@ StepStatus FunctionalCore::step(WarpContext& w, ExecRecord* rec) {
           old = static_cast<std::uint64_t>(sign_extend(old, 8 * in.msize));
         }
         write_result(lane, old);
-        if (rec != nullptr) {
-          rec->mem_addr[static_cast<std::size_t>(lane)] = addr;
-        }
+        rec.mem_addr[static_cast<std::size_t>(lane)] = addr;
       });
       w.stack().advance();
       break;
@@ -431,7 +445,7 @@ StepStatus FunctionalCore::step(WarpContext& w, ExecRecord* rec) {
       break;
 
     default:
-      for_lanes(exec_lane);
+      exec_generic();
       w.stack().advance();
       break;
   }

@@ -5,6 +5,7 @@
 // by construction in both modes.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
@@ -49,6 +50,17 @@ class WarpContext {
   int warp_in_block() const { return warp_in_block_; }
   bool done() const { return stack_.done(); }
 
+  /// Rearms this context for another block of the same launch: fresh stack,
+  /// zeroed registers and predicates. Reusing contexts keeps the trace
+  /// loop free of per-block register-file allocations.
+  void reset(int block_flat, std::uint32_t initial_mask) {
+    stack_.reset(initial_mask);
+    block_flat_ = block_flat;
+    std::fill(regs_.begin(), regs_.end(), 0);
+    preds_.fill(0);
+    at_barrier = false;
+  }
+
   bool at_barrier = false;
 
  private:
@@ -79,9 +91,14 @@ struct ExecRecord {
   std::uint8_t mem_size = 0;
   std::array<std::uint64_t, kWarpSize> mem_addr{};
 
-  /// Destination values written, per lane (valid where active and the
-  /// instruction writes a general register) — used by the Figure 2 tracer.
-  bool writes_reg = false;
+  bool writes_reg = false;  ///< instruction writes a general register
+
+  /// Input knob, not an output: when set by the caller, `result` receives
+  /// the destination value written per lane (valid where active and
+  /// writes_reg). Off by default — the timing capture path never reads the
+  /// values, and skipping the per-lane stores measurably speeds up capture.
+  /// The Figure 2 value tracer turns it on.
+  bool record_results = false;
   std::array<std::uint64_t, kWarpSize> result{};
 };
 
@@ -97,9 +114,9 @@ class FunctionalCore {
   FunctionalCore(const isa::Kernel& kernel, const LaunchConfig& launch,
                  GlobalMemory& gmem, std::vector<std::uint8_t>& smem);
 
-  /// Executes the next instruction of `w` (respecting barriers). `rec`, if
-  /// non-null, is filled with what happened.
-  StepStatus step(WarpContext& w, ExecRecord* rec);
+  /// Executes the next instruction of `w` (respecting barriers). `rec` is
+  /// filled with what happened (only the fields its flags mark valid).
+  StepStatus step(WarpContext& w, ExecRecord& rec);
 
   /// Clears the barrier flag of a warp (block controller releases barriers).
   static void release_barrier(WarpContext& w) { w.at_barrier = false; }
@@ -111,6 +128,13 @@ class FunctionalCore {
   std::uint32_t initial_mask(int warp_in_block) const;
 
  private:
+  /// Static decode products of one instruction, interned per pc so the
+  /// interpreter's hot loop never re-classifies an opcode.
+  struct DecodedOp {
+    isa::UnitClass unit;
+    bool uses_adder;
+  };
+
   std::uint64_t special_value(isa::SpecialReg s, int block_flat,
                               int lin_tid) const;
 
@@ -118,6 +142,7 @@ class FunctionalCore {
   const LaunchConfig& launch_;
   GlobalMemory& gmem_;
   std::vector<std::uint8_t>& smem_;
+  std::vector<DecodedOp> decode_;  ///< indexed by pc
 };
 
 }  // namespace st2::sim

@@ -15,29 +15,23 @@ std::uint64_t GlobalMemory::alloc(std::size_t bytes) {
   return addr;
 }
 
-std::uint64_t GlobalMemory::load(std::uint64_t addr, int size) const {
-  ST2_EXPECTS(size == 1 || size == 4 || size == 8);
-  ST2_EXPECTS(addr + static_cast<std::uint64_t>(size) <= data_.size());
-  std::uint64_t v = 0;
-  std::memcpy(&v, data_.data() + addr, static_cast<std::size_t>(size));
-  return v;
-}
-
-void GlobalMemory::store(std::uint64_t addr, std::uint64_t value, int size) {
-  ST2_EXPECTS(size == 1 || size == 4 || size == 8);
-  ST2_EXPECTS(addr + static_cast<std::uint64_t>(size) <= data_.size());
-  std::memcpy(data_.data() + addr, &value, static_cast<std::size_t>(size));
-}
-
 Cache::Cache(int size_kb, int ways, int line_bytes)
     : ways_(ways), line_bytes_(line_bytes) {
   const int total_lines = size_kb * 1024 / line_bytes;
   num_sets_ = total_lines / ways;
   ST2_EXPECTS(num_sets_ >= 1 && std::has_single_bit(unsigned(num_sets_)));
+  // The tag array materializes on first access: every SM owns a private L2
+  // tag array (~512 KB of lines), and zeroing one per SM per launch costs
+  // more than the small workloads' entire replay when most SMs never touch
+  // memory. An unallocated array behaves exactly like an all-invalid one.
+}
+
+void Cache::materialize() {
   lines_.resize(static_cast<std::size_t>(num_sets_) * ways_);
 }
 
 bool Cache::access(std::uint64_t addr, bool is_write) {
+  if (lines_.empty()) [[unlikely]] materialize();
   ++tick_;
   const std::uint64_t line_addr = addr / static_cast<unsigned>(line_bytes_);
   const auto set = static_cast<std::size_t>(line_addr &
@@ -86,7 +80,9 @@ void Cache::restore(snapshot::Reader& r) {
   misses_ = r.u64();
   for (Line& l : lines_) l = Line{};
   const std::uint32_t allocated = r.u32();
-  r.require(allocated <= lines_.size(), "cache line count out of range");
+  const std::size_t total = static_cast<std::size_t>(num_sets_) * ways_;
+  r.require(allocated <= total, "cache line count out of range");
+  if (allocated != 0 && lines_.empty()) materialize();
   for (std::uint32_t n = 0; n < allocated; ++n) {
     const std::uint32_t i = r.u32();
     r.require(i < lines_.size(), "cache line index out of range");

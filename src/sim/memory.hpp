@@ -37,8 +37,20 @@ class GlobalMemory {
     std::memcpy(data_.data(), image.data(), image.size());
   }
 
-  std::uint64_t load(std::uint64_t addr, int size) const;
-  void store(std::uint64_t addr, std::uint64_t value, int size);
+  // Inline: the functional interpreter calls these once per active lane of
+  // every global-memory instruction.
+  std::uint64_t load(std::uint64_t addr, int size) const {
+    ST2_EXPECTS(size == 1 || size == 4 || size == 8);
+    ST2_EXPECTS(addr + static_cast<std::uint64_t>(size) <= data_.size());
+    std::uint64_t v = 0;
+    std::memcpy(&v, data_.data() + addr, static_cast<std::size_t>(size));
+    return v;
+  }
+  void store(std::uint64_t addr, std::uint64_t value, int size) {
+    ST2_EXPECTS(size == 1 || size == 4 || size == 8);
+    ST2_EXPECTS(addr + static_cast<std::uint64_t>(size) <= data_.size());
+    std::memcpy(data_.data() + addr, &value, static_cast<std::size_t>(size));
+  }
 
   // Typed host-side accessors for workload setup/validation.
   template <typename T>
@@ -94,6 +106,10 @@ class Cache {
     std::uint64_t tag = ~std::uint64_t{0};
     std::uint64_t lru = 0;
   };
+
+  /// Allocates the full tag array (all lines invalid). See the constructor
+  /// for why this is deferred to first use.
+  void materialize();
 
   int ways_;
   int line_bytes_;

@@ -25,6 +25,13 @@ class SimtStack {
 
   bool done() const { return entries_.empty(); }
 
+  /// Rearms the stack to launch state, keeping allocated capacity (trace
+  /// mode reuses warp contexts across blocks).
+  void reset(std::uint32_t initial_mask) {
+    entries_.clear();
+    entries_.push_back(Entry{0, kNoReconv, initial_mask});
+  }
+
   /// Pops reconverged / emptied entries. Must be called before fetch.
   void settle() {
     while (!entries_.empty()) {

@@ -4,6 +4,7 @@
 #include <bit>
 #include <string>
 
+#include "src/common/bitutils.hpp"
 #include "src/common/contracts.hpp"
 #include "src/sim/error.hpp"
 #include "src/sim/trace_run.hpp"
@@ -56,7 +57,6 @@ SmCore::SmCore(const GpuConfig& cfg, const isa::Kernel& kernel,
       l1_(cfg.l1_kb, cfg.l1_ways, cfg.line_bytes),
       l2_(cfg.l2_kb, cfg.l2_ways, cfg.line_bytes),
       crf_(cfg.seed),
-      warps_(static_cast<std::size_t>(cfg.max_warps_per_sm)),
       fu_busy_(static_cast<std::size_t>(cfg.schedulers_per_sm * kNumFuKinds),
                0),
       fu_st2_from_(
@@ -75,6 +75,37 @@ SmCore::SmCore(const GpuConfig& cfg, const isa::Kernel& kernel,
     fc.seed ^= salt * 0x9e3779b97f4a7c15ULL;
     inject_.emplace(fc);
   }
+
+  // --- slot banks and packed masks ------------------------------------------
+  const auto n_slots = static_cast<std::size_t>(cfg.max_warps_per_sm);
+  mask_words_ = static_cast<int>((n_slots + 63) / 64);
+  if (mask_words_ == 0) mask_words_ = 1;
+  active_bits_.assign(static_cast<std::size_t>(mask_words_), 0);
+  barrier_bits_.assign(static_cast<std::size_t>(mask_words_), 0);
+  // Static scheduler ownership: slot w belongs to scheduler w % schedulers.
+  sched_bits_.assign(static_cast<std::size_t>(cfg.schedulers_per_sm) *
+                         static_cast<std::size_t>(mask_words_),
+                     0);
+  for (int w = 0; w < cfg.max_warps_per_sm; ++w) {
+    const int s = w % cfg.schedulers_per_sm;
+    sched_bits_[static_cast<std::size_t>(s) *
+                    static_cast<std::size_t>(mask_words_) +
+                static_cast<std::size_t>(w >> 6)] |= std::uint64_t{1}
+                                                     << (w & 63);
+  }
+  slot_stream_.assign(n_slots, nullptr);
+  slot_ops_.assign(n_slots, nullptr);
+  slot_cursor_.assign(n_slots, 0);
+  slot_len_.assign(n_slots, 0);
+  slot_resident_.assign(n_slots, -1);
+  slot_ready_hint_.assign(n_slots, 0);
+  slot_ready_hint_base_.assign(n_slots, 0);
+  reg_ready_.assign(n_slots * static_cast<std::size_t>(kernel.regs_used), 0);
+  reg_st2_extra_.assign(n_slots * static_cast<std::size_t>(kernel.regs_used),
+                        0);
+  pred_ready_.assign(n_slots * static_cast<std::size_t>(isa::kNumPredRegs),
+                     0);
+
   // Precompute the per-PC scheduling facts once; the readiness polls run
   // every cycle for every warp and must not re-derive them.
   static_.reserve(kernel.code.size());
@@ -101,8 +132,61 @@ SmCore::SmCore(const GpuConfig& cfg, const isa::Kernel& kernel,
     }
     static_.push_back(si);
   }
+
+  // Counter interning support: the visit-position -> address table is built
+  // eagerly (cheap), the per-(pc, variant) programs lazily on first issue —
+  // most PCs only ever run one flag variant, and an SM's kernel may be far
+  // larger than the code its blocks execute.
+  counter_slots_.reserve(64);
+  for_each_counter(counters_, [this](const char*, std::uint64_t& v) {
+    counter_slots_.push_back(&v);
+  });
+  counter_prog_.assign(kernel.code.size() * 4, CounterProgram{});
+
   resident_.reserve(static_cast<std::size_t>(cfg.max_blocks_per_sm));
   admit_blocks();
+}
+
+void SmCore::build_counter_program(std::uint32_t pc, int variant,
+                                   CounterProgram& cp) const {
+  // Intern the instruction-mix accounting for (pc, writes_reg, is_shared)
+  // by differential evaluation of count_instruction: with one active thread
+  // the deltas are per_thread + per_warp, with two they are 2*per_thread +
+  // per_warp, so two synthetic records solve for both components exactly.
+  // count_instruction stays the single source of truth; the interned program
+  // cannot drift from it.
+  ExecRecord rec;
+  rec.instr = &kernel_.code[pc];
+  rec.pc = pc;
+  rec.unit = static_[pc].unit;
+  rec.writes_reg = (variant & 1) != 0;
+  rec.is_shared = (variant & 2) != 0;
+  EventCounters c1{};
+  EventCounters c2{};
+  rec.active_mask = 0x1;
+  count_instruction(rec, c1);
+  rec.active_mask = 0x3;
+  count_instruction(rec, c2);
+  const std::size_t n_counters = counter_slots_.size();
+  std::vector<std::uint64_t> v1(n_counters);
+  std::vector<std::uint64_t> v2(n_counters);
+  std::size_t k = 0;
+  for_each_counter(c1,
+                   [&](const char*, const std::uint64_t& x) { v1[k++] = x; });
+  k = 0;
+  for_each_counter(c2,
+                   [&](const char*, const std::uint64_t& x) { v2[k++] = x; });
+  cp.n = 0;
+  for (std::size_t idx = 0; idx < n_counters; ++idx) {
+    const std::uint64_t per_thread = v2[idx] - v1[idx];
+    const std::uint64_t per_warp = v1[idx] - per_thread;
+    if (per_thread == 0 && per_warp == 0) continue;
+    ST2_ASSERT(cp.n < static_cast<int>(cp.entries.size()));
+    ST2_ASSERT(per_thread <= 0xffff && per_warp <= 0xffff);
+    cp.entries[static_cast<std::size_t>(cp.n++)] = CounterProgram::Entry{
+        static_cast<std::uint16_t>(idx), static_cast<std::uint16_t>(per_thread),
+        static_cast<std::uint16_t>(per_warp)};
+  }
 }
 
 bool SmCore::admit_blocks() {
@@ -115,13 +199,20 @@ bool SmCore::admit_blocks() {
     }
     const BlockWork& bw = work_.blocks[next_block_];
     const int warps_needed = static_cast<int>(bw.warps.size());
-    // Find free warp slots.
+    // Find free warp slots, lowest ids first (zero bits of the active mask).
     std::vector<int>& slots = slot_scratch_;
     slots.clear();
-    for (int i = 0; i < cfg_.max_warps_per_sm &&
-                    static_cast<int>(slots.size()) < warps_needed;
-         ++i) {
-      if (!warps_[static_cast<std::size_t>(i)].active) slots.push_back(i);
+    for (int word = 0;
+         word < mask_words_ && static_cast<int>(slots.size()) < warps_needed;
+         ++word) {
+      std::uint64_t free = ~active_bits_[static_cast<std::size_t>(word)];
+      if (word == mask_words_ - 1) {
+        free &= low_mask(cfg_.max_warps_per_sm - (word << 6));
+      }
+      while (free != 0 && static_cast<int>(slots.size()) < warps_needed) {
+        slots.push_back((word << 6) + std::countr_zero(free));
+        free &= free - 1;
+      }
     }
     if (static_cast<int>(slots.size()) < warps_needed) break;
 
@@ -141,25 +232,39 @@ bool SmCore::admit_blocks() {
     rb.live_warps = warps_needed;
     rb.warps_at_barrier = 0;
 
+    const auto regs = static_cast<std::size_t>(kernel_.regs_used);
     for (int wi = 0; wi < warps_needed; ++wi) {
-      Slot& slot = warps_[static_cast<std::size_t>(slots[wi])];
-      slot.stream = &bw.warps[static_cast<std::size_t>(wi)];
-      slot.cursor = 0;
-      slot.resident_idx = res_idx;
-      slot.active = true;
-      slot.at_barrier = false;
-      slot.ready_hint = 0;
-      slot.ready_hint_base = 0;
-      slot.reg_ready.assign(static_cast<std::size_t>(kernel_.regs_used), 0);
-      slot.reg_st2_extra.assign(static_cast<std::size_t>(kernel_.regs_used),
-                                0);
-      slot.pred_ready.fill(0);
+      const int w = slots[static_cast<std::size_t>(wi)];
+      const auto ws = static_cast<std::size_t>(w);
+      const WarpStream& stream = bw.warps[static_cast<std::size_t>(wi)];
+      slot_stream_[ws] = &stream;
+      slot_ops_[ws] = stream.ops.data();
+      slot_len_[ws] = static_cast<std::uint32_t>(stream.ops.size());
+      slot_cursor_[ws] = 0;
+      slot_resident_[ws] = res_idx;
+      slot_ready_hint_[ws] = 0;
+      slot_ready_hint_base_[ws] = 0;
+      std::fill_n(reg_ready_.begin() + static_cast<std::ptrdiff_t>(ws * regs),
+                  regs, std::uint64_t{0});
+      std::fill_n(
+          reg_st2_extra_.begin() + static_cast<std::ptrdiff_t>(ws * regs),
+          regs, std::uint8_t{0});
+      std::fill_n(pred_ready_.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          ws * static_cast<std::size_t>(isa::kNumPredRegs)),
+                  static_cast<std::size_t>(isa::kNumPredRegs),
+                  std::uint64_t{0});
+      set_mask_bit(active_bits_, w);
+      clear_mask_bit(barrier_bits_, w);
     }
     ++next_block_;
     ++live_blocks_;
     admitted = true;
   }
-  if (admitted) admitted_midcycle_ = true;
+  if (admitted) {
+    admitted_midcycle_ = true;
+    ++topo_gen_;
+  }
   return admitted;
 }
 
@@ -175,21 +280,27 @@ void SmCore::skip_idle_cycles() {
   // there and charge the gap as idle cycles. Bit-identical to stepping.
   if (admitted_midcycle_) return;  // fresh warps were not polled this cycle
   std::uint64_t wake = ~0ULL;
-  for (std::size_t w = 0; w < warps_.size(); ++w) {
-    const Slot& slot = warps_[w];
-    if (!slot.active || slot.at_barrier) continue;
-    if (slot.cursor >= slot.stream->ops.size()) return;  // retires next poll
-    std::uint64_t t = slot.ready_hint;
-    if (t <= now_) {
-      // Deps are met; the warp is waiting for its functional unit.
-      const int sched = static_cast<int>(w) % cfg_.schedulers_per_sm;
-      const TraceOp& op = slot.stream->ops[slot.cursor];
-      t = fu(sched, static_[op.pc].fu);
-      if (t <= now_) return;  // looks issuable: never skip past it
+  for (int word = 0; word < mask_words_; ++word) {
+    const auto wi = static_cast<std::size_t>(word);
+    std::uint64_t m = active_bits_[wi] & ~barrier_bits_[wi];
+    while (m != 0) {
+      const int w = (word << 6) + std::countr_zero(m);
+      m &= m - 1;
+      const auto ws = static_cast<std::size_t>(w);
+      if (slot_cursor_[ws] >= slot_len_[ws]) return;  // retires next poll
+      std::uint64_t t = slot_ready_hint_[ws];
+      if (t <= now_) {
+        // Deps are met; the warp is waiting for its functional unit.
+        const int sched = w % cfg_.schedulers_per_sm;
+        const TraceOp& op = slot_ops_[ws][slot_cursor_[ws]];
+        t = fu(sched, static_[op.pc].fu);
+        if (t <= now_) return;  // looks issuable: never skip past it
+      }
+      wake = std::min(wake, t);
     }
-    wake = std::min(wake, t);
   }
-  for (const PendingCrfWrite& p : pending_crf_) wake = std::min(wake, p.due);
+  // Earliest pending CRF write-back (exact watermark, ~0 when none).
+  wake = std::min(wake, crf_due_min_);
   if (wake == ~0ULL || wake <= now_) return;
   // Attribute the skipped scheduler-cycles before jumping: warp states are
   // frozen across the gap (it ends at the earliest wake time), so one
@@ -213,78 +324,125 @@ void SmCore::attribute_stall(int sched, std::uint64_t start,
   // time), and ST2 tails are by construction the final cycles before a wake,
   // so they fold into one suffix [st2_from, end). Counter-only bookkeeping:
   // reads warp state, writes nothing but counters_.
-  enum { kEmpty = 0, kBarrier = 1, kDependency = 2, kStructural = 3 };
-  int best = kEmpty;
+  int best = kStallEmpty;
   std::uint64_t st2_from = end;
-  for (int w = sched; w < cfg_.max_warps_per_sm;
-       w += cfg_.schedulers_per_sm) {
-    const Slot& slot = warps_[static_cast<std::size_t>(w)];
-    if (!slot.active) continue;  // free slot: contributes "empty"
-    if (slot.at_barrier) {
-      best = std::max(best, +kBarrier);
-      continue;
-    }
-    if (slot.cursor >= slot.stream->ops.size()) continue;  // retiring
-    if (slot.ready_hint > start) {
-      // Scoreboard stall; the hint pair is exact (set at the last poll).
-      best = std::max(best, +kDependency);
-      if (slot.ready_hint_base < slot.ready_hint &&
-          slot.ready_hint_base < end) {
-        st2_from = std::min(st2_from, std::max(start, slot.ready_hint_base));
-      }
-    } else {
-      // Deps are met, so the warp can only be waiting on its functional
-      // unit (the scheduler polled it this cycle and did not issue).
-      const TraceOp& op = slot.stream->ops[slot.cursor];
-      const FuKind k = static_[op.pc].fu;
-      best = std::max(best, +kStructural);
-      const std::uint64_t tail = fu_st2_from(sched, k);
-      if (tail < fu(sched, k) && tail < end) {
-        st2_from = std::min(st2_from, std::max(start, tail));
+  for (int word = 0; word < mask_words_; ++word) {
+    const auto wi = static_cast<std::size_t>(word);
+    const std::uint64_t owned =
+        active_bits_[wi] &
+        sched_bits_[static_cast<std::size_t>(sched) *
+                        static_cast<std::size_t>(mask_words_) +
+                    wi];
+    // Warps parked at a barrier contribute exactly kStallBarrier, in bulk.
+    if ((owned & barrier_bits_[wi]) != 0) best = std::max(best, +kStallBarrier);
+    std::uint64_t m = owned & ~barrier_bits_[wi];
+    while (m != 0) {
+      const int w = (word << 6) + std::countr_zero(m);
+      m &= m - 1;
+      const auto ws = static_cast<std::size_t>(w);
+      if (slot_cursor_[ws] >= slot_len_[ws]) continue;  // retiring
+      if (slot_ready_hint_[ws] > start) {
+        // Scoreboard stall; the hint pair is exact (set at the last poll).
+        best = std::max(best, +kStallDependency);
+        if (slot_ready_hint_base_[ws] < slot_ready_hint_[ws] &&
+            slot_ready_hint_base_[ws] < end) {
+          st2_from =
+              std::min(st2_from, std::max(start, slot_ready_hint_base_[ws]));
+        }
+      } else {
+        // Deps are met, so the warp can only be waiting on its functional
+        // unit (the scheduler polled it this cycle and did not issue).
+        const TraceOp& op = slot_ops_[ws][slot_cursor_[ws]];
+        const FuKind k = static_[op.pc].fu;
+        best = std::max(best, +kStallStructural);
+        const std::uint64_t tail = fu_st2_from(sched, k);
+        if (tail < fu(sched, k) && tail < end) {
+          st2_from = std::min(st2_from, std::max(start, tail));
+        }
       }
     }
   }
   counters_.stall_st2_recovery_cycles += end - st2_from;
   const std::uint64_t rest = st2_from - start;
   switch (best) {
-    case kStructural: counters_.stall_structural_cycles += rest; break;
-    case kDependency: counters_.stall_dependency_cycles += rest; break;
-    case kBarrier: counters_.stall_barrier_cycles += rest; break;
+    case kStallStructural: counters_.stall_structural_cycles += rest; break;
+    case kStallDependency: counters_.stall_dependency_cycles += rest; break;
+    case kStallBarrier: counters_.stall_barrier_cycles += rest; break;
     default: counters_.stall_empty_cycles += rest; break;
   }
 }
 
+void SmCore::attribute_scanned(int sched) {
+  // Single-cycle attribute_stall([now_, now_+1)) fed by the notes the failed
+  // scan just took: the scan polled exactly the candidate set the rescan
+  // would walk, so only the barrier warps (never candidates) are left to
+  // fold in, by mask. Same classification, no second pass over the warps.
+  int best = scan_best_;
+  for (int word = 0; word < mask_words_; ++word) {
+    const auto wi = static_cast<std::size_t>(word);
+    const std::uint64_t owned_barrier =
+        barrier_bits_[wi] &
+        sched_bits_[static_cast<std::size_t>(sched) *
+                        static_cast<std::size_t>(mask_words_) +
+                    wi];
+    if (owned_barrier != 0) {
+      best = std::max(best, +kStallBarrier);
+      break;
+    }
+  }
+  if (scan_st2_) {
+    // A warp held back only by an ST2 repair cycle overrides every other
+    // cause — exactly the st2_from = start case of the full rescan.
+    ++counters_.stall_st2_recovery_cycles;
+    return;
+  }
+  switch (best) {
+    case kStallStructural: ++counters_.stall_structural_cycles; break;
+    case kStallDependency: ++counters_.stall_dependency_cycles; break;
+    case kStallBarrier: ++counters_.stall_barrier_cycles; break;
+    default: ++counters_.stall_empty_cycles; break;
+  }
+}
+
 bool SmCore::warp_ready(int w, const TraceOp** out_op) {
-  Slot& slot = warps_[static_cast<std::size_t>(w)];
-  if (!slot.active || slot.at_barrier) return false;
-  if (slot.ready_hint > now_) return false;  // known-stalled, skip the scan
-  if (slot.cursor == slot.stream->ops.size()) {
+  // Callers guarantee the slot is active and not at a barrier (candidate
+  // mask membership); this poll only resolves readiness.
+  const auto ws = static_cast<std::size_t>(w);
+  if (slot_ready_hint_[ws] > now_) return false;  // known-stalled
+  const std::uint32_t cursor = slot_cursor_[ws];
+  if (cursor == slot_len_[ws]) {
     // Retire the warp.
-    slot.active = false;
-    Resident& rb = resident_[static_cast<std::size_t>(slot.resident_idx)];
+    clear_mask_bit(active_bits_, w);
+    ++topo_gen_;
+    Resident& rb = resident_[static_cast<std::size_t>(slot_resident_[ws])];
     if (--rb.live_warps == 0) {
       rb.work_idx = -1;
       --live_blocks_;
       admit_blocks();
+    } else if (rb.warps_at_barrier == rb.live_warps) {
+      // The retiring warp was the last one NOT at the barrier (warps whose
+      // remaining trace ends before a barrier exit early): the block is now
+      // ripe for release.
+      ++barrier_ripe_;
     }
     return false;
   }
-  const TraceOp& op = slot.stream->ops[slot.cursor];
+  const TraceOp& op = slot_ops_[ws][cursor];
   const Deps& d = static_[op.pc].deps;
+  const std::uint64_t* regs =
+      reg_ready_.data() + ws * static_cast<std::size_t>(kernel_.regs_used);
+  const std::uint64_t* preds =
+      pred_ready_.data() + ws * static_cast<std::size_t>(isa::kNumPredRegs);
   std::uint64_t ready = 0;
   for (int r : d.reads) {
-    if (r >= 0) {
-      ready = std::max(ready, slot.reg_ready[static_cast<std::size_t>(r)]);
-    }
+    if (r >= 0) ready = std::max(ready, regs[static_cast<std::size_t>(r)]);
   }
   for (int p : d.preds) {
-    if (p >= 0) {
-      ready = std::max(ready, slot.pred_ready[static_cast<std::size_t>(p)]);
-    }
+    if (p >= 0) ready = std::max(ready, preds[static_cast<std::size_t>(p)]);
   }
   if (d.write_reg >= 0) {  // WAW
-    ready = std::max(ready,
-                     slot.reg_ready[static_cast<std::size_t>(d.write_reg)]);
+    ready =
+        std::max(ready, regs[static_cast<std::size_t>(d.write_reg)]);
   }
   if (ready > now_) {
     // The op cannot issue before every dep retires; remember when that is,
@@ -292,27 +450,28 @@ bool SmCore::warp_ready(int w, const TraceOp** out_op) {
     // subtracted (stall attribution charges the difference to ST2, not to
     // the dependency). Second pass only on the stall path, so ready polls
     // stay as cheap as before.
+    const std::uint8_t* extras =
+        reg_st2_extra_.data() +
+        ws * static_cast<std::size_t>(kernel_.regs_used);
     std::uint64_t base = 0;
     for (int r : d.reads) {
       if (r >= 0) {
-        base = std::max(
-            base, slot.reg_ready[static_cast<std::size_t>(r)] -
-                      slot.reg_st2_extra[static_cast<std::size_t>(r)]);
+        base = std::max(base, regs[static_cast<std::size_t>(r)] -
+                                  extras[static_cast<std::size_t>(r)]);
       }
     }
     for (int p : d.preds) {
       if (p >= 0) {
-        base = std::max(base, slot.pred_ready[static_cast<std::size_t>(p)]);
+        base = std::max(base, preds[static_cast<std::size_t>(p)]);
       }
     }
     if (d.write_reg >= 0) {
-      base = std::max(
-          base,
-          slot.reg_ready[static_cast<std::size_t>(d.write_reg)] -
-              slot.reg_st2_extra[static_cast<std::size_t>(d.write_reg)]);
+      base = std::max(base,
+                      regs[static_cast<std::size_t>(d.write_reg)] -
+                          extras[static_cast<std::size_t>(d.write_reg)]);
     }
-    slot.ready_hint = ready;
-    slot.ready_hint_base = base;
+    slot_ready_hint_[ws] = ready;
+    slot_ready_hint_base_[ws] = base;
     return false;
   }
   *out_op = &op;
@@ -411,11 +570,16 @@ int SmCore::speculate(const WarpStream& ws, const TraceOp& op, int latency) {
 
   const auto row = crf_.read_row(op.pc);
   ++counters_.crf_row_reads;
+  const std::uint64_t due = now_ + static_cast<unsigned>(latency + 1);
   bool any_repair = false;
   bool any_genuine_repair = false;
   std::size_t lane_idx = op.payload;
-  for (int lane = 0; lane < kWarpSize; ++lane) {
-    if (((op.active_mask >> lane) & 1u) == 0) continue;
+  std::uint64_t slice_computes = 0;
+  // Active lanes only, lowest first — identical order to a 32-lane scan.
+  std::uint32_t lanes = op.active_mask;
+  while (lanes != 0) {
+    const int lane = std::countr_zero(lanes);
+    lanes &= lanes - 1;
     const AdderLaneTrace& t = ws.adder_lanes[lane_idx++];
     const int num_slices = t.num_slices;
     const std::uint8_t rel =
@@ -439,7 +603,7 @@ int SmCore::speculate(const WarpStream& ws, const TraceOp& op, int latency) {
         spec::resolve_prediction(pred, t.actual, num_slices);
 
     ++counters_.adder_thread_ops;
-    counters_.slice_computes += static_cast<std::uint64_t>(num_slices);
+    slice_computes += static_cast<std::uint64_t>(num_slices);
 
     const bool genuine = out.any_misprediction();
     bool repair = genuine;
@@ -474,11 +638,12 @@ int SmCore::speculate(const WarpStream& ws, const TraceOp& op, int latency) {
       const std::uint8_t merged =
           static_cast<std::uint8_t>((hist & ~rel) | out.actual);
       pending_crf_.push_back(PendingCrfWrite{
-          now_ + static_cast<unsigned>(latency + 1), op.pc,
-          static_cast<std::uint8_t>(lane), merged});
+          due, op.pc, static_cast<std::uint8_t>(lane), merged});
       ++counters_.crf_writes;
     }
   }
+  counters_.slice_computes += slice_computes;
+  if (due < crf_due_min_ && any_repair) crf_due_min_ = due;
   ++counters_.warp_adder_insts;
   if (any_repair) {
     ++counters_.warp_adder_stalls;
@@ -491,24 +656,25 @@ int SmCore::speculate(const WarpStream& ws, const TraceOp& op, int latency) {
 }
 
 void SmCore::issue(int sched, int w, const TraceOp& op) {
-  Slot& slot = warps_[static_cast<std::size_t>(w)];
-  const WarpStream& ws = *slot.stream;
+  const auto ws_idx = static_cast<std::size_t>(w);
+  const WarpStream& ws = *slot_stream_[ws_idx];
   const StaticInfo& si = static_[op.pc];
 
-  // Instruction-mix accounting (shared with trace mode) from the replayed
-  // record. The record is thread_local so the large per-lane arrays — which
-  // count_instruction never reads — are not re-zeroed on every issue.
-  static thread_local ExecRecord rec;
-  rec.instr = &kernel_.code[op.pc];
-  rec.pc = op.pc;
-  rec.active_mask = op.active_mask;
-  rec.unit = si.unit;
-  rec.is_mem = op.is_mem();
-  rec.is_store = op.is_store();
-  rec.is_shared = op.is_shared();
-  rec.has_adder_op = op.has_adder();
-  rec.writes_reg = op.writes_reg();
-  count_instruction(rec, counters_);
+  // Instruction-mix accounting via the interned per-PC counter program —
+  // the same deltas count_instruction produces, without re-deriving the
+  // opcode/unit breakdown on every issue.
+  const auto threads =
+      static_cast<std::uint64_t>(std::popcount(op.active_mask));
+  const int variant =
+      static_cast<int>(((op.flags >> 4) & 1u) + ((op.flags >> 1) & 2u));
+  CounterProgram& cp =
+      counter_prog_[static_cast<std::size_t>(op.pc) * 4 +
+                    static_cast<std::size_t>(variant)];
+  if (cp.n < 0) build_counter_program(op.pc, variant, cp);
+  for (int i = 0; i < cp.n; ++i) {
+    const CounterProgram::Entry& e = cp.entries[static_cast<std::size_t>(i)];
+    *counter_slots_[e.idx] += e.per_thread * threads + e.per_warp;
+  }
 
   OpTiming t = si.timing;
   if (op.is_mem()) {
@@ -530,19 +696,23 @@ void SmCore::issue(int sched, int w, const TraceOp& op) {
   fu_st2_from(sched, si.fu) =
       now_ + static_cast<unsigned>(t.interval - st2_extra);
   const Deps& d = si.deps;
+  const std::size_t reg_base =
+      ws_idx * static_cast<std::size_t>(kernel_.regs_used);
   if (d.write_reg >= 0) {
-    slot.reg_ready[static_cast<std::size_t>(d.write_reg)] =
+    reg_ready_[reg_base + static_cast<std::size_t>(d.write_reg)] =
         now_ + static_cast<unsigned>(t.latency);
-    slot.reg_st2_extra[static_cast<std::size_t>(d.write_reg)] =
+    reg_st2_extra_[reg_base + static_cast<std::size_t>(d.write_reg)] =
         static_cast<std::uint8_t>(st2_extra);
   }
   if (d.write_pred >= 0) {
-    slot.pred_ready[static_cast<std::size_t>(d.write_pred)] =
+    pred_ready_[ws_idx * static_cast<std::size_t>(isa::kNumPredRegs) +
+                static_cast<std::size_t>(d.write_pred)] =
         now_ + static_cast<unsigned>(t.latency);
   }
   if (si.is_bar) {
-    slot.at_barrier = true;
-    ++resident_[static_cast<std::size_t>(slot.resident_idx)].warps_at_barrier;
+    set_mask_bit(barrier_bits_, w);
+    Resident& rb = resident_[static_cast<std::size_t>(slot_resident_[ws_idx])];
+    if (++rb.warps_at_barrier == rb.live_warps) ++barrier_ripe_;
   }
   if (cfg_.timeline_bucket > 0) {
     const std::size_t b = static_cast<std::size_t>(
@@ -550,58 +720,121 @@ void SmCore::issue(int sched, int w, const TraceOp& op) {
     if (b >= timeline_.size()) timeline_.resize(b + 1, 0);
     ++timeline_[b];
   }
-  ++slot.cursor;
+  ++slot_cursor_[ws_idx];
 }
 
-bool SmCore::try_issue(int sched) {
-  if (sched >= cfg_.max_warps_per_sm) return false;
-  const TraceOp* op = nullptr;
-  const int stride = cfg_.schedulers_per_sm;
-  const int last = last_issued_[static_cast<std::size_t>(sched)];
-  const auto attempt = [&](int w) {
-    if (!warp_ready(w, &op)) return false;
-    if (fu(sched, static_[op->pc].fu) > now_) return false;  // FU busy
-    issue(sched, w, *op);
-    last_issued_[static_cast<std::size_t>(sched)] = w;
-    return true;
-  };
-  if (cfg_.scheduler == WarpScheduler::kGto) {
-    // Greedy-then-oldest: stick with the last warp while it is ready, else
-    // fall back to the oldest (lowest slot).
-    if (last >= 0 && attempt(last)) return true;
-    for (int w = sched; w < cfg_.max_warps_per_sm; w += stride) {
-      if (w != last && attempt(w)) return true;
+bool SmCore::scan_candidates(int sched, int lo, int hi, int skip,
+                             const TraceOp** op) {
+  if (lo >= hi) return false;
+  const int lo_word = lo >> 6;
+  const int hi_word = (hi - 1) >> 6;
+  for (int word = lo_word; word <= hi_word; ++word) {
+    std::uint64_t m = cand_word(sched, word);
+    if (word == lo_word) m &= ~low_mask(lo - (word << 6));
+    if (word == hi_word) m &= low_mask(hi - (word << 6));
+    while (m != 0) {
+      const int w = (word << 6) + std::countr_zero(m);
+      if (w != skip) {
+        const std::uint64_t gen = topo_gen_;
+        if (warp_ready(w, op)) {
+          const FuKind k = static_[(*op)->pc].fu;
+          if (fu(sched, k) <= now_) {
+            issue(sched, w, **op);
+            last_issued_[static_cast<std::size_t>(sched)] = w;
+            return true;
+          }
+          note_fu_busy(sched, k);
+        } else {
+          note_unready(w);
+        }
+        if (topo_gen_ != gen) {
+          // The poll retired a warp and/or admitted fresh blocks. Re-read
+          // the candidate mask so slots that became live later in the scan
+          // order get polled this cycle — exactly what the original
+          // slot-by-slot iteration did (slots before the scan position stay
+          // skipped until the next cycle).
+          m = cand_word(sched, word);
+          if (word == hi_word) m &= low_mask(hi - (word << 6));
+        }
+      }
+      m &= ~low_mask((w - (word << 6)) + 1);  // drop bits at or below w
     }
-  } else {
-    // Loose round-robin: start from the warp after the last issued one.
-    int start = last >= 0 ? last + stride : sched;
-    if (start >= cfg_.max_warps_per_sm) start = sched;
-    int w = start;
-    do {
-      if (attempt(w)) return true;
-      w += stride;
-      if (w >= cfg_.max_warps_per_sm) w = sched;
-    } while (w != start);
   }
   return false;
 }
 
+bool SmCore::try_issue(int sched) {
+  // Arm the scan-side stall notes; they stay exact for attribute_scanned
+  // unless a retire/admission changes the slot population mid-scan.
+  const std::uint64_t gen0 = topo_gen_;
+  scan_best_ = kStallEmpty;
+  scan_st2_ = false;
+  scan_exact_ = true;
+  if (sched >= cfg_.max_warps_per_sm) return false;
+  const TraceOp* op = nullptr;
+  const int stride = cfg_.schedulers_per_sm;
+  const int last = last_issued_[static_cast<std::size_t>(sched)];
+  if (cfg_.scheduler == WarpScheduler::kGto) {
+    // Greedy-then-oldest: stick with the last warp while it is ready, else
+    // fall back to the oldest (lowest slot).
+    if (last >= 0 && mask_bit(active_bits_, last) &&
+        !mask_bit(barrier_bits_, last)) {
+      if (warp_ready(last, &op)) {
+        const FuKind k = static_[op->pc].fu;
+        if (fu(sched, k) <= now_) {
+          issue(sched, last, *op);
+          return true;  // last_issued_ already == last
+        }
+        note_fu_busy(sched, k);
+      } else {
+        note_unready(last);
+      }
+    }
+    const bool hit = scan_candidates(sched, 0, cfg_.max_warps_per_sm, last,
+                                     &op);
+    scan_exact_ = topo_gen_ == gen0;
+    return hit;
+  }
+  // Loose round-robin: start from the warp after the last issued one.
+  int start = last >= 0 ? last + stride : sched;
+  if (start >= cfg_.max_warps_per_sm) start = sched;
+  bool hit = scan_candidates(sched, start, cfg_.max_warps_per_sm, -1, &op);
+  if (!hit) hit = scan_candidates(sched, sched, start, -1, &op);
+  scan_exact_ = topo_gen_ == gen0;
+  return hit;
+}
+
 void SmCore::release_barriers() {
+  if (barrier_ripe_ == 0) return;
   for (std::size_t i = 0; i < resident_.size(); ++i) {
     Resident& rb = resident_[i];
     if (rb.work_idx < 0 || rb.warps_at_barrier < rb.live_warps) continue;
-    for (auto& slot : warps_) {
-      if (slot.active && slot.resident_idx == static_cast<int>(i)) {
-        slot.at_barrier = false;
+    // Every live warp of the block is parked: clear their barrier bits.
+    for (int word = 0; word < mask_words_; ++word) {
+      std::uint64_t m = barrier_bits_[static_cast<std::size_t>(word)];
+      while (m != 0) {
+        const int w = (word << 6) + std::countr_zero(m);
+        m &= m - 1;
+        if (slot_resident_[static_cast<std::size_t>(w)] ==
+            static_cast<int>(i)) {
+          clear_mask_bit(barrier_bits_, w);
+        }
       }
     }
     rb.warps_at_barrier = 0;
+    --barrier_ripe_;
   }
 }
 
 void SmCore::commit_crf_writes() {
-  // Move the writes whose write-back stage is due into the CRF, then let the
-  // CRF arbitrate same-cycle collisions.
+  // Move the writes whose write-back stage is due into the CRF, then let
+  // the CRF arbitrate same-cycle collisions. The due watermark makes the
+  // no-op case (nothing in flight or nothing due yet) a single compare;
+  // when writes ARE due, the scan and its swap-remove compaction run
+  // exactly as before — commit order feeds the arbitration RNG draws, so
+  // it must not change.
+  if (crf_due_min_ > now_) return;
+  std::uint64_t min_left = ~std::uint64_t{0};
   for (std::size_t i = 0; i < pending_crf_.size();) {
     if (pending_crf_[i].due <= now_) {
       crf_.request_write(pending_crf_[i].pc, pending_crf_[i].lane,
@@ -609,9 +842,11 @@ void SmCore::commit_crf_writes() {
       pending_crf_[i] = pending_crf_.back();
       pending_crf_.pop_back();
     } else {
+      min_left = std::min(min_left, pending_crf_[i].due);
       ++i;
     }
   }
+  crf_due_min_ = min_left;
   crf_.commit_cycle();
 }
 
@@ -682,6 +917,8 @@ bool SmCore::step_cycle() {
     if (try_issue(s)) {
       issued = true;
       ++counters_.sched_issue_cycles;
+    } else if (scan_exact_) {
+      attribute_scanned(s);
     } else {
       attribute_stall(s, now_, now_ + 1);
     }
@@ -738,25 +975,32 @@ void SmCore::save_state(snapshot::Writer& w) const {
     w.i32(rb.live_warps);
     w.i32(rb.warps_at_barrier);
   }
-  w.u32(static_cast<std::uint32_t>(warps_.size()));
-  for (const Slot& slot : warps_) {
+  w.u32(static_cast<std::uint32_t>(cfg_.max_warps_per_sm));
+  const auto regs = static_cast<std::size_t>(kernel_.regs_used);
+  for (int slot = 0; slot < cfg_.max_warps_per_sm; ++slot) {
+    const auto ws = static_cast<std::size_t>(slot);
     // A retired/never-used slot's fields are dead (admit_blocks rewrites
     // every field on the next admission), so only active slots carry state.
-    w.u8(slot.active ? 1 : 0);
-    if (!slot.active) continue;
-    w.i32(slot.resident_idx);
-    const Resident& rb = resident_[static_cast<std::size_t>(slot.resident_idx)];
+    const bool active = mask_bit(active_bits_, slot);
+    w.u8(active ? 1 : 0);
+    if (!active) continue;
+    w.i32(slot_resident_[ws]);
+    const Resident& rb =
+        resident_[static_cast<std::size_t>(slot_resident_[ws])];
     const BlockWork& bw = work_.blocks[static_cast<std::size_t>(rb.work_idx)];
     // The stream pointer is serialized as the warp's index within its block
     // so restore can rebuild it against the re-captured workload.
-    w.u32(static_cast<std::uint32_t>(slot.stream - bw.warps.data()));
-    w.u64(slot.cursor);
-    w.u8(slot.at_barrier ? 1 : 0);
-    w.u64(slot.ready_hint);
-    w.u64(slot.ready_hint_base);
-    for (const std::uint64_t v : slot.reg_ready) w.u64(v);
-    for (const std::uint8_t v : slot.reg_st2_extra) w.u8(v);
-    for (const std::uint64_t v : slot.pred_ready) w.u64(v);
+    w.u32(static_cast<std::uint32_t>(slot_stream_[ws] - bw.warps.data()));
+    w.u32(slot_cursor_[ws]);
+    w.u8(mask_bit(barrier_bits_, slot) ? 1 : 0);
+    w.u64(slot_ready_hint_[ws]);
+    w.u64(slot_ready_hint_base_[ws]);
+    for (std::size_t r = 0; r < regs; ++r) w.u64(reg_ready_[ws * regs + r]);
+    for (std::size_t r = 0; r < regs; ++r) w.u8(reg_st2_extra_[ws * regs + r]);
+    for (std::size_t p = 0; p < static_cast<std::size_t>(isa::kNumPredRegs);
+         ++p) {
+      w.u64(pred_ready_[ws * static_cast<std::size_t>(isa::kNumPredRegs) + p]);
+    }
   }
   for (const std::uint64_t v : fu_busy_) w.u64(v);
   for (const std::uint64_t v : fu_st2_from_) w.u64(v);
@@ -802,6 +1046,7 @@ void SmCore::restore_state(snapshot::Reader& r) {
   r.require(n_pending <= (1u << 24), "pending CRF-write count out of range");
   pending_crf_.clear();
   pending_crf_.reserve(n_pending);
+  crf_due_min_ = ~std::uint64_t{0};
   for (std::uint32_t i = 0; i < n_pending; ++i) {
     PendingCrfWrite p{};
     p.due = read_time("pending CRF-write due cycle");
@@ -812,7 +1057,12 @@ void SmCore::restore_state(snapshot::Reader& r) {
     p.carries = r.u8();
     r.require(p.carries < 0x80, "pending CRF-write carries out of range");
     pending_crf_.push_back(p);
+    // The due watermark is derived state: rebuild it, never trust the file.
+    crf_due_min_ = std::min(crf_due_min_, p.due);
   }
+  // A snapshot may carry writes already handed to the CRF but not yet
+  // committed; zero the watermark so the next commit pass flushes them.
+  if (crf_.pending_writes() != 0) crf_due_min_ = 0;
   const std::uint32_t n_resident = r.u32();
   r.require(n_resident <= static_cast<std::uint32_t>(cfg_.max_blocks_per_sm),
             "resident-block count out of range");
@@ -828,38 +1078,65 @@ void SmCore::restore_state(snapshot::Reader& r) {
                   rb.warps_at_barrier <= rb.live_warps,
               "resident warp accounting out of range");
   }
+  // Derived, not serialized: recount which restored blocks are release-ripe.
+  barrier_ripe_ = 0;
+  for (const Resident& rb : resident_) {
+    if (rb.work_idx >= 0 && rb.live_warps > 0 &&
+        rb.warps_at_barrier == rb.live_warps) {
+      ++barrier_ripe_;
+    }
+  }
   const std::uint32_t n_warps = r.u32();
-  r.require(n_warps == warps_.size(),
+  r.require(n_warps == static_cast<std::uint32_t>(cfg_.max_warps_per_sm),
             "warp-slot count differs from the current config");
-  for (Slot& slot : warps_) {
-    slot = Slot{};
-    slot.active = r.u8() != 0;
-    if (!slot.active) continue;
-    slot.resident_idx = r.i32();
-    r.require(slot.resident_idx >= 0 &&
-                  slot.resident_idx < static_cast<int>(resident_.size()),
+  std::fill(active_bits_.begin(), active_bits_.end(), 0);
+  std::fill(barrier_bits_.begin(), barrier_bits_.end(), 0);
+  const auto regs = static_cast<std::size_t>(kernel_.regs_used);
+  for (int slot = 0; slot < cfg_.max_warps_per_sm; ++slot) {
+    const auto ws = static_cast<std::size_t>(slot);
+    // Reset the banks to admission defaults; active slots overwrite below.
+    slot_stream_[ws] = nullptr;
+    slot_ops_[ws] = nullptr;
+    slot_cursor_[ws] = 0;
+    slot_len_[ws] = 0;
+    slot_resident_[ws] = -1;
+    slot_ready_hint_[ws] = 0;
+    slot_ready_hint_base_[ws] = 0;
+    const bool active = r.u8() != 0;
+    if (!active) continue;
+    set_mask_bit(active_bits_, slot);
+    slot_resident_[ws] = r.i32();
+    r.require(slot_resident_[ws] >= 0 &&
+                  slot_resident_[ws] < static_cast<int>(resident_.size()),
               "slot resident index out of range");
-    const Resident& rb = resident_[static_cast<std::size_t>(slot.resident_idx)];
+    const Resident& rb =
+        resident_[static_cast<std::size_t>(slot_resident_[ws])];
     r.require(rb.work_idx >= 0, "slot points at a free resident entry");
     const BlockWork& bw = work_.blocks[static_cast<std::size_t>(rb.work_idx)];
     const std::uint32_t warp_in_block = r.u32();
     r.require(warp_in_block < bw.warps.size(),
               "slot warp index out of range for its block");
-    slot.stream = &bw.warps[warp_in_block];
-    slot.cursor = r.u64();
-    r.require(slot.cursor <= slot.stream->ops.size(),
+    const WarpStream& stream =
+        bw.warps[static_cast<std::size_t>(warp_in_block)];
+    slot_stream_[ws] = &stream;
+    slot_ops_[ws] = stream.ops.data();
+    slot_len_[ws] = static_cast<std::uint32_t>(stream.ops.size());
+    slot_cursor_[ws] = r.u32();
+    r.require(slot_cursor_[ws] <= slot_len_[ws],
               "slot cursor past the end of its stream");
-    slot.at_barrier = r.u8() != 0;
-    slot.ready_hint = read_time("slot ready hint");
-    slot.ready_hint_base = read_time("slot ready-hint base");
-    slot.reg_ready.assign(static_cast<std::size_t>(kernel_.regs_used), 0);
-    for (std::uint64_t& v : slot.reg_ready) {
-      v = read_time("register ready cycle");
+    if (r.u8() != 0) set_mask_bit(barrier_bits_, slot);
+    slot_ready_hint_[ws] = read_time("slot ready hint");
+    slot_ready_hint_base_[ws] = read_time("slot ready-hint base");
+    for (std::size_t reg = 0; reg < regs; ++reg) {
+      reg_ready_[ws * regs + reg] = read_time("register ready cycle");
     }
-    slot.reg_st2_extra.assign(static_cast<std::size_t>(kernel_.regs_used), 0);
-    for (std::uint8_t& v : slot.reg_st2_extra) v = r.u8();
-    for (std::uint64_t& v : slot.pred_ready) {
-      v = read_time("predicate ready cycle");
+    for (std::size_t reg = 0; reg < regs; ++reg) {
+      reg_st2_extra_[ws * regs + reg] = r.u8();
+    }
+    for (std::size_t p = 0; p < static_cast<std::size_t>(isa::kNumPredRegs);
+         ++p) {
+      pred_ready_[ws * static_cast<std::size_t>(isa::kNumPredRegs) + p] =
+          read_time("predicate ready cycle");
     }
   }
   // Cross-field liveness accounting. The step loop trusts these counts to
@@ -872,13 +1149,14 @@ void SmCore::restore_state(snapshot::Reader& r) {
     ++live_residents;
     int active = 0;
     int at_barrier = 0;
-    for (const Slot& slot : warps_) {
-      if (!slot.active ||
-          slot.resident_idx != static_cast<int>(i)) {
+    for (int slot = 0; slot < cfg_.max_warps_per_sm; ++slot) {
+      if (!mask_bit(active_bits_, slot) ||
+          slot_resident_[static_cast<std::size_t>(slot)] !=
+              static_cast<int>(i)) {
         continue;
       }
       ++active;
-      at_barrier += slot.at_barrier ? 1 : 0;
+      at_barrier += mask_bit(barrier_bits_, slot) ? 1 : 0;
     }
     r.require(active == resident_[i].live_warps &&
                   at_barrier == resident_[i].warps_at_barrier,
@@ -899,6 +1177,7 @@ void SmCore::restore_state(snapshot::Reader& r) {
     r.require(v >= -1 && v < cfg_.max_warps_per_sm,
               "last-issued warp index out of range");
   }
+  topo_gen_ = 0;  // scan-local generation counter; no scan is in flight
   // Restored cores are live by definition; re-sealing at the end is
   // deterministic and idempotent.
   sealed_ = false;

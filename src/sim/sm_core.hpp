@@ -13,8 +13,17 @@
 // during capture, and each SmCore afterwards touches nothing but its own
 // state, so SMs can replay on any number of threads with bit-identical
 // counters.
+//
+// Hot-path layout (docs/simulator.md, "Replay core internals"): warp-slot
+// state lives in structure-of-arrays banks indexed by slot id, with packed
+// active/at-barrier bitmasks so the schedulers walk candidate warps with
+// countr_zero scans instead of iterating every slot. The banks, the masks
+// and the per-PC interned metadata are pure layout changes — issue order,
+// arbitration order and every counter are bit-identical to the original
+// per-slot-struct design.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <optional>
@@ -121,7 +130,8 @@ class SmCore {
   /// (config, kernel, workload), so restoring into a freshly-constructed
   /// core over the same capture and stepping on is bit-identical to never
   /// having paused. All indices are validated on restore; violations throw
-  /// the typed snapshot error.
+  /// the typed snapshot error. Derived state (the SoA bitmasks, stream
+  /// pointers, the pending-CRF due watermark) is rebuilt, not stored.
   void save_state(snapshot::Writer& w) const;
   void restore_state(snapshot::Reader& r);
 
@@ -143,26 +153,6 @@ class SmCore {
     int warps_at_barrier = 0;
   };
 
-  struct Slot {
-    const WarpStream* stream = nullptr;
-    std::size_t cursor = 0;   ///< next op to issue
-    int resident_idx = -1;
-    bool active = false;
-    bool at_barrier = false;
-    /// Cycle at which the current op's scoreboard deps are all ready;
-    /// memoizes failed polls so stalled warps cost one compare per cycle.
-    std::uint64_t ready_hint = 0;
-    /// Same point with the producers' ST2 recovery cycles subtracted: the
-    /// window [ready_hint_base, ready_hint) is wait time the stall
-    /// attribution charges to ST2 repair rather than to the dependency.
-    std::uint64_t ready_hint_base = 0;
-    std::vector<std::uint64_t> reg_ready;
-    /// Per register: how many of the cycles up to reg_ready[r] are ST2
-    /// recovery cycles of the producing instruction (0 or 1).
-    std::vector<std::uint8_t> reg_st2_extra;
-    std::array<std::uint64_t, isa::kNumPredRegs> pred_ready{};
-  };
-
   struct PendingCrfWrite {
     std::uint64_t due;
     std::uint32_t pc;
@@ -182,11 +172,38 @@ class SmCore {
     int rf_conflict_extra = 0;  ///< operand-collector bank serialization
   };
 
+  /// Interned instruction-mix accounting: the exact counter deltas
+  /// count_instruction would produce for one issued op, reduced to a sparse
+  /// list of (counter, per-thread coefficient, per-warp constant) entries.
+  /// Built lazily on a PC's first issue by *differential evaluation* of
+  /// count_instruction itself (two synthetic records per variant), so
+  /// count_instruction stays the single source of truth and the program
+  /// cannot drift from it. Variants are keyed by the two record flags the
+  /// accounting reads (writes_reg, is_shared); everything else it reads is
+  /// static per PC.
+  struct CounterProgram {
+    struct Entry {
+      std::uint16_t idx;         ///< for_each_counter visit position
+      std::uint16_t per_thread;  ///< scaled by popcount(active_mask)
+      std::uint16_t per_warp;    ///< charged once per issued op
+    };
+    std::array<Entry, 12> entries{};
+    int n = -1;  ///< entry count; -1 = not built yet
+  };
+
   bool admit_blocks();
   void skip_idle_cycles();
   bool warp_ready(int w, const TraceOp** out_op);
   bool try_issue(int sched);
+  /// Scans candidate slots of `sched` in ascending slot order over
+  /// [lo, hi), skipping `skip`, attempting to issue. Re-reads the candidate
+  /// mask after any attempt that retired or admitted warps (mid-scan
+  /// admissions become pollable exactly as they did under slot iteration).
+  bool scan_candidates(int sched, int lo, int hi, int skip,
+                       const TraceOp** op);
   void issue(int sched, int w, const TraceOp& op);
+  void build_counter_program(std::uint32_t pc, int variant,
+                             CounterProgram& cp) const;
   int mem_latency(const WarpStream& ws, const TraceOp& op, bool atomic,
                   int* occupancy);
   int speculate(const WarpStream& ws, const TraceOp& op, int latency);
@@ -194,6 +211,40 @@ class SmCore {
   void commit_crf_writes();
   void seal_counters();
   void attribute_stall(int sched, std::uint64_t start, std::uint64_t end);
+  void attribute_scanned(int sched);
+
+  // --- scan-side stall notes ------------------------------------------------
+  // A failed try_issue already polled every candidate warp of its scheduler,
+  // which is exactly the set attribute_stall would walk again one call
+  // later. The scan therefore notes the stall cause of each failed poll as
+  // it goes; step_cycle charges the cycle from the notes (attribute_scanned)
+  // and only falls back to the attribute_stall rescan when a mid-scan
+  // retire/admission (scan_exact_ == false) means not every candidate was
+  // polled. Cause ranking matches attribute_stall: empty < barrier <
+  // dependency < structural, with ST2-recovery overriding all of them.
+  enum StallCause {
+    kStallEmpty = 0,
+    kStallBarrier = 1,
+    kStallDependency = 2,
+    kStallStructural = 3,
+  };
+
+  /// Notes a warp whose poll failed on scoreboard dependencies.
+  void note_unready(int w) {
+    const auto ws = static_cast<std::size_t>(w);
+    if (!mask_bit(active_bits_, w)) return;  // the poll retired the warp
+    scan_best_ = std::max(scan_best_, +kStallDependency);
+    if (slot_ready_hint_base_[ws] < slot_ready_hint_[ws] &&
+        slot_ready_hint_base_[ws] <= now_) {
+      scan_st2_ = true;
+    }
+  }
+  /// Notes a dep-ready warp held back by its busy functional unit.
+  void note_fu_busy(int sched, FuKind k) {
+    scan_best_ = std::max(scan_best_, +kStallStructural);
+    const std::uint64_t tail = fu_st2_from(sched, k);
+    if (tail < fu(sched, k) && tail <= now_) scan_st2_ = true;
+  }
 
   std::uint64_t& fu(int sched, FuKind k) {
     return fu_busy_[static_cast<std::size_t>(sched * kNumFuKinds + int(k))];
@@ -203,10 +254,38 @@ class SmCore {
                                                  int(k))];
   }
 
+  // --- packed slot masks ----------------------------------------------------
+  // One bit per warp slot, split into 64-bit words so any --max-warps value
+  // works. Invariants: barrier_bits_ is a subset of active_bits_; bits at or
+  // above max_warps_per_sm are never set. sched_bits_ holds each scheduler's
+  // static slot ownership (slot w belongs to scheduler w % schedulers).
+  bool mask_bit(const std::vector<std::uint64_t>& m, int w) const {
+    return ((m[static_cast<std::size_t>(w >> 6)] >> (w & 63)) & 1u) != 0;
+  }
+  void set_mask_bit(std::vector<std::uint64_t>& m, int w) {
+    m[static_cast<std::size_t>(w >> 6)] |= std::uint64_t{1} << (w & 63);
+  }
+  void clear_mask_bit(std::vector<std::uint64_t>& m, int w) {
+    m[static_cast<std::size_t>(w >> 6)] &= ~(std::uint64_t{1} << (w & 63));
+  }
+  /// Candidate slots of `sched` in `word`: active, not at a barrier, owned.
+  std::uint64_t cand_word(int sched, int word) const {
+    const auto wi = static_cast<std::size_t>(word);
+    return active_bits_[wi] & ~barrier_bits_[wi] &
+           sched_bits_[static_cast<std::size_t>(sched) *
+                           static_cast<std::size_t>(mask_words_) +
+                       wi];
+  }
+
   const GpuConfig& cfg_;
   const isa::Kernel& kernel_;
   const SmWorkload& work_;
   std::vector<StaticInfo> static_;  ///< indexed by pc
+  /// Indexed by pc*4 + (writes_reg | is_shared<<1) — see CounterProgram.
+  std::vector<CounterProgram> counter_prog_;
+  /// for_each_counter visit position -> counter address, for applying
+  /// CounterProgram entries without re-deriving the field each issue.
+  std::vector<std::uint64_t*> counter_slots_;
   Cache l1_;
   Cache l2_;  ///< private tag array: keeps SMs independent (see engine.hpp)
   spec::CarryRegisterFile crf_;
@@ -216,9 +295,48 @@ class SmCore {
   std::optional<fault::FaultInjector> inject_;
 
   std::size_t next_block_ = 0;  ///< next work_.blocks entry to admit
+  /// Pending CRF write-backs, one flat arena reused across cycles (capacity
+  /// is never released). Commit order must stay the insertion-plus-swap-
+  /// remove order of the original design: the CRF's write arbitration draws
+  /// its RNG per same-cycle (row, lane) group, so any reordering of
+  /// request_write calls would change arbitration winners and break
+  /// bit-identity. The `crf_due_min_` watermark (earliest due cycle, or
+  /// ~0 when empty) lets commit_crf_writes skip the scan entirely on the
+  /// overwhelming majority of cycles where nothing is due.
   std::vector<PendingCrfWrite> pending_crf_;
+  std::uint64_t crf_due_min_ = ~std::uint64_t{0};
   std::vector<Resident> resident_;
-  std::vector<Slot> warps_;
+
+  // --- warp-slot banks (structure of arrays, indexed by slot id) ------------
+  // Split by access pattern: the scheduler's ready polls touch cursor/len/
+  // hint and the ops pointer; the scoreboard banks are flat 2-D arrays
+  // `[slot * stride + reg]` so one warp's scoreboard is a contiguous run.
+  int mask_words_ = 0;
+  std::vector<std::uint64_t> active_bits_;
+  std::vector<std::uint64_t> barrier_bits_;
+  std::vector<std::uint64_t> sched_bits_;
+  std::vector<const WarpStream*> slot_stream_;
+  std::vector<const TraceOp*> slot_ops_;   ///< = slot_stream_->ops.data()
+  std::vector<std::uint32_t> slot_cursor_;
+  std::vector<std::uint32_t> slot_len_;    ///< = slot_stream_->ops.size()
+  std::vector<std::int32_t> slot_resident_;
+  /// Cycle at which the current op's scoreboard deps are all ready;
+  /// memoizes failed polls so stalled warps cost one compare per cycle.
+  std::vector<std::uint64_t> slot_ready_hint_;
+  /// Same point with the producers' ST2 recovery cycles subtracted: the
+  /// window [ready_hint_base, ready_hint) is wait time the stall
+  /// attribution charges to ST2 repair rather than to the dependency.
+  std::vector<std::uint64_t> slot_ready_hint_base_;
+  std::vector<std::uint64_t> reg_ready_;      ///< [slot * regs_used + r]
+  /// Per register: how many of the cycles up to reg_ready are ST2 recovery
+  /// cycles of the producing instruction (0 or 1).
+  std::vector<std::uint8_t> reg_st2_extra_;
+  std::vector<std::uint64_t> pred_ready_;     ///< [slot * kNumPredRegs + p]
+
+  /// Bumped whenever a retire or admission changes the slot population;
+  /// in-flight candidate scans detect it and re-read their masks.
+  std::uint64_t topo_gen_ = 0;
+
   std::vector<std::uint64_t> fu_busy_;
   /// Per (scheduler, FU): start of the ST2-recovery tail of the current busy
   /// window. The window [fu_st2_from, fu_busy) is occupancy the unit only
@@ -229,6 +347,14 @@ class SmCore {
   std::vector<int> slot_scratch_;  ///< admit_blocks working set, reused
   std::uint64_t now_ = 0;
   int live_blocks_ = 0;
+  /// Number of resident blocks whose live warps are ALL parked at a barrier
+  /// (ready for release). Maintained at every warps_at_barrier / live_warps
+  /// transition so the per-cycle release_barriers scan reduces to one
+  /// compare when nothing is ripe — the overwhelmingly common cycle.
+  int barrier_ripe_ = 0;
+  int scan_best_ = kStallEmpty;  ///< strongest cause the last scan saw
+  bool scan_st2_ = false;        ///< some warp was held back only by ST2
+  bool scan_exact_ = false;      ///< the last scan polled every candidate
   bool admitted_midcycle_ = false;  ///< blocks landed during this cycle's polls
   bool sealed_ = false;
   EventCounters counters_;

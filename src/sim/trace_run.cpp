@@ -99,58 +99,15 @@ void count_instruction(const ExecRecord& rec, EventCounters& c) {
 }
 
 TraceResult trace_run(const isa::Kernel& kernel, const LaunchConfig& launch,
-                      GlobalMemory& gmem, const TraceObserver& observer) {
-  launch.validate();
-  TraceResult result;
-  ExecRecord rec;
-
-  const int warps = launch.warps_per_block();
-  for (int block = 0; block < launch.num_blocks(); ++block) {
-    std::vector<std::uint8_t> smem(
-        static_cast<std::size_t>(kernel.shared_bytes), 0);
-    FunctionalCore core(kernel, launch, gmem, smem);
-    std::vector<WarpContext> ctxs;
-    ctxs.reserve(static_cast<std::size_t>(warps));
-    for (int wi = 0; wi < warps; ++wi) {
-      ctxs.emplace_back(block, wi, core.initial_mask(wi), kernel.regs_used);
-    }
-
-    int done = 0;
-    std::vector<bool> finished(static_cast<std::size_t>(warps), false);
-    while (done < warps) {
-      bool progressed = false;
-      int at_barrier = 0;
-      for (int wi = 0; wi < warps; ++wi) {
-        if (finished[static_cast<std::size_t>(wi)]) continue;
-        // Drain this warp until it blocks: fewer barrier scans, hot caches.
-        for (;;) {
-          const StepStatus st = core.step(ctxs[static_cast<std::size_t>(wi)],
-                                          &rec);
-          if (st == StepStatus::kExecuted) {
-            progressed = true;
-            count_instruction(rec, result.counters);
-            if (observer) observer(rec);
-            continue;
-          }
-          if (st == StepStatus::kDone) {
-            finished[static_cast<std::size_t>(wi)] = true;
-            ++done;
-          } else {
-            ++at_barrier;
-          }
-          break;
-        }
-      }
-      if (done == warps) break;
-      if (at_barrier == warps - done) {
-        // Every live warp reached the barrier: release it.
-        for (auto& c : ctxs) FunctionalCore::release_barrier(c);
-        progressed = true;
-      }
-      ST2_ASSERT(progressed && "deadlock: warp neither progresses nor barriers");
-    }
+                      GlobalMemory& gmem, const TraceObserver& observer,
+                      bool record_results) {
+  if (observer) {
+    return trace_run_observed(kernel, launch, gmem,
+                              [&](const ExecRecord& rec) { observer(rec); },
+                              record_results);
   }
-  return result;
+  return trace_run_observed(kernel, launch, gmem, [](const ExecRecord&) {},
+                            record_results);
 }
 
 }  // namespace st2::sim

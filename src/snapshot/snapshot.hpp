@@ -29,7 +29,12 @@
 
 namespace st2::snapshot {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Bumped whenever the serialized payload layout changes so stale snapshot
+/// files are rejected up front instead of misparsed. History:
+///   1  original layout (AoS warp slots, u64 cursors)
+///   2  replay-core SoA slot banks: slots serialized per physical slot id up
+///      to max_warps_per_sm, u32 stream cursors
+inline constexpr std::uint32_t kFormatVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 36;
 
 /// Writes `content` to `path` crash-consistently: the bytes land in

@@ -1,6 +1,7 @@
 #include "src/spec/crf.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/common/contracts.hpp"
 
@@ -8,12 +9,6 @@ namespace st2::spec {
 
 CarryRegisterFile::CarryRegisterFile(std::uint64_t seed) : rng_(seed) {
   for (auto& row : rows_) row.fill(0);
-}
-
-std::array<std::uint8_t, CarryRegisterFile::kLanes>
-CarryRegisterFile::read_row(std::uint64_t pc) {
-  ++row_reads_;
-  return rows_[static_cast<std::size_t>(row_of(pc))];
 }
 
 std::uint8_t CarryRegisterFile::peek_lane(std::uint64_t pc, int lane) const {
@@ -30,20 +25,18 @@ void CarryRegisterFile::flip_bit(std::uint64_t pc, int lane, int bit) {
 }
 
 bool CarryRegisterFile::entries_valid() const {
+  // An entry is legal iff its valid bit 7 is clear, so the whole file checks
+  // with one MSB mask over the rows folded eight lanes at a time.
+  static_assert(kLanes % 8 == 0);
+  std::uint64_t msbs = 0;
   for (const auto& row : rows_) {
-    for (const std::uint8_t e : row) {
-      if (e >= 0x80) return false;
+    for (std::size_t i = 0; i < row.size(); i += 8) {
+      std::uint64_t chunk;
+      std::memcpy(&chunk, row.data() + i, sizeof(chunk));
+      msbs |= chunk;
     }
   }
-  return true;
-}
-
-void CarryRegisterFile::request_write(std::uint64_t pc, int lane,
-                                      std::uint8_t carries) {
-  ST2_EXPECTS(lane >= 0 && lane < kLanes);
-  ST2_EXPECTS(carries < 0x80);
-  pending_.push_back(PendingWrite{
-      static_cast<std::uint16_t>(row_of(pc) * kLanes + lane), carries});
+  return (msbs & 0x8080808080808080ULL) == 0;
 }
 
 void CarryRegisterFile::commit_cycle() {

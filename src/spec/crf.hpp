@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/contracts.hpp"
 #include "src/common/rng.hpp"
 #include "src/snapshot/serial.hpp"
 
@@ -30,14 +31,24 @@ class CarryRegisterFile {
   explicit CarryRegisterFile(std::uint64_t seed = 0);
 
   /// Register-read-stage access: the 7-bit patterns of all 32 lanes for the
-  /// row PC[3:0]. Counts one row read.
-  std::array<std::uint8_t, kLanes> read_row(std::uint64_t pc);
+  /// row PC[3:0]. Counts one row read. Inline: called once per adder
+  /// instruction issued in the replay hot path.
+  std::array<std::uint8_t, kLanes> read_row(std::uint64_t pc) {
+    ++row_reads_;
+    return rows_[static_cast<std::size_t>(row_of(pc))];
+  }
 
   /// Peeks a single lane without charging a read (tests/analysis).
   std::uint8_t peek_lane(std::uint64_t pc, int lane) const;
 
-  /// Queues a write-back-stage update for the current cycle.
-  void request_write(std::uint64_t pc, int lane, std::uint8_t carries);
+  /// Queues a write-back-stage update for the current cycle. Inline: called
+  /// once per mispredicting lane in the replay hot path.
+  void request_write(std::uint64_t pc, int lane, std::uint8_t carries) {
+    ST2_EXPECTS(lane >= 0 && lane < kLanes);
+    ST2_EXPECTS(carries < 0x80);
+    pending_.push_back(PendingWrite{
+        static_cast<std::uint16_t>(row_of(pc) * kLanes + lane), carries});
+  }
 
   /// Applies the cycle's queued writes. Multiple writers to the same
   /// (row, lane) arbitrate randomly; losers are dropped (their thread will

@@ -23,8 +23,10 @@ struct PeekResult {
 };
 
 /// Computes the peek mask/values for an add with `num_slices` slices over
-/// (already sub-complemented) operands a and b.
-constexpr PeekResult peek(std::uint64_t a, std::uint64_t b, int num_slices) {
+/// (already sub-complemented) operands a and b. Scalar reference
+/// implementation — the oracle the property test holds `peek` to.
+constexpr PeekResult peek_reference(std::uint64_t a, std::uint64_t b,
+                                    int num_slices) {
   PeekResult r{};
   for (int s = 1; s < num_slices; ++s) {
     const int msb = s * kSliceBits - 1;  // MSB of slice s-1
@@ -35,6 +37,20 @@ constexpr PeekResult peek(std::uint64_t a, std::uint64_t b, int num_slices) {
       if (a_msb) r.carries |= std::uint8_t(1u << (s - 1));
     }
   }
+  return r;
+}
+
+/// Branchless peek: bit s-1 of the mask is "slice s-1's operand MSBs agree",
+/// which is one byte-MSB gather of ~(a^b); the certain carry value is a's
+/// MSB wherever they agree. Equivalent to peek_reference for every input
+/// (property-tested); this is the form both capture and replay run.
+constexpr PeekResult peek(std::uint64_t a, std::uint64_t b, int num_slices) {
+  static_assert(kSliceBits == 8, "byte-gather packing assumes 8-bit slices");
+  const std::uint8_t rel =
+      static_cast<std::uint8_t>(low_mask(num_slices - 1));
+  PeekResult r{};
+  r.mask = static_cast<std::uint8_t>(pack_byte_msbs(~(a ^ b)) & rel);
+  r.carries = static_cast<std::uint8_t>(pack_byte_msbs(a) & r.mask);
   return r;
 }
 

@@ -35,11 +35,7 @@ std::uint64_t fold_xor(std::uint64_t pc, int k) {
 
 }  // namespace
 
-int SpeculationOutcome::recompute_count() const {
-  return std::popcount(static_cast<unsigned>(recompute_mask));
-}
-
-std::uint8_t actual_carries(const AddOp& op) {
+std::uint8_t actual_carries_reference(const AddOp& op) {
   std::uint8_t packed = 0;
   for (int s = 1; s < op.num_slices; ++s) {
     if (slice_carry_in(op.a, op.b, op.cin, s)) {
@@ -109,8 +105,9 @@ Prediction CarrySpeculator::predict(const AddOp& op) const {
   return p;
 }
 
-SpeculationOutcome resolve_prediction(const Prediction& pred,
-                                      std::uint8_t actual, int num_slices) {
+SpeculationOutcome resolve_prediction_reference(const Prediction& pred,
+                                                std::uint8_t actual,
+                                                int num_slices) {
   const std::uint8_t rel = relevant_mask(num_slices);
   SpeculationOutcome out{};
   out.actual = static_cast<std::uint8_t>(actual & rel);

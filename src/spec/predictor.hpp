@@ -8,10 +8,12 @@
 // CarryRegisterFile in crf.hpp.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <unordered_map>
 
 #include "src/common/bitutils.hpp"
+#include "src/common/contracts.hpp"
 #include "src/spec/config.hpp"
 #include "src/spec/peek.hpp"
 
@@ -45,7 +47,10 @@ struct SpeculationOutcome {
   /// slices).
   std::uint8_t recompute_mask = 0;
   bool any_misprediction() const { return mispredicted != 0; }
-  int recompute_count() const;
+  /// Inline: the replay core calls this once per adder instruction issued.
+  int recompute_count() const {
+    return std::popcount(static_cast<unsigned>(recompute_mask));
+  }
 };
 
 class CarrySpeculator {
@@ -74,12 +79,47 @@ class CarrySpeculator {
 };
 
 /// Ground-truth carry-ins for slices 1..num_slices-1, packed LSB-first.
-std::uint8_t actual_carries(const AddOp& op);
+/// Branchless (one add + one byte-LSB gather); inline because capture calls
+/// it once per active adder lane. Scalar oracle: actual_carries_reference.
+inline std::uint8_t actual_carries(const AddOp& op) {
+  return static_cast<std::uint8_t>(slice_carries(op.a, op.b, op.cin) &
+                                   low_mask(op.num_slices - 1));
+}
+
+/// Scalar reference for actual_carries — the property-test oracle.
+std::uint8_t actual_carries_reference(const AddOp& op);
 
 /// Compares a prediction against the true carry pattern and derives the
 /// misprediction and recompute masks. Shared by the idealized speculator and
 /// the CRF-based hardware path in the timing simulator.
-SpeculationOutcome resolve_prediction(const Prediction& pred,
-                                      std::uint8_t actual, int num_slices);
+///
+/// Branchless: the recompute mask ("lowest erring slice and every non-peeked
+/// slice above it") is pure mask arithmetic. `mis & -mis` isolates the
+/// lowest mispredicted bit; subtracting 1 turns it into the strictly-below
+/// mask, so `~(low - 1)` covers at-or-above. When nothing mispredicted,
+/// `low` is 0 and the unsigned wraparound of `low - 1` makes the cover mask
+/// empty — no branch needed. Scalar oracle: resolve_prediction_reference.
+inline SpeculationOutcome resolve_prediction(const Prediction& pred,
+                                             std::uint8_t actual,
+                                             int num_slices) {
+  const auto rel =
+      static_cast<std::uint32_t>((1u << (num_slices - 1)) - 1);
+  SpeculationOutcome out{};
+  const std::uint32_t act = actual & rel;
+  const std::uint32_t mis =
+      (pred.carries ^ act) & pred.dynamic_mask;
+  ST2_ASSERT((mis & pred.peek_mask) == 0);
+  const std::uint32_t low = mis & (0u - mis);  // lowest erring slice, or 0
+  out.actual = static_cast<std::uint8_t>(act);
+  out.mispredicted = static_cast<std::uint8_t>(mis);
+  out.recompute_mask =
+      static_cast<std::uint8_t>(rel & ~(low - 1u) & ~pred.peek_mask);
+  return out;
+}
+
+/// Scalar reference for resolve_prediction — the property-test oracle.
+SpeculationOutcome resolve_prediction_reference(const Prediction& pred,
+                                                std::uint8_t actual,
+                                                int num_slices);
 
 }  // namespace st2::spec

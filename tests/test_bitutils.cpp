@@ -74,6 +74,48 @@ TEST(BitUtils, SliceCarriesPacksRippleCarries) {
   }
 }
 
+// The branchless byte-gather slice_carries must agree with the scalar
+// reference for any operands and carry-in (shaped to hit long propagate
+// runs and slice-boundary generates, not just uniform noise).
+TEST(BitUtils, SliceCarriesMatchesScalarReference) {
+  Xoshiro256 rng(7);
+  for (int iter = 0; iter < 100000; ++iter) {
+    std::uint64_t a = rng.next_u64();
+    std::uint64_t b = rng.next_u64();
+    switch (iter & 3) {
+      case 1: a &= 0xffff; break;
+      case 2: b = sign_extend(b & 0xffffff, 24); break;
+      case 3: a |= low_mask(32); break;
+      default: break;
+    }
+    const bool cin = (iter & 4) != 0;
+    ASSERT_EQ(slice_carries(a, b, cin), slice_carries_reference(a, b, cin))
+        << "a=" << a << " b=" << b << " cin=" << cin;
+  }
+}
+
+TEST(BitUtils, PackByteGathers) {
+  EXPECT_EQ(pack_byte_msbs(0), 0);
+  EXPECT_EQ(pack_byte_msbs(~0ull), 0xff);
+  EXPECT_EQ(pack_byte_msbs(0x8000000000000000ull), 0x80);
+  EXPECT_EQ(pack_byte_msbs(0x0000000000000080ull), 0x01);
+  EXPECT_EQ(pack_byte_lsbs(0), 0);
+  EXPECT_EQ(pack_byte_lsbs(~0ull), 0xff);
+  EXPECT_EQ(pack_byte_lsbs(0x0100000000000001ull), 0x81);
+  Xoshiro256 rng(8);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const std::uint64_t v = rng.next_u64();
+    std::uint8_t msbs = 0;
+    std::uint8_t lsbs = 0;
+    for (int i = 0; i < 8; ++i) {
+      if (bit(v, 8 * i + 7)) msbs |= std::uint8_t(1u << i);
+      if (bit(v, 8 * i)) lsbs |= std::uint8_t(1u << i);
+    }
+    ASSERT_EQ(pack_byte_msbs(v), msbs);
+    ASSERT_EQ(pack_byte_lsbs(v), lsbs);
+  }
+}
+
 TEST(BitUtils, LongestCarryChainKnownCases) {
   EXPECT_EQ(longest_carry_chain(0, 0, false), 0);
   // 1 + 1: generate at bit 0, no propagation beyond it.

@@ -30,6 +30,32 @@ TEST(Peek, PeekedBitsAreAlwaysCorrect) {
   }
 }
 
+// The branchless byte-gather peek must agree with the scalar reference for
+// every slice count, including exhaustive coverage of the byte pattern
+// space: only the per-byte MSBs matter, so sweeping all 256x256 MSB
+// patterns (with noise in the other bits) is exhaustive over the decision
+// inputs.
+TEST(Peek, BranchlessMatchesScalarReference) {
+  Xoshiro256 rng(23);
+  for (int pa = 0; pa < 256; ++pa) {
+    for (int pb = 0; pb < 256; ++pb) {
+      std::uint64_t a = rng.next_u64() & 0x7f7f7f7f7f7f7f7full;
+      std::uint64_t b = rng.next_u64() & 0x7f7f7f7f7f7f7f7full;
+      for (int i = 0; i < 8; ++i) {
+        if ((pa >> i) & 1) a |= 0x80ull << (8 * i);
+        if ((pb >> i) & 1) b |= 0x80ull << (8 * i);
+      }
+      const int slices = 2 + static_cast<int>(rng.next_below(7));
+      const PeekResult got = peek(a, b, slices);
+      const PeekResult want = peek_reference(a, b, slices);
+      ASSERT_EQ(got.mask, want.mask)
+          << "a=" << a << " b=" << b << " slices=" << slices;
+      ASSERT_EQ(got.carries, want.carries)
+          << "a=" << a << " b=" << b << " slices=" << slices;
+    }
+  }
+}
+
 TEST(Peek, BothMsbsZeroForcesCarryZero) {
   // Slice 0 operands with MSB (bit 7) zero in both: carry into slice 1 is 0.
   const PeekResult pk = peek(0x7f, 0x7f, 8);

@@ -67,9 +67,19 @@ TEST(SpecProperty, PredictDetectRepairAlwaysYieldsTheExactSum) {
         static_cast<std::uint8_t>((1u << (num_slices - 1)) - 1);
     const std::uint8_t hist = static_cast<std::uint8_t>(rng.next_below(128));
 
+    // The branchless production implementations must agree with their
+    // scalar constexpr reference oracles on every case before anything
+    // downstream is checked — this is the equivalence proof the replay
+    // core's bit-identity rests on.
+    const PeekResult pk_ref = peek_reference(a, b, num_slices);
+
     // Build the prediction exactly as SmCore::speculate does: statically
     // certain slices from Peek, everything else from (random) history.
     const PeekResult pk = peek(a, b, num_slices);
+    ASSERT_EQ(pk.mask, pk_ref.mask)
+        << "a=" << a << " b=" << b << " slices=" << num_slices;
+    ASSERT_EQ(pk.carries, pk_ref.carries)
+        << "a=" << a << " b=" << b << " slices=" << num_slices;
     Prediction pred{};
     pred.peek_mask = static_cast<std::uint8_t>(pk.mask & rel);
     pred.dynamic_mask = static_cast<std::uint8_t>(rel & ~pred.peek_mask);
@@ -82,8 +92,18 @@ TEST(SpecProperty, PredictDetectRepairAlwaysYieldsTheExactSum) {
     op.cin = cin;
     op.num_slices = num_slices;
     const std::uint8_t actual = actual_carries(op);
+    ASSERT_EQ(actual, actual_carries_reference(op))
+        << "a=" << a << " b=" << b << " cin=" << cin
+        << " slices=" << num_slices;
     const SpeculationOutcome out =
         resolve_prediction(pred, actual, num_slices);
+    const SpeculationOutcome out_ref =
+        resolve_prediction_reference(pred, actual, num_slices);
+    ASSERT_EQ(out.actual, out_ref.actual);
+    ASSERT_EQ(out.mispredicted, out_ref.mispredicted);
+    ASSERT_EQ(out.recompute_mask, out_ref.recompute_mask)
+        << "a=" << a << " b=" << b << " cin=" << cin
+        << " slices=" << num_slices << " hist=" << int(hist);
 
     const std::uint64_t width_mask = low_mask(num_slices * kSliceBits);
     const std::uint64_t exact = (a + b + (cin ? 1u : 0u)) & width_mask;

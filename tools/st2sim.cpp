@@ -3,11 +3,17 @@
 //   st2sim list
 //   st2sim run <kernel|all> [--scale S] [--st2] [--sms N] [--jobs N] [--lrr]
 //              [--max-warps N] [--spec CONFIG] [--csv FILE] [--json FILE]
-//              [--timeline FILE] [--disasm] [--trace]
+//              [--timeline FILE] [--disasm] [--trace] [--profile]
 //              [--inject SPEC] [--inject-seed N] [--selfcheck]
 //              [--watchdog-cycles N] [--watchdog-ms N]
 //              [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
 //              [--trace-cache DIR]
+//
+// --profile prints a per-phase wall-time breakdown to stderr after the run
+// (capture / replay / report seconds, simulated cycles per second and per
+// SM) and, with --json, prepends a one-line {"profile": ...} element to the
+// report array. Pure measurement: results are bit-identical with and
+// without it.
 //
 // --trace-cache DIR caches the serial capture phase (the canonical
 // functional pass) in DIR, content-addressed by kernel/launch/input-memory
@@ -61,6 +67,7 @@
 //   st2sim run msort_K2 --disasm           # print the mini-PTX
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -104,6 +111,7 @@ struct Options {
   bool trace = false;
   bool disasm = false;
   bool selfcheck = false;
+  bool profile = false;  ///< --profile: per-phase wall-time breakdown
   int sms = 20;
   int jobs = 1;
   int max_warps = 0;  ///< 0 = the config default
@@ -122,6 +130,69 @@ struct Options {
 
 /// Chrome-trace bucket width used for --timeline, in cycles.
 constexpr int kTimelineBucket = 1024;
+
+/// --profile accumulator: wall time per phase across every kernel/launch of
+/// the invocation, plus the simulated-cycle volume the replay produced.
+/// Measurement only — it never feeds back into simulation state, so it is
+/// excluded from config_hash like --jobs.
+struct ProfileAccum {
+  double capture_s = 0;  ///< serial canonical functional pass (trace capture)
+  double replay_s = 0;   ///< parallel per-SM timing replay
+  double report_s = 0;   ///< table/CSV/JSON/timeline assembly and writes
+  std::uint64_t cycles = 0;  ///< simulated cycles (sum of launch wall cycles)
+  std::uint64_t launches = 0;
+
+  /// One self-contained JSON array element, mirroring the trace-cache stats
+  /// contract: a single line, so stripping lines containing "profile" leaves
+  /// a byte-identical no-profile report.
+  std::string to_json(int sms) const {
+    const double rate = replay_s > 0 ? double(cycles) / replay_s : 0.0;
+    char buf[384];
+    std::snprintf(buf, sizeof buf,
+                  "{\"profile\": {\"capture_s\": %.6f, \"replay_s\": %.6f, "
+                  "\"report_s\": %.6f, \"cycles\": %llu, \"launches\": %llu, "
+                  "\"sms\": %d, \"cycles_per_s\": %.0f, "
+                  "\"cycles_per_s_per_sm\": %.0f}}",
+                  capture_s, replay_s, report_s,
+                  static_cast<unsigned long long>(cycles),
+                  static_cast<unsigned long long>(launches), sms, rate,
+                  sms > 0 ? rate / sms : 0.0);
+    return buf;
+  }
+
+  void print(int sms) const {
+    const double rate = replay_s > 0 ? double(cycles) / replay_s : 0.0;
+    std::fprintf(stderr,
+                 "profile: capture %.3fs  replay %.3fs  report %.3fs\n",
+                 capture_s, replay_s, report_s);
+    std::fprintf(stderr,
+                 "profile: %llu sim cycles over %llu launches, %d SMs, "
+                 "%.3g cycles/s (%.3g per SM)\n",
+                 static_cast<unsigned long long>(cycles),
+                 static_cast<unsigned long long>(launches), sms, rate,
+                 sms > 0 ? rate / sms : 0.0);
+  }
+};
+
+/// Scoped phase timer: adds the elapsed wall time to `*acc` on destruction
+/// (no-op when profiling is off and `acc` is null).
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double* acc)
+      : acc_(acc), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    if (acc_ == nullptr) return;
+    *acc_ += std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - start_)
+                 .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* acc_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Strict integer parse: rejects partial matches like "8x" or "abc",
 /// which atoi would silently turn into 8 or 0.
@@ -160,6 +231,7 @@ int usage() {
       "  st2sim run <kernel|all> [--scale S] [--st2] [--sms N] [--jobs N]\n"
       "             [--lrr] [--max-warps N] [--spec CONFIG] [--csv FILE]\n"
       "             [--json FILE] [--timeline FILE] [--disasm] [--trace]\n"
+      "             [--profile]\n"
       "             [--inject SPEC] [--inject-seed N] [--selfcheck]\n"
       "             [--watchdog-cycles N] [--watchdog-ms N]\n"
       "             [--checkpoint FILE] [--checkpoint-every N]\n"
@@ -241,6 +313,8 @@ bool parse(int argc, char** argv, Options* o) {
       const char* v = next();
       if (!v || *v == '\0') return false;
       o->trace_cache = v;
+    } else if (a == "--profile") {
+      o->profile = true;
     } else if (a == "--selfcheck") {
       o->selfcheck = true;
     } else if (a == "--st2") {
@@ -436,7 +510,7 @@ int run_one(const Options& o, const std::string& name, Table* out,
             std::vector<std::string>* json_reports,
             std::vector<std::string>* trace_events, int* next_pid,
             std::uint32_t kernel_pos, int rc_so_far,
-            const ResumeData* resume) {
+            const ResumeData* resume, ProfileAccum* prof) {
   workloads::PreparedCase pc = workloads::prepare_case(name, o.scale);
   if (o.disasm) {
     std::printf("%s\n", pc.kernel.disassemble().c_str());
@@ -465,10 +539,14 @@ int run_one(const Options& o, const std::string& name, Table* out,
     }
     sim::SpeculationHarness spec(cfg);
     sim::EventCounters c;
-    for (const auto& lc : pc.launches) {
-      c += sim::trace_run(pc.kernel, lc, *pc.mem,
-                          [&](const sim::ExecRecord& r) { spec.feed(r); })
-               .counters;
+    {
+      // Trace mode has no replay: the functional pass is the whole phase.
+      PhaseTimer pt(prof != nullptr ? &prof->capture_s : nullptr);
+      for (const auto& lc : pc.launches) {
+        c += sim::trace_run(pc.kernel, lc, *pc.mem,
+                            [&](const sim::ExecRecord& r) { spec.feed(r); })
+                 .counters;
+      }
     }
     const bool ok = pc.validate(*pc.mem);
     out->row({name, ok ? "ok" : "FAIL", std::to_string(c.thread_instructions),
@@ -508,6 +586,7 @@ int run_one(const Options& o, const std::string& name, Table* out,
     // functional pass, so this re-applies their architectural side effects
     // to global memory — which later captures and the final host validation
     // need — deterministically and without any timing replay.
+    PhaseTimer pt(prof != nullptr ? &prof->capture_s : nullptr);
     for (std::size_t li = 0; li < start_launch; ++li) {
       if (o.cache != nullptr) {
         (void)o.cache->provide(cfg, pc.kernel, pc.launches[li], *pc.mem);
@@ -523,10 +602,13 @@ int run_one(const Options& o, const std::string& name, Table* out,
   bool resumable = false;
   for (std::size_t li = start_launch; li < pc.launches.size(); ++li) {
     const int launch_idx = static_cast<int>(li);
-    const sim::GridCapture cap =
-        o.cache != nullptr
-            ? o.cache->provide(cfg, pc.kernel, pc.launches[li], *pc.mem)
-            : sim::capture_grid(cfg, pc.kernel, pc.launches[li], *pc.mem);
+    const sim::GridCapture cap = [&] {
+      PhaseTimer cpt(prof != nullptr ? &prof->capture_s : nullptr);
+      return o.cache != nullptr
+                 ? o.cache->provide(cfg, pc.kernel, pc.launches[li], *pc.mem)
+                 : sim::capture_grid(cfg, pc.kernel, pc.launches[li],
+                                     *pc.mem);
+    }();
     bool wrote_abort_snapshot = false;
     sim::RunReport r;
     const bool resume_this = resume != nullptr && li == start_launch;
@@ -556,8 +638,10 @@ int run_one(const Options& o, const std::string& name, Table* out,
         };
       }
       if (resume_this) ck.resume = &resume->engine_state;
+      PhaseTimer rpt(prof != nullptr ? &prof->replay_s : nullptr);
       r = eng.replay(pc.kernel, cap, &ck);
     } else {
+      PhaseTimer rpt(prof != nullptr ? &prof->replay_s : nullptr);
       r = eng.replay(pc.kernel, cap);
     }
     if (r.aborted() && wrote_abort_snapshot) {
@@ -574,6 +658,10 @@ int run_one(const Options& o, const std::string& name, Table* out,
     }
     c += r.chip;
     cycles += r.wall_cycles();
+    if (prof != nullptr) {
+      prof->cycles += r.wall_cycles();
+      ++prof->launches;
+    }
     if (r.aborted()) {
       abort_reason = r.abort_reason;
       break;  // remaining launches would run on inconsistent timing state
@@ -704,10 +792,12 @@ int main(int argc, char** argv) {
   // snapshots are rejected with their own kind, broken internal invariants
   // are simulator bugs — each with its own exit code and a one-line
   // structured stderr message instead of a bare what().
+  ProfileAccum prof;
+  ProfileAccum* pr = o.profile ? &prof : nullptr;
   auto guarded = [&](const std::string& name, std::uint32_t kernel_pos,
                      const ResumeData* rd) {
     try {
-      return run_one(o, name, &t, jr, te, &next_pid, kernel_pos, rc, rd);
+      return run_one(o, name, &t, jr, te, &next_pid, kernel_pos, rc, rd, pr);
     } catch (const sim::SimError& e) {
       std::fprintf(stderr, "%s\n", e.structured().c_str());
       return sim::exit_code(e.kind());
@@ -758,7 +848,10 @@ int main(int argc, char** argv) {
     rc = guarded(o.kernel, 0, resuming ? &resume : nullptr);
   }
   if (!o.disasm) {
-    t.print(std::cout);
+    {
+      PhaseTimer rpt(pr != nullptr ? &prof.report_s : nullptr);
+      t.print(std::cout);
+    }
     if (o.cache != nullptr) {
       // Stats ride after the table on stdout and as one self-contained
       // array element in --json. The element goes *first* so the separating
@@ -771,10 +864,22 @@ int main(int argc, char** argv) {
       }
     }
     if (!o.csv.empty()) {
+      PhaseTimer rpt(pr != nullptr ? &prof.report_s : nullptr);
       if (write_report_file(o.csv, t.to_csv())) {
         std::printf("wrote %s\n", o.csv.c_str());
       } else if (rc == sim::kExitOk) {
         rc = sim::kExitIo;
+      }
+    }
+    if (pr != nullptr) {
+      // report_s covers the table and CSV; the JSON/timeline writes below
+      // are excluded because the profile element must embed its final value
+      // inside the JSON document itself. The element goes first, like the
+      // trace-cache one: stripping lines containing "profile" recovers a
+      // byte-identical no-profile report.
+      prof.print(o.sms);
+      if (jr != nullptr) {
+        json_reports.insert(json_reports.begin(), prof.to_json(o.sms));
       }
     }
     if (!o.json.empty()) {
