@@ -40,18 +40,39 @@ inline double bench_scale() {
 /// sweep replays the same captured value streams instead of re-running the
 /// serial functional pass. BENCH_TRACE_CACHE controls the tiers:
 ///   unset / ""   in-memory memo only (the default — pure intra-process)
+///   "memo"       same, spelled out
 ///   "off" / "0"  caching disabled entirely (the pre-cache behaviour)
 ///   DIR          memo + content-addressed disk tier in DIR, shared across
 ///                bench binaries and invocations
 /// Either way the table output is bit-identical (the cache contract).
+///
+/// Any other value is a directory, and it must exist or be creatable: an
+/// unwritable path used to escape the lazy initializer as an uncaught
+/// SimError (std::terminate, no diagnostic) — now it exits 7 with the
+/// structured io-error line. A disk tier announces its resolved absolute
+/// path once on stderr, so sweeps driven from different working directories
+/// can tell immediately whether they actually share one cache.
 inline tracecache::TraceCache* trace_cache() {
   static const std::unique_ptr<tracecache::TraceCache> cache = [] {
     const char* s = std::getenv("BENCH_TRACE_CACHE");
     const std::string v = s == nullptr ? "" : s;
     if (v == "off" || v == "0") return std::unique_ptr<tracecache::TraceCache>();
     tracecache::CacheOptions opts;
-    opts.dir = v;
-    return std::make_unique<tracecache::TraceCache>(opts);
+    if (v != "memo") opts.dir = v;
+    try {
+      auto cache = std::make_unique<tracecache::TraceCache>(opts);
+      if (!opts.dir.empty()) {
+        std::error_code ec;
+        const std::filesystem::path abs =
+            std::filesystem::absolute(opts.dir, ec);
+        std::cerr << "bench: trace-cache disk tier at "
+                  << (ec ? opts.dir : abs.string()) << "\n";
+      }
+      return cache;
+    } catch (const sim::SimError& e) {
+      std::cerr << e.structured() << "\n";
+      std::exit(sim::exit_code(e.kind()));
+    }
   }();
   return cache.get();
 }

@@ -46,6 +46,8 @@ expect_code 2 run pathfinder --sms 0
 expect_code 2 run pathfinder --sms -3
 expect_code 2 run pathfinder --sms 2x
 expect_code 2 run pathfinder --jobs banana
+expect_code 2 run pathfinder --jobs 0
+expect_code 2 run pathfinder --jobs -2
 expect_code 2 run pathfinder --max-warps -1
 expect_code 2 run pathfinder --max-warps 2x
 expect_code 2 run pathfinder --watchdog-cycles nope
@@ -74,6 +76,65 @@ expect_code 2 run pathfinder --resume
 
 # --- resume targets that are not snapshots exit 8, not 2, not a crash ------
 expect_code 8 run pathfinder --st2 --resume /nonexistent/dir/x.st2
+
+# --- serve/client argv ------------------------------------------------------
+expect_code 2 serve
+expect_code 2 serve --socket
+expect_code 2 serve --socket /tmp/x.sock --port 4242
+expect_code 2 serve --socket /tmp/x.sock --workers 0
+expect_code 2 serve --socket /tmp/x.sock --workers 2x
+expect_code 2 serve --socket /tmp/x.sock --queue-depth 0
+expect_code 2 serve --port 99999
+expect_code 2 serve --socket /tmp/x.sock --trace-cache d --no-cache
+expect_code 2 serve --socket /tmp/x.sock --no-such-flag
+expect_code 2 client
+expect_code 2 client --socket /tmp/x.sock --port 4242
+expect_code 2 client --no-such-flag
+# connecting to a daemon that is not there is an io error, not a crash
+expect_code 7 client --socket /nonexistent/dir/x.sock
+
+# --- broken stdout pipe: structured io-error exit, not a SIGPIPE death ------
+# `head -c 0` closes the pipe before the simulator's first write (the sleep
+# guarantees the read end is gone even on a loaded machine); the CLI must
+# map EPIPE to exit 7 with error[io-error].
+rc_file=$(mktemp /tmp/st2_fuzz_rc.XXXXXX)
+{
+    sleep 0.3
+    "$ST2SIM" run pathfinder --scale 0.15 2>/dev/null
+    echo $? >"$rc_file"
+} | head -c 0
+pipe_rc=$(cat "$rc_file")
+rm -f "$rc_file"
+if [ "$pipe_rc" -ne 7 ]; then
+    echo "FAIL: broken stdout pipe -> exit $pipe_rc (want 7)" >&2
+    fails=$((fails + 1))
+fi
+
+# --- second SIGTERM terminates: the handler re-arms SIG_DFL after firing ----
+# One signal winds down gracefully at the next cancel poll; a run wedged in
+# a phase that never polls must die on the second instead of swallowing it.
+# sgemm --scale 4 spends multiple seconds in the serial capture phase (which
+# by design does not poll the cancel flag), so the first TERM at 0.5s lands
+# mid-capture and the run is guaranteed still wedged when the second
+# arrives. Retried once for pathologically loaded machines.
+attempt=0
+double_rc=0
+while [ "$attempt" -lt 2 ]; do
+    "$ST2SIM" run sgemm --scale 4 >/dev/null 2>&1 &
+    pid=$!
+    sleep 0.5
+    kill -TERM "$pid" 2>/dev/null
+    sleep 0.3
+    kill -TERM "$pid" 2>/dev/null
+    wait "$pid"
+    double_rc=$?
+    [ "$double_rc" -eq 143 ] && break
+    attempt=$((attempt + 1))
+done
+if [ "$double_rc" -ne 143 ]; then
+    echo "FAIL: second SIGTERM -> exit $double_rc (want 143, signal death)" >&2
+    fails=$((fails + 1))
+fi
 
 if [ "$fails" -ne 0 ]; then
     echo "cli_fuzz: $fails case(s) failed" >&2

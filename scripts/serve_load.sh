@@ -1,0 +1,186 @@
+#!/bin/sh
+# Load/robustness harness for `st2sim serve` (docs/simulator.md, "Serving
+# mode"). Against a real spawned daemon it checks, end to end:
+#
+#   1. bit-identity under load: N mixed-kernel requests pipelined through one
+#      connection — every response body must be byte-identical (cmp) to the
+#      one-shot `st2sim run ... --json` file for its config, with a malformed
+#      line and a watchdog-killed request mixed into the stream to prove
+#      per-request isolation (their neighbours must be untouched);
+#   2. admission control: a flood into a tiny queue sheds structured
+#      error[busy] responses and the daemon keeps serving;
+#   3. graceful drain: SIGTERM with requests in flight — the daemon finishes
+#      admitted work, flushes whole responses (the client exits 0; it fails
+#      on any partial frame), and exits 0.
+#
+#   usage: serve_load.sh /path/to/st2sim [workdir] [N]
+set -u
+
+ST2SIM=${1:?usage: serve_load.sh /path/to/st2sim [workdir] [N]}
+WORK=${2:-$(mktemp -d /tmp/st2_serveload.XXXXXX)}
+N=${3:-200}
+mkdir -p "$WORK"
+cd "$WORK" || exit 1
+rm -rf bodies drain_bodies
+SOCK=$WORK/serve.sock
+
+fails=0
+fail() {
+    echo "FAIL: $*" >&2
+    fails=$((fails + 1))
+}
+
+# Four request configs cycled through the load stream, with their exact
+# one-shot CLI equivalents.
+cfg_flags() { # cfg_flags <k> -> CLI flags
+    case $1 in
+    0) echo "pathfinder --scale 0.15 --sms 4" ;;
+    1) echo "pathfinder --scale 0.15 --sms 4 --st2" ;;
+    2) echo "sad_K1 --scale 0.15 --sms 2 --st2" ;;
+    3) echo "sad_K1 --scale 0.15 --sms 2 --st2 --lrr" ;;
+    esac
+}
+cfg_json() { # cfg_json <k> <id> -> request line
+    case $1 in
+    0) printf '{"id": "%s", "kernel": "pathfinder", "scale": 0.15, "sms": 4}\n' "$2" ;;
+    1) printf '{"id": "%s", "kernel": "pathfinder", "scale": 0.15, "sms": 4, "st2": true}\n' "$2" ;;
+    2) printf '{"id": "%s", "kernel": "sad_K1", "scale": 0.15, "sms": 2, "st2": true}\n' "$2" ;;
+    3) printf '{"id": "%s", "kernel": "sad_K1", "scale": 0.15, "sms": 2, "st2": true, "lrr": true}\n' "$2" ;;
+    esac
+}
+
+start_daemon() { # start_daemon <extra flags...>; sets SRV
+    : >serve.out
+    # shellcheck disable=SC2086
+    "$ST2SIM" serve --socket "$SOCK" "$@" >>serve.out 2>>serve.err &
+    SRV=$!
+    i=0
+    while ! grep -q listening serve.out 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { fail "daemon never became ready"; return 1; }
+        sleep 0.1
+    done
+    return 0
+}
+
+# --- golden references: the one-shot CLI, one run per config ----------------
+k=0
+while [ "$k" -lt 4 ]; do
+    # shellcheck disable=SC2046
+    "$ST2SIM" run $(cfg_flags "$k") --json "ref_$k.json" >/dev/null 2>&1 ||
+        fail "reference run $k exited $?"
+    k=$((k + 1))
+done
+
+# --- 1. mixed load: N requests + 1 malformed + 1 watchdog-killed ------------
+awk -v n="$N" 'BEGIN {
+    line[0] = "{\"id\": \"IDX\", \"kernel\": \"pathfinder\", \"scale\": 0.15, \"sms\": 4}";
+    line[1] = "{\"id\": \"IDX\", \"kernel\": \"pathfinder\", \"scale\": 0.15, \"sms\": 4, \"st2\": true}";
+    line[2] = "{\"id\": \"IDX\", \"kernel\": \"sad_K1\", \"scale\": 0.15, \"sms\": 2, \"st2\": true}";
+    line[3] = "{\"id\": \"IDX\", \"kernel\": \"sad_K1\", \"scale\": 0.15, \"sms\": 2, \"st2\": true, \"lrr\": true}";
+    for (i = 0; i < n; i++) {
+        k = i % 4;
+        if (i == int(n / 3)) print "this line is not a request";
+        if (i == int(n / 2)) print "{\"id\": \"wd\", \"kernel\": \"sad_K1\", \"scale\": 0.25, \"sms\": 2, \"st2\": true, \"watchdog_cycles\": 10}";
+        s = line[k]; sub(/IDX/, "c" k "-" i, s); print s;
+    }
+}' >requests.ndjson
+total=$((N + 2))
+
+# The queue must hold the whole pipelined stream here: this phase measures
+# isolation and bit-identity, not shedding (phase 2 covers that).
+start_daemon --workers 2 --queue-depth $((total + 16)) || exit 1
+"$ST2SIM" client --socket "$SOCK" --out-dir bodies \
+    <requests.ndjson >envelopes.out 2>client.err
+rc=$?
+[ "$rc" -eq 0 ] || fail "load client exited $rc"
+got=$(wc -l <envelopes.out)
+[ "$got" -eq "$total" ] || fail "expected $total envelopes, got $got"
+grep -q '"error_kind": "busy"' envelopes.out &&
+    fail "busy shed during the sized-queue load phase"
+
+# Every regular response body must be byte-identical to its config's
+# one-shot CLI report.
+i=0
+while [ "$i" -lt "$N" ]; do
+    k=$((i % 4))
+    cmp -s "ref_$k.json" "bodies/c$k-$i.json" ||
+        fail "body c$k-$i differs from ref_$k"
+    i=$((i + 1))
+done
+# The malformed line: classified, daemon-assigned id, nothing crashed.
+grep -q '"request_id": "req-[0-9]*", "status": "error", "error_kind": "bad-arguments"' \
+    envelopes.out || fail "malformed line not classified as bad-arguments"
+# The watchdog-killed request: exit 4 with a partial aborted report.
+grep -q '"request_id": "wd", "status": "done", "exit_code": 4' envelopes.out ||
+    fail "watchdog request did not exit 4"
+grep -q '"status": "aborted"' bodies/wd.json ||
+    fail "watchdog body is not an aborted partial report"
+
+kill -TERM "$SRV"
+wait "$SRV"
+src=$?
+[ "$src" -eq 0 ] || fail "daemon exited $src after SIGTERM (want 0)"
+
+# --- 2. admission control: tiny queue, flood, structured busy shedding ------
+: >serve.err
+start_daemon --workers 1 --queue-depth 2 || exit 1
+{
+    printf '{"id": "slow", "kernel": "sad_K1", "scale": 0.5, "sms": 2, "st2": true}\n'
+    i=0
+    while [ "$i" -lt 30 ]; do
+        printf '{"id": "f%d", "kernel": "pathfinder", "scale": 0.15, "sms": 4}\n' "$i"
+        i=$((i + 1))
+    done
+} >flood.ndjson
+"$ST2SIM" client --socket "$SOCK" <flood.ndjson >flood.out 2>&1 ||
+    fail "flood client exited $?"
+got=$(wc -l <flood.out)
+[ "$got" -eq 31 ] || fail "flood: expected 31 envelopes, got $got"
+busy=$(grep -c '"error_kind": "busy"' flood.out)
+[ "$busy" -ge 1 ] || fail "flood into queue-depth 2 shed no busy responses"
+grep -q '"exit_code": 9' flood.out || fail "busy responses must carry exit 9"
+# The daemon survived the flood and still serves.
+printf '{"id": "after", "kernel": "pathfinder", "scale": 0.15, "sms": 4}\n' |
+    "$ST2SIM" client --socket "$SOCK" --out-dir bodies >after.out 2>&1 ||
+    fail "post-flood client exited $?"
+cmp -s ref_0.json bodies/after.json || fail "post-flood body differs"
+kill -TERM "$SRV"
+wait "$SRV" || fail "flood daemon exited non-zero after SIGTERM"
+
+# --- 3. graceful drain: SIGTERM with requests in flight ---------------------
+start_daemon --workers 1 || exit 1
+{
+    i=0
+    while [ "$i" -lt 4 ]; do
+        printf '{"id": "d%d", "kernel": "sad_K1", "scale": 0.25, "sms": 2, "st2": true}\n' "$i"
+        i=$((i + 1))
+    done
+} >drain.ndjson
+"$ST2SIM" client --socket "$SOCK" --out-dir drain_bodies \
+    <drain.ndjson >drain.out 2>drain.err &
+CLI=$!
+sleep 0.4 # all four admitted; the first is mid-run on the single worker
+kill -TERM "$SRV"
+wait "$SRV"
+src=$?
+[ "$src" -eq 0 ] || fail "drain daemon exited $src (want 0)"
+wait "$CLI"
+crc=$?
+# The client hard-fails on any torn frame, so rc 0 == zero partial responses.
+[ "$crc" -eq 0 ] || fail "drain client exited $crc (partial response?)"
+got=$(wc -l <drain.out)
+[ "$got" -eq 4 ] || fail "drain: expected 4 whole envelopes, got $got"
+i=0
+while [ "$i" -lt 4 ]; do
+    grep -q "\"request_id\": \"d$i\", \"status\": \"done\", \"exit_code\": 0" \
+        drain.out || fail "drain request d$i did not finish cleanly"
+    i=$((i + 1))
+done
+grep -q "drained" serve.err || fail "daemon never logged its drain stats"
+
+if [ "$fails" -ne 0 ]; then
+    echo "serve_load: $fails check(s) failed (workdir: $WORK)" >&2
+    exit 1
+fi
+echo "serve_load: all checks passed (N=$N)"

@@ -1,0 +1,196 @@
+#include "src/serve/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "src/serve/codec.hpp"
+#include "src/sim/error.hpp"
+
+namespace st2::serve {
+
+namespace {
+
+using sim::SimError;
+using sim::SimErrorKind;
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw SimError(SimErrorKind::kIo, "client",
+                 what + ": " + std::strerror(errno));
+}
+
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int connect_to(const ClientOptions& opts) {
+  int fd = -1;
+  if (!opts.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw SimError(SimErrorKind::kBadArguments, "client",
+                     "--socket path is longer than the AF_UNIX limit");
+    }
+    std::memcpy(addr.sun_path, opts.socket_path.c_str(),
+                opts.socket_path.size() + 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) io_fail("socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      io_fail("connect '" + opts.socket_path + "'");
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) io_fail("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      io_fail("connect port " + std::to_string(opts.port));
+    }
+  }
+  return fd;
+}
+
+/// request_id → a safe single-component filename.
+std::string sanitize_id(const std::string& id) {
+  std::string out;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || out == "." || out == "..") out = "response";
+  return out;
+}
+
+/// Pumps stdin lines into the socket, then half-closes the write side so the
+/// daemon sees request EOF while responses are still in flight.
+void writer_loop(int fd) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    line += '\n';
+    if (!send_all(fd, line.data(), line.size())) break;
+  }
+  ::shutdown(fd, SHUT_WR);
+}
+
+}  // namespace
+
+int run_client(const ClientOptions& opts) {
+  try {
+    if (opts.socket_path.empty() == (opts.port < 0)) {
+      throw SimError(SimErrorKind::kBadArguments, "client",
+                     "exactly one of --socket and --port must be given");
+    }
+    if (!opts.out_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(opts.out_dir, ec);
+      if (ec) {
+        throw SimError(SimErrorKind::kIo, "client",
+                       "cannot create --out-dir '" + opts.out_dir +
+                           "': " + ec.message());
+      }
+    }
+    const int fd = connect_to(opts);
+    std::thread writer(writer_loop, fd);
+    std::string acc;
+    char buf[64 * 1024];
+    bool eof = false;
+    const auto fill = [&]() -> bool {  // false on EOF
+      if (eof) return false;
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0 && errno == EINTR) return true;
+      if (n <= 0) {
+        eof = true;
+        return false;
+      }
+      acc.append(buf, static_cast<std::size_t>(n));
+      return true;
+    };
+    int rc = sim::kExitOk;
+    while (true) {
+      const std::size_t nl = acc.find('\n');
+      if (nl == std::string::npos) {
+        if (fill()) continue;
+        if (!acc.empty()) {
+          throw SimError(SimErrorKind::kIo, "client",
+                         "connection closed mid-envelope");
+        }
+        break;  // clean EOF between responses
+      }
+      const std::string envelope = acc.substr(0, nl);
+      std::string request_id, error_kind, message;
+      int exit_code = 0;
+      std::size_t body_bytes = 0;
+      if (!parse_envelope(envelope, &request_id, &exit_code, &error_kind,
+                          &message, &body_bytes)) {
+        throw SimError(SimErrorKind::kIo, "client",
+                       "malformed response envelope: " + envelope);
+      }
+      while (acc.size() - (nl + 1) < body_bytes) {
+        if (!fill()) {
+          throw SimError(SimErrorKind::kIo, "client",
+                         "connection closed mid-body (request '" +
+                             request_id + "')");
+        }
+      }
+      const std::string body = acc.substr(nl + 1, body_bytes);
+      acc.erase(0, nl + 1 + body_bytes);
+      if (!opts.out_dir.empty() && !body.empty()) {
+        const std::string path =
+            opts.out_dir + "/" + sanitize_id(request_id) + ".json";
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(body.data(),
+                  static_cast<std::streamsize>(body.size()));
+        if (!out.good()) {
+          throw SimError(SimErrorKind::kIo, "client",
+                         "cannot write '" + path + "'");
+        }
+      }
+      std::cout << envelope << '\n';
+    }
+    ::shutdown(fd, SHUT_RDWR);  // unblock the writer if stdin is still open
+    writer.join();
+    ::close(fd);
+    std::cout.flush();
+    if (!std::cout.good()) {
+      throw SimError(SimErrorKind::kIo, "client", "stdout write failed");
+    }
+    return rc;
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "%s\n", e.structured().c_str());
+    return sim::exit_code(e.kind());
+  }
+}
+
+}  // namespace st2::serve

@@ -1,0 +1,28 @@
+// Pipelining client for serve mode: the scriptable half of the protocol.
+//
+// Reads request lines from stdin, streams them to a running daemon, and
+// prints each response envelope line to stdout. With `out_dir` set, every
+// non-empty response body is written to `<out_dir>/<request_id>.json` —
+// which makes byte-level comparison against one-shot `st2sim run --json`
+// files a plain `cmp` in shell (scripts/serve_load.sh).
+//
+// Requests are written from a separate thread while responses are read, so
+// thousands of pipelined requests cannot deadlock on full socket buffers.
+#pragma once
+
+#include <string>
+
+namespace st2::serve {
+
+struct ClientOptions {
+  std::string socket_path;  ///< AF_UNIX daemon endpoint (exclusive with port)
+  int port = -1;            ///< loopback TCP daemon port
+  std::string out_dir;      ///< optional directory for response bodies
+};
+
+/// Runs the pump; returns a CLI exit code. 0 when every response arrived
+/// whole; SimError exit codes (printed structured to stderr) for connect
+/// failures, malformed envelopes, or a connection dropped mid-response.
+int run_client(const ClientOptions& opts);
+
+}  // namespace st2::serve

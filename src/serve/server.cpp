@@ -1,0 +1,337 @@
+#include "src/serve/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/serve/codec.hpp"
+#include "src/serve/runner.hpp"
+#include "src/sim/error.hpp"
+
+namespace st2::serve {
+
+namespace {
+
+using sim::SimError;
+using sim::SimErrorKind;
+
+/// Oversized request lines are rejected rather than buffered: a client that
+/// never sends a newline must not grow daemon memory without bound.
+constexpr std::size_t kMaxRequestLine = 1u << 20;
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw SimError(SimErrorKind::kIo, "serve",
+                 what + ": " + std::strerror(errno));
+}
+
+bool blank(const std::string& line) {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+/// Writes the whole buffer, riding out EINTR. MSG_NOSIGNAL so a vanished
+/// client surfaces as EPIPE here instead of a process-killing signal even if
+/// the host process did not ignore SIGPIPE.
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Session {
+  int fd = -1;
+  std::mutex write_mu;        ///< one whole response at a time
+  std::atomic<bool> dead{false};
+  ~Session() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  if (opts_.share_captures) {
+    tracecache::CacheOptions copts;
+    copts.dir = opts_.trace_cache_dir;
+    cache_ = std::make_unique<tracecache::TraceCache>(copts);
+  }
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0 && !workers_.empty()) {
+    request_stop();
+    drain();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  if (!opts_.socket_path.empty()) ::unlink(opts_.socket_path.c_str());
+}
+
+void Server::start() {
+  if (opts_.socket_path.empty() == (opts_.port < 0)) {
+    throw SimError(SimErrorKind::kBadArguments, "serve",
+                   "exactly one of --socket and --port must be given");
+  }
+  if (::pipe(wake_pipe_) != 0) io_fail("pipe");
+  if (!opts_.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw SimError(SimErrorKind::kBadArguments, "serve",
+                     "--socket path is longer than the AF_UNIX limit (" +
+                         std::to_string(sizeof(addr.sun_path) - 1) +
+                         " bytes)");
+    }
+    std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+                opts_.socket_path.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) io_fail("socket");
+    // A crashed predecessor leaves its bound path behind; replace it.
+    ::unlink(opts_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      io_fail("bind '" + opts_.socket_path + "'");
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) io_fail("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // never a public surface
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      io_fail("bind port " + std::to_string(opts_.port));
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &blen) != 0) {
+      io_fail("getsockname");
+    }
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, 64) != 0) io_fail("listen");
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Server::serve_forever() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // request_stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN) {
+        continue;
+      }
+      break;
+    }
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.connections;
+    sessions_.push_back(session);
+    readers_.emplace_back(
+        [this, session = std::move(session)] { reader_loop(session); });
+  }
+  drain();
+}
+
+void Server::request_stop() {
+  stopping_.store(true, std::memory_order_release);
+  // One byte on the self-pipe: the only wake mechanism that is legal from a
+  // signal handler and also interrupts a poll() sleep.
+  const char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void Server::reader_loop(std::shared_ptr<Session> session) {
+  std::string acc;
+  char buf[64 * 1024];
+  bool poisoned = false;  // oversized line: framing lost, stop reading
+  while (!poisoned) {
+    const ssize_t n = ::read(session->fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, error, or drain's shutdown(SHUT_RD)
+    acc.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = acc.find('\n', start); nl != std::string::npos;
+         nl = acc.find('\n', start)) {
+      std::string line = acc.substr(start, nl - start);
+      start = nl + 1;
+      if (blank(line)) continue;
+      const std::uint64_t seq =
+          next_seq_.fetch_add(1, std::memory_order_relaxed);
+      bool admitted = false;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!draining_ &&
+            queue_.size() < static_cast<std::size_t>(opts_.queue_depth)) {
+          queue_.push_back(Job{session, std::move(line), seq});
+          ++stats_.requests;
+          admitted = true;
+        } else {
+          ++stats_.busy_rejects;
+        }
+      }
+      if (admitted) {
+        queue_cv_.notify_one();
+        continue;
+      }
+      // Rejected: answer right here on the reader thread so the client sees
+      // the shed immediately, with its own id when the line parses.
+      std::string rid = "req-" + std::to_string(seq);
+      try {
+        const RunRequest req = parse_request(line);
+        if (!req.id.empty()) rid = req.id;
+      } catch (...) {
+      }
+      write_response(*session, rid, sim::kExitBusy, "busy",
+                     "admission queue full (depth " +
+                         std::to_string(opts_.queue_depth) +
+                         "); retry later",
+                     0.0, "");
+    }
+    acc.erase(0, start);
+    if (acc.size() > kMaxRequestLine) {
+      write_response(*session, "req-" +
+                         std::to_string(next_seq_.fetch_add(
+                             1, std::memory_order_relaxed)),
+                     sim::kExitBadArguments, "bad-arguments",
+                     "request line exceeds " +
+                         std::to_string(kMaxRequestLine) + " bytes",
+                     0.0, "");
+      poisoned = true;
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->get() == session.get()) {
+      sessions_.erase(it);
+      break;
+    }
+  }
+}
+
+void Server::worker_loop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      queue_cv_.wait(lk, [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) return;  // draining_ and nothing left: all done
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    handle_request(job);
+  }
+}
+
+void Server::handle_request(const Job& job) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&t0] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  std::string rid = "req-" + std::to_string(job.seq);
+  RunRequest req;
+  try {
+    req = parse_request(job.line);
+  } catch (const SimError& e) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.parse_errors;
+    }
+    write_response(*job.session, rid, sim::exit_code(e.kind()),
+                   sim::to_string(e.kind()), e.what(), elapsed_ms(), "");
+    return;
+  }
+  if (!req.id.empty()) rid = req.id;
+  const RunResult res =
+      execute_request(req, cache_.get(), opts_.default_watchdog_ms);
+  write_response(*job.session, rid, res.exit_code, res.error_kind,
+                 res.error_message, elapsed_ms(), res.report);
+}
+
+void Server::write_response(Session& session, const std::string& request_id,
+                            int exit_code, const std::string& error_kind,
+                            const std::string& error_message,
+                            double elapsed_ms, const std::string& body) {
+  std::string out = envelope_line(request_id, exit_code, error_kind,
+                                  error_message, elapsed_ms, body.size());
+  out += '\n';
+  out += body;
+  std::lock_guard<std::mutex> lk(session.write_mu);
+  if (session.dead.load(std::memory_order_relaxed) ||
+      !send_all(session.fd, out.data(), out.size())) {
+    session.dead.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> slk(mu_);
+    ++stats_.dropped;
+  }
+}
+
+void Server::drain() {
+  std::vector<std::thread> readers;
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (draining_) return;  // second entry (serve_forever, then destructor)
+    draining_ = true;
+    sessions = sessions_;
+  }
+  // Order matters: stop intake (listener, then each connection's read side)
+  // before releasing the workers, so "admitted" is a closed set the queue
+  // predicate can drain to empty.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!opts_.socket_path.empty()) ::unlink(opts_.socket_path.c_str());
+  for (const auto& s : sessions) ::shutdown(s->fd, SHUT_RD);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    readers.swap(readers_);
+  }
+  for (std::thread& t : readers) t.join();
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  std::lock_guard<std::mutex> lk(mu_);
+  sessions_.clear();  // close any fd whose reader exited before the swap
+}
+
+}  // namespace st2::serve

@@ -1,0 +1,123 @@
+// Long-running simulation daemon (docs/simulator.md, "Serving mode").
+//
+// One listener (Unix-domain socket or loopback TCP) accepts any number of
+// client connections; each connection carries newline-delimited JSON
+// requests (codec.hpp) that are dispatched to a bounded worker pool. The
+// scheduling pieces:
+//
+//  * Admission control: a global FIFO queue bounded by `queue_depth`. A
+//    request arriving on a full queue is answered immediately with a
+//    structured `error[busy]` envelope — the daemon sheds load instead of
+//    buffering unboundedly toward OOM.
+//  * Isolation: each request runs through serve::execute_request, which
+//    builds all simulation state fresh and classifies every failure through
+//    the SimError taxonomy — a poisoned request yields an error envelope on
+//    its own connection and nothing else. The only shared object is the
+//    process-wide thread-safe trace cache, so repeat kernels skip capture.
+//  * Response integrity: responses are written whole (envelope line + body)
+//    under a per-connection mutex, so concurrent workers finishing requests
+//    from one connection never interleave bytes; a client sees complete
+//    responses or none.
+//  * Graceful drain: request_stop() (async-signal-safe, wired to SIGTERM by
+//    the CLI) closes the listener, stops reading new requests, finishes
+//    every request already admitted, flushes their responses, and returns
+//    from serve_forever() — zero partial responses.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/tracecache/tracecache.hpp"
+
+namespace st2::serve {
+
+struct ServerOptions {
+  std::string socket_path;  ///< AF_UNIX listener path (exclusive with port)
+  int port = -1;            ///< loopback TCP port; 0 = ephemeral, -1 = off
+  int workers = 1;          ///< worker-pool size (validated by the CLI)
+  int queue_depth = 64;     ///< admitted-but-unstarted request bound
+  /// Wall deadline applied to requests that set no watchdog of their own;
+  /// 0 disables the backstop.
+  std::uint64_t default_watchdog_ms = 60000;
+  bool share_captures = true;     ///< process-wide trace-cache memo
+  std::string trace_cache_dir;    ///< optional disk tier for the cache
+};
+
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;      ///< admitted and executed
+  std::uint64_t busy_rejects = 0;  ///< rejected by admission control
+  std::uint64_t parse_errors = 0;  ///< malformed request lines
+  std::uint64_t dropped = 0;       ///< admitted but client gone at write time
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens. Throws SimError(kIo) when the endpoint cannot be
+  /// bound. A stale Unix socket path is replaced.
+  void start();
+
+  /// Accepts and serves until request_stop(), then drains and returns.
+  void serve_forever();
+
+  /// Triggers shutdown+drain. Async-signal-safe (one write to an internal
+  /// pipe); callable from any thread or from a signal handler.
+  void request_stop();
+
+  /// The bound TCP port after start() (for port 0), or -1 for Unix sockets.
+  int bound_port() const { return bound_port_; }
+
+  ServerStats stats() const;
+
+  const tracecache::TraceCache* cache() const { return cache_.get(); }
+
+ private:
+  struct Session;
+  struct Job {
+    std::shared_ptr<Session> session;
+    std::string line;
+    std::uint64_t seq = 0;
+  };
+
+  void reader_loop(std::shared_ptr<Session> session);
+  void worker_loop();
+  void handle_request(const Job& job);
+  /// Serializes and writes one whole response under the session's write
+  /// mutex; EPIPE marks the session dead and drops silently.
+  void write_response(Session& session, const std::string& request_id,
+                      int exit_code, const std::string& error_kind,
+                      const std::string& error_message, double elapsed_ms,
+                      const std::string& body);
+  void drain();
+
+  ServerOptions opts_;
+  std::unique_ptr<tracecache::TraceCache> cache_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int bound_port_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> next_seq_{1};
+
+  mutable std::mutex mu_;  ///< guards queue_, sessions_, readers_, stats_
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool draining_ = false;  ///< set under mu_ once no reader can enqueue
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::vector<std::thread> readers_;
+  std::vector<std::thread> workers_;
+  ServerStats stats_;
+};
+
+}  // namespace st2::serve

@@ -20,6 +20,7 @@ enum class SimErrorKind {
   kSelfCheckFailed,    ///< --selfcheck found an architectural-state mismatch
   kIo,                 ///< report/timeline/snapshot file could not be written
   kSnapshotInvalid,    ///< snapshot rejected: corrupt, truncated or mismatched
+  kBusy,               ///< serve mode: admission queue full, request rejected
 };
 
 /// st2sim exit codes (see docs/robustness.md for the full table). 0 = clean
@@ -34,6 +35,7 @@ inline constexpr int kExitInvariantViolation = 5;
 inline constexpr int kExitSelfCheckFailed = 6;
 inline constexpr int kExitIo = 7;
 inline constexpr int kExitSnapshotInvalid = 8;
+inline constexpr int kExitBusy = 9;  ///< serve-mode admission rejection
 inline constexpr int kExitInterrupted = 130;  ///< 128 + SIGINT, by convention
 
 constexpr const char* to_string(SimErrorKind k) {
@@ -44,6 +46,7 @@ constexpr const char* to_string(SimErrorKind k) {
     case SimErrorKind::kSelfCheckFailed: return "selfcheck-failed";
     case SimErrorKind::kIo: return "io-error";
     case SimErrorKind::kSnapshotInvalid: return "snapshot-invalid";
+    case SimErrorKind::kBusy: return "busy";
   }
   return "unknown";
 }
@@ -56,6 +59,7 @@ constexpr int exit_code(SimErrorKind k) {
     case SimErrorKind::kSelfCheckFailed: return kExitSelfCheckFailed;
     case SimErrorKind::kIo: return kExitIo;
     case SimErrorKind::kSnapshotInvalid: return kExitSnapshotInvalid;
+    case SimErrorKind::kBusy: return kExitBusy;
   }
   return kExitInvariantViolation;
 }

@@ -1,0 +1,46 @@
+// Shared validation for user-facing thread-count options (`st2sim --jobs`,
+// `st2sim serve --workers`). The engine-internal convention "0 = one worker
+// per hardware core" stays available to library callers via EngineOptions;
+// at the CLI surface a literal 0 is almost always a typo'd or miscomputed
+// value (e.g. `--jobs $N` with N unset), so it is rejected as a usage error
+// instead of silently fanning out to every core. Values above the machine's
+// hardware concurrency are clamped with a one-line warning: oversubscribed
+// replay threads only add contention, and a daemon must never spawn an
+// unbounded worker count because a client asked for one.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "src/sim/error.hpp"
+
+namespace st2::sim {
+
+/// The machine's hardware thread count, never below 1.
+inline int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Validates a thread-count option: throws SimError(kBadArguments) for
+/// values < 1 and clamps values above hardware_concurrency (warning on
+/// stderr, naming the flag). Returns the count to actually use.
+inline int validate_thread_count(int requested, const char* flag) {
+  if (requested < 1) {
+    throw SimError(SimErrorKind::kBadArguments, flag,
+                   "thread count must be >= 1 (got " +
+                       std::to_string(requested) + ")");
+  }
+  const int cap = hardware_threads();
+  if (requested > cap) {
+    std::fprintf(stderr,
+                 "warning: %s %d exceeds the %d hardware thread(s); "
+                 "clamping to %d\n",
+                 flag, requested, cap, cap);
+    return cap;
+  }
+  return requested;
+}
+
+}  // namespace st2::sim

@@ -260,8 +260,8 @@ std::string TraceCache::entry_path(const sim::GpuConfig& cfg,
   return path_for(capture_key(cfg, kernel, launch, gmem));
 }
 
-void TraceCache::memo_insert(const std::string& key,
-                             std::shared_ptr<Entry> entry) {
+void TraceCache::memo_insert_locked(const std::string& key,
+                                    std::shared_ptr<Entry> entry) {
   if (!opts_.memo || entry->bytes > opts_.memo_max_bytes) return;
   if (memo_.count(key) != 0) return;
   stats_.memo_bytes += entry->bytes;
@@ -277,11 +277,21 @@ void TraceCache::memo_insert(const std::string& key,
   }
 }
 
+std::shared_ptr<TraceCache::Entry> TraceCache::memo_find_locked(
+    const std::string& key) {
+  const auto it = memo_.find(key);
+  return it == memo_.end() ? nullptr : it->second;
+}
+
 void TraceCache::disk_store(std::string_view key, const Entry& entry) {
   if (opts_.dir.empty()) return;
+  // Serialized: concurrent writers would share the entry's fixed tmp path
+  // and could interleave into a torn (CRC-rejected) file.
+  std::lock_guard<std::mutex> io_lock(disk_mu_);
   try {
     snapshot::write_snapshot(path_for(key), snapshot::fnv1a64(key),
                              serialize_capture(entry.cap, key));
+    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.disk_stores;
   } catch (const sim::SimError&) {
     // A failed store (unwritable dir, disk full) only costs warmth.
@@ -295,12 +305,17 @@ sim::GridCapture TraceCache::provide(const sim::GpuConfig& cfg,
   const std::string key = capture_key(cfg, kernel, launch, gmem);
 
   if (opts_.memo) {
-    const auto it = memo_.find(key);
-    if (it != memo_.end()) {
-      const CanonicalCapture& cap = it->second->cap;
-      ++stats_.memo_hits;
-      gmem.restore_bytes(cap.final_mem);
-      return rebind(cap, cfg.num_sms);
+    std::shared_ptr<Entry> hit;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      hit = memo_find_locked(key);
+      if (hit != nullptr) ++stats_.memo_hits;
+    }
+    if (hit != nullptr) {
+      // Entries are immutable after insert, so the capture is safe to read
+      // outside the lock for as long as this shared_ptr lives.
+      gmem.restore_bytes(hit->cap.final_mem);
+      return rebind(hit->cap, cfg.num_sms);
     }
   }
 
@@ -323,30 +338,38 @@ sim::GridCapture TraceCache::provide(const sim::GpuConfig& cfg,
                             "trace-cache entry",
                             "capture shape differs from the launch");
       }
-      ++stats_.disk_hits;
       gmem.restore_bytes(cap.final_mem);
       auto entry = std::make_shared<Entry>();
       entry->bytes = entry_bytes(cap);
       entry->cap = std::move(cap);
-      const CanonicalCapture& stored = entry->cap;
-      sim::GridCapture out = rebind(stored, cfg.num_sms);
-      memo_insert(key, std::move(entry));
+      sim::GridCapture out = rebind(entry->cap, cfg.num_sms);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.disk_hits;
+        memo_insert_locked(key, std::move(entry));
+      }
       return out;
     } catch (const sim::SimError& e) {
       if (e.kind() != sim::SimErrorKind::kSnapshotInvalid) throw;
+      std::lock_guard<std::mutex> lock(mu_);
       ++stats_.disk_rejects;  // corrupt/mismatched file: clean miss
     }
   }
 
-  ++stats_.misses;
+  // Miss: the canonical capture runs outside the lock (it can take seconds
+  // and only touches the caller's gmem). Concurrent misses on one key each
+  // capture; the losing insert below is a no-op.
   auto entry = std::make_shared<Entry>();
   entry->cap = canonicalize(
       sim::capture_grid(canonical_config(cfg), kernel, launch, gmem), gmem);
   entry->bytes = entry_bytes(entry->cap);
   disk_store(key, *entry);
-  const CanonicalCapture& stored = entry->cap;
-  sim::GridCapture out = rebind(stored, cfg.num_sms);
-  memo_insert(key, std::move(entry));
+  sim::GridCapture out = rebind(entry->cap, cfg.num_sms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    memo_insert_locked(key, std::move(entry));
+  }
   return out;
 }
 
@@ -362,31 +385,37 @@ void TraceCache::populate(const sim::GpuConfig& cfg,
       sim::capture_grid(canonical_config(cfg), kernel, launch, gmem,
                         observer),
       gmem);
-  if (opts_.memo && memo_.count(key) != 0) return;  // already cached
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (opts_.memo && memo_.count(key) != 0) return;  // already cached
+  }
   auto entry = std::make_shared<Entry>();
   entry->bytes = entry_bytes(cap);
   entry->cap = std::move(cap);
   disk_store(key, *entry);
-  memo_insert(key, std::move(entry));
+  std::lock_guard<std::mutex> lock(mu_);
+  memo_insert_locked(key, std::move(entry));
 }
 
 std::string TraceCache::stats_line() const {
-  return "trace-cache: memo-hits=" + std::to_string(stats_.memo_hits) +
-         " disk-hits=" + std::to_string(stats_.disk_hits) +
-         " misses=" + std::to_string(stats_.misses) +
-         " disk-stores=" + std::to_string(stats_.disk_stores) +
-         " disk-rejects=" + std::to_string(stats_.disk_rejects) +
-         " evictions=" + std::to_string(stats_.evictions);
+  const CacheStats s = stats();
+  return "trace-cache: memo-hits=" + std::to_string(s.memo_hits) +
+         " disk-hits=" + std::to_string(s.disk_hits) +
+         " misses=" + std::to_string(s.misses) +
+         " disk-stores=" + std::to_string(s.disk_stores) +
+         " disk-rejects=" + std::to_string(s.disk_rejects) +
+         " evictions=" + std::to_string(s.evictions);
 }
 
 std::string TraceCache::stats_json() const {
+  const CacheStats s = stats();
   return std::string("{\"trace_cache\": {") +
-         "\"memo_hits\": " + std::to_string(stats_.memo_hits) +
-         ", \"disk_hits\": " + std::to_string(stats_.disk_hits) +
-         ", \"misses\": " + std::to_string(stats_.misses) +
-         ", \"disk_stores\": " + std::to_string(stats_.disk_stores) +
-         ", \"disk_rejects\": " + std::to_string(stats_.disk_rejects) +
-         ", \"evictions\": " + std::to_string(stats_.evictions) + "}}";
+         "\"memo_hits\": " + std::to_string(s.memo_hits) +
+         ", \"disk_hits\": " + std::to_string(s.disk_hits) +
+         ", \"misses\": " + std::to_string(s.misses) +
+         ", \"disk_stores\": " + std::to_string(s.disk_stores) +
+         ", \"disk_rejects\": " + std::to_string(s.disk_rejects) +
+         ", \"evictions\": " + std::to_string(s.evictions) + "}}";
 }
 
 }  // namespace st2::tracecache

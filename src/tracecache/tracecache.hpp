@@ -34,13 +34,20 @@
 // overwrite, correct results. Disk write failures are non-fatal (the run
 // just loses the warm start).
 //
-// Not thread-safe: the capture phase is single-threaded by design; only
-// the replay phase fans out.
+// Thread safety. The memo and stats are guarded by one internal mutex, so
+// any number of threads may call `provide`/`populate` concurrently — the
+// serve daemon shares one process-wide cache across its worker pool. The
+// canonical capture itself runs *outside* the lock (it can take seconds);
+// two threads missing on the same key concurrently both capture, and the
+// second insert is a no-op. Entries are immutable once inserted and handed
+// out as shared_ptrs, so an eviction never invalidates a capture another
+// thread is still rebinding.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -121,7 +128,10 @@ class TraceCache final : public sim::CaptureProvider {
                 const sim::LaunchConfig& launch, sim::GlobalMemory& gmem,
                 const sim::TraceObserver& observer);
 
-  const CacheStats& stats() const { return stats_; }
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   /// "trace-cache: memo-hits=... disk-hits=... ..." one-liner for stdout.
   std::string stats_line() const;
   /// One-line JSON object {"trace_cache": {...}} for report files.
@@ -144,12 +154,18 @@ class TraceCache final : public sim::CaptureProvider {
 
   std::string path_for(std::string_view key) const;
   /// Inserts into the memo (if enabled) and evicts FIFO past the bound.
-  void memo_insert(const std::string& key, std::shared_ptr<Entry> entry);
+  /// Caller must hold mu_.
+  void memo_insert_locked(const std::string& key,
+                          std::shared_ptr<Entry> entry);
+  /// Memo lookup; returns null on miss. Caller must hold mu_.
+  std::shared_ptr<Entry> memo_find_locked(const std::string& key);
   /// Writes the entry to the disk tier; failures are swallowed (counted by
   /// the absence of a disk_stores increment).
   void disk_store(std::string_view key, const Entry& entry);
 
   CacheOptions opts_;
+  mutable std::mutex mu_;  ///< guards stats_, memo_ and fifo_
+  std::mutex disk_mu_;     ///< serializes disk-tier writes (shared tmp path)
   CacheStats stats_;
   std::unordered_map<std::string, std::shared_ptr<Entry>> memo_;
   std::list<std::string> fifo_;  ///< insertion order, oldest first

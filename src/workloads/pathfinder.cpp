@@ -13,7 +13,6 @@ namespace st2::workloads {
 namespace {
 
 constexpr int kBlockSize = 256;
-PathfinderPcs g_pcs{};  // recorded when the kernel is built
 
 struct PathfinderKernel {
   isa::Kernel kernel;
@@ -25,9 +24,13 @@ struct PathfinderKernel {
 //     index = cols*(startStep+i) + xidx;
 //     result[tx] = shortest + gpuWall[index];
 //   }
-isa::Kernel build_kernel() {
+isa::Kernel build_kernel(PathfinderPcs* pcs_out = nullptr) {
   using isa::Opcode;
   using isa::Reg;
+  // The recorded PCs are a pure function of the (fixed) kernel structure;
+  // recording into a local keeps concurrent builders (serve-mode workers
+  // prepare kernels on worker threads) free of shared writes.
+  PathfinderPcs pcs{};
   isa::KernelBuilder kb("pathfinder_dynproc");
 
   const Reg wall = kb.param(0);      // int32 weights, rows x cols (row 0 unused)
@@ -86,16 +89,16 @@ isa::Kernel build_kernel() {
   const Reg i = kb.mov(c0);
   kb.while_(
       [&] {
-        g_pcs.pc[2] = kb.here();  // PC3: loop guard i < iteration
+        pcs.pc[2] = kb.here();  // PC3: loop guard i < iteration
         return kb.setp(Opcode::kSetLt, i, iteration);
       },
       [&] {
         kb.movi_to(computed_flag, 0);  // Rodinia: computed = false
         const Reg ip1 = kb.iadd(i, c1);
-        g_pcs.pc[0] = kb.here();  // PC1: tx >= i+1
+        pcs.pc[0] = kb.here();  // PC1: tx >= i+1
         const auto g1 = kb.setp(Opcode::kSetGe, tx, ip1);
         const Reg hi = kb.isub(kb.imm(kBlockSize - 2), i);
-        g_pcs.pc[1] = kb.here();  // PC2: tx <= BLOCK_SIZE-2-i
+        pcs.pc[1] = kb.here();  // PC2: tx <= BLOCK_SIZE-2-i
         const auto g2 = kb.setp(Opcode::kSetLe, tx, hi);
         const auto guard = kb.pand(kb.pand(g1, g2), is_valid);
         kb.if_then(guard, [&] {
@@ -105,16 +108,16 @@ isa::Kernel build_kernel() {
           kb.ld_shared_s32(left, sh_prev_w);
           kb.ld_shared_s32(up, sh_prev_tx);
           kb.ld_shared_s32(right, sh_prev_e);
-          g_pcs.pc[3] = kb.here();  // PC4: MIN(left, up)
+          pcs.pc[3] = kb.here();  // PC4: MIN(left, up)
           const Reg shortest = kb.imin(left, up);
-          g_pcs.pc[4] = kb.here();  // PC5: MIN(shortest, right)
+          pcs.pc[4] = kb.here();  // PC5: MIN(shortest, right)
           kb.imin_to(shortest, shortest, right);
           const Reg row = kb.iadd(start_step, i);
-          g_pcs.pc[5] = kb.here();  // PC6: cols*(startStep+i) + xidx
+          pcs.pc[5] = kb.here();  // PC6: cols*(startStep+i) + xidx
           const Reg index = kb.imad(cols, row, xidx);
           const Reg w = kb.reg();
           kb.ld_global_s32(w, kb.element_addr(wall, index, 4));
-          g_pcs.pc[6] = kb.here();  // PC7: shortest + gpuWall[index]
+          pcs.pc[6] = kb.here();  // PC7: shortest + gpuWall[index]
           const Reg res = kb.iadd(shortest, w);
           kb.st_shared(sh_result_tx, res, 0, 4);
           kb.movi_to(computed_flag, 1);
@@ -139,14 +142,19 @@ isa::Kernel build_kernel() {
     kb.st_global(kb.element_addr(results, xidx, 4), r, 0, 4);
   });
   kb.exit();
+  if (pcs_out != nullptr) *pcs_out = pcs;
   return kb.build();
 }
 
 }  // namespace
 
 PathfinderPcs pathfinder_fig2_pcs() {
-  if (g_pcs.pc[6] == 0) (void)build_kernel();  // populate on demand
-  return g_pcs;
+  static const PathfinderPcs pcs = [] {
+    PathfinderPcs p{};
+    (void)build_kernel(&p);
+    return p;
+  }();
+  return pcs;
 }
 
 namespace detail {

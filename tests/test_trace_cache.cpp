@@ -20,6 +20,7 @@
 #include <fstream>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/isa/builder.hpp"
@@ -545,6 +546,78 @@ TEST_F(TraceCacheHostileTest, CrossWorkloadFileSwapIsRejected) {
   EXPECT_EQ(reader.stats().misses, 1u);
   EXPECT_EQ(eng.replay(b.kernel, got).chip, want_chip);
   EXPECT_TRUE(same_bytes(ref.mem->bytes(), b.mem->bytes()));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (run under TSan in CI): the serve daemon shares one cache
+// across its worker pool, so provide() must be safe — and still correct —
+// when hammered from many threads with a memo bound tight enough to force
+// constant evictions and a disk tier behind it. Every thread checks the full
+// contract on every call: restored memory and replayed counters must equal
+// the serial cold-capture reference regardless of which tier answered.
+// ---------------------------------------------------------------------------
+
+TEST(TraceCacheConcurrent, HammerSharedCacheWithEvictionsAndDiskTier) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("st2_tc_hammer_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  const sim::GpuConfig cfg = sim::GpuConfig::st2();
+  const char* kernels[] = {"sad_K1", "kmeans_K1"};
+
+  struct Ref {
+    sim::EventCounters chip;
+    std::vector<std::uint8_t> mem;
+  };
+  Ref refs[2];
+  std::size_t combined_bytes = 0;
+  {
+    TraceCache probe;
+    for (int k = 0; k < 2; ++k) {
+      workloads::PreparedCase pc = workloads::prepare_case(kernels[k], 0.15);
+      const sim::GridCapture cap =
+          probe.provide(cfg, pc.kernel, pc.launches.at(0), *pc.mem);
+      sim::ExecutionEngine eng(cfg, sim::EngineOptions{1});
+      refs[k].chip = eng.replay(pc.kernel, cap).chip;
+      const auto bytes = pc.mem->bytes();
+      refs[k].mem.assign(bytes.begin(), bytes.end());
+    }
+    combined_bytes = static_cast<std::size_t>(probe.stats().memo_bytes);
+    ASSERT_GT(combined_bytes, 1u);
+  }
+
+  CacheOptions opts;
+  opts.dir = dir.string();
+  // One byte below the two entries' combined footprint: each fits alone,
+  // both never coexist — every alternation evicts, so the hammer exercises
+  // insert/evict/lookup interleavings, not just read sharing.
+  opts.memo_max_bytes = combined_bytes - 1;
+  TraceCache cache(opts);
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int k = (t + i) % 2;
+        workloads::PreparedCase pc =
+            workloads::prepare_case(kernels[k], 0.15);
+        const sim::GridCapture cap =
+            cache.provide(cfg, pc.kernel, pc.launches.at(0), *pc.mem);
+        EXPECT_TRUE(same_bytes(pc.mem->bytes(), refs[k].mem));
+        sim::ExecutionEngine eng(cfg, sim::EngineOptions{1});
+        EXPECT_EQ(eng.replay(pc.kernel, cap).chip, refs[k].chip);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const CacheStats st = cache.stats();
+  EXPECT_EQ(st.hits() + st.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_GT(st.evictions, 0u);
+  EXPECT_LE(st.memo_bytes, opts.memo_max_bytes);
+  fs::remove_all(dir);
 }
 
 }  // namespace

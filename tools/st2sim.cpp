@@ -8,6 +8,18 @@
 //              [--watchdog-cycles N] [--watchdog-ms N]
 //              [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
 //              [--trace-cache DIR]
+//   st2sim serve (--socket PATH | --port N) [--workers K] [--queue-depth N]
+//                [--watchdog-ms N] [--trace-cache DIR] [--no-cache]
+//   st2sim client (--socket PATH | --port N) [--out-dir DIR]
+//
+// serve runs the simulator as a long-lived daemon (docs/simulator.md,
+// "Serving mode"): newline-delimited JSON requests in, length-framed
+// RunReport JSON responses out, a bounded worker pool with busy-shedding
+// admission control, per-request isolation through the SimError taxonomy,
+// and a process-wide trace cache so repeat kernels skip capture. client is
+// the matching pipelining pump (requests on stdin, envelopes on stdout,
+// bodies into --out-dir). SIGTERM/SIGINT drain the daemon gracefully:
+// admitted requests finish and flush before exit.
 //
 // --profile prints a per-phase wall-time breakdown to stderr after the run
 // (capture / replay / report seconds, simulated cycles per second and per
@@ -25,8 +37,10 @@
 // table and, with --json, appended as a one-line {"trace_cache": ...}
 // element.
 //
-// --jobs N replays the SMs of a timing run on N worker threads (0 = one per
-// hardware core); results are bit-identical to --jobs 1. --json dumps the
+// --jobs N replays the SMs of a timing run on N worker threads (N >= 1;
+// values above the hardware thread count are clamped with a warning, and a
+// literal 0 — almost always an unset shell variable — is rejected); results
+// are bit-identical across thread counts. --json dumps the
 // structured per-SM / whole-chip RunReport of every timing run to FILE.
 // --timeline dumps every SM's issue-density timeline as a Chrome-trace JSON
 // array (open FILE in chrome://tracing or ui.perfetto.dev). --max-warps
@@ -81,7 +95,10 @@
 #include "src/common/table.hpp"
 #include "src/fault/fault.hpp"
 #include "src/power/model.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/server.hpp"
 #include "src/sim/error.hpp"
+#include "src/sim/jobs.hpp"
 #include "src/sim/spec_harness.hpp"
 #include "src/sim/timing.hpp"
 #include "src/sim/trace_run.hpp"
@@ -99,7 +116,18 @@ using namespace st2;
 /// quantum and winds the replay down gracefully (partial report, exit 130).
 std::atomic<bool> g_cancel{false};
 
-extern "C" void on_signal(int) { g_cancel.store(true); }
+/// The running daemon, when `st2sim serve` is active: the signal handler
+/// turns the first SIGINT/SIGTERM into a graceful drain.
+serve::Server* g_server = nullptr;
+
+extern "C" void on_signal(int sig) {
+  // Re-arm to the default disposition first: the graceful path below is
+  // best-effort, and a second Ctrl-C must always terminate the process
+  // instead of being swallowed by a handler that already fired once.
+  std::signal(sig, SIG_DFL);
+  g_cancel.store(true);
+  if (g_server != nullptr) g_server->request_stop();
+}
 
 struct Options {
   std::string command;
@@ -236,10 +264,16 @@ int usage() {
       "             [--watchdog-cycles N] [--watchdog-ms N]\n"
       "             [--checkpoint FILE] [--checkpoint-every N]\n"
       "             [--resume FILE] [--trace-cache DIR]\n"
+      "  st2sim serve (--socket PATH | --port N) [--workers K]\n"
+      "             [--queue-depth N] [--watchdog-ms N] [--trace-cache DIR]\n"
+      "             [--no-cache]\n"
+      "  st2sim client (--socket PATH | --port N) [--out-dir DIR]\n"
+      "--jobs/--workers take a count >= 1 (values above the hardware thread\n"
+      "count are clamped with a warning)\n"
       "exit codes: 0 ok, 1 validation failed, 2 bad arguments,\n"
       "            3 inadmissible launch, 4 watchdog aborted, 5 invariant\n"
       "            violation, 6 selfcheck failed, 7 io error,\n"
-      "            8 snapshot invalid, 130 interrupted\n"
+      "            8 snapshot invalid, 9 busy (serve), 130 interrupted\n"
       "            (see docs/robustness.md)");
   return sim::kExitBadArguments;
 }
@@ -688,15 +722,166 @@ int run_one(const Options& o, const std::string& name, Table* out,
   return ok ? sim::kExitOk : sim::kExitValidationFailed;
 }
 
+/// stdout is an output file like any other (docs/robustness.md): with
+/// SIGPIPE ignored, a downstream reader that vanished (`st2sim ... | head`)
+/// turns writes into EPIPE, which lands in the stream/FILE error state
+/// checked here and degrades the exit code to io-error — instead of the
+/// silent mid-pipeline signal death it used to be.
+int finish_stdout(int rc) {
+  std::cout.flush();
+  bool bad = !std::cout.good();
+  if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) bad = true;
+  if (bad) {
+    std::fprintf(stderr, "error[io-error]: short write on stdout\n");
+    if (rc == sim::kExitOk) rc = sim::kExitIo;
+  }
+  return rc;
+}
+
+int serve_main(int argc, char** argv) {
+  serve::ServerOptions so;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--socket") {
+      const char* v = next();
+      if (!v || *v == '\0') return usage();
+      so.socket_path = v;
+    } else if (a == "--port") {
+      const char* v = next();
+      int port = -1;
+      if (!v || !parse_int(v, &port) || port < 0 || port > 65535) {
+        return usage();
+      }
+      so.port = port;
+    } else if (a == "--workers") {
+      const char* v = next();
+      if (!v || !parse_int(v, &so.workers)) return usage();
+    } else if (a == "--queue-depth") {
+      const char* v = next();
+      if (!v || !parse_int(v, &so.queue_depth) || so.queue_depth < 1) {
+        return usage();
+      }
+    } else if (a == "--watchdog-ms") {
+      const char* v = next();
+      if (!v || !parse_u64(v, &so.default_watchdog_ms)) return usage();
+    } else if (a == "--trace-cache") {
+      const char* v = next();
+      if (!v || *v == '\0') return usage();
+      so.trace_cache_dir = v;
+    } else if (a == "--no-cache") {
+      so.share_captures = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return usage();
+    }
+  }
+  if (!so.trace_cache_dir.empty() && !so.share_captures) {
+    std::fprintf(stderr,
+                 "error[bad-arguments]: --trace-cache and --no-cache are "
+                 "mutually exclusive\n");
+    return sim::kExitBadArguments;
+  }
+  try {
+    so.workers = sim::validate_thread_count(so.workers, "--workers");
+    serve::Server server(so);
+    server.start();
+    g_server = &server;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    // Readiness line, flushed before the first accept: launch scripts poll
+    // for it instead of sleeping.
+    if (!so.socket_path.empty()) {
+      std::printf("st2sim serve: listening on unix:%s (workers=%d "
+                  "queue-depth=%d)\n",
+                  so.socket_path.c_str(), so.workers, so.queue_depth);
+    } else {
+      std::printf("st2sim serve: listening on 127.0.0.1:%d (workers=%d "
+                  "queue-depth=%d)\n",
+                  server.bound_port(), so.workers, so.queue_depth);
+    }
+    std::fflush(stdout);
+    server.serve_forever();
+    g_server = nullptr;
+    const serve::ServerStats st = server.stats();
+    std::fprintf(stderr,
+                 "st2sim serve: drained; connections=%llu requests=%llu "
+                 "busy-rejects=%llu parse-errors=%llu dropped=%llu\n",
+                 static_cast<unsigned long long>(st.connections),
+                 static_cast<unsigned long long>(st.requests),
+                 static_cast<unsigned long long>(st.busy_rejects),
+                 static_cast<unsigned long long>(st.parse_errors),
+                 static_cast<unsigned long long>(st.dropped));
+    return finish_stdout(sim::kExitOk);
+  } catch (const sim::SimError& e) {
+    g_server = nullptr;
+    std::fprintf(stderr, "%s\n", e.structured().c_str());
+    return sim::exit_code(e.kind());
+  }
+}
+
+int client_main(int argc, char** argv) {
+  serve::ClientOptions co;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--socket") {
+      const char* v = next();
+      if (!v || *v == '\0') return usage();
+      co.socket_path = v;
+    } else if (a == "--port") {
+      const char* v = next();
+      int port = -1;
+      if (!v || !parse_int(v, &port) || port < 0 || port > 65535) {
+        return usage();
+      }
+      co.port = port;
+    } else if (a == "--out-dir") {
+      const char* v = next();
+      if (!v || *v == '\0') return usage();
+      co.out_dir = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return usage();
+    }
+  }
+  return serve::run_client(co);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Ignored process-wide before anything writes: every broken-pipe failure
+  // (stdout into a dead `head`, a serve client that hung up) must surface
+  // as EPIPE on the write and flow through the exit-code taxonomy, never
+  // kill the process mid-output.
+  std::signal(SIGPIPE, SIG_IGN);
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    return serve_main(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "client") == 0) {
+    return client_main(argc, argv);
+  }
   Options o;
   try {
     if (!parse(argc, argv, &o)) return usage();
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error[bad-arguments]: %s\n", e.what());
     return sim::kExitBadArguments;
+  }
+  if (o.command == "run") {
+    try {
+      // Shared with serve's --workers: 0 is a usage error (an unset shell
+      // variable, not a request for "all cores"), oversubscription clamps.
+      o.jobs = sim::validate_thread_count(o.jobs, "--jobs");
+    } catch (const sim::SimError& e) {
+      std::fprintf(stderr, "%s\n", e.structured().c_str());
+      return sim::exit_code(e.kind());
+    }
   }
   if (o.inject.enabled() && !o.st2) {
     std::fprintf(stderr,
@@ -736,7 +921,7 @@ int main(int argc, char** argv) {
       t.row({info.name, info.suite});
     }
     t.print(std::cout);
-    return sim::kExitOk;
+    return finish_stdout(sim::kExitOk);
   }
 
   std::signal(SIGINT, on_signal);
@@ -909,5 +1094,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return rc;
+  return finish_stdout(rc);
 }
