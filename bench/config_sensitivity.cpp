@@ -4,6 +4,7 @@
 // on a representative kernel subset. The *saving* should be nearly flat
 // (it is a property of the adder traffic), while absolute runtime moves.
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -29,6 +30,7 @@ Outcome measure(const sim::GpuConfig& proto, double scale) {
   double save_sum = 0, slow_sum = 0;
   std::uint64_t cycles_sum = 0;
   for (const char* name : kKernels) {
+    bench::heartbeat();
     sim::EventCounters cb, cs;
     std::uint64_t cyc_b = 0, cyc_s = 0;
     {
@@ -72,37 +74,44 @@ int main() {
   Table t("ST2 robustness across machine configurations (5-kernel subset)");
   t.header({"configuration", "baseline cycles", "chip save", "slowdown"});
 
-  auto add = [&](const std::string& label, const sim::GpuConfig& cfg) {
-    const Outcome o = measure(cfg, scale);
-    t.row({label, std::to_string(o.base_cycles), Table::pct(o.chip_save),
-           Table::pct(o.slowdown)});
-  };
-
+  // Shardable (BENCH_SHARD=i/n): each table row is one independent work
+  // unit — a full measure() over the kernel subset under one machine config.
+  std::vector<std::pair<std::string, sim::GpuConfig>> points;
   {
     sim::GpuConfig c;
-    add("default (20 SMs, 32KB L1, GTO)", c);
+    points.emplace_back("default (20 SMs, 32KB L1, GTO)", c);
   }
   for (int sms : {4, 40}) {
     sim::GpuConfig c;
     c.num_sms = sms;
-    add(std::to_string(sms) + " SMs", c);
+    points.emplace_back(std::to_string(sms) + " SMs", c);
   }
   for (int l1 : {16, 128}) {
     sim::GpuConfig c;
     c.l1_kb = l1;
-    add(std::to_string(l1) + "KB L1", c);
+    points.emplace_back(std::to_string(l1) + "KB L1", c);
   }
   {
     sim::GpuConfig c;
     c.dram_latency = 700;
-    add("2x DRAM latency", c);
+    points.emplace_back("2x DRAM latency", c);
   }
   {
     sim::GpuConfig c;
     c.scheduler = sim::WarpScheduler::kLrr;
-    add("LRR scheduler", c);
+    points.emplace_back("LRR scheduler", c);
   }
-  bench::emit(t, "config_sensitivity");
+
+  std::vector<int> units;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!bench::shard_owns(static_cast<int>(i))) continue;
+    const Outcome o = measure(points[i].second, scale);
+    t.row({points[i].first, std::to_string(o.base_cycles),
+           Table::pct(o.chip_save), Table::pct(o.slowdown)});
+    units.push_back(static_cast<int>(i));
+  }
+  bench::emit_sharded(t, "config_sensitivity", units,
+                      static_cast<int>(points.size()));
   std::cout << "Chip-energy saving is a property of the adder traffic and "
                "stays nearly flat across machines;\nruntime and the (small) "
                "slowdown move with configuration, as expected.\n";

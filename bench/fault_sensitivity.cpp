@@ -33,6 +33,7 @@ struct RunResult {
 
 RunResult run(const std::string& kernel, double scale,
               const fault::FaultConfig& inject) {
+  bench::heartbeat();
   workloads::PreparedCase pc = workloads::prepare_case(kernel, scale);
   sim::GpuConfig cfg = sim::GpuConfig::st2();
   cfg.inject = inject;
@@ -70,7 +71,12 @@ int main() {
   Table t("fault sensitivity, ST2 machine (crf+hist+detect at equal rates)");
   t.header({"kernel", "rate", "faults", "extra repairs", "cycle overhead",
             "energy overhead", "valid"});
-  for (const std::string& k : kernels) {
+  // Shardable (BENCH_SHARD=i/n): the work unit is one kernel — its fault-
+  // free reference run plus the four rate rows derived from it.
+  std::vector<int> units;
+  for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+    if (!bench::shard_owns(static_cast<int>(ki))) continue;
+    const std::string& k = kernels[ki];
     const RunResult clean = run(k, scale, fault::FaultConfig{});
     for (const double rate : rates) {
       fault::FaultConfig inject;
@@ -83,8 +89,10 @@ int main() {
              Table::pct(rel(double(r.cycles), double(clean.cycles))),
              Table::pct(rel(r.energy, clean.energy)),
              r.valid ? "ok" : "FAIL"});
+      units.push_back(static_cast<int>(ki));
     }
   }
-  bench::emit(t, "fault_sensitivity");
+  bench::emit_sharded(t, "fault_sensitivity", units,
+                      static_cast<int>(kernels.size() * rates.size()));
   return 0;
 }

@@ -2,6 +2,15 @@
 // average per-thread misprediction rate of every configuration on the
 // paper's x-axis, plus the derived reduction-vs-VaLHALLA percentages quoted
 // in Section IV-B.
+//
+// Shardable (BENCH_SHARD=i/n): the work unit is one swept configuration.
+// Every shard runs the same single trace pass over all workloads but feeds
+// only the harnesses of the configurations it owns — plus the VaLHALLA
+// no-peek reference, which every row's "vs VaLHALLA" column needs. Each
+// harness sees the identical record stream in the identical order as a
+// serial run, so the rows a shard emits are byte-identical to the serial
+// table's.
+#include <cstddef>
 #include <iostream>
 #include <vector>
 
@@ -18,38 +27,63 @@ int main() {
   const std::vector<spec::SpeculationConfig> cfgs =
       spec::SpeculationConfig::figure5_sweep();
 
-  std::vector<double> sums(cfgs.size(), 0.0);
-  int n = 0;
-  for (const auto& info : workloads::case_list()) {
-    workloads::PreparedCase pc = workloads::prepare_case(info.name, scale);
-    std::vector<sim::SpeculationHarness> hs;
-    hs.reserve(cfgs.size());
-    for (const auto& c : cfgs) hs.emplace_back(c);
-    auto obs = [&](const sim::ExecRecord& rec) {
-      for (auto& h : hs) h.feed(rec);
-    };
-    for (const auto& lc : pc.launches) {
-      // No timing consumer in this binary: the pass only records a capture
-      // when BENCH_TRACE_CACHE names a disk tier other binaries can reuse.
-      bench::trace_pass(pc.kernel, lc, *pc.mem, obs, /*store_capture=*/false);
-    }
-    for (std::size_t i = 0; i < hs.size(); ++i) {
-      sums[i] += hs[i].op_misprediction_rate();
-    }
-    ++n;
-  }
-
-  double valhalla_rate = 0.0;
+  std::size_t valhalla_idx = cfgs.size();
   for (std::size_t i = 0; i < cfgs.size(); ++i) {
     if (cfgs[i].base == spec::BasePolicy::kValhalla && !cfgs[i].peek) {
-      valhalla_rate = sums[i] / n;
+      valhalla_idx = i;
     }
   }
+
+  std::vector<int> owned;
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    if (bench::shard_owns(static_cast<int>(i))) {
+      owned.push_back(static_cast<int>(i));
+    }
+  }
+  std::vector<char> needed(cfgs.size(), 0);
+  for (const int i : owned) needed[static_cast<std::size_t>(i)] = 1;
+  if (!owned.empty() && valhalla_idx < cfgs.size()) {
+    needed[valhalla_idx] = 1;
+  }
+
+  std::vector<double> sums(cfgs.size(), 0.0);
+  int n = 0;
+  if (!owned.empty()) {
+    for (const auto& info : workloads::case_list()) {
+      workloads::PreparedCase pc = workloads::prepare_case(info.name, scale);
+      // One harness per needed config; each sees the full record stream, so
+      // its accumulated rate is independent of which other configs ran.
+      std::vector<std::size_t> idx;
+      std::vector<sim::SpeculationHarness> hs;
+      for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        if (!needed[i]) continue;
+        idx.push_back(i);
+        hs.emplace_back(cfgs[i]);
+      }
+      auto obs = [&](const sim::ExecRecord& rec) {
+        for (auto& h : hs) h.feed(rec);
+      };
+      for (const auto& lc : pc.launches) {
+        // No timing consumer in this binary: the pass only records a capture
+        // when BENCH_TRACE_CACHE names a disk tier other binaries can reuse.
+        bench::trace_pass(pc.kernel, lc, *pc.mem, obs,
+                          /*store_capture=*/false);
+      }
+      for (std::size_t j = 0; j < hs.size(); ++j) {
+        sums[idx[j]] += hs[j].op_misprediction_rate();
+      }
+      ++n;
+    }
+  }
+
+  const double valhalla_rate =
+      valhalla_idx < cfgs.size() && n > 0 ? sums[valhalla_idx] / n : 0.0;
 
   Table t("Figure 5: carry-speculation design-space exploration");
   t.header({"configuration", "avg thread mispred", "vs VaLHALLA",
             "HW table B/SM"});
-  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+  for (const int oi : owned) {
+    const std::size_t i = static_cast<std::size_t>(oi);
     const double rate = sums[i] / n;
     const double delta = valhalla_rate > 0 ? (rate / valhalla_rate - 1.0) : 0;
     const long long bytes = cfgs[i].table_bytes_per_sm();
@@ -67,7 +101,8 @@ int main() {
     t.row({cfgs[i].name(), Table::pct(rate),
            (delta <= 0 ? "-" : "+") + Table::pct(std::abs(delta)), cost});
   }
-  bench::emit(t, "fig5_dse");
+  bench::emit_sharded(t, "fig5_dse", owned,
+                      static_cast<int>(cfgs.size()));
   std::cout
       << "Paper (Section IV-B): Peek -18% vs VaLHALLA; Prev+Peek -26%;\n"
       << "ModPC4 -57% (12% absolute); Ltid+Prev+ModPC4+Peek -65% (9%);\n"

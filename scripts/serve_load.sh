@@ -49,19 +49,19 @@ cfg_json() { # cfg_json <k> <id> -> request line
     esac
 }
 
+# No readiness polling: the daemon is launched and the first client simply
+# retries its connect (--connect-retries) until the socket is accepting.
 start_daemon() { # start_daemon <extra flags...>; sets SRV
     : >serve.out
     # shellcheck disable=SC2086
     "$ST2SIM" serve --socket "$SOCK" "$@" >>serve.out 2>>serve.err &
     SRV=$!
-    i=0
-    while ! grep -q listening serve.out 2>/dev/null; do
-        i=$((i + 1))
-        [ "$i" -gt 100 ] && { fail "daemon never became ready"; return 1; }
-        sleep 0.1
-    done
     return 0
 }
+
+# Connect flags for any client racing a just-started daemon: ~5 s of
+# doubling backoff before giving up.
+RETRY="--connect-retries 8 --connect-backoff-ms 25"
 
 # --- golden references: the one-shot CLI, one run per config ----------------
 k=0
@@ -90,7 +90,8 @@ total=$((N + 2))
 # The queue must hold the whole pipelined stream here: this phase measures
 # isolation and bit-identity, not shedding (phase 2 covers that).
 start_daemon --workers 2 --queue-depth $((total + 16)) || exit 1
-"$ST2SIM" client --socket "$SOCK" --out-dir bodies \
+# shellcheck disable=SC2086
+"$ST2SIM" client --socket "$SOCK" $RETRY --out-dir bodies \
     <requests.ndjson >envelopes.out 2>client.err
 rc=$?
 [ "$rc" -eq 0 ] || fail "load client exited $rc"
@@ -133,7 +134,8 @@ start_daemon --workers 1 --queue-depth 2 || exit 1
         i=$((i + 1))
     done
 } >flood.ndjson
-"$ST2SIM" client --socket "$SOCK" <flood.ndjson >flood.out 2>&1 ||
+# shellcheck disable=SC2086
+"$ST2SIM" client --socket "$SOCK" $RETRY <flood.ndjson >flood.out 2>&1 ||
     fail "flood client exited $?"
 got=$(wc -l <flood.out)
 [ "$got" -eq 31 ] || fail "flood: expected 31 envelopes, got $got"
@@ -157,7 +159,8 @@ start_daemon --workers 1 || exit 1
         i=$((i + 1))
     done
 } >drain.ndjson
-"$ST2SIM" client --socket "$SOCK" --out-dir drain_bodies \
+# shellcheck disable=SC2086
+"$ST2SIM" client --socket "$SOCK" $RETRY --out-dir drain_bodies \
     <drain.ndjson >drain.out 2>drain.err &
 CLI=$!
 sleep 0.4 # all four admitted; the first is mid-run on the single worker

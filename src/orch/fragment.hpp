@@ -1,0 +1,215 @@
+// Shard output fragments — the wire format between sharded bench workers
+// and the sweep orchestrator's merger (docs/robustness.md, "Sharded sweep
+// orchestrator").
+//
+// A sharded bench run (BENCH_SHARD=i/n) computes only the table rows whose
+// work unit it owns (unit % n == i) and records them, tagged with their
+// (unit, seq) position, in one fragment file per output stem:
+//
+//   st2frag-v1 stem=<stem> shard=<i>/<n> rows_total=<R> scale=<token>
+//   H,<csv header line>
+//   R,<unit>,<seq>,<csv row>
+//   ...
+//   E,<row count>,<crc32 hex of every preceding byte>
+//
+// The merger re-assembles the n fragments into exactly the CSV a serial
+// (unsharded) run of the bench would emit: rows sorted by (unit, seq) under
+// a header all fragments must agree on. The trailing E line carries a CRC
+// over the whole body, and writes are atomic with pid-unique staging names
+// (an orphaned worker from a killed attempt may race a retry on the same
+// path — both hold identical deterministic bytes, so the rename race is
+// benign win-either-way). A fragment that fails any structural check parses
+// to a typed SimError(kSnapshotInvalid), which the supervisor treats as a
+// failed attempt — never a torn merge.
+//
+// Header-only so the bench binaries can write fragments without linking the
+// orchestrator library.
+#pragma once
+
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/error.hpp"
+#include "src/snapshot/crc32.hpp"
+#include "src/snapshot/snapshot.hpp"
+
+namespace st2::orch {
+
+struct FragmentRow {
+  int unit = 0;  ///< work-unit index in the bench's full (serial) enumeration
+  int seq = 0;   ///< row position within the unit (0-based, contiguous)
+  std::string csv;  ///< the row exactly as Table::to_csv would emit it
+};
+
+struct Fragment {
+  std::string stem;      ///< output stem, e.g. "fig5_dse", "ablation_policy"
+  int shard_index = 0;   ///< i in BENCH_SHARD=i/n
+  int shard_count = 1;   ///< n in BENCH_SHARD=i/n
+  int rows_total = 0;    ///< rows a full serial run of this stem emits
+  std::string scale;     ///< the BENCH_SCALE token the rows were run under
+  std::string header;    ///< the CSV header line (no newline)
+  std::vector<FragmentRow> rows;
+};
+
+/// Serializes a fragment to its on-disk text form (with the CRC tail).
+inline std::string serialize_fragment(const Fragment& f) {
+  std::string out = "st2frag-v1 stem=" + f.stem + " shard=" +
+                    std::to_string(f.shard_index) + "/" +
+                    std::to_string(f.shard_count) +
+                    " rows_total=" + std::to_string(f.rows_total) +
+                    " scale=" + f.scale + "\n";
+  out += "H," + f.header + "\n";
+  for (const FragmentRow& r : f.rows) {
+    out += "R," + std::to_string(r.unit) + "," + std::to_string(r.seq) + "," +
+           r.csv + "\n";
+  }
+  char tail[64];
+  std::snprintf(tail, sizeof tail, "E,%zu,%08x\n", f.rows.size(),
+                snapshot::crc32(out));
+  return out + tail;
+}
+
+/// Atomically writes `f` to `path` (pid-unique staging name, then rename).
+/// Throws SimError(kIo) on write failure.
+inline void write_fragment(const std::string& path, const Fragment& f) {
+  snapshot::atomic_write_file(path, serialize_fragment(f),
+                              /*unique_tmp=*/true);
+}
+
+/// Parses and validates a serialized fragment. Every structural expectation
+/// — version line, field syntax, shard bounds, CRC tail, rows sorted by
+/// (unit, seq) with contiguous seq and correct shard ownership
+/// (unit % count == index) — is enforced; any violation throws
+/// SimError(kSnapshotInvalid) carrying `context`.
+inline Fragment parse_fragment(std::string_view text,
+                               const std::string& context) {
+  const auto fail = [&](const std::string& what) -> void {
+    throw sim::SimError(sim::SimErrorKind::kSnapshotInvalid, context, what);
+  };
+  const auto next_line = [&](std::size_t& pos) -> std::string_view {
+    if (pos >= text.size()) fail("fragment truncated: missing line");
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      fail("fragment truncated: unterminated line");
+    }
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+  // Strict non-negative integer field (no sign, no junk, bounded).
+  const auto parse_num = [&](std::string_view s, const char* what) -> long {
+    if (s.empty() || s.size() > 9) fail(std::string(what) + " malformed");
+    long v = 0;
+    for (const char c : s) {
+      if (c < '0' || c > '9') fail(std::string(what) + " malformed");
+      v = v * 10 + (c - '0');
+    }
+    return v;
+  };
+  const auto field = [&](std::string_view line, const char* key,
+                         std::string_view* rest) -> std::string_view {
+    const std::string pat = std::string(key) + "=";
+    if (line.substr(0, pat.size()) != pat) {
+      fail("expected '" + pat + "' in the fragment header");
+    }
+    line.remove_prefix(pat.size());
+    const std::size_t sp = line.find(' ');
+    std::string_view v =
+        sp == std::string_view::npos ? line : line.substr(0, sp);
+    *rest = sp == std::string_view::npos ? std::string_view{}
+                                         : line.substr(sp + 1);
+    return v;
+  };
+
+  Fragment f;
+  std::size_t pos = 0;
+  std::string_view line = next_line(pos);
+  constexpr std::string_view kMagic = "st2frag-v1 ";
+  if (line.substr(0, kMagic.size()) != kMagic) {
+    fail("not a shard fragment (bad magic line)");
+  }
+  std::string_view rest = line.substr(kMagic.size());
+  f.stem = std::string(field(rest, "stem", &rest));
+  const std::string_view shard = field(rest, "shard", &rest);
+  const std::size_t slash = shard.find('/');
+  if (slash == std::string_view::npos) fail("shard field malformed");
+  f.shard_index =
+      static_cast<int>(parse_num(shard.substr(0, slash), "shard index"));
+  f.shard_count =
+      static_cast<int>(parse_num(shard.substr(slash + 1), "shard count"));
+  if (f.shard_count < 1 || f.shard_index >= f.shard_count) {
+    fail("shard index out of range");
+  }
+  f.rows_total =
+      static_cast<int>(parse_num(field(rest, "rows_total", &rest),
+                                 "rows_total"));
+  f.scale = std::string(field(rest, "scale", &rest));
+  if (f.stem.empty()) fail("empty stem");
+
+  line = next_line(pos);
+  if (line.substr(0, 2) != "H,") fail("missing header line");
+  f.header = std::string(line.substr(2));
+
+  std::size_t body_end = pos;  // start of the E line, for the CRC
+  while (true) {
+    body_end = pos;
+    line = next_line(pos);
+    if (line.substr(0, 2) == "E,") break;
+    if (line.substr(0, 2) != "R,") fail("unexpected line in fragment body");
+    std::string_view r = line.substr(2);
+    std::size_t c1 = r.find(',');
+    if (c1 == std::string_view::npos) fail("row line malformed");
+    std::size_t c2 = r.find(',', c1 + 1);
+    if (c2 == std::string_view::npos) fail("row line malformed");
+    FragmentRow row;
+    row.unit = static_cast<int>(parse_num(r.substr(0, c1), "row unit"));
+    row.seq =
+        static_cast<int>(parse_num(r.substr(c1 + 1, c2 - c1 - 1), "row seq"));
+    row.csv = std::string(r.substr(c2 + 1));
+    if (row.unit % f.shard_count != f.shard_index) {
+      fail("row unit not owned by this shard");
+    }
+    if (!f.rows.empty()) {
+      const FragmentRow& prev = f.rows.back();
+      const bool ordered = row.unit > prev.unit
+                               ? row.seq == 0
+                               : row.unit == prev.unit &&
+                                     row.seq == prev.seq + 1;
+      if (!ordered) fail("rows out of (unit, seq) order");
+    } else if (row.seq != 0) {
+      fail("first row of a unit must have seq 0");
+    }
+    f.rows.push_back(std::move(row));
+  }
+  // E,<count>,<crc8hex> — then nothing.
+  std::string_view e = line.substr(2);
+  const std::size_t c1 = e.find(',');
+  if (c1 == std::string_view::npos) fail("end line malformed");
+  const long count = parse_num(e.substr(0, c1), "end row count");
+  if (static_cast<std::size_t>(count) != f.rows.size()) {
+    fail("end line row count differs from the rows present");
+  }
+  const std::string_view crc_hex = e.substr(c1 + 1);
+  if (crc_hex.size() != 8) fail("end line CRC malformed");
+  std::uint32_t want = 0;
+  for (const char c : crc_hex) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else { fail("end line CRC malformed"); d = 0; }
+    want = (want << 4) | static_cast<std::uint32_t>(d);
+  }
+  if (snapshot::crc32(text.substr(0, body_end)) != want) {
+    fail("fragment CRC mismatch");
+  }
+  if (pos != text.size()) fail("trailing bytes after the end line");
+  if (f.rows.size() > static_cast<std::size_t>(f.rows_total)) {
+    fail("fragment holds more rows than rows_total");
+  }
+  return f;
+}
+
+}  // namespace st2::orch

@@ -1,0 +1,178 @@
+#include "src/orch/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "src/sim/error.hpp"
+#include "src/snapshot/crc32.hpp"
+#include "src/snapshot/serial.hpp"
+
+namespace st2::orch {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// A journal record is a few strings plus fixed fields; anything near this
+// bound is corruption, not data, and cuts the torn-tail scan short before it
+// tries to allocate a bogus length.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+[[noreturn]] void throw_io(const std::string& path, const std::string& what,
+                           int saved_errno) {
+  std::string msg = what;
+  if (saved_errno != 0) {
+    msg += " (";
+    msg += std::strerror(saved_errno);
+    msg += ")";
+  }
+  throw sim::SimError(sim::SimErrorKind::kIo, path, msg);
+}
+
+std::uint32_t read_le32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Parses one frame payload; returns false (with a cause) instead of
+/// throwing, because in recovery a bad payload just marks the torn tail.
+bool parse_payload(std::string_view payload, Record* out,
+                   std::string* cause) {
+  try {
+    snapshot::Reader r(payload, "sweep journal");
+    const std::uint8_t type = r.u8();
+    if (type < static_cast<std::uint8_t>(RecordType::kBegin) ||
+        type > static_cast<std::uint8_t>(RecordType::kQuarantine)) {
+      *cause = "unknown record type " + std::to_string(type);
+      return false;
+    }
+    out->type = static_cast<RecordType>(type);
+    out->seq = r.u32();
+    out->shard = r.str();
+    out->attempt = r.u32();
+    out->code = r.i32();
+    out->detail = r.str();
+    if (!r.done()) {
+      *cause = "record payload carries trailing bytes";
+      return false;
+    }
+    return true;
+  } catch (const sim::SimError& e) {
+    *cause = e.what();
+    return false;
+  }
+}
+
+}  // namespace
+
+std::string encode_frame(const Record& r) {
+  snapshot::Writer payload;
+  payload.u8(static_cast<std::uint8_t>(r.type));
+  payload.u32(r.seq);
+  payload.str(r.shard);
+  payload.u32(r.attempt);
+  payload.i32(r.code);
+  payload.str(r.detail);
+  snapshot::Writer frame;
+  frame.u32(static_cast<std::uint32_t>(payload.data().size()));
+  frame.raw(payload.data());
+  frame.u32(snapshot::crc32(payload.data()));
+  return frame.take();
+}
+
+Recovery recover_journal(const std::string& path) {
+  Recovery out;
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return out;
+
+  std::string file;
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw_io(path, "cannot open sweep journal", errno);
+    file.assign(std::istreambuf_iterator<char>(is),
+                std::istreambuf_iterator<char>());
+    if (is.bad()) throw_io(path, "read error while loading sweep journal", 0);
+  }
+
+  std::size_t pos = 0;
+  std::uint32_t expect_seq = 0;
+  while (file.size() - pos >= 8) {
+    const std::uint32_t len = read_le32(file.data() + pos);
+    if (len == 0 || len > kMaxPayloadBytes) {
+      out.drop_cause = "frame length " + std::to_string(len) +
+                       " out of bounds";
+      break;
+    }
+    if (file.size() - pos - 8 < len) {
+      out.drop_cause = "frame overruns the file (torn final append)";
+      break;
+    }
+    const std::string_view payload(file.data() + pos + 4, len);
+    const std::uint32_t want = read_le32(file.data() + pos + 4 + len);
+    if (snapshot::crc32(payload) != want) {
+      out.drop_cause = "frame CRC mismatch";
+      break;
+    }
+    Record rec;
+    std::string cause;
+    if (!parse_payload(payload, &rec, &cause)) {
+      out.drop_cause = cause;
+      break;
+    }
+    // Sequence numbers are assigned by the single writer in order; a gap or
+    // repeat means the frame stream itself is inconsistent from here on.
+    if (rec.seq != expect_seq) {
+      out.drop_cause = "record sequence jump (" + std::to_string(rec.seq) +
+                       " after " + std::to_string(expect_seq - 1) + ")";
+      break;
+    }
+    ++expect_seq;
+    out.records.push_back(std::move(rec));
+    pos += 8 + len;
+  }
+  if (pos < file.size() && out.drop_cause.empty()) {
+    out.drop_cause = "trailing bytes shorter than a frame header";
+  }
+
+  out.dropped_bytes = file.size() - pos;
+  if (out.dropped_bytes > 0) {
+    fs::resize_file(path, pos, ec);
+    if (ec) throw_io(path, "cannot truncate torn journal tail", ec.value());
+  }
+  return out;
+}
+
+Journal::Journal(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) throw_io(path_, "cannot open sweep journal for append", errno);
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::append(Record r) {
+  r.seq = next_seq_;
+  const std::string frame = encode_frame(r);
+  // One write() on an O_APPEND fd: the frame lands contiguously, and a crash
+  // mid-write leaves at worst a torn tail the next recovery truncates.
+  ssize_t n = ::write(fd_, frame.data(), frame.size());
+  if (n != static_cast<ssize_t>(frame.size())) {
+    throw_io(path_, "short write appending journal record", errno);
+  }
+  if (::fsync(fd_) != 0) {
+    throw_io(path_, "fsync failed appending journal record", errno);
+  }
+  ++next_seq_;
+}
+
+}  // namespace st2::orch

@@ -1,0 +1,91 @@
+// Append-only, CRC-guarded sweep journal (docs/robustness.md).
+//
+// The supervisor is the journal's only writer. Every state transition of a
+// shard — claimed by a worker, completed, failed an attempt, quarantined —
+// is one framed record appended with a single write() to an O_APPEND
+// descriptor and fsync'd before the supervisor acts on it. Frame layout:
+//
+//   u32 payload length | payload | u32 CRC-32 of the payload
+//
+// with the payload serialized through snapshot::Writer (fixed little-endian):
+//
+//   u8 type | u32 seq | str shard_id | u32 attempt | i32 code | str detail
+//
+// Recovery walks the frames front to back. The first frame that fails any
+// check — length out of bounds, CRC mismatch, unparseable payload, unknown
+// type — marks the torn tail: everything before it is the recovered record
+// sequence, and the file is truncated back to that valid prefix so the next
+// append continues cleanly. Losing a record suffix is always safe: a shard
+// whose completion record was torn off merely re-runs, and shards are
+// deterministic, so the merged outputs are unchanged. The exhaustive
+// truncation/bit-flip suite in tests/test_orch.cpp holds the recovered-or-
+// rejected (never UB) contract at every byte offset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace st2::orch {
+
+enum class RecordType : std::uint8_t {
+  kBegin = 1,       ///< sweep opened: detail = canonical spec fingerprint text
+  kClaim = 2,       ///< shard handed to a worker; code = worker pid
+  kDone = 3,        ///< shard finished, fragments validated
+  kFail = 4,        ///< attempt failed; code = exit status, detail = cause
+  kQuarantine = 5,  ///< retries exhausted; shard parked for human eyes
+};
+
+struct Record {
+  RecordType type = RecordType::kBegin;
+  std::uint32_t seq = 0;      ///< monotonically increasing append index
+  std::string shard;          ///< shard id, empty for kBegin
+  std::uint32_t attempt = 0;  ///< 1-based attempt number, 0 for kBegin
+  std::int32_t code = 0;      ///< type-specific (pid / exit status / count)
+  std::string detail;         ///< human-readable cause or spec fingerprint
+};
+
+/// Serializes one record into its frame (length + payload + CRC) — exposed
+/// so tests can craft journals byte by byte.
+std::string encode_frame(const Record& r);
+
+struct Recovery {
+  std::vector<Record> records;       ///< the valid prefix, in append order
+  std::uint64_t dropped_bytes = 0;   ///< torn-tail bytes truncated away
+  std::string drop_cause;            ///< why the tail was rejected (if any)
+};
+
+/// Reads `path`, parses the valid record prefix, and — when a torn tail is
+/// found — truncates the file back to that prefix in place. A missing file
+/// recovers to zero records (and is not created). Throws SimError(kIo) only
+/// for genuine I/O failures (unreadable file, failed truncate); corruption
+/// is never an error, it is the torn tail.
+Recovery recover_journal(const std::string& path);
+
+/// Single-writer append handle. Opening is cheap; each append is one
+/// write() + fsync so a record is either fully on disk or entirely absent
+/// modulo the CRC guard (a torn final frame is truncated by the next
+/// recovery).
+class Journal {
+ public:
+  /// Opens (creating if needed) for append. Throws SimError(kIo) on failure.
+  explicit Journal(const std::string& path);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Stamps `r.seq` with the next sequence number and appends the frame
+  /// durably. Throws SimError(kIo) if the write or fsync fails.
+  void append(Record r);
+
+  /// Continues the sequence after a recovery (`next` = last recovered
+  /// seq + 1).
+  void set_next_seq(std::uint32_t next) { next_seq_ = next; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint32_t next_seq_ = 0;
+};
+
+}  // namespace st2::orch

@@ -1,0 +1,308 @@
+#include "src/orch/spec.hpp"
+
+#include <cstdlib>
+#include <set>
+
+#include "src/sim/error.hpp"
+
+namespace st2::orch {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& context, const std::string& what) {
+  throw sim::SimError(sim::SimErrorKind::kBadArguments, context, what);
+}
+
+/// Strict cursor over the spec document. The grammar is tiny (objects,
+/// arrays, strings, unsigned integers), so this hand parser both rejects
+/// malformed JSON and enforces the schema in one walk.
+class Parser {
+ public:
+  Parser(std::string_view text, const std::string& context)
+      : text_(text), context_(context) {}
+
+  void ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    ws();
+    if (pos_ >= text_.size()) bad(context_, "unexpected end of sweep spec");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      bad(context_, std::string("expected '") + c + "' at byte " +
+                        std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string s;
+    while (true) {
+      if (pos_ >= text_.size()) bad(context_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return s;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) bad(context_, "unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'n': s += '\n'; break;
+          case 't': s += '\t'; break;
+          case 'r': s += '\r'; break;
+          default:
+            bad(context_, std::string("unsupported string escape '\\") + e +
+                              "'");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        bad(context_, "raw control character inside a string");
+      } else {
+        s += c;
+      }
+    }
+  }
+
+  /// Unsigned integer literal, returned numerically.
+  std::uint64_t integer() {
+    ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    const std::size_t digits = pos_ - start;
+    if (digits == 0 || digits > 12 ||
+        (digits > 1 && text_[start] == '0')) {
+      bad(context_, "expected an unsigned integer at byte " +
+                        std::to_string(start));
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = start; i < pos_; ++i) {
+      v = v * 10 + static_cast<std::uint64_t>(text_[i] - '0');
+    }
+    return v;
+  }
+
+  void end() {
+    ws();
+    if (pos_ != text_.size()) {
+      bad(context_, "trailing bytes after the spec document");
+    }
+  }
+
+  const std::string& context() const { return context_; }
+
+ private:
+  std::string_view text_;
+  std::string context_;
+  std::size_t pos_ = 0;
+};
+
+/// Drives `{ "k": v, ... }` with duplicate-key detection; `field` consumes
+/// the value for a (known) key or rejects it.
+template <typename FieldFn>
+void parse_object(Parser& p, FieldFn&& field) {
+  p.expect('{');
+  std::set<std::string> seen;
+  if (!p.eat('}')) {
+    do {
+      const std::string key = p.string();
+      if (!seen.insert(key).second) {
+        bad(p.context(), "duplicate key \"" + key + "\"");
+      }
+      p.expect(':');
+      field(key);
+    } while (p.eat(','));
+    p.expect('}');
+  }
+}
+
+template <typename ElemFn>
+void parse_array(Parser& p, ElemFn&& elem) {
+  p.expect('[');
+  if (!p.eat(']')) {
+    do {
+      elem();
+    } while (p.eat(','));
+    p.expect(']');
+  }
+}
+
+void validate_scale_token(const std::string& token,
+                          const std::string& context) {
+  // Mirrors bench_util's bench_scale contract: the token reaches workers as
+  // BENCH_SCALE verbatim, so anything the bench would exit 2 on is rejected
+  // here, before a single shard is spawned.
+  if (token.empty()) bad(context, "empty scale token");
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || !(v > 0.0) || v > 4.0) {
+    bad(context,
+        "scale '" + token + "' is not a decimal in (0, 4]");
+  }
+}
+
+bool known_bench(const std::string& name) {
+  for (const BenchFamily& f : bench_families()) {
+    if (name == f.name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<BenchFamily>& bench_families() {
+  static const std::vector<BenchFamily> kFamilies = {
+      {"fig5_dse", {"fig5_dse"}},
+      {"config_sensitivity", {"config_sensitivity"}},
+      {"fault_sensitivity", {"fault_sensitivity"}},
+      {"ablation_st2",
+       {"ablation_policy", "ablation_slice_width", "ablation_crf",
+        "ablation_scheduler"}},
+  };
+  return kFamilies;
+}
+
+std::string SweepSpec::canonical() const {
+  std::string s = "st2sweep-v1 name=" + name + " scales=";
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    if (i != 0) s += ",";
+    s += scales[i];
+  }
+  s += " benches=";
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    if (i != 0) s += ",";
+    s += benches[i].bench + ":" + std::to_string(benches[i].shards) + ":" +
+         std::to_string(benches[i].timeout_ms);
+  }
+  return s;
+}
+
+SweepSpec parse_spec(std::string_view json, const std::string& context) {
+  Parser p(json, context);
+  SweepSpec spec;
+  bool have_name = false, have_scales = false, have_benches = false;
+  parse_object(p, [&](const std::string& key) {
+    if (key == "name") {
+      have_name = true;
+      spec.name = p.string();
+    } else if (key == "scales") {
+      have_scales = true;
+      parse_array(p, [&] {
+        std::string token = p.string();
+        validate_scale_token(token, context);
+        spec.scales.push_back(std::move(token));
+      });
+    } else if (key == "benches") {
+      have_benches = true;
+      parse_array(p, [&] {
+        SpecBench b;
+        bool have_bench = false;
+        parse_object(p, [&](const std::string& bkey) {
+          if (bkey == "bench") {
+            have_bench = true;
+            b.bench = p.string();
+          } else if (bkey == "shards") {
+            const std::uint64_t v = p.integer();
+            if (v < 1 || v > 256) {
+              bad(context, "shards must be in [1, 256], got " +
+                               std::to_string(v));
+            }
+            b.shards = static_cast<int>(v);
+          } else if (bkey == "timeout_ms") {
+            b.timeout_ms = p.integer();
+          } else {
+            bad(context, "unknown bench key \"" + bkey + "\"");
+          }
+        });
+        if (!have_bench) bad(context, "bench entry is missing \"bench\"");
+        if (!known_bench(b.bench)) {
+          std::string names;
+          for (const BenchFamily& f : bench_families()) {
+            if (!names.empty()) names += ", ";
+            names += f.name;
+          }
+          bad(context, "unknown bench \"" + b.bench + "\" (known: " + names +
+                           ")");
+        }
+        spec.benches.push_back(std::move(b));
+      });
+    } else {
+      bad(context, "unknown key \"" + key + "\"");
+    }
+  });
+  p.end();
+
+  if (!have_name || spec.name.empty()) bad(context, "missing sweep name");
+  for (const char c : spec.name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) {
+      bad(context, "sweep name must match [A-Za-z0-9_-]+");
+    }
+  }
+  if (!have_scales || spec.scales.empty()) {
+    bad(context, "spec declares no scales");
+  }
+  if (!have_benches || spec.benches.empty()) {
+    bad(context, "spec declares no benches");
+  }
+  std::set<std::string> scale_seen(spec.scales.begin(), spec.scales.end());
+  if (scale_seen.size() != spec.scales.size()) {
+    bad(context, "duplicate scale token");
+  }
+  std::set<std::string> bench_seen;
+  for (const SpecBench& b : spec.benches) {
+    if (!bench_seen.insert(b.bench).second) {
+      bad(context, "bench \"" + b.bench + "\" listed twice");
+    }
+  }
+  return spec;
+}
+
+std::vector<Shard> expand_shards(const SweepSpec& spec) {
+  std::vector<Shard> shards;
+  for (const std::string& scale : spec.scales) {
+    // Scale tokens are validated decimals, but '.' would splinter the shard
+    // id's role as a directory name less readably than '_'.
+    std::string stoken = scale;
+    for (char& c : stoken) {
+      if (c == '.') c = '_';
+    }
+    for (const SpecBench& b : spec.benches) {
+      for (const BenchFamily& f : bench_families()) {
+        if (b.bench != f.name) continue;
+        for (int i = 0; i < b.shards; ++i) {
+          Shard s;
+          s.bench = b.bench;
+          s.stems = f.stems;
+          s.scale = scale;
+          s.index = i;
+          s.count = b.shards;
+          s.timeout_ms = b.timeout_ms;
+          s.id = b.bench + ".s" + stoken + "." + std::to_string(i) + "of" +
+                 std::to_string(b.shards);
+          shards.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  return shards;
+}
+
+}  // namespace st2::orch

@@ -1,0 +1,77 @@
+// Sweep specification: the declared shard space `st2sim sweep` executes.
+//
+// A spec is a small strict JSON document:
+//
+//   {
+//     "name": "dse_small",
+//     "scales": ["0.05", "0.1"],
+//     "benches": [
+//       { "bench": "fig5_dse", "shards": 3 },
+//       { "bench": "ablation_st2", "shards": 2, "timeout_ms": 600000 }
+//     ]
+//   }
+//
+// Parsing is deliberately unforgiving — unknown keys, duplicate keys,
+// unknown bench names, out-of-range shard counts and malformed scale tokens
+// are all structured `error[bad-arguments]` (exit 2), never asserts — and
+// scale tokens are kept as their raw spelling so they reach the worker's
+// BENCH_SCALE environment byte-for-byte (the bench's own strict parser is
+// the single authority on what a scale means).
+//
+// The cross product scales × benches × shard indices expands to the shard
+// list; each shard's id `<bench>.s<scale>.<i>of<n>` names its fragment
+// directory, heartbeat file and logs, and is the key journal records carry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace st2::orch {
+
+/// One bench family the orchestrator knows how to shard, with the output
+/// stems a run of it must produce fragments for.
+struct BenchFamily {
+  const char* name;
+  std::vector<const char*> stems;
+};
+
+/// The four sweep benches (bench/) with shardable unit enumerations.
+const std::vector<BenchFamily>& bench_families();
+
+struct SpecBench {
+  std::string bench;              ///< bench family name (validated)
+  int shards = 1;                 ///< 1..256
+  std::uint64_t timeout_ms = 0;   ///< per-shard wall deadline; 0 = none
+};
+
+struct SweepSpec {
+  std::string name;                 ///< sweep label, [A-Za-z0-9_-]+
+  std::vector<std::string> scales;  ///< raw BENCH_SCALE tokens
+  std::vector<SpecBench> benches;
+
+  /// Deterministic one-line rendering; its FNV-1a hash is the fingerprint
+  /// the journal's begin record carries, so --resume can refuse a journal
+  /// written for a different spec.
+  std::string canonical() const;
+};
+
+/// Parses and validates a spec document. Any syntactic or semantic problem
+/// throws SimError(kBadArguments) naming `context` (the spec path).
+SweepSpec parse_spec(std::string_view json, const std::string& context);
+
+/// One expanded unit of work: a single bench binary invocation.
+struct Shard {
+  std::string id;        ///< "<bench>.s<scale>.<i>of<n>" — filesystem-safe
+  std::string bench;     ///< bench family name == binary name
+  std::vector<const char*> stems;  ///< fragments this shard must produce
+  std::string scale;     ///< raw BENCH_SCALE token
+  int index = 0;
+  int count = 1;
+  std::uint64_t timeout_ms = 0;
+};
+
+/// Expands the spec's cross product in deterministic declared order.
+std::vector<Shard> expand_shards(const SweepSpec& spec);
+
+}  // namespace st2::orch

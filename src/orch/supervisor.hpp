@@ -1,0 +1,56 @@
+// Sweep supervisor: shards a declared sweep space across worker processes
+// with work-stealing, journaled state, heartbeat supervision and
+// kill-anywhere resume (docs/robustness.md, "Sharded sweep orchestrator").
+//
+// The supervisor is a single-threaded fork/exec poll loop. Free worker
+// slots steal the next runnable shard from the pending queue; each shard
+// attempt is one bench-binary invocation wired up through environment
+// variables (BENCH_SHARD, BENCH_SHARD_OUT, BENCH_HEARTBEAT, BENCH_SCALE,
+// BENCH_TRACE_CACHE — see bench/bench_util.hpp). Workers prove liveness by
+// bumping their heartbeat file; a silent worker past the heartbeat timeout
+// (or a shard past its wall deadline) is SIGKILLed by process group and
+// treated as a failed attempt. Failed attempts retry under capped
+// exponential backoff; a shard that exhausts its retries is quarantined
+// into quarantine.json and the sweep finishes with exit 10
+// (`error[shard-failed]`) instead of blocking the healthy shards.
+//
+// Every claim/completion is a CRC-framed journal record (src/orch/journal),
+// and worker outputs are atomic per-stem fragment files
+// (src/orch/fragment), so killing any process at any instant — workers or
+// the supervisor itself, SIGKILL included — loses at most re-runnable work:
+// `--resume` recovers the journal's valid prefix, re-validates completed
+// shards' fragments, re-runs everything else, and the merged CSV/JSON are
+// byte-identical to an uninterrupted run (shards are deterministic).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace st2::orch {
+
+struct SweepOptions {
+  std::string spec_path;   ///< sweep spec JSON; optional with resume
+  std::string out_dir;     ///< sweep state root (journal, frags, merged, ...)
+  std::string bench_dir;   ///< directory holding the bench binaries
+  std::string trace_cache; ///< shared capture store dir, or "off"; empty =
+                           ///< <out>/tracecache
+  int workers = 1;         ///< concurrent worker processes (>= 1)
+  bool resume = false;     ///< continue a previous sweep in out_dir
+  int max_retries = 2;     ///< failed attempts before quarantine (K); a
+                           ///< shard runs at most max_retries + 1 times
+  int retry_backoff_ms = 250;            ///< backoff base (doubles per fail)
+  std::uint64_t backoff_cap_ms = 5000;   ///< exponential backoff ceiling
+  std::uint64_t heartbeat_timeout_ms = 120000;  ///< 0 disables the watchdog
+  std::uint64_t shard_timeout_ms = 0;    ///< global wall deadline; 0 = none
+                                         ///< (spec timeout_ms overrides)
+  std::atomic<bool>* cancel = nullptr;   ///< SIGINT flag from the CLI
+};
+
+/// Runs the sweep to completion (or cancellation) and returns the st2sim
+/// exit code: 0 all shards merged, kExitShardFailed (10) when quarantined
+/// shards were left behind, kExitInterrupted (130) on cancel. Usage and
+/// environment problems throw SimError (the CLI maps them to exit codes).
+int run_sweep(const SweepOptions& opts);
+
+}  // namespace st2::orch

@@ -5,7 +5,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -42,9 +44,13 @@ bool send_all(int fd, const char* data, std::size_t len) {
   return true;
 }
 
-int connect_to(const ClientOptions& opts) {
+/// One connect attempt. Returns the connected fd, or -1 with errno holding
+/// the connect error (the socket is already closed). Throws only for setup
+/// problems that no amount of retrying can fix.
+int connect_once(const ClientOptions& opts, std::string* target) {
   int fd = -1;
   if (!opts.socket_path.empty()) {
+    *target = "connect '" + opts.socket_path + "'";
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (opts.socket_path.size() >= sizeof(addr.sun_path)) {
@@ -60,9 +66,10 @@ int connect_to(const ClientOptions& opts) {
       const int saved = errno;
       ::close(fd);
       errno = saved;
-      io_fail("connect '" + opts.socket_path + "'");
+      return -1;
     }
   } else {
+    *target = "connect port " + std::to_string(opts.port);
     fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) io_fail("socket");
     sockaddr_in addr{};
@@ -74,10 +81,26 @@ int connect_to(const ClientOptions& opts) {
       const int saved = errno;
       ::close(fd);
       errno = saved;
-      io_fail("connect port " + std::to_string(opts.port));
+      return -1;
     }
   }
   return fd;
+}
+
+int connect_to(const ClientOptions& opts) {
+  int delay_ms = opts.connect_backoff_ms > 0 ? opts.connect_backoff_ms : 1;
+  for (int attempt = 0;; ++attempt) {
+    std::string target;
+    const int fd = connect_once(opts, &target);
+    if (fd >= 0) return fd;
+    // Only a daemon-not-up-yet error is worth waiting out: connection
+    // refused, or (AF_UNIX) the socket file not created yet. Anything else
+    // — EACCES, bad address — fails the same way forever.
+    const bool not_up_yet = errno == ECONNREFUSED || errno == ENOENT;
+    if (!not_up_yet || attempt >= opts.connect_retries) io_fail(target);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    delay_ms = std::min(delay_ms * 2, 2000);
+  }
 }
 
 /// request_id → a safe single-component filename.

@@ -18,6 +18,14 @@ struct ClientOptions {
   std::string socket_path;  ///< AF_UNIX daemon endpoint (exclusive with port)
   int port = -1;            ///< loopback TCP daemon port
   std::string out_dir;      ///< optional directory for response bodies
+  /// Retries for the initial connect when the daemon is not (yet) accepting
+  /// — ECONNREFUSED, or ENOENT for a socket path not bound yet. Lets launch
+  /// scripts start daemon and client together instead of polling for the
+  /// readiness line. 0 = fail fast (the old behaviour); any other connect
+  /// error still fails immediately.
+  int connect_retries = 0;
+  /// First retry delay; doubles per attempt, capped at 2 s.
+  int connect_backoff_ms = 50;
 };
 
 /// Runs the pump; returns a CLI exit code. 0 when every response arrived

@@ -1,5 +1,8 @@
 #include "src/snapshot/snapshot.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -32,8 +35,16 @@ constexpr char kMagic[8] = {'S', 'T', '2', 'S', 'N', 'A', 'P', '1'};
 
 }  // namespace
 
-void atomic_write_file(const std::string& path, std::string_view content) {
-  const std::string tmp = path + ".tmp";
+void atomic_write_file(const std::string& path, std::string_view content,
+                       bool unique_tmp) {
+  std::string tmp = path + ".tmp";
+  if (unique_tmp) {
+    // One staging file per (process, write): concurrent writers of the same
+    // destination can never interleave into each other's tmp bytes.
+    static std::atomic<std::uint64_t> counter{0};
+    tmp += "." + std::to_string(static_cast<long>(::getpid())) + "." +
+           std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  }
   errno = 0;
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
@@ -62,7 +73,7 @@ void atomic_write_file(const std::string& path, std::string_view content) {
 }
 
 void write_snapshot(const std::string& path, std::uint64_t config_hash,
-                    std::string_view payload) {
+                    std::string_view payload, bool unique_tmp) {
   Writer w;
   for (const char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
   w.u32(kFormatVersion);
@@ -72,7 +83,7 @@ void write_snapshot(const std::string& path, std::uint64_t config_hash,
   w.u32(crc32(w.data()));  // header CRC covers the 32 bytes above
   std::string file = w.take();
   file.append(payload.data(), payload.size());
-  atomic_write_file(path, file);
+  atomic_write_file(path, file, unique_tmp);
 }
 
 std::string read_snapshot(const std::string& path,

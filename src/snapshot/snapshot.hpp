@@ -42,12 +42,25 @@ inline constexpr std::size_t kHeaderBytes = 36;
 /// into place. Short writes, ENOSPC and rename failures throw
 /// SimError(kIo) naming the path and the OS error — the tmp file is removed,
 /// and the destination is never left truncated.
-void atomic_write_file(const std::string& path, std::string_view content);
+///
+/// With `unique_tmp` the staging name is suffixed with the writer's pid and
+/// a per-process counter, making the write safe against CONCURRENT WRITERS
+/// of the same destination across processes: each writer stages into its own
+/// file and the final rename is atomic, so the destination always holds one
+/// writer's complete bytes — never an interleaving. When the competing
+/// writers produce identical content (the trace-cache store: captures are
+/// deterministic functions of the key) the rename race is benign
+/// win-either-way. The default fixed `.tmp` name is kept for single-writer
+/// paths whose tests and tooling rely on the predictable staging name.
+void atomic_write_file(const std::string& path, std::string_view content,
+                       bool unique_tmp = false);
 
 /// Serializes header + payload and writes the snapshot atomically.
-/// Throws SimError(kIo) on any write failure.
+/// Throws SimError(kIo) on any write failure. `unique_tmp` as in
+/// atomic_write_file — pass true when several processes may store the same
+/// snapshot path concurrently.
 void write_snapshot(const std::string& path, std::uint64_t config_hash,
-                    std::string_view payload);
+                    std::string_view payload, bool unique_tmp = false);
 
 /// Reads and validates a snapshot: magic, version, header CRC, exact file
 /// size, payload CRC, and the config hash against `expected_config_hash`.

@@ -285,12 +285,15 @@ std::shared_ptr<TraceCache::Entry> TraceCache::memo_find_locked(
 
 void TraceCache::disk_store(std::string_view key, const Entry& entry) {
   if (opts_.dir.empty()) return;
-  // Serialized: concurrent writers would share the entry's fixed tmp path
-  // and could interleave into a torn (CRC-rejected) file.
-  std::lock_guard<std::mutex> io_lock(disk_mu_);
+  // Unique staging names make concurrent writers — worker threads here,
+  // sweep worker *processes* elsewhere — safe without serialization: each
+  // stages into its own pid+counter tmp file, and whichever rename lands
+  // last wins with complete, identical bytes (captures are deterministic
+  // functions of the key).
   try {
     snapshot::write_snapshot(path_for(key), snapshot::fnv1a64(key),
-                             serialize_capture(entry.cap, key));
+                             serialize_capture(entry.cap, key),
+                             /*unique_tmp=*/true);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.disk_stores;
   } catch (const sim::SimError&) {

@@ -34,6 +34,16 @@
 // overwrite, correct results. Disk write failures are non-fatal (the run
 // just loses the warm start).
 //
+// Multi-process writers. The disk tier is a shared store: the sweep
+// orchestrator (src/orch) points every worker process at one directory so
+// each workload is captured once cluster-wide. Stores stage into
+// pid+counter-suffixed tmp files (snapshot::atomic_write_file with
+// unique_tmp), so two processes storing the same key can never interleave
+// into a torn file; the final rename race is benign win-either-way — both
+// writers hold identical bytes, because a capture is a deterministic
+// function of the key. The two-process hammer in tests/test_trace_cache.cpp
+// holds the no-corrupt/no-lost-entry property.
+//
 // Thread safety. The memo and stats are guarded by one internal mutex, so
 // any number of threads may call `provide`/`populate` concurrently — the
 // serve daemon shares one process-wide cache across its worker pool. The
@@ -165,7 +175,6 @@ class TraceCache final : public sim::CaptureProvider {
 
   CacheOptions opts_;
   mutable std::mutex mu_;  ///< guards stats_, memo_ and fifo_
-  std::mutex disk_mu_;     ///< serializes disk-tier writes (shared tmp path)
   CacheStats stats_;
   std::unordered_map<std::string, std::shared_ptr<Entry>> memo_;
   std::list<std::string> fifo_;  ///< insertion order, oldest first

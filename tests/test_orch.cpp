@@ -1,0 +1,794 @@
+// The sweep orchestrator's contract (src/orch/, docs/robustness.md):
+//
+//  - the journal recovers a valid record prefix from EVERY possible
+//    truncation point and EVERY single-bit flip — recovered or cleanly
+//    rejected, never UB, and appending continues after any recovery;
+//  - spec parsing is strict: unknown keys, dup keys, unknown benches,
+//    malformed scale tokens and out-of-range shard counts are typed
+//    bad-arguments errors, never asserts;
+//  - fragments round-trip exactly and every structural corruption is a
+//    typed snapshot-invalid rejection;
+//  - the supervisor retries crashed workers, SIGKILLs hung ones (heartbeat
+//    and deadline watchdogs), quarantines repeat offenders with exit 10,
+//    resumes from the journal re-running only unfinished shards, and merges
+//    fragments into the serial-identical CSV.
+//
+// Supervisor tests run against fake bench "binaries" (shell scripts in a
+// private --bench-dir) so a full chaos cycle costs milliseconds, not
+// simulation time; scripts/sweep_chaos.sh covers the real benches.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/orch/fragment.hpp"
+#include "src/orch/journal.hpp"
+#include "src/orch/spec.hpp"
+#include "src/orch/supervisor.hpp"
+#include "src/sim/error.hpp"
+
+namespace st2::orch {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Expects `fn` to throw SimError of `kind`; returns its message.
+template <typename Fn>
+std::string expect_sim_error(Fn&& fn, sim::SimErrorKind kind,
+                             const char* what) {
+  try {
+    fn();
+  } catch (const sim::SimError& e) {
+    EXPECT_EQ(e.kind(), kind) << what << ": wrong error kind — " << e.what();
+    return e.what();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << what << ": wrong exception type — " << e.what();
+    return "";
+  }
+  ADD_FAILURE() << what << ": no exception thrown";
+  return "";
+}
+
+class OrchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    dir_ = (fs::temp_directory_path() /
+            ("st2_orch_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++)))
+               .string();
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string path(const std::string& name) const {
+    return (fs::path(dir_) / name).string();
+  }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+constexpr const char* kGoodSpec =
+    "{\"name\": \"dse_small\", \"scales\": [\"0.05\", \"0.1\"],\n"
+    " \"benches\": [{\"bench\": \"fig5_dse\", \"shards\": 3},\n"
+    "  {\"bench\": \"ablation_st2\", \"shards\": 2, \"timeout_ms\": 60000}]}";
+
+TEST(SpecParse, AcceptsTheDocumentedShape) {
+  const SweepSpec s = parse_spec(kGoodSpec, "spec");
+  EXPECT_EQ(s.name, "dse_small");
+  ASSERT_EQ(s.scales.size(), 2u);
+  EXPECT_EQ(s.scales[0], "0.05");
+  EXPECT_EQ(s.scales[1], "0.1");
+  ASSERT_EQ(s.benches.size(), 2u);
+  EXPECT_EQ(s.benches[0].bench, "fig5_dse");
+  EXPECT_EQ(s.benches[0].shards, 3);
+  EXPECT_EQ(s.benches[0].timeout_ms, 0u);
+  EXPECT_EQ(s.benches[1].bench, "ablation_st2");
+  EXPECT_EQ(s.benches[1].timeout_ms, 60000u);
+  // Canonical form is deterministic (the resume fingerprint).
+  EXPECT_EQ(s.canonical(), parse_spec(kGoodSpec, "spec").canonical());
+}
+
+TEST(SpecParse, RejectsEveryMalformation) {
+  const auto reject = [](const std::string& json, const char* what) {
+    expect_sim_error([&] { (void)parse_spec(json, "spec"); },
+                     sim::SimErrorKind::kBadArguments, what);
+  };
+  reject("", "empty document");
+  reject("[]", "not an object");
+  reject("{\"name\": \"x\"}", "missing keys");
+  reject(
+      "{\"name\": \"x\", \"scales\": [\"0.1\"], \"benches\":"
+      " [{\"bench\": \"fig5_dse\"}], \"extra\": 1}",
+      "unknown top-level key");
+  reject(
+      "{\"name\": \"x\", \"name\": \"y\", \"scales\": [\"0.1\"],"
+      " \"benches\": [{\"bench\": \"fig5_dse\"}]}",
+      "duplicate key");
+  reject(
+      "{\"name\": \"has space\", \"scales\": [\"0.1\"],"
+      " \"benches\": [{\"bench\": \"fig5_dse\"}]}",
+      "bad sweep name");
+  reject(
+      "{\"name\": \"x\", \"scales\": [], \"benches\":"
+      " [{\"bench\": \"fig5_dse\"}]}",
+      "empty scales");
+  reject(
+      "{\"name\": \"x\", \"scales\": [\"0.1\", \"0.1\"], \"benches\":"
+      " [{\"bench\": \"fig5_dse\"}]}",
+      "duplicate scale");
+  reject(
+      "{\"name\": \"x\", \"scales\": [\"nope\"], \"benches\":"
+      " [{\"bench\": \"fig5_dse\"}]}",
+      "non-numeric scale");
+  reject(
+      "{\"name\": \"x\", \"scales\": [\"5.0\"], \"benches\":"
+      " [{\"bench\": \"fig5_dse\"}]}",
+      "scale out of range");
+  reject(
+      "{\"name\": \"x\", \"scales\": [\"-0.1\"], \"benches\":"
+      " [{\"bench\": \"fig5_dse\"}]}",
+      "negative scale");
+  reject(
+      "{\"name\": \"x\", \"scales\": [0.1], \"benches\":"
+      " [{\"bench\": \"fig5_dse\"}]}",
+      "scale must be a string token");
+  reject(
+      "{\"name\": \"x\", \"scales\": [\"0.1\"], \"benches\": []}",
+      "empty benches");
+  reject(
+      "{\"name\": \"x\", \"scales\": [\"0.1\"], \"benches\":"
+      " [{\"bench\": \"made_up\"}]}",
+      "unknown bench");
+  reject(
+      "{\"name\": \"x\", \"scales\": [\"0.1\"], \"benches\":"
+      " [{\"bench\": \"fig5_dse\", \"shards\": 0}]}",
+      "zero shards");
+  reject(
+      "{\"name\": \"x\", \"scales\": [\"0.1\"], \"benches\":"
+      " [{\"bench\": \"fig5_dse\", \"shards\": 257}]}",
+      "too many shards");
+  reject(
+      "{\"name\": \"x\", \"scales\": [\"0.1\"], \"benches\":"
+      " [{\"bench\": \"fig5_dse\"}, {\"bench\": \"fig5_dse\"}]}",
+      "duplicate bench");
+  reject(
+      "{\"name\": \"x\", \"scales\": [\"0.1\"], \"benches\":"
+      " [{\"bench\": \"fig5_dse\", \"wat\": 1}]}",
+      "unknown bench key");
+  reject(std::string(kGoodSpec) + " junk", "trailing junk");
+}
+
+TEST(SpecParse, ExpandsShardsInDeclaredOrder) {
+  const SweepSpec s = parse_spec(
+      "{\"name\": \"x\", \"scales\": [\"0.05\", \"0.1\"], \"benches\":"
+      " [{\"bench\": \"fault_sensitivity\", \"shards\": 2},"
+      "  {\"bench\": \"config_sensitivity\"}]}",
+      "spec");
+  const std::vector<Shard> shards = expand_shards(s);
+  ASSERT_EQ(shards.size(), 6u);  // 2 scales x (2 + 1) shards
+  EXPECT_EQ(shards[0].id, "fault_sensitivity.s0_05.0of2");
+  EXPECT_EQ(shards[1].id, "fault_sensitivity.s0_05.1of2");
+  EXPECT_EQ(shards[2].id, "config_sensitivity.s0_05.0of1");
+  EXPECT_EQ(shards[3].id, "fault_sensitivity.s0_1.0of2");
+  EXPECT_EQ(shards[5].id, "config_sensitivity.s0_1.0of1");
+  EXPECT_EQ(shards[0].scale, "0.05");
+  EXPECT_EQ(shards[3].scale, "0.1");
+  EXPECT_EQ(shards[1].index, 1);
+  EXPECT_EQ(shards[1].count, 2);
+  ASSERT_EQ(shards[0].stems.size(), 1u);
+  EXPECT_STREQ(shards[0].stems[0], "fault_sensitivity");
+}
+
+// ---------------------------------------------------------------------------
+// Fragments
+// ---------------------------------------------------------------------------
+
+Fragment sample_fragment() {
+  Fragment f;
+  f.stem = "fault_sensitivity";
+  f.shard_index = 1;
+  f.shard_count = 2;
+  f.rows_total = 6;
+  f.scale = "0.05";
+  f.header = "kernel,rate,valid";
+  f.rows = {{1, 0, "a,0.1,ok"}, {1, 1, "a,0.2,ok"}, {3, 0, "b,0.1,ok"}};
+  return f;
+}
+
+TEST(Fragment, RoundTripsExactly) {
+  const Fragment f = sample_fragment();
+  const std::string text = serialize_fragment(f);
+  const Fragment back = parse_fragment(text, "round trip");
+  EXPECT_EQ(back.stem, f.stem);
+  EXPECT_EQ(back.shard_index, f.shard_index);
+  EXPECT_EQ(back.shard_count, f.shard_count);
+  EXPECT_EQ(back.rows_total, f.rows_total);
+  EXPECT_EQ(back.scale, f.scale);
+  EXPECT_EQ(back.header, f.header);
+  ASSERT_EQ(back.rows.size(), f.rows.size());
+  for (std::size_t i = 0; i < f.rows.size(); ++i) {
+    EXPECT_EQ(back.rows[i].unit, f.rows[i].unit);
+    EXPECT_EQ(back.rows[i].seq, f.rows[i].seq);
+    EXPECT_EQ(back.rows[i].csv, f.rows[i].csv);
+  }
+  // Serialization is deterministic — what the benign rename race relies on.
+  EXPECT_EQ(text, serialize_fragment(back));
+}
+
+TEST(Fragment, EveryByteCorruptionAndTruncationIsRejected) {
+  const std::string good = serialize_fragment(sample_fragment());
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x10);
+    // A flip may keep the line structure parseable, but the CRC tail (or a
+    // corrupted tail itself) must catch it.
+    EXPECT_THROW((void)parse_fragment(bad, "flip"), sim::SimError)
+        << "byte " << i;
+  }
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW((void)parse_fragment(good.substr(0, len), "trunc"),
+                 sim::SimError)
+        << "length " << len;
+  }
+  EXPECT_THROW((void)parse_fragment(good + "x", "tail"), sim::SimError);
+}
+
+TEST(Fragment, StructuralViolationsAreRejected) {
+  const auto reject = [](Fragment f, const char* what) {
+    const std::string text = serialize_fragment(f);
+    expect_sim_error([&] { (void)parse_fragment(text, what); },
+                     sim::SimErrorKind::kSnapshotInvalid, what);
+  };
+  {
+    Fragment f = sample_fragment();
+    f.rows.push_back({0, 0, "not,owned,x"});  // unit 0 belongs to shard 0
+    reject(std::move(f), "unowned unit");
+  }
+  {
+    Fragment f = sample_fragment();
+    std::swap(f.rows[0], f.rows[2]);  // out of (unit, seq) order
+    reject(std::move(f), "row order");
+  }
+  {
+    Fragment f = sample_fragment();
+    f.rows[1].seq = 3;  // gap in the per-unit sequence
+    reject(std::move(f), "seq gap");
+  }
+  {
+    Fragment f = sample_fragment();
+    f.rows_total = 2;  // fewer than the rows present
+    reject(std::move(f), "rows exceed total");
+  }
+  {
+    Fragment f = sample_fragment();
+    f.shard_index = 2;  // == count
+    reject(std::move(f), "shard index out of range");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Journal: append + recover round trip
+// ---------------------------------------------------------------------------
+
+std::vector<Record> sample_records() {
+  std::vector<Record> recs(5);
+  recs[0].type = RecordType::kBegin;
+  recs[0].detail = "st2sweep-v1 name=x scales=0.05 benches=fig5_dse:2:0";
+  recs[0].code = 2;
+  recs[1].type = RecordType::kClaim;
+  recs[1].shard = "fig5_dse.s0_05.0of2";
+  recs[1].attempt = 1;
+  recs[1].code = 4242;
+  recs[2].type = RecordType::kFail;
+  recs[2].shard = "fig5_dse.s0_05.0of2";
+  recs[2].attempt = 1;
+  recs[2].code = 139;
+  recs[2].detail = "killed by signal 11";
+  recs[3].type = RecordType::kClaim;
+  recs[3].shard = "fig5_dse.s0_05.1of2";
+  recs[3].attempt = 1;
+  recs[3].code = 4243;
+  recs[4].type = RecordType::kDone;
+  recs[4].shard = "fig5_dse.s0_05.1of2";
+  recs[4].attempt = 1;
+  return recs;
+}
+
+void expect_record_eq(const Record& got, const Record& want,
+                      const std::string& where) {
+  EXPECT_EQ(static_cast<int>(got.type), static_cast<int>(want.type)) << where;
+  EXPECT_EQ(got.shard, want.shard) << where;
+  EXPECT_EQ(got.attempt, want.attempt) << where;
+  EXPECT_EQ(got.code, want.code) << where;
+  EXPECT_EQ(got.detail, want.detail) << where;
+}
+
+TEST_F(OrchTest, JournalAppendRecoverRoundTrip) {
+  const std::string jpath = path("journal.st2j");
+  const std::vector<Record> want = sample_records();
+  {
+    Journal j(jpath);
+    for (const Record& r : want) j.append(r);
+  }
+  const Recovery rec = recover_journal(jpath);
+  EXPECT_EQ(rec.dropped_bytes, 0u);
+  EXPECT_EQ(rec.drop_cause, "");
+  ASSERT_EQ(rec.records.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    expect_record_eq(rec.records[i], want[i], "record " + std::to_string(i));
+    EXPECT_EQ(rec.records[i].seq, static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST_F(OrchTest, MissingAndEmptyJournalsRecoverToNothing) {
+  const Recovery none = recover_journal(path("absent.st2j"));
+  EXPECT_TRUE(none.records.empty());
+  EXPECT_EQ(none.dropped_bytes, 0u);
+  EXPECT_FALSE(fs::exists(path("absent.st2j")));  // recovery never creates
+
+  write_file(path("empty.st2j"), "");
+  const Recovery empty = recover_journal(path("empty.st2j"));
+  EXPECT_TRUE(empty.records.empty());
+  EXPECT_EQ(empty.dropped_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Journal: every truncation point
+// ---------------------------------------------------------------------------
+
+TEST_F(OrchTest, EveryTruncationPointRecoversTheValidPrefix) {
+  const std::vector<Record> want = sample_records();
+  std::string good;
+  std::vector<std::size_t> boundaries = {0};  // cumulative frame ends
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    Record r = want[i];
+    r.seq = static_cast<std::uint32_t>(i);
+    good += encode_frame(r);
+    boundaries.push_back(good.size());
+  }
+
+  const std::string jpath = path("trunc.st2j");
+  for (std::size_t len = 0; len <= good.size(); ++len) {
+    // How many whole frames survive a cut at `len`.
+    std::size_t survivors = 0;
+    while (survivors + 1 < boundaries.size() &&
+           boundaries[survivors + 1] <= len) {
+      ++survivors;
+    }
+    write_file(jpath, good.substr(0, len));
+    const Recovery rec = recover_journal(jpath);
+    ASSERT_EQ(rec.records.size(), survivors) << "cut at byte " << len;
+    for (std::size_t i = 0; i < survivors; ++i) {
+      expect_record_eq(rec.records[i], want[i],
+                       "cut " + std::to_string(len) + " record " +
+                           std::to_string(i));
+    }
+    EXPECT_EQ(rec.dropped_bytes, len - boundaries[survivors])
+        << "cut at byte " << len;
+    // The file was truncated back to the valid prefix…
+    EXPECT_EQ(fs::file_size(jpath), boundaries[survivors]);
+    if (len != boundaries[survivors]) {
+      EXPECT_FALSE(rec.drop_cause.empty()) << "cut at byte " << len;
+    }
+    // …and appending continues cleanly from there.
+    {
+      Journal j(jpath);
+      j.set_next_seq(static_cast<std::uint32_t>(survivors));
+      Record cont;
+      cont.type = RecordType::kClaim;
+      cont.shard = "fig5_dse.s0_05.0of2";
+      cont.attempt = 7;
+      j.append(cont);
+    }
+    const Recovery after = recover_journal(jpath);
+    ASSERT_EQ(after.records.size(), survivors + 1) << "cut at byte " << len;
+    EXPECT_EQ(after.dropped_bytes, 0u);
+    EXPECT_EQ(after.records.back().attempt, 7u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Journal: every single-bit flip
+// ---------------------------------------------------------------------------
+
+TEST_F(OrchTest, EverySingleBitFlipRecoversAPrefixOrRejectsCleanly) {
+  const std::vector<Record> want = sample_records();
+  std::string good;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    Record r = want[i];
+    r.seq = static_cast<std::uint32_t>(i);
+    good += encode_frame(r);
+  }
+
+  const std::string jpath = path("flip.st2j");
+  for (std::size_t byte = 0; byte < good.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = good;
+      bad[byte] = static_cast<char>(bad[byte] ^ (1 << bit));
+      write_file(jpath, bad);
+      const Recovery rec = recover_journal(jpath);
+      // The CRC frame guard means a flipped journal recovers to a strict
+      // prefix of the original records, byte-exact — never altered data.
+      ASSERT_LT(rec.records.size(), want.size())
+          << "flip at byte " << byte << " bit " << bit
+          << " was not detected";
+      for (std::size_t i = 0; i < rec.records.size(); ++i) {
+        expect_record_eq(rec.records[i], want[i],
+                         "flip " + std::to_string(byte) + "." +
+                             std::to_string(bit) + " record " +
+                             std::to_string(i));
+      }
+      EXPECT_FALSE(rec.drop_cause.empty());
+      EXPECT_GT(rec.dropped_bytes, 0u);
+      // Recovery is idempotent: the truncated file re-recovers identically.
+      const Recovery again = recover_journal(jpath);
+      EXPECT_EQ(again.records.size(), rec.records.size());
+      EXPECT_EQ(again.dropped_bytes, 0u);
+    }
+  }
+}
+
+TEST_F(OrchTest, SequenceJumpsMarkTheTornTail) {
+  // Frames themselves valid, but the third record repeats seq 1: the journal
+  // recovers the first two and truncates the rest.
+  std::vector<Record> recs = sample_records();
+  std::string file;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    Record r = recs[i];
+    r.seq = static_cast<std::uint32_t>(i < 2 ? i : 1);
+    file += encode_frame(r);
+  }
+  const std::string jpath = path("seq.st2j");
+  write_file(jpath, file);
+  const Recovery rec = recover_journal(jpath);
+  ASSERT_EQ(rec.records.size(), 2u);
+  EXPECT_NE(rec.drop_cause.find("sequence"), std::string::npos);
+  EXPECT_GT(rec.dropped_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor against fake bench binaries
+// ---------------------------------------------------------------------------
+
+/// Fixture managing a sweep out-dir, a fake bench dir, and staged fragments
+/// the fake "fault_sensitivity" bench copies into place.
+class SupervisorTest : public OrchTest {
+ protected:
+  void SetUp() override {
+    OrchTest::SetUp();
+    bench_dir_ = path("benches");
+    stage_dir_ = path("stage");
+    out_dir_ = path("out");
+    fs::create_directories(bench_dir_);
+    fs::create_directories(stage_dir_);
+    write_spec(2);
+    stage_fragments(2);
+  }
+
+  void write_spec(int shards) {
+    write_file(path("spec.json"),
+               "{\"name\": \"t\", \"scales\": [\"0.05\"], \"benches\": "
+               "[{\"bench\": \"fault_sensitivity\", \"shards\": " +
+                   std::to_string(shards) + "}]}");
+  }
+
+  /// Stages valid per-shard fragments for a 4-row table split over n shards.
+  void stage_fragments(int n) {
+    for (int i = 0; i < n; ++i) {
+      Fragment f;
+      f.stem = "fault_sensitivity";
+      f.shard_index = i;
+      f.shard_count = n;
+      f.rows_total = 4;
+      f.scale = "0.05";
+      f.header = "kernel,val";
+      for (int unit = 0; unit < 4; ++unit) {
+        if (unit % n != i) continue;
+        f.rows.push_back(
+            {unit, 0, "u" + std::to_string(unit) + ",0." +
+                          std::to_string(unit + 1)});
+      }
+      write_fragment((fs::path(stage_dir_) /
+                      ("frag_" + std::to_string(i)))
+                         .string(),
+                     f);
+    }
+  }
+
+  /// Installs an executable shell script as the fake fault_sensitivity.
+  void install_bench(const std::string& body) {
+    const std::string bin =
+        (fs::path(bench_dir_) / "fault_sensitivity").string();
+    write_file(bin, "#!/bin/sh\n" + body);
+    ::chmod(bin.c_str(), 0755);
+  }
+
+  /// The script fragment that copies the staged fragment for this shard.
+  std::string copy_fragment_cmd() const {
+    return "i=${BENCH_SHARD%%/*}\n"
+           "mkdir -p \"$BENCH_SHARD_OUT\"\n"
+           "cp \"" +
+           stage_dir_ +
+           "/frag_$i\" \"$BENCH_SHARD_OUT/fault_sensitivity.frag\"\n";
+  }
+
+  SweepOptions options() {
+    SweepOptions o;
+    o.spec_path = path("spec.json");
+    o.out_dir = out_dir_;
+    o.bench_dir = bench_dir_;
+    o.trace_cache = "off";
+    o.workers = 1;
+    o.retry_backoff_ms = 10;
+    o.backoff_cap_ms = 50;
+    return o;
+  }
+
+  std::string merged_csv() const {
+    return read_file((fs::path(out_dir_) / "merged" / "s0_05" /
+                      "fault_sensitivity.csv")
+                         .string());
+  }
+
+  static constexpr const char* kWantCsv =
+      "kernel,val\nu0,0.1\nu1,0.2\nu2,0.3\nu3,0.4\n";
+
+  std::string bench_dir_, stage_dir_, out_dir_;
+};
+
+TEST_F(SupervisorTest, HealthyWorkersMergeTheSerialCsv) {
+  install_bench(copy_fragment_cmd() + "exit 0\n");
+  EXPECT_EQ(run_sweep(options()), 0);
+  EXPECT_EQ(merged_csv(), kWantCsv);
+  EXPECT_TRUE(fs::exists(fs::path(out_dir_) / "sweep_report.json"));
+  EXPECT_FALSE(fs::exists(fs::path(out_dir_) / "quarantine.json"));
+
+  // The journal tells the whole story: begin, then a claim + done per shard.
+  const Recovery rec =
+      recover_journal((fs::path(out_dir_) / "journal.st2j").string());
+  ASSERT_EQ(rec.records.size(), 5u);
+  EXPECT_EQ(static_cast<int>(rec.records[0].type),
+            static_cast<int>(RecordType::kBegin));
+  EXPECT_EQ(static_cast<int>(rec.records[1].type),
+            static_cast<int>(RecordType::kClaim));
+  EXPECT_EQ(static_cast<int>(rec.records[2].type),
+            static_cast<int>(RecordType::kDone));
+}
+
+TEST_F(SupervisorTest, CrashedWorkersRetryThenSucceed) {
+  // First attempt of every shard dies by signal; retries find the marker
+  // file and succeed.
+  install_bench("marker=\"" + stage_dir_ +
+                "/ran_${BENCH_SHARD%%/*}\"\n"
+                "if [ ! -e \"$marker\" ]; then : > \"$marker\"; "
+                "kill -9 $$; fi\n" +
+                copy_fragment_cmd() + "exit 0\n");
+  EXPECT_EQ(run_sweep(options()), 0);
+  EXPECT_EQ(merged_csv(), kWantCsv);
+
+  const Recovery rec =
+      recover_journal((fs::path(out_dir_) / "journal.st2j").string());
+  int fails = 0, dones = 0;
+  for (const Record& r : rec.records) {
+    fails += r.type == RecordType::kFail;
+    dones += r.type == RecordType::kDone;
+  }
+  EXPECT_EQ(fails, 2);
+  EXPECT_EQ(dones, 2);
+}
+
+TEST_F(SupervisorTest, PersistentFailureQuarantinesWithExit10) {
+  install_bench("exit 3\n");
+  SweepOptions o = options();
+  o.max_retries = 1;
+  EXPECT_EQ(run_sweep(o), 10);
+
+  const std::string q =
+      read_file((fs::path(out_dir_) / "quarantine.json").string());
+  EXPECT_NE(q.find("\"attempts\":2"), std::string::npos);
+  EXPECT_NE(q.find("exit 3"), std::string::npos);
+  EXPECT_FALSE(fs::exists(fs::path(out_dir_) / "merged" / "s0_05" /
+                          "fault_sensitivity.csv"));
+}
+
+TEST_F(SupervisorTest, LyingExitZeroWithoutFragmentsIsAFailure) {
+  install_bench("exit 0\n");  // claims success, writes nothing
+  SweepOptions o = options();
+  o.max_retries = 0;
+  EXPECT_EQ(run_sweep(o), 10);
+  const std::string q =
+      read_file((fs::path(out_dir_) / "quarantine.json").string());
+  EXPECT_NE(q.find("fragments invalid"), std::string::npos);
+}
+
+TEST_F(SupervisorTest, SilentHangIsKilledByTheHeartbeatWatchdog) {
+  install_bench("sleep 30\n");  // never beats, never exits
+  SweepOptions o = options();
+  o.max_retries = 0;
+  o.heartbeat_timeout_ms = 150;
+  EXPECT_EQ(run_sweep(o), 10);
+  const std::string q =
+      read_file((fs::path(out_dir_) / "quarantine.json").string());
+  EXPECT_NE(q.find("hung: no heartbeat"), std::string::npos);
+}
+
+TEST_F(SupervisorTest, BeatingButOverdueShardHitsTheDeadline) {
+  // Beats continuously, so only the wall deadline can catch it.
+  install_bench(
+      "while true; do date >> \"$BENCH_HEARTBEAT\"; sleep 0.05; done\n");
+  SweepOptions o = options();
+  o.max_retries = 0;
+  o.shard_timeout_ms = 250;
+  EXPECT_EQ(run_sweep(o), 10);
+  const std::string q =
+      read_file((fs::path(out_dir_) / "quarantine.json").string());
+  EXPECT_NE(q.find("deadline exceeded"), std::string::npos);
+}
+
+TEST_F(SupervisorTest, ResumeRurnsOnlyUnfinishedShards) {
+  install_bench(copy_fragment_cmd() + "exit 0\n");
+  ASSERT_EQ(run_sweep(options()), 0);
+
+  // Every shard is journaled done: a resume must not spawn anything — if it
+  // did, the now-sabotaged bench would quarantine.
+  install_bench("exit 9\n");
+  SweepOptions o = options();
+  o.resume = true;
+  EXPECT_EQ(run_sweep(o), 0);
+  EXPECT_EQ(merged_csv(), kWantCsv);
+}
+
+TEST_F(SupervisorTest, ResumeRevalidatesFragmentsAndRerunsCorruptOnes) {
+  install_bench(copy_fragment_cmd() + "exit 0\n");
+  ASSERT_EQ(run_sweep(options()), 0);
+
+  // Flip a byte in shard 1's fragment: its journaled "done" no longer
+  // stands, so a resume re-runs exactly that shard.
+  const std::string frag =
+      (fs::path(out_dir_) / "frags" / "fault_sensitivity.s0_05.1of2" /
+       "fault_sensitivity.frag")
+          .string();
+  std::string bytes = read_file(frag);
+  bytes[bytes.size() / 2] ^= 0x4;
+  write_file(frag, bytes);
+
+  SweepOptions o = options();
+  o.resume = true;
+  EXPECT_EQ(run_sweep(o), 0);
+  EXPECT_EQ(merged_csv(), kWantCsv);
+
+  const Recovery rec =
+      recover_journal((fs::path(out_dir_) / "journal.st2j").string());
+  int claims = 0;
+  for (const Record& r : rec.records) {
+    claims += r.type == RecordType::kClaim;
+  }
+  EXPECT_EQ(claims, 3);  // two original runs + the one re-run
+}
+
+TEST_F(SupervisorTest, ResumeRetriesQuarantinedShardsFromScratch) {
+  install_bench("exit 3\n");
+  SweepOptions o = options();
+  o.max_retries = 0;
+  ASSERT_EQ(run_sweep(o), 10);
+
+  // The operator fixed the problem; --resume gives quarantined shards a
+  // fresh set of attempts and clears quarantine.json on success.
+  install_bench(copy_fragment_cmd() + "exit 0\n");
+  o.resume = true;
+  EXPECT_EQ(run_sweep(o), 0);
+  EXPECT_EQ(merged_csv(), kWantCsv);
+  EXPECT_FALSE(fs::exists(fs::path(out_dir_) / "quarantine.json"));
+}
+
+TEST_F(SupervisorTest, TornJournalTailResumesCleanly) {
+  install_bench(copy_fragment_cmd() + "exit 0\n");
+  ASSERT_EQ(run_sweep(options()), 0);
+
+  // Simulate a supervisor SIGKILLed mid-append: chop the final done record
+  // in half. The torn shard merely re-runs.
+  const std::string jpath = (fs::path(out_dir_) / "journal.st2j").string();
+  const std::string bytes = read_file(jpath);
+  write_file(jpath, bytes.substr(0, bytes.size() - 5));
+
+  SweepOptions o = options();
+  o.resume = true;
+  EXPECT_EQ(run_sweep(o), 0);
+  EXPECT_EQ(merged_csv(), kWantCsv);
+}
+
+TEST_F(SupervisorTest, UsageErrorsAreTypedNeverAsserts) {
+  install_bench(copy_fragment_cmd() + "exit 0\n");
+
+  {  // Fresh run onto a dir that already holds a sweep.
+    ASSERT_EQ(run_sweep(options()), 0);
+    expect_sim_error([&] { (void)run_sweep(options()); },
+                     sim::SimErrorKind::kBadArguments,
+                     "re-running without --resume");
+  }
+  {  // Resume of a never-started dir.
+    SweepOptions o = options();
+    o.out_dir = path("virgin");
+    o.resume = true;
+    expect_sim_error([&] { (void)run_sweep(o); },
+                     sim::SimErrorKind::kBadArguments, "resume of nothing");
+  }
+  {  // Resume under a different --spec is a fingerprint mismatch.
+    write_file(path("other.json"),
+               "{\"name\": \"other\", \"scales\": [\"0.05\"], \"benches\": "
+               "[{\"bench\": \"fault_sensitivity\", \"shards\": 2}]}");
+    SweepOptions o = options();
+    o.spec_path = path("other.json");
+    o.resume = true;
+    expect_sim_error([&] { (void)run_sweep(o); },
+                     sim::SimErrorKind::kSnapshotInvalid,
+                     "spec mismatch on resume");
+  }
+  {  // Bench binary missing from --bench-dir.
+    SweepOptions o = options();
+    o.out_dir = path("out2");
+    o.bench_dir = stage_dir_;  // exists, but holds no fault_sensitivity
+    expect_sim_error([&] { (void)run_sweep(o); },
+                     sim::SimErrorKind::kBadArguments, "missing bench");
+  }
+  {  // Nonexistent bench dir.
+    SweepOptions o = options();
+    o.out_dir = path("out3");
+    o.bench_dir = path("nowhere");
+    expect_sim_error([&] { (void)run_sweep(o); },
+                     sim::SimErrorKind::kBadArguments, "bad bench dir");
+  }
+  {  // Zero workers.
+    SweepOptions o = options();
+    o.workers = 0;
+    expect_sim_error([&] { (void)run_sweep(o); },
+                     sim::SimErrorKind::kBadArguments, "zero workers");
+  }
+}
+
+TEST_F(SupervisorTest, ShardsDisagreeingOnHeadersFailTheMerge) {
+  // Stage shard 1 with a different header: each fragment is individually
+  // valid, so both shards complete — the merge must then refuse to mix them.
+  Fragment f;
+  f.stem = "fault_sensitivity";
+  f.shard_index = 1;
+  f.shard_count = 2;
+  f.rows_total = 4;
+  f.scale = "0.05";
+  f.header = "different,header";
+  f.rows = {{1, 0, "u1,0.2"}, {3, 0, "u3,0.4"}};
+  write_fragment((fs::path(stage_dir_) / "frag_1").string(), f);
+
+  install_bench(copy_fragment_cmd() + "exit 0\n");
+  expect_sim_error([&] { (void)run_sweep(options()); },
+                   sim::SimErrorKind::kInvariantViolation,
+                   "header disagreement");
+}
+
+}  // namespace
+}  // namespace st2::orch

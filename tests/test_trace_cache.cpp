@@ -12,9 +12,11 @@
 //  - the memo's byte bound evicts without affecting results.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -617,6 +619,126 @@ TEST(TraceCacheConcurrent, HammerSharedCacheWithEvictionsAndDiskTier) {
             static_cast<std::uint64_t>(kThreads) * kIters);
   EXPECT_GT(st.evictions, 0u);
   EXPECT_LE(st.memo_bytes, opts.memo_max_bytes);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process disk tier: the sweep orchestrator points every worker
+// PROCESS at the same cache directory, so concurrent writers racing the same
+// keys must never leave a torn or half-renamed file behind. Two forked
+// children (memo off, so every provide hits the disk path) hammer the same
+// key set; afterwards the directory must contain no staging litter and a
+// fresh cache must read every entry back as a clean disk hit.
+// ---------------------------------------------------------------------------
+
+TEST(TraceCacheMultiProcess, ForkedWritersRaceTheSameKeysSafely) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("st2_tc_fork_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const sim::GpuConfig cfg = sim::GpuConfig::st2();
+
+  // Three tiny cases with distinct keys (block counts 1..3) — small enough
+  // that both children cycle all of them many times per second.
+  constexpr int kVariants = 3;
+  const auto make_case = [](int blocks) {
+    TinyCase tc;
+    tc.mem = sim::GlobalMemory{};
+    const std::uint64_t out =
+        tc.mem.alloc(static_cast<std::uint64_t>(blocks) * 32 * 8);
+    tc.launch = sim::launch_1d(blocks * 32, 32, {out});
+    const std::span<const std::uint8_t> b = tc.mem.bytes();
+    tc.input.assign(b.begin(), b.end());
+    return tc;
+  };
+
+  // Serial reference per variant, computed before any forking.
+  struct Ref {
+    sim::EventCounters chip;
+    std::vector<std::uint8_t> mem;
+  };
+  Ref refs[kVariants];
+  for (int v = 0; v < kVariants; ++v) {
+    TinyCase tc = make_case(v + 1);
+    TraceCache probe;  // memo-only
+    const sim::GridCapture cap =
+        probe.provide(cfg, tc.kernel, tc.launch, tc.mem);
+    sim::ExecutionEngine eng(cfg, sim::EngineOptions{1});
+    refs[v].chip = eng.replay(tc.kernel, cap).chip;
+    const auto bytes = tc.mem.bytes();
+    refs[v].mem.assign(bytes.begin(), bytes.end());
+  }
+
+  // Pipe barrier: children block on the read end until the parent closes
+  // the write end, so both enter the provide loop together.
+  int barrier[2];
+  ASSERT_EQ(::pipe(barrier), 0);
+  pid_t kids[2];
+  for (int c = 0; c < 2; ++c) {
+    kids[c] = ::fork();
+    ASSERT_GE(kids[c], 0);
+    if (kids[c] == 0) {
+      ::close(barrier[1]);
+      char go;
+      while (::read(barrier[0], &go, 1) < 0 && errno == EINTR) {
+      }
+      ::close(barrier[0]);
+      CacheOptions opts;
+      opts.dir = dir.string();
+      opts.memo = false;  // every round re-reads (or re-writes) the disk
+      TraceCache cache(opts);
+      for (int round = 0; round < 8; ++round) {
+        for (int i = 0; i < kVariants; ++i) {
+          // Opposite orders per child maximise same-key write/write and
+          // read-while-rename races.
+          const int v = c == 0 ? (round + i) % kVariants
+                               : (kVariants - 1 - (round + i) % kVariants);
+          TinyCase tc = make_case(v + 1);
+          const sim::GridCapture cap =
+              cache.provide(cfg, tc.kernel, tc.launch, tc.mem);
+          if (!same_bytes(tc.mem.bytes(), refs[v].mem)) ::_exit(2);
+          sim::ExecutionEngine eng(cfg, sim::EngineOptions{1});
+          if (!(eng.replay(tc.kernel, cap).chip == refs[v].chip)) ::_exit(3);
+        }
+      }
+      // A child must never have seen a corrupt entry: a torn file from the
+      // sibling would surface as a disk reject here.
+      ::_exit(cache.stats().disk_rejects == 0 ? 0 : 4);
+    }
+  }
+  ::close(barrier[0]);
+  ::close(barrier[1]);  // releases both children at once
+  for (const pid_t kid : kids) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(kid, &status, 0), kid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  // No staging litter: atomic_write_file's unique temp names must all have
+  // been renamed or unlinked, whoever lost each race.
+  for (const fs::directory_entry& e : fs::recursive_directory_iterator(dir)) {
+    EXPECT_EQ(e.path().filename().string().find(".tmp"), std::string::npos)
+        << "staging litter left behind: " << e.path();
+  }
+
+  // Every key reads back as a clean disk hit with correct contents.
+  CacheOptions opts;
+  opts.dir = dir.string();
+  opts.memo = false;
+  TraceCache reader(opts);
+  for (int v = 0; v < kVariants; ++v) {
+    TinyCase tc = make_case(v + 1);
+    const sim::GridCapture cap =
+        reader.provide(cfg, tc.kernel, tc.launch, tc.mem);
+    EXPECT_TRUE(same_bytes(tc.mem.bytes(), refs[v].mem));
+    sim::ExecutionEngine eng(cfg, sim::EngineOptions{1});
+    EXPECT_EQ(eng.replay(tc.kernel, cap).chip, refs[v].chip);
+  }
+  EXPECT_EQ(reader.stats().disk_hits,
+            static_cast<std::uint64_t>(kVariants));
+  EXPECT_EQ(reader.stats().misses, 0u);
+  EXPECT_EQ(reader.stats().disk_rejects, 0u);
   fs::remove_all(dir);
 }
 
