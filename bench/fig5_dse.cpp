@@ -10,14 +10,18 @@
 // harness sees the identical record stream in the identical order as a
 // serial run, so the rows a shard emits are byte-identical to the serial
 // table's.
+#include <array>
 #include <cstddef>
 #include <iostream>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/common/table.hpp"
+#include "src/power/model.hpp"
 #include "src/sim/spec_harness.hpp"
+#include "src/sim/timing.hpp"
 #include "src/sim/trace_run.hpp"
+#include "src/spec/policy.hpp"
 #include "src/workloads/workload.hpp"
 
 int main() {
@@ -103,6 +107,126 @@ int main() {
   }
   bench::emit_sharded(t, "fig5_dse", owned,
                       static_cast<int>(cfgs.size()));
+
+  // ---- Figure 5b: the pluggable predictor zoo ----------------------------
+  // A second table under its own stem ("fig5_zoo") and its own work-unit
+  // enumeration. Units 0..3 are the registered carry-predictor policies run
+  // end to end through the timing simulator; units 4..5 are register-file
+  // energy levers from the literature stacked on the default-CRF run
+  // (GREENER-style RF underutilization gating and static RF data
+  // compression). Every shard that owns a zoo unit recomputes the baseline
+  // timing reference itself — the runs are deterministic, so the rows are
+  // byte-identical to a serial run's regardless of sharding.
+  struct ZooUnit {
+    const char* label;
+    const char* policy;  ///< PredictorConfig::parse spec; "" = CRF RF lever
+  };
+  const std::array<ZooUnit, 6> zoo = {{{"crf", "crf"},
+                                       {"mru", "mru"},
+                                       {"tage", "tage"},
+                                       {"static", "static"},
+                                       {"greener-rf", ""},
+                                       {"rf-compress", ""}}};
+  std::vector<int> zoo_owned;
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    if (bench::shard_owns(static_cast<int>(i))) {
+      zoo_owned.push_back(static_cast<int>(i));
+    }
+  }
+  // The lever rows derive from the default-CRF run, so owning unit 4 or 5
+  // requires the policy run of unit 0 even when unit 0 itself is unowned.
+  std::array<bool, 4> need_policy{};
+  for (const int u : zoo_owned) need_policy[u <= 3 ? u : 0] = true;
+
+  const power::PowerModel pm;
+  struct ZooAgg {
+    double mis = 0, slow = 0, sys = 0, chip = 0;
+  };
+  std::array<ZooAgg, 6> agg{};
+  int zn = 0;
+  if (!zoo_owned.empty()) {
+    for (const auto& info : workloads::case_list()) {
+      // Baseline reference for this workload (fig7_energy's pattern).
+      bench::heartbeat();
+      workloads::PreparedCase bpc = workloads::prepare_case(info.name, scale);
+      sim::TimingSimulator bsim(sim::GpuConfig::baseline());
+      sim::EventCounters cb;
+      std::uint64_t bcycles = 0;
+      for (const auto& lc : bpc.launches) {
+        const sim::RunReport r = bsim.run_report(bpc.kernel, lc, *bpc.mem);
+        cb += r.chip;
+        bcycles += r.wall_cycles();
+      }
+      cb.cycles = bcycles;
+      const power::EnergyBreakdown eb = pm.energy(cb, /*st2=*/false);
+
+      for (int p = 0; p < 4; ++p) {
+        if (!need_policy[static_cast<std::size_t>(p)]) continue;
+        bench::heartbeat();
+        workloads::PreparedCase pc = workloads::prepare_case(info.name, scale);
+        sim::GpuConfig cfg = sim::GpuConfig::st2();
+        cfg.predictor = spec::PredictorConfig::parse(zoo[p].policy);
+        sim::TimingSimulator ssim(cfg);
+        sim::EventCounters cs;
+        std::uint64_t scycles = 0;
+        for (const auto& lc : pc.launches) {
+          const sim::RunReport r = ssim.run_report(pc.kernel, lc, *pc.mem);
+          cs += r.chip;
+          scycles += r.wall_cycles();
+        }
+        cs.cycles = scycles;
+        power::EnergyBreakdown es = pm.energy(cs, /*st2=*/true);
+        // First-order storage model: the per-read table energy tracks the
+        // policy's state size relative to the CRF's 448 B/SM, on top of the
+        // fitted crf_row_read coefficient.
+        const double bytes =
+            static_cast<double>(cfg.predictor.table_bytes_per_sm());
+        es[power::Component::kOthers] +=
+            (bytes / 448.0 - 1.0) * pm.coefficients().crf_row_read *
+            static_cast<double>(cs.crf_row_reads);
+        const double mis = cs.adder_misprediction_rate();
+        const double slow =
+            static_cast<double>(scycles) / static_cast<double>(bcycles) - 1.0;
+        agg[p].mis += mis;
+        agg[p].slow += slow;
+        agg[p].sys += 1.0 - es.total() / eb.total();
+        agg[p].chip += 1.0 - es.chip() / eb.chip();
+        if (p == 0) {
+          // GREENER (Jatala et al.): gate RF energy of inactive SIMD lanes,
+          // modeled as RegFile scaled by the run's SIMD lane occupancy.
+          // Angerd et al.: static RF data compression, ~30% RF energy off.
+          const power::EnergyBreakdown eg =
+              power::with_regfile_scale(es, cs.simd_efficiency());
+          const power::EnergyBreakdown ec =
+              power::with_regfile_scale(es, 0.70);
+          for (const int u : {4, 5}) {
+            agg[u].mis += mis;
+            agg[u].slow += slow;
+          }
+          agg[4].sys += 1.0 - eg.total() / eb.total();
+          agg[4].chip += 1.0 - eg.chip() / eb.chip();
+          agg[5].sys += 1.0 - ec.total() / eb.total();
+          agg[5].chip += 1.0 - ec.chip() / eb.chip();
+        }
+      }
+      ++zn;
+    }
+  }
+
+  Table zt("Figure 5b: predictor zoo — mispredict/energy/slowdown front");
+  zt.header({"policy", "avg thread mispred", "avg slowdown", "system save",
+             "chip save", "table B/SM"});
+  for (const int u : zoo_owned) {
+    const ZooAgg& a = agg[static_cast<std::size_t>(u)];
+    const spec::PredictorConfig pcfg =
+        spec::PredictorConfig::parse(u <= 3 ? zoo[u].policy : "crf");
+    zt.row({zoo[u].label, Table::pct(a.mis / zn), Table::pct(a.slow / zn),
+            Table::pct(a.sys / zn), Table::pct(a.chip / zn),
+            std::to_string(pcfg.table_bytes_per_sm())});
+  }
+  bench::emit_sharded(zt, "fig5_zoo", zoo_owned,
+                      static_cast<int>(zoo.size()));
+
   std::cout
       << "Paper (Section IV-B): Peek -18% vs VaLHALLA; Prev+Peek -26%;\n"
       << "ModPC4 -57% (12% absolute); Ltid+Prev+ModPC4+Peek -65% (9%);\n"

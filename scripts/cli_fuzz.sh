@@ -65,6 +65,32 @@ expect_code 2 run pathfinder --st2 --inject bogus:0.1
 expect_code 2 run pathfinder --st2 --inject crf:1e-3,,
 expect_code 2 run pathfinder --st2 --inject-seed twelve
 
+# --- carry-predictor policy spec parser -------------------------------------
+expect_code 2 run pathfinder --st2 --spec-policy
+expect_code 2 run pathfinder --st2 --spec-policy bogus
+expect_code 2 run pathfinder --st2 --spec-policy CRF
+expect_code 2 run pathfinder --st2 --spec-policy crf,
+expect_code 2 run pathfinder --st2 --spec-policy crf,pattern=1
+expect_code 2 run pathfinder --st2 --spec-policy static,pattern
+expect_code 2 run pathfinder --st2 --spec-policy static,pattern=
+expect_code 2 run pathfinder --st2 --spec-policy static,pattern=128
+expect_code 2 run pathfinder --st2 --spec-policy static,pattern=-1
+expect_code 2 run pathfinder --st2 --spec-policy static,pattern=7f
+expect_code 2 run pathfinder --st2 --spec-policy static,pattern=1,pattern=2
+expect_code 2 run pathfinder --st2 --spec-policy static,patern=1
+expect_code 2 run pathfinder --st2 --spec-policy tage,tables=0
+expect_code 2 run pathfinder --st2 --spec-policy tage,tables=7
+expect_code 2 run pathfinder --st2 --spec-policy tage,entries=100
+expect_code 2 run pathfinder --st2 --spec-policy tage,entries=999999999999
+expect_code 2 run pathfinder --st2 --spec-policy tage,minhist=33
+expect_code 2 run pathfinder --st2 --spec-policy tage,tables=6,minhist=4
+expect_code 2 run pathfinder --st2 --spec-policy "=,=,="
+expect_code 2 run pathfinder --st2 --spec-policy "mru;rm -rf /"
+# a non-default policy without --st2, or with trace/disasm, is a usage error
+expect_code 2 run pathfinder --spec-policy mru
+expect_code 2 run pathfinder --st2 --spec-policy mru --trace
+expect_code 2 run pathfinder --st2 --spec-policy mru --disasm
+
 # --- checkpoint/resume flag combinations -----------------------------------
 expect_code 2 run pathfinder --checkpoint
 expect_code 2 run pathfinder --checkpoint-every 100

@@ -57,8 +57,46 @@ for mode in base st2; do
     done
 done
 
+# Predictor-zoo goldens: each registered non-default policy has its own
+# reference at scale 0.1, so a policy's prediction/arbitration stream is
+# pinned exactly like the CRF's always was.
+check_policy() {
+    policy=$1
+    ref="$GOLDEN/all_st2_${policy}_scale0.1.json"
+    out="$WORK/all_st2_${policy}_scale0.1.json"
+    if ! "$ST2SIM" run all --st2 --spec-policy "$policy" --scale 0.1 \
+        --json "$out" >/dev/null 2>&1; then
+        echo "FAIL: run all --spec-policy $policy exited $?" >&2
+        fails=$((fails + 1))
+        return
+    fi
+    if ! cmp -s "$ref" "$out"; then
+        echo "FAIL: --spec-policy $policy differs from $ref:" >&2
+        diff "$ref" "$out" | head -20 >&2
+        fails=$((fails + 1))
+    fi
+}
+
+for policy in mru tage static; do
+    check_policy "$policy"
+done
+
+# The framework refactor must be invisible when the paper's predictor is
+# selected: `--spec-policy crf` must be byte-identical to the DEFAULT
+# (no-flag) reference, not merely self-consistent.
+out="$WORK/all_st2_crf_scale0.1.json"
+if ! "$ST2SIM" run all --st2 --spec-policy crf --scale 0.1 \
+    --json "$out" >/dev/null 2>&1; then
+    echo "FAIL: run all --spec-policy crf exited $?" >&2
+    fails=$((fails + 1))
+elif ! cmp -s "$GOLDEN/all_st2_scale0.1.json" "$out"; then
+    echo "FAIL: --spec-policy crf differs from the default-predictor ref:" >&2
+    diff "$GOLDEN/all_st2_scale0.1.json" "$out" | head -20 >&2
+    fails=$((fails + 1))
+fi
+
 if [ "$fails" -ne 0 ]; then
     echo "golden_counters: $fails run(s) diverged (workdir: $WORK)" >&2
     exit 1
 fi
-echo "golden_counters: all 8 runs byte-identical to the references"
+echo "golden_counters: all 12 runs byte-identical to the references"

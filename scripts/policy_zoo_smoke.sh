@@ -1,0 +1,54 @@
+#!/bin/sh
+# Predictor-zoo smoke net: every registered carry-predictor policy replays
+# the full workload suite end to end (run all --st2, scale 0.1) and must
+# (a) exit 0 with validated results and (b) agree with every other policy
+# on every architectural counter — instruction mix, operand traffic, memory
+# footprint. Only speculation outcomes and timing may differ between
+# policies: that is the paper's always-correct-by-construction claim,
+# checked at the suite level across the whole zoo.
+#
+#   usage: policy_zoo_smoke.sh /path/to/st2sim [workdir]
+set -u
+
+ST2SIM=${1:?usage: policy_zoo_smoke.sh /path/to/st2sim [workdir]}
+WORK=${2:-$(mktemp -d /tmp/st2_zoo.XXXXXX)}
+mkdir -p "$WORK"
+fails=0
+
+# Counters a policy is allowed to move: its own speculation outcomes and
+# everything downstream of timing. Kept in sync with the allowlist in
+# tests/test_spec_property.cpp (AllPoliciesAgreeOnEveryArchitecturalCounter).
+VOLATILE='wall_cycles|misprediction_rate|crf_writes|crf_write_conflicts|adder_mispredicts|slice_recomputes|warp_adder_stalls|l1_misses|l2_accesses|l2_misses|dram_accesses|noc_flits|mem_lat_[a-z0-9_]*|cycles|sm_cycles_max|sm_cycles_sum|sm_active_cycles|sm_idle_cycles|sched_issue_cycles|stall_[a-z0-9_]*'
+
+for policy in crf mru tage static; do
+    out="$WORK/$policy.json"
+    if ! "$ST2SIM" run all --st2 --spec-policy "$policy" --scale 0.1 \
+        --json "$out" >/dev/null 2>&1; then
+        echo "FAIL: run all --spec-policy $policy exited $?" >&2
+        fails=$((fails + 1))
+        continue
+    fi
+    grep -vE "\"($VOLATILE)\":" "$out" >"$WORK/$policy.arch"
+done
+
+for policy in mru tage static; do
+    [ -f "$WORK/$policy.arch" ] || continue
+    if ! cmp -s "$WORK/crf.arch" "$WORK/$policy.arch"; then
+        echo "FAIL: architectural counters drifted between crf and $policy:" >&2
+        diff "$WORK/crf.arch" "$WORK/$policy.arch" | head -10 >&2
+        fails=$((fails + 1))
+    fi
+done
+
+# Sanity that the net has teeth: the UNfiltered reports must differ (the
+# policies genuinely predict differently), or the filter proves nothing.
+if [ -f "$WORK/mru.json" ] && cmp -s "$WORK/crf.json" "$WORK/mru.json"; then
+    echo "FAIL: crf and mru reports are identical — smoke net is vacuous" >&2
+    fails=$((fails + 1))
+fi
+
+if [ "$fails" -ne 0 ]; then
+    echo "policy_zoo_smoke: $fails check(s) failed (workdir: $WORK)" >&2
+    exit 1
+fi
+echo "policy_zoo_smoke: 4 policies architecturally bit-identical"

@@ -168,7 +168,7 @@ bool known_bench(const std::string& name) {
 
 const std::vector<BenchFamily>& bench_families() {
   static const std::vector<BenchFamily> kFamilies = {
-      {"fig5_dse", {"fig5_dse"}},
+      {"fig5_dse", {"fig5_dse", "fig5_zoo"}},
       {"config_sensitivity", {"config_sensitivity"}},
       {"fault_sensitivity", {"fault_sensitivity"}},
       {"ablation_st2",

@@ -105,6 +105,16 @@ struct EnergyBreakdown {
   }
 };
 
+/// Returns `e` with the RegFile component scaled by `factor`. The predictor
+/// zoo bench uses this to stack literature register-file levers on top of
+/// the fitted model — GREENER-style underutilization gating (RegFile energy
+/// proportional to SIMD lane occupancy) and static RF data compression
+/// (a constant compression factor) — without perturbing any other component.
+inline EnergyBreakdown with_regfile_scale(EnergyBreakdown e, double factor) {
+  e[Component::kRegFile] *= factor;
+  return e;
+}
+
 class PowerModel {
  public:
   explicit PowerModel(EnergyCoefficients coeffs = {});

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "src/sim/error.hpp"
+#include "src/spec/policy.hpp"
 
 namespace st2::serve {
 
@@ -213,6 +214,7 @@ RunRequest parse_request(std::string_view line) {
   bool have_kernel = false;
   std::uint64_t inject_seed = req.inject.seed;
   std::string inject_spec;
+  std::string spec_policy;
   for (const auto& [key, v] : obj) {
     if (key == "id") {
       // Echoed verbatim; accept a number for client convenience.
@@ -240,6 +242,8 @@ RunRequest parse_request(std::string_view line) {
       req.jobs = want_int(v, "jobs");
     } else if (key == "max_warps") {
       req.max_warps = want_int(v, "max_warps");
+    } else if (key == "spec_policy") {
+      spec_policy = want(v, Scalar::Kind::kString, "spec_policy").str;
     } else if (key == "inject") {
       inject_spec = want(v, Scalar::Kind::kString, "inject").str;
     } else if (key == "inject_seed") {
@@ -258,6 +262,13 @@ RunRequest parse_request(std::string_view line) {
   if (!inject_spec.empty()) {
     try {
       req.inject = fault::FaultConfig::parse(inject_spec);
+    } catch (const std::invalid_argument& e) {
+      bad(e.what());
+    }
+  }
+  if (!spec_policy.empty()) {
+    try {
+      req.spec_policy = spec::PredictorConfig::parse(spec_policy);
     } catch (const std::invalid_argument& e) {
       bad(e.what());
     }

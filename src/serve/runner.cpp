@@ -26,6 +26,7 @@ int run_kernel(const RunRequest& req, const std::string& name, int jobs,
   if (req.lrr) cfg.scheduler = sim::WarpScheduler::kLrr;
   if (req.max_warps > 0) cfg.max_warps_per_sm = req.max_warps;
   cfg.inject = req.inject;
+  cfg.predictor = req.spec_policy;
   sim::EngineOptions eopts;
   eopts.jobs = jobs;
   eopts.watchdog_cycles = req.watchdog_cycles;
@@ -59,6 +60,11 @@ RunResult execute_request(const RunRequest& req,
       throw sim::SimError(sim::SimErrorKind::kBadArguments, "request",
                           "'inject' targets the ST2 speculation state; set "
                           "\"st2\": true");
+    }
+    if (req.spec_policy.kind != spec::PredictorKind::kCrf && !req.st2) {
+      throw sim::SimError(sim::SimErrorKind::kBadArguments, "request",
+                          "'spec_policy' selects the ST2 carry predictor; "
+                          "set \"st2\": true");
     }
     // Same validation as the CLI's --jobs: a daemon must never spawn an
     // unbounded replay fan-out because a client asked for one.

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/fault/fault.hpp"
+#include "src/spec/policy.hpp"
 #include "src/tracecache/tracecache.hpp"
 
 namespace st2::serve {
@@ -32,6 +33,7 @@ struct RunRequest {
   int sms = 20;
   int jobs = 1;
   int max_warps = 0;
+  spec::PredictorConfig spec_policy;  ///< carry-predictor policy (st2 only)
   fault::FaultConfig inject;
   std::uint64_t watchdog_cycles = 0;
   std::uint64_t watchdog_ms = 0;

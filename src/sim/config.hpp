@@ -11,6 +11,7 @@
 
 #include "src/fault/fault.hpp"
 #include "src/spec/config.hpp"
+#include "src/spec/policy.hpp"
 
 namespace st2::sim {
 
@@ -77,6 +78,10 @@ struct GpuConfig {
   // --- ST2 ------------------------------------------------------------------
   bool st2_enabled = false;                      ///< speculative adders on?
   spec::SpeculationConfig st2_spec = spec::st2_config();
+  /// Carry-predictor policy for the per-SM speculation state
+  /// (`--spec-policy`; docs/simulator.md "Predictor zoo"). Any policy keeps
+  /// architectural results bit-identical — it moves only timing and energy.
+  spec::PredictorConfig predictor;
 
   // --- fault injection -------------------------------------------------------
   // Seeded faults into the speculation state (CRF entries, history reads,

@@ -56,7 +56,7 @@ SmCore::SmCore(const GpuConfig& cfg, const isa::Kernel& kernel,
       work_(work),
       l1_(cfg.l1_kb, cfg.l1_ways, cfg.line_bytes),
       l2_(cfg.l2_kb, cfg.l2_ways, cfg.line_bytes),
-      crf_(cfg.seed),
+      crf_(spec::make_predictor(cfg.predictor, cfg.seed)),
       fu_busy_(static_cast<std::size_t>(cfg.schedulers_per_sm * kNumFuKinds),
                0),
       fu_st2_from_(
@@ -556,7 +556,7 @@ int SmCore::speculate(const WarpStream& ws, const TraceOp& op, int latency) {
   int mask_lane = -1;   // forced-hit (masked repair) detector fault target
   if (inject_) {
     if (inject_->fire_crf()) {
-      crf_.flip_bit(op.pc, inject_->pick(spec::CarryRegisterFile::kLanes),
+      crf_->flip_bit(op.pc, inject_->pick(spec::CarryRegisterFile::kLanes),
                     inject_->pick(spec::CarryRegisterFile::kBitsPerLane));
       ++counters_.faults_crf_flips;
     }
@@ -568,7 +568,7 @@ int SmCore::speculate(const WarpStream& ws, const TraceOp& op, int latency) {
     if (inject_->fire_mask()) mask_lane = inject_->pick(kWarpSize);
   }
 
-  const auto row = crf_.read_row(op.pc);
+  const auto row = crf_->read_row(op.pc);
   ++counters_.crf_row_reads;
   const std::uint64_t due = now_ + static_cast<unsigned>(latency + 1);
   bool any_repair = false;
@@ -837,7 +837,7 @@ void SmCore::commit_crf_writes() {
   std::uint64_t min_left = ~std::uint64_t{0};
   for (std::size_t i = 0; i < pending_crf_.size();) {
     if (pending_crf_[i].due <= now_) {
-      crf_.request_write(pending_crf_[i].pc, pending_crf_[i].lane,
+      crf_->request_write(pending_crf_[i].pc, pending_crf_[i].lane,
                          pending_crf_[i].carries);
       pending_crf_[i] = pending_crf_.back();
       pending_crf_.pop_back();
@@ -847,7 +847,7 @@ void SmCore::commit_crf_writes() {
     }
   }
   crf_due_min_ = min_left;
-  crf_.commit_cycle();
+  crf_->commit_cycle();
 }
 
 void SmCore::seal_counters() {
@@ -856,7 +856,7 @@ void SmCore::seal_counters() {
   counters_.cycles = now_;
   counters_.sm_cycles_max = now_;
   counters_.sm_cycles_sum = now_;
-  counters_.crf_write_conflicts = crf_.write_conflicts();
+  counters_.crf_write_conflicts = crf_->write_conflicts();
   validate_invariants();
 }
 
@@ -886,10 +886,10 @@ void SmCore::validate_invariants() const {
   // (2) CRF consistency: every requested write is accounted for (committed,
   // dropped in arbitration, or still in flight), and every stored entry is a
   // legal 7-bit pattern — even under injected bit flips.
-  const std::uint64_t crf_accounted = crf_.lane_writes() +
-                                      crf_.write_conflicts() +
+  const std::uint64_t crf_accounted = crf_->lane_writes() +
+                                      crf_->write_conflicts() +
                                       pending_crf_.size() +
-                                      crf_.pending_writes();
+                                      crf_->pending_writes();
   if (counters_.crf_writes != crf_accounted) {
     throw SimError(SimErrorKind::kInvariantViolation,
                    "kernel '" + kernel_.name + "'",
@@ -898,7 +898,7 @@ void SmCore::validate_invariants() const {
                        " requested vs " + std::to_string(crf_accounted) +
                        " committed+dropped+in-flight");
   }
-  if (!crf_.entries_valid()) {
+  if (!crf_->entries_valid()) {
     throw SimError(SimErrorKind::kInvariantViolation,
                    "kernel '" + kernel_.name + "'",
                    "CRF holds an entry wider than 7 bits");
@@ -955,7 +955,12 @@ void SmCore::save_state(snapshot::Writer& w) const {
                    [&w](const char*, std::uint64_t v) { w.u64(v); });
   l1_.save(w);
   l2_.save(w);
-  crf_.save(w);
+  // Predictor state is policy-shaped: tag it with the canonical policy spec
+  // so a snapshot can never be deserialized under a different policy's
+  // layout (the file-level config hash pins this too; this guards direct
+  // engine-state restores).
+  w.str(cfg_.predictor.describe());
+  crf_->save(w);
   w.u8(inject_ ? 1 : 0);
   if (inject_) {
     std::uint64_t rng_state[4];
@@ -1033,7 +1038,12 @@ void SmCore::restore_state(snapshot::Reader& r) {
                    [&r](const char*, std::uint64_t& v) { v = r.u64(); });
   l1_.restore(r);
   l2_.restore(r);
-  crf_.restore(r);
+  const std::string policy = r.str();
+  r.require(policy == cfg_.predictor.describe(),
+            "snapshot speculation policy '" + policy +
+                "' differs from the current config ('" +
+                cfg_.predictor.describe() + "')");
+  crf_->restore(r);
   const bool had_inject = r.u8() != 0;
   r.require(had_inject == inject_.has_value(),
             "fault-injection presence differs from the current config");
@@ -1062,7 +1072,7 @@ void SmCore::restore_state(snapshot::Reader& r) {
   }
   // A snapshot may carry writes already handed to the CRF but not yet
   // committed; zero the watermark so the next commit pass flushes them.
-  if (crf_.pending_writes() != 0) crf_due_min_ = 0;
+  if (crf_->pending_writes() != 0) crf_due_min_ = 0;
   const std::uint32_t n_resident = r.u32();
   r.require(n_resident <= static_cast<std::uint32_t>(cfg_.max_blocks_per_sm),
             "resident-block count out of range");

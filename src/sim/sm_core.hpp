@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -138,7 +139,7 @@ class SmCore {
   bool finished() const { return live_blocks_ == 0 && next_block_ == work_.blocks.size(); }
   std::uint64_t now() const { return now_; }
   const EventCounters& counters() const { return counters_; }
-  const spec::CarryRegisterFile& crf() const { return crf_; }
+  const spec::CarryPredictor& crf() const { return *crf_; }
   int live_blocks() const { return live_blocks_; }
   /// Blocks admitted so far (resident or retired).
   std::size_t blocks_admitted() const { return next_block_; }
@@ -288,7 +289,9 @@ class SmCore {
   std::vector<std::uint64_t*> counter_slots_;
   Cache l1_;
   Cache l2_;  ///< private tag array: keeps SMs independent (see engine.hpp)
-  spec::CarryRegisterFile crf_;
+  /// The selected carry-prediction policy (cfg.predictor; the paper's CRF
+  /// by default). Owned per SM so parallel replay shares nothing.
+  std::unique_ptr<spec::CarryPredictor> crf_;
   /// Fault source, engaged only when cfg.inject.enabled(): draws are a pure
   /// function of this SM's replay stream, so fault placement is
   /// bit-identical across --jobs N. Disengaged = zero simulation impact.

@@ -47,4 +47,43 @@ void SpeculationHarness::feed(const ExecRecord& rec) {
   }
 }
 
+void PolicyHarness::feed(const ExecRecord& rec) {
+  if (!rec.has_adder_op) return;
+  // Register-read stage: one policy row read serves the whole warp, before
+  // any lane's outcome can train the tables — same ordering as SmCore.
+  const auto row = predictor_->read_row(rec.pc);
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (((rec.active_mask >> lane) & 1u) == 0) continue;
+    const spec::AddOp op = make_add_op(rec, lane, 1024);
+    const std::uint8_t rel =
+        static_cast<std::uint8_t>((1u << (op.num_slices - 1)) - 1);
+    const spec::PeekResult pk = spec::peek(op.a, op.b, op.num_slices);
+    const std::uint8_t hist = row[static_cast<std::size_t>(lane)];
+
+    spec::Prediction pred{};
+    pred.peek_mask = pk.mask;
+    pred.dynamic_mask = static_cast<std::uint8_t>(rel & ~pk.mask);
+    pred.carries = static_cast<std::uint8_t>((pk.carries & pk.mask) |
+                                             (hist & pred.dynamic_mask));
+
+    const spec::SpeculationOutcome out =
+        spec::resolve_prediction(pred, spec::actual_carries(op),
+                                 op.num_slices);
+    op_mispredicts_.record(out.any_misprediction());
+    bit_mispredicts_.record(
+        static_cast<std::uint64_t>(
+            std::popcount(static_cast<unsigned>(out.mispredicted))),
+        static_cast<std::uint64_t>(op.num_slices - 1));
+    slice_recomputes_ += static_cast<std::uint64_t>(out.recompute_count());
+
+    // Write-back: mispredicting lanes merge the bits they own into the
+    // shared entry (hist & ~rel keeps slices this op never exercised).
+    if (out.any_misprediction()) {
+      predictor_->request_write(
+          rec.pc, lane, static_cast<std::uint8_t>((hist & ~rel) | out.actual));
+    }
+  }
+  predictor_->commit_cycle();
+}
+
 }  // namespace st2::sim

@@ -34,7 +34,11 @@ namespace st2::snapshot {
 ///   1  original layout (AoS warp slots, u64 cursors)
 ///   2  replay-core SoA slot banks: slots serialized per physical slot id up
 ///      to max_warps_per_sm, u32 stream cursors
-inline constexpr std::uint32_t kFormatVersion = 2;
+///   3  pluggable carry predictors: per-SM predictor state is preceded by
+///      the canonical policy spec string, and the payload bytes after it
+///      are policy-shaped (CRF rows / MRU row / TAGE tables / static
+///      pattern register)
+inline constexpr std::uint32_t kFormatVersion = 3;
 inline constexpr std::size_t kHeaderBytes = 36;
 
 /// Writes `content` to `path` crash-consistently: the bytes land in

@@ -39,6 +39,11 @@ bool CarryRegisterFile::entries_valid() const {
   return (msbs & 0x8080808080808080ULL) == 0;
 }
 
+void CarryRegisterFile::flush() {
+  for (auto& row : rows_) row.fill(0);
+  pending_.clear();
+}
+
 void CarryRegisterFile::commit_cycle() {
   if (pending_.empty()) return;
   // Group writers per (row, lane); a random one wins, the rest are dropped.

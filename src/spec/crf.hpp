@@ -17,10 +17,15 @@
 #include "src/common/contracts.hpp"
 #include "src/common/rng.hpp"
 #include "src/snapshot/serial.hpp"
+#include "src/spec/policy.hpp"
 
 namespace st2::spec {
 
-class CarryRegisterFile {
+/// The default CarryPredictor policy (`--spec-policy crf`). The internals —
+/// storage layout, arbitration order, RNG draws, snapshot bytes — are the
+/// pre-framework implementation unchanged, which is what keeps the default
+/// policy byte-identical to the pre-refactor binary.
+class CarryRegisterFile final : public CarryPredictor {
  public:
   static constexpr int kRows = 16;
   static constexpr int kLanes = 32;
@@ -33,7 +38,7 @@ class CarryRegisterFile {
   /// Register-read-stage access: the 7-bit patterns of all 32 lanes for the
   /// row PC[3:0]. Counts one row read. Inline: called once per adder
   /// instruction issued in the replay hot path.
-  std::array<std::uint8_t, kLanes> read_row(std::uint64_t pc) {
+  std::array<std::uint8_t, kLanes> read_row(std::uint64_t pc) override {
     ++row_reads_;
     return rows_[static_cast<std::size_t>(row_of(pc))];
   }
@@ -43,7 +48,7 @@ class CarryRegisterFile {
 
   /// Queues a write-back-stage update for the current cycle. Inline: called
   /// once per mispredicting lane in the replay hot path.
-  void request_write(std::uint64_t pc, int lane, std::uint8_t carries) {
+  void request_write(std::uint64_t pc, int lane, std::uint8_t carries) override {
     ST2_EXPECTS(lane >= 0 && lane < kLanes);
     ST2_EXPECTS(carries < 0x80);
     pending_.push_back(PendingWrite{
@@ -53,30 +58,35 @@ class CarryRegisterFile {
   /// Applies the cycle's queued writes. Multiple writers to the same
   /// (row, lane) arbitrate randomly; losers are dropped (their thread will
   /// simply mispredict-and-retrain later). Clears the queue.
-  void commit_cycle();
+  void commit_cycle() override;
+
+  /// Drops the history table and queued writes; counters and the
+  /// arbitration RNG stream are kept.
+  void flush() override;
 
   /// SEU-style fault injection (src/fault): XORs one bit of the stored 7-bit
   /// pattern of (row PC[3:0], lane). Flipping within the 7 pattern bits keeps
   /// every entry valid (< 0x80), so `entries_valid` holds under any number of
   /// injected flips — corrupted history can only mispredict, never corrupt.
-  void flip_bit(std::uint64_t pc, int lane, int bit);
+  void flip_bit(std::uint64_t pc, int lane, int bit) override;
 
   /// Consistency invariant: every stored entry is a legal 7-bit pattern.
   /// Checked (always-on) when an SM core seals its counters.
-  bool entries_valid() const;
+  bool entries_valid() const override;
 
   /// Checkpoint support: serializes the full history table, the pending
   /// write queue (order matters for random arbitration), the arbitration RNG
   /// state, and the access counters. `restore` rejects out-of-range
   /// row/lane indices and illegal (>= 0x80) patterns with the typed
   /// snapshot error.
-  void save(snapshot::Writer& w) const;
-  void restore(snapshot::Reader& r);
+  void save(snapshot::Writer& w) const override;
+  void restore(snapshot::Reader& r) override;
 
-  std::uint64_t row_reads() const { return row_reads_; }
-  std::uint64_t lane_writes() const { return lane_writes_; }
-  std::uint64_t write_conflicts() const { return write_conflicts_; }
-  std::size_t pending_writes() const { return pending_.size(); }
+  std::uint64_t row_reads() const override { return row_reads_; }
+  std::uint64_t lane_writes() const override { return lane_writes_; }
+  std::uint64_t write_conflicts() const override { return write_conflicts_; }
+  std::size_t pending_writes() const override { return pending_.size(); }
+  PredictorKind kind() const override { return PredictorKind::kCrf; }
 
  private:
   static int row_of(std::uint64_t pc) { return static_cast<int>(pc & 0xf); }

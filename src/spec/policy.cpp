@@ -1,0 +1,693 @@
+#include "src/spec/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/contracts.hpp"
+#include "src/common/rng.hpp"
+#include "src/snapshot/serial.hpp"
+#include "src/spec/crf.hpp"
+
+namespace st2::spec {
+
+namespace {
+
+constexpr int kLanes = 32;
+constexpr std::uint8_t kPatternMask = 0x7f;
+
+/// Strict unsigned integer: all digits, no sign, no junk, bounded length.
+bool parse_uint(const std::string& s, long long* out) {
+  if (s.empty() || s.size() > 9) return false;
+  long long v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+const std::array<const char*, 4>& predictor_names() {
+  static const std::array<const char*, 4> kNames = {"crf", "mru", "tage",
+                                                    "static"};
+  return kNames;
+}
+
+PredictorConfig PredictorConfig::parse(const std::string& spec) {
+  PredictorConfig cfg;
+  std::size_t pos = 0;
+  const std::size_t first = spec.find(',');
+  const std::string name = spec.substr(0, first);
+  if (name == "crf") {
+    cfg.kind = PredictorKind::kCrf;
+  } else if (name == "mru") {
+    cfg.kind = PredictorKind::kMru;
+  } else if (name == "tage") {
+    cfg.kind = PredictorKind::kTage;
+  } else if (name == "static") {
+    cfg.kind = PredictorKind::kStatic;
+  } else {
+    bad("unknown --spec-policy '" + name +
+        "': expected crf, mru, tage or static");
+  }
+  pos = first == std::string::npos ? spec.size() + 1 : first + 1;
+
+  bool seen_pattern = false, seen_tables = false, seen_entries = false,
+       seen_minhist = false;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      bad("bad --spec-policy token '" + tok + "': expected key=value");
+    }
+    const std::string key = tok.substr(0, eq);
+    long long value = 0;
+    if (!parse_uint(tok.substr(eq + 1), &value)) {
+      bad("bad --spec-policy value in '" + tok +
+          "': expected an unsigned integer");
+    }
+
+    if (key == "pattern" && cfg.kind == PredictorKind::kStatic) {
+      if (seen_pattern) bad("duplicate --spec-policy key 'pattern'");
+      seen_pattern = true;
+      if (value > kPatternMask) {
+        bad("bad --spec-policy token '" + tok +
+            "': pattern must be a 7-bit value in [0, 127]");
+      }
+      cfg.static_pattern = static_cast<int>(value);
+    } else if (key == "tables" && cfg.kind == PredictorKind::kTage) {
+      if (seen_tables) bad("duplicate --spec-policy key 'tables'");
+      seen_tables = true;
+      if (value < 1 || value > 6) {
+        bad("bad --spec-policy token '" + tok +
+            "': tables must be in [1, 6]");
+      }
+      cfg.tage_tables = static_cast<int>(value);
+    } else if (key == "entries" && cfg.kind == PredictorKind::kTage) {
+      if (seen_entries) bad("duplicate --spec-policy key 'entries'");
+      seen_entries = true;
+      if (value < 16 || value > 1024 || (value & (value - 1)) != 0) {
+        bad("bad --spec-policy token '" + tok +
+            "': entries must be a power of two in [16, 1024]");
+      }
+      cfg.tage_entries = static_cast<int>(value);
+    } else if (key == "minhist" && cfg.kind == PredictorKind::kTage) {
+      if (seen_minhist) bad("duplicate --spec-policy key 'minhist'");
+      seen_minhist = true;
+      if (value < 1 || value > 32) {
+        bad("bad --spec-policy token '" + tok +
+            "': minhist must be in [1, 32]");
+      }
+      cfg.tage_min_hist = static_cast<int>(value);
+    } else {
+      bad("unknown --spec-policy key '" + key + "' for policy '" +
+          std::string(cfg.policy_name()) + "'");
+    }
+  }
+  if (cfg.kind == PredictorKind::kTage &&
+      (static_cast<long long>(cfg.tage_min_hist) << (cfg.tage_tables - 1)) >
+          64) {
+    bad("bad --spec-policy: the longest tage history (minhist << (tables-1))"
+        " exceeds the 64-entry path ring");
+  }
+  return cfg;
+}
+
+const char* PredictorConfig::policy_name() const {
+  return predictor_names()[static_cast<std::size_t>(kind)];
+}
+
+std::string PredictorConfig::describe() const {
+  switch (kind) {
+    case PredictorKind::kCrf:
+      return "crf";
+    case PredictorKind::kMru:
+      return "mru";
+    case PredictorKind::kTage:
+      return "tage,tables=" + std::to_string(tage_tables) +
+             ",entries=" + std::to_string(tage_entries) +
+             ",minhist=" + std::to_string(tage_min_hist);
+    case PredictorKind::kStatic:
+      return "static,pattern=" + std::to_string(static_pattern);
+  }
+  ST2_ASSERT(false);
+  return "crf";
+}
+
+long long PredictorConfig::table_bytes_per_sm() const {
+  switch (kind) {
+    case PredictorKind::kCrf:
+      return CarryRegisterFile::kTotalBytes;  // the paper's 448 B
+    case PredictorKind::kMru:
+      return kLanes * 7 / 8;  // one 224-bit row
+    case PredictorKind::kTage: {
+      // Per tagged entry: a 224-bit row + 11-bit tag + 2-bit useful +
+      // valid bit; plus the 224-bit base row.
+      const long long bits =
+          static_cast<long long>(tage_tables) * tage_entries * (224 + 14) +
+          224;
+      return (bits + 7) / 8;
+    }
+    case PredictorKind::kStatic:
+      return 1;  // the 7-bit profile register
+  }
+  ST2_ASSERT(false);
+  return 0;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// mru: per-lane most-recent value, no PC indexing. The cheapest trainable
+// policy (one 224-bit row): a lane predicts whatever carry pattern it last
+// mispredicted with, regardless of which instruction produced it.
+class MruPredictor final : public CarryPredictor {
+ public:
+  explicit MruPredictor(std::uint64_t seed) : rng_(seed) { table_.fill(0); }
+
+  std::array<std::uint8_t, 32> read_row(std::uint64_t) override {
+    ++row_reads_;
+    return table_;
+  }
+
+  void request_write(std::uint64_t, int lane, std::uint8_t carries) override {
+    ST2_EXPECTS(lane >= 0 && lane < kLanes);
+    ST2_EXPECTS(carries < 0x80);
+    pending_.push_back(Pending{static_cast<std::uint8_t>(lane), carries});
+  }
+
+  void commit_cycle() override {
+    if (pending_.empty()) return;
+    std::sort(pending_.begin(), pending_.end(),
+              [](const Pending& x, const Pending& y) {
+                return x.lane < y.lane;
+              });
+    std::size_t i = 0;
+    while (i < pending_.size()) {
+      std::size_t j = i + 1;
+      while (j < pending_.size() && pending_[j].lane == pending_[i].lane) ++j;
+      const std::size_t winner = i + rng_.next_below(j - i);
+      table_[pending_[winner].lane] = pending_[winner].carries;
+      ++lane_writes_;
+      write_conflicts_ += (j - i) - 1;
+      i = j;
+    }
+    pending_.clear();
+  }
+
+  void flush() override {
+    table_.fill(0);
+    pending_.clear();
+  }
+
+  void flip_bit(std::uint64_t, int lane, int bit) override {
+    ST2_EXPECTS(lane >= 0 && lane < kLanes);
+    ST2_EXPECTS(bit >= 0 && bit < 7);
+    table_[static_cast<std::size_t>(lane)] ^=
+        static_cast<std::uint8_t>(1u << bit);
+  }
+
+  bool entries_valid() const override {
+    for (const std::uint8_t e : table_) {
+      if (e >= 0x80) return false;
+    }
+    return true;
+  }
+
+  void save(snapshot::Writer& w) const override {
+    for (const std::uint8_t e : table_) w.u8(e);
+    w.u32(static_cast<std::uint32_t>(pending_.size()));
+    for (const Pending& p : pending_) {
+      w.u8(p.lane);
+      w.u8(p.carries);
+    }
+    std::uint64_t rng_state[4];
+    rng_.get_state(rng_state);
+    for (const std::uint64_t word : rng_state) w.u64(word);
+    w.u64(row_reads_);
+    w.u64(lane_writes_);
+    w.u64(write_conflicts_);
+  }
+
+  void restore(snapshot::Reader& r) override {
+    for (std::uint8_t& e : table_) {
+      e = r.u8();
+      r.require(e < 0x80, "mru entry is not a legal 7-bit pattern");
+    }
+    const std::uint32_t n = r.u32();
+    r.require(n <= 1u << 20, "mru pending-write count out of range");
+    pending_.clear();
+    pending_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Pending p;
+      p.lane = r.u8();
+      r.require(p.lane < kLanes, "mru pending lane out of range");
+      p.carries = r.u8();
+      r.require(p.carries < 0x80, "mru pending carries out of range");
+      pending_.push_back(p);
+    }
+    std::uint64_t rng_state[4];
+    for (std::uint64_t& word : rng_state) word = r.u64();
+    rng_.set_state(rng_state);
+    row_reads_ = r.u64();
+    lane_writes_ = r.u64();
+    write_conflicts_ = r.u64();
+  }
+
+  std::uint64_t row_reads() const override { return row_reads_; }
+  std::uint64_t lane_writes() const override { return lane_writes_; }
+  std::uint64_t write_conflicts() const override { return write_conflicts_; }
+  std::size_t pending_writes() const override { return pending_.size(); }
+  PredictorKind kind() const override { return PredictorKind::kMru; }
+
+ private:
+  struct Pending {
+    std::uint8_t lane;
+    std::uint8_t carries;
+  };
+
+  std::array<std::uint8_t, 32> table_{};
+  std::vector<Pending> pending_;
+  Xoshiro256 rng_;
+  std::uint64_t row_reads_ = 0;
+  std::uint64_t lane_writes_ = 0;
+  std::uint64_t write_conflicts_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// static: a hard-wired profile pattern. Never trains — write-backs still
+// queue and arbitrate (so the SM core's write accounting is identical), but
+// the winning value is dropped. flip_bit models an SEU in the profile
+// register itself: the flip persists until the next flip.
+class StaticPredictor final : public CarryPredictor {
+ public:
+  StaticPredictor(std::uint8_t pattern, std::uint64_t seed)
+      : pattern_(pattern), rng_(seed) {
+    ST2_EXPECTS(pattern < 0x80);
+  }
+
+  std::array<std::uint8_t, 32> read_row(std::uint64_t) override {
+    ++row_reads_;
+    std::array<std::uint8_t, 32> row;
+    row.fill(pattern_);
+    return row;
+  }
+
+  void request_write(std::uint64_t, int lane, std::uint8_t carries) override {
+    ST2_EXPECTS(lane >= 0 && lane < kLanes);
+    ST2_EXPECTS(carries < 0x80);
+    pending_.push_back(static_cast<std::uint8_t>(lane));
+  }
+
+  void commit_cycle() override {
+    if (pending_.empty()) return;
+    std::sort(pending_.begin(), pending_.end());
+    std::size_t i = 0;
+    while (i < pending_.size()) {
+      std::size_t j = i + 1;
+      while (j < pending_.size() && pending_[j] == pending_[i]) ++j;
+      (void)rng_.next_below(j - i);  // arbitration draw, winner discarded
+      ++lane_writes_;
+      write_conflicts_ += (j - i) - 1;
+      i = j;
+    }
+    pending_.clear();
+  }
+
+  void flush() override { pending_.clear(); }
+
+  void flip_bit(std::uint64_t, int, int bit) override {
+    ST2_EXPECTS(bit >= 0 && bit < 7);
+    pattern_ ^= static_cast<std::uint8_t>(1u << bit);
+  }
+
+  bool entries_valid() const override { return pattern_ < 0x80; }
+
+  void save(snapshot::Writer& w) const override {
+    w.u8(pattern_);
+    w.u32(static_cast<std::uint32_t>(pending_.size()));
+    for (const std::uint8_t lane : pending_) w.u8(lane);
+    std::uint64_t rng_state[4];
+    rng_.get_state(rng_state);
+    for (const std::uint64_t word : rng_state) w.u64(word);
+    w.u64(row_reads_);
+    w.u64(lane_writes_);
+    w.u64(write_conflicts_);
+  }
+
+  void restore(snapshot::Reader& r) override {
+    pattern_ = r.u8();
+    r.require(pattern_ < 0x80, "static pattern is not a legal 7-bit value");
+    const std::uint32_t n = r.u32();
+    r.require(n <= 1u << 20, "static pending-write count out of range");
+    pending_.clear();
+    pending_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint8_t lane = r.u8();
+      r.require(lane < kLanes, "static pending lane out of range");
+      pending_.push_back(lane);
+    }
+    std::uint64_t rng_state[4];
+    for (std::uint64_t& word : rng_state) word = r.u64();
+    rng_.set_state(rng_state);
+    row_reads_ = r.u64();
+    lane_writes_ = r.u64();
+    write_conflicts_ = r.u64();
+  }
+
+  std::uint64_t row_reads() const override { return row_reads_; }
+  std::uint64_t lane_writes() const override { return lane_writes_; }
+  std::uint64_t write_conflicts() const override { return write_conflicts_; }
+  std::size_t pending_writes() const override { return pending_.size(); }
+  PredictorKind kind() const override { return PredictorKind::kStatic; }
+
+ private:
+  std::uint8_t pattern_;
+  std::vector<std::uint8_t> pending_;  // lanes only: the value never lands
+  Xoshiro256 rng_;
+  std::uint64_t row_reads_ = 0;
+  std::uint64_t lane_writes_ = 0;
+  std::uint64_t write_conflicts_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// tage: TAGE-style tagged geometric-history tables over whole warp rows.
+// Tagged table i is indexed by a hash of the PC and the last
+// minhist << i PCs from a 64-entry path-history ring; an entry holds an
+// 11-bit tag, a 2-bit usefulness counter and a full 224-bit row. Prediction
+// probes longest history first and falls back to a per-lane base row (an
+// MRU table). Training re-probes with the update-time history — the probe
+// can land elsewhere than the one that predicted, which only costs
+// accuracy, never correctness. On a mispredict the provider's usefulness
+// decays and a longer-history entry with useful == 0 is allocated; when
+// none is free the candidates age instead (classic TAGE replacement).
+class TagePredictor final : public CarryPredictor {
+ public:
+  static constexpr int kRing = 64;
+
+  TagePredictor(const PredictorConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg), rng_(seed) {
+    base_.fill(0);
+    ring_.fill(0);
+    tables_.assign(
+        static_cast<std::size_t>(cfg_.tage_tables) *
+            static_cast<std::size_t>(cfg_.tage_entries),
+        Entry{});
+  }
+
+  std::array<std::uint8_t, 32> read_row(std::uint64_t pc) override {
+    ++row_reads_;
+    std::array<std::uint8_t, 32> out = base_;
+    for (int t = cfg_.tage_tables - 1; t >= 0; --t) {
+      const std::uint64_t h = folded(pc, hist_len(t));
+      const Entry& e = entry(t, index_of(h));
+      if (e.valid && e.tag == tag_of(h)) {
+        out = e.row;
+        break;
+      }
+    }
+    // Path history advances after the probe: the prediction for this PC
+    // cannot depend on its own occurrence.
+    ring_[ring_pos_] = static_cast<std::uint32_t>(pc);
+    ring_pos_ = (ring_pos_ + 1) % kRing;
+    return out;
+  }
+
+  void request_write(std::uint64_t pc, int lane,
+                     std::uint8_t carries) override {
+    ST2_EXPECTS(lane >= 0 && lane < kLanes);
+    ST2_EXPECTS(carries < 0x80);
+    pending_.push_back(Pending{pc, static_cast<std::uint8_t>(lane), carries});
+  }
+
+  void commit_cycle() override {
+    if (pending_.empty()) return;
+    // Resolve each write to its storage cell with the update-time history,
+    // then arbitrate same-cell writers exactly like the CRF.
+    struct Resolved {
+      std::uint64_t cell;
+      std::uint64_t pc;
+      int provider;  // -1 = base row
+      std::uint32_t index;
+      std::uint8_t lane;
+      std::uint8_t carries;
+    };
+    std::vector<Resolved> writes;
+    writes.reserve(pending_.size());
+    for (const Pending& p : pending_) {
+      Resolved w{0, p.pc, -1, 0, p.lane, p.carries};
+      for (int t = cfg_.tage_tables - 1; t >= 0; --t) {
+        const std::uint64_t h = folded(p.pc, hist_len(t));
+        const std::uint32_t idx = index_of(h);
+        const Entry& e = entry(t, idx);
+        if (e.valid && e.tag == tag_of(h)) {
+          w.provider = t;
+          w.index = idx;
+          break;
+        }
+      }
+      w.cell = w.provider < 0
+                   ? p.lane
+                   : kLanes +
+                         (static_cast<std::uint64_t>(w.provider) *
+                              static_cast<std::uint64_t>(cfg_.tage_entries) +
+                          w.index) *
+                             kLanes +
+                         p.lane;
+      writes.push_back(w);
+    }
+    std::sort(writes.begin(), writes.end(),
+              [](const Resolved& x, const Resolved& y) {
+                return x.cell < y.cell;
+              });
+    std::size_t i = 0;
+    while (i < writes.size()) {
+      std::size_t j = i + 1;
+      while (j < writes.size() && writes[j].cell == writes[i].cell) ++j;
+      const Resolved& w = writes[i + rng_.next_below(j - i)];
+      apply(w.pc, w.provider, w.index, w.lane, w.carries);
+      ++lane_writes_;
+      write_conflicts_ += (j - i) - 1;
+      i = j;
+    }
+    pending_.clear();
+  }
+
+  void flush() override {
+    base_.fill(0);
+    ring_.fill(0);
+    ring_pos_ = 0;
+    std::fill(tables_.begin(), tables_.end(), Entry{});
+    pending_.clear();
+  }
+
+  void flip_bit(std::uint64_t, int lane, int bit) override {
+    ST2_EXPECTS(lane >= 0 && lane < kLanes);
+    ST2_EXPECTS(bit >= 0 && bit < 7);
+    base_[static_cast<std::size_t>(lane)] ^=
+        static_cast<std::uint8_t>(1u << bit);
+  }
+
+  bool entries_valid() const override {
+    for (const std::uint8_t e : base_) {
+      if (e >= 0x80) return false;
+    }
+    for (const Entry& e : tables_) {
+      for (const std::uint8_t v : e.row) {
+        if (v >= 0x80) return false;
+      }
+    }
+    return true;
+  }
+
+  void save(snapshot::Writer& w) const override {
+    for (const std::uint8_t e : base_) w.u8(e);
+    for (const std::uint32_t p : ring_) w.u32(p);
+    w.u32(ring_pos_);
+    for (const Entry& e : tables_) {
+      w.u8(e.valid);
+      w.u16(e.tag);
+      w.u8(e.useful);
+      for (const std::uint8_t v : e.row) w.u8(v);
+    }
+    w.u32(static_cast<std::uint32_t>(pending_.size()));
+    for (const Pending& p : pending_) {
+      w.u64(p.pc);
+      w.u8(p.lane);
+      w.u8(p.carries);
+    }
+    std::uint64_t rng_state[4];
+    rng_.get_state(rng_state);
+    for (const std::uint64_t word : rng_state) w.u64(word);
+    w.u64(row_reads_);
+    w.u64(lane_writes_);
+    w.u64(write_conflicts_);
+  }
+
+  void restore(snapshot::Reader& r) override {
+    for (std::uint8_t& e : base_) {
+      e = r.u8();
+      r.require(e < 0x80, "tage base entry is not a legal 7-bit pattern");
+    }
+    for (std::uint32_t& p : ring_) p = r.u32();
+    ring_pos_ = r.u32();
+    r.require(ring_pos_ < kRing, "tage history cursor out of range");
+    for (Entry& e : tables_) {
+      e.valid = r.u8();
+      r.require(e.valid <= 1, "tage valid flag out of range");
+      e.tag = r.u16();
+      r.require(e.tag < (1u << 11), "tage tag out of range");
+      e.useful = r.u8();
+      r.require(e.useful <= 3, "tage useful counter out of range");
+      for (std::uint8_t& v : e.row) {
+        v = r.u8();
+        r.require(v < 0x80, "tage entry is not a legal 7-bit pattern");
+      }
+    }
+    const std::uint32_t n = r.u32();
+    r.require(n <= 1u << 20, "tage pending-write count out of range");
+    pending_.clear();
+    pending_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Pending p;
+      p.pc = r.u64();
+      p.lane = r.u8();
+      r.require(p.lane < kLanes, "tage pending lane out of range");
+      p.carries = r.u8();
+      r.require(p.carries < 0x80, "tage pending carries out of range");
+      pending_.push_back(p);
+    }
+    std::uint64_t rng_state[4];
+    for (std::uint64_t& word : rng_state) word = r.u64();
+    rng_.set_state(rng_state);
+    row_reads_ = r.u64();
+    lane_writes_ = r.u64();
+    write_conflicts_ = r.u64();
+  }
+
+  std::uint64_t row_reads() const override { return row_reads_; }
+  std::uint64_t lane_writes() const override { return lane_writes_; }
+  std::uint64_t write_conflicts() const override { return write_conflicts_; }
+  std::size_t pending_writes() const override { return pending_.size(); }
+  PredictorKind kind() const override { return PredictorKind::kTage; }
+
+ private:
+  struct Entry {
+    std::array<std::uint8_t, 32> row{};
+    std::uint16_t tag = 0;
+    std::uint8_t valid = 0;
+    std::uint8_t useful = 0;
+  };
+
+  struct Pending {
+    std::uint64_t pc;
+    std::uint8_t lane;
+    std::uint8_t carries;
+  };
+
+  int hist_len(int table) const { return cfg_.tage_min_hist << table; }
+
+  Entry& entry(int table, std::uint32_t index) {
+    return tables_[static_cast<std::size_t>(table) *
+                       static_cast<std::size_t>(cfg_.tage_entries) +
+                   index];
+  }
+  const Entry& entry(int table, std::uint32_t index) const {
+    return tables_[static_cast<std::size_t>(table) *
+                       static_cast<std::size_t>(cfg_.tage_entries) +
+                   index];
+  }
+
+  std::uint32_t index_of(std::uint64_t h) const {
+    return static_cast<std::uint32_t>(
+        h % static_cast<std::uint64_t>(cfg_.tage_entries));
+  }
+  static std::uint16_t tag_of(std::uint64_t h) {
+    return static_cast<std::uint16_t>((h >> 20) & 0x7ff);
+  }
+
+  /// FNV-style fold of the PC with the last `len` path-history PCs.
+  std::uint64_t folded(std::uint64_t pc, int len) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    h = (h ^ pc) * 0x100000001b3ULL;
+    for (int k = 0; k < len; ++k) {
+      const std::uint32_t p =
+          ring_[(ring_pos_ + kRing - 1 - static_cast<std::uint32_t>(k)) %
+                kRing];
+      h = (h ^ p) * 0x100000001b3ULL;
+    }
+    return h ^ (h >> 29);
+  }
+
+  void apply(std::uint64_t pc, int provider, std::uint32_t index, int lane,
+             std::uint8_t carries) {
+    if (provider >= 0) {
+      Entry& e = entry(provider, index);
+      e.row[static_cast<std::size_t>(lane)] = carries;
+      if (e.useful > 0) --e.useful;
+    } else {
+      base_[static_cast<std::size_t>(lane)] = carries;
+    }
+    // Escalate the mispredicted row to a longer history.
+    for (int t = provider + 1; t < cfg_.tage_tables; ++t) {
+      const std::uint64_t h = folded(pc, hist_len(t));
+      Entry& e = entry(t, index_of(h));
+      if (!e.valid || e.useful == 0) {
+        e.valid = 1;
+        e.tag = tag_of(h);
+        e.useful = 1;
+        e.row = base_;
+        e.row[static_cast<std::size_t>(lane)] = carries;
+        return;
+      }
+    }
+    for (int t = provider + 1; t < cfg_.tage_tables; ++t) {
+      const std::uint64_t h = folded(pc, hist_len(t));
+      Entry& e = entry(t, index_of(h));
+      if (e.useful > 0) --e.useful;
+    }
+  }
+
+  PredictorConfig cfg_;
+  std::array<std::uint8_t, 32> base_{};
+  std::array<std::uint32_t, kRing> ring_{};
+  std::uint32_t ring_pos_ = 0;
+  std::vector<Entry> tables_;
+  std::vector<Pending> pending_;
+  Xoshiro256 rng_;
+  std::uint64_t row_reads_ = 0;
+  std::uint64_t lane_writes_ = 0;
+  std::uint64_t write_conflicts_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<CarryPredictor> make_predictor(const PredictorConfig& cfg,
+                                               std::uint64_t seed) {
+  switch (cfg.kind) {
+    case PredictorKind::kCrf:
+      return std::make_unique<CarryRegisterFile>(seed);
+    case PredictorKind::kMru:
+      return std::make_unique<MruPredictor>(seed);
+    case PredictorKind::kTage:
+      return std::make_unique<TagePredictor>(cfg, seed);
+    case PredictorKind::kStatic:
+      return std::make_unique<StaticPredictor>(
+          static_cast<std::uint8_t>(cfg.static_pattern), seed);
+  }
+  ST2_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace st2::spec

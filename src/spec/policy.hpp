@@ -1,0 +1,131 @@
+// Pluggable carry-predictor framework (ROADMAP item 2).
+//
+// The paper's Carry Register File is one point in a large predictor design
+// space. `CarryPredictor` is the seam that lets competing policies race on
+// the same replay path: the SM core reads a 32-lane row of 7-bit carry
+// patterns per warp adder instruction (predict hook), queues the true
+// pattern of every mispredicting lane at write-back (train hook), and
+// commits the cycle's queued writes under the same random same-cell
+// arbitration the CRF models. Any prediction source is *safe* — detection
+// compares against the captured ground truth and repair always produces the
+// exact sum — so a policy can only change mispredict rates, timing and
+// energy, never architectural results. The differential test net in
+// tests/test_spec_property.cpp enforces exactly that.
+//
+// Registered policies (st2sim --spec-policy NAME[,key=val...]):
+//   crf     the paper's 16x224-bit Carry Register File (default)
+//   mru     per-lane most-recent-value, no PC indexing (32 entries)
+//   tage    TAGE-style tagged geometric-history tables over warp rows
+//   static  a hard-wired profile pattern; never trains
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace st2::snapshot {
+class Writer;
+class Reader;
+}  // namespace st2::snapshot
+
+namespace st2::spec {
+
+enum class PredictorKind : std::uint8_t { kCrf = 0, kMru, kTage, kStatic };
+
+/// The registered policy names, in PredictorKind order.
+const std::array<const char*, 4>& predictor_names();
+
+/// Parsed `--spec-policy NAME[,key=val...]` selection. `parse` is strict in
+/// the FaultConfig::parse style: unknown names, unknown/duplicate keys and
+/// malformed values throw std::invalid_argument naming the offending token
+/// (the CLI maps that to exit 2, the serve codec to a structured error).
+struct PredictorConfig {
+  PredictorKind kind = PredictorKind::kCrf;
+
+  // static: the hard-wired 7-bit profile pattern (key `pattern`, 0..127).
+  int static_pattern = 0;
+
+  // tage: number of tagged tables (key `tables`, 1..6), entries per tagged
+  // table (key `entries`, power of two in 16..1024) and the shortest
+  // geometric history length (key `minhist`; lengths are minhist << i and
+  // the longest must fit the 64-PC path history ring).
+  int tage_tables = 3;
+  int tage_entries = 128;
+  int tage_min_hist = 2;
+
+  static PredictorConfig parse(const std::string& spec);
+
+  /// Canonical spec string: `parse(describe())` round-trips, and the string
+  /// is what the snapshot layer pins per-SM predictor state against.
+  std::string describe() const;
+
+  const char* policy_name() const;
+
+  /// Modeled hardware budget of the policy's prediction state, for the
+  /// fig5_dse front (the CRF's paper figure is 448 B per SM).
+  long long table_bytes_per_sm() const;
+
+  bool operator==(const PredictorConfig&) const = default;
+};
+
+/// Per-SM carry-prediction policy. One instance per SM core, seeded from
+/// the run seed so every policy is bit-identical across --jobs N.
+///
+/// Contract (what SmCore::validate_invariants relies on):
+///  - read_row counts exactly one row read per call;
+///  - request_write queues (never applies) a lane update; commit_cycle
+///    arbitrates same-cell writers exactly like the CRF: one winner counted
+///    in lane_writes(), the rest in write_conflicts(), so
+///    lane_writes() + write_conflicts() + pending_writes() accounts for
+///    every request ever queued;
+///  - entries_valid() holds after any interleaving of operations, including
+///    flip_bit fault injections (patterns stay legal 7-bit values);
+///  - save/restore round-trip the complete state bit-identically and
+///    restore rejects every out-of-range field with the typed snapshot
+///    error.
+class CarryPredictor {
+ public:
+  virtual ~CarryPredictor() = default;
+
+  /// Predict hook: the 7-bit carry patterns of all 32 lanes for this PC,
+  /// read once per warp adder instruction in the register-read stage.
+  virtual std::array<std::uint8_t, 32> read_row(std::uint64_t pc) = 0;
+
+  /// Train hook: queues the true pattern of one mispredicting lane for the
+  /// current cycle's write-back.
+  virtual void request_write(std::uint64_t pc, int lane,
+                             std::uint8_t carries) = 0;
+
+  /// Applies the cycle's queued writes with random same-cell arbitration.
+  virtual void commit_cycle() = 0;
+
+  /// Flush hook: drops all learned state (tables and queued writes) while
+  /// keeping counters and the arbitration RNG stream.
+  virtual void flush() = 0;
+
+  /// SEU-style fault injection (src/fault): XORs one of the 7 pattern bits
+  /// of the policy's storage cell for (pc, lane). Must keep entries_valid.
+  virtual void flip_bit(std::uint64_t pc, int lane, int bit) = 0;
+
+  /// Consistency invariant: every stored pattern is a legal 7-bit value.
+  virtual bool entries_valid() const = 0;
+
+  /// Checkpoint support; `restore` rejects malformed bytes with the typed
+  /// snapshot error, never UB.
+  virtual void save(snapshot::Writer& w) const = 0;
+  virtual void restore(snapshot::Reader& r) = 0;
+
+  virtual std::uint64_t row_reads() const = 0;
+  virtual std::uint64_t lane_writes() const = 0;
+  virtual std::uint64_t write_conflicts() const = 0;
+  virtual std::size_t pending_writes() const = 0;
+
+  virtual PredictorKind kind() const = 0;
+};
+
+/// Instantiates the selected policy for one SM.
+std::unique_ptr<CarryPredictor> make_predictor(const PredictorConfig& cfg,
+                                               std::uint64_t seed);
+
+}  // namespace st2::spec

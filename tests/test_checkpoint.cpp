@@ -13,6 +13,7 @@
 
 #include "src/sim/engine.hpp"
 #include "src/sim/error.hpp"
+#include "src/spec/policy.hpp"
 #include "src/workloads/workload.hpp"
 
 namespace st2::sim {
@@ -177,6 +178,52 @@ TEST(Checkpoint, ResumeRejectsMismatchedWorkload) {
     FAIL() << "resume against a different workload was accepted";
   } catch (const SimError& e) {
     EXPECT_EQ(e.kind(), SimErrorKind::kSnapshotInvalid);
+  }
+}
+
+TEST(Checkpoint, EveryPredictorPolicyResumesBitIdentically) {
+  // The per-policy variant of the resume guarantee: each registered policy
+  // serializes its own state (MRU table, TAGE rings/tables, static pattern),
+  // and a resumed run must be bit-identical to an uninterrupted one — the
+  // same contract the CRF has always had. CRF itself is covered by every
+  // other test in this file.
+  for (const char* spec : {"mru", "tage", "static,pattern=21"}) {
+    GpuConfig cfg = test_config();
+    cfg.predictor = spec::PredictorConfig::parse(spec);
+    workloads::PreparedCase wc = workloads::prepare_case("pathfinder", 0.1);
+    const GridCapture cap =
+        capture_grid(cfg, wc.kernel, wc.launches[0], *wc.mem);
+    ExecutionEngine plain(cfg, EngineOptions{1});
+    const std::string golden = fingerprint(plain.replay(wc.kernel, cap));
+
+    Snapshots snaps;
+    const ReplayCheckpoint ck = collecting(snaps, 256);
+    ExecutionEngine writer(cfg, EngineOptions{1});
+    EXPECT_EQ(fingerprint(writer.replay(wc.kernel, cap, &ck)), golden)
+        << spec;
+    ASSERT_FALSE(snaps.states.empty()) << spec;
+    for (std::size_t s = 0; s < snaps.states.size(); s += 2) {
+      for (const int jobs : {1, 2}) {
+        ExecutionEngine eng(cfg, EngineOptions{jobs});
+        ReplayCheckpoint rck;
+        rck.resume = &snaps.states[s];
+        EXPECT_EQ(fingerprint(eng.replay(wc.kernel, cap, &rck)), golden)
+            << spec << " snapshot " << s << " jobs=" << jobs;
+      }
+    }
+
+    // A snapshot taken under this policy must refuse to restore into an
+    // engine configured for a different one — predictor state layouts are
+    // policy-specific, so a silent cross-load would be garbage.
+    ExecutionEngine other(test_config(), EngineOptions{1});  // default crf
+    ReplayCheckpoint rck;
+    rck.resume = &snaps.states[0];
+    try {
+      other.replay(wc.kernel, cap, &rck);
+      FAIL() << "a " << spec << " snapshot restored into a crf engine";
+    } catch (const SimError& e) {
+      EXPECT_EQ(e.kind(), SimErrorKind::kSnapshotInvalid) << spec;
+    }
   }
 }
 

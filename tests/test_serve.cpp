@@ -18,6 +18,7 @@
 #include "src/serve/runner.hpp"
 #include "src/serve/server.hpp"
 #include "src/sim/error.hpp"
+#include "src/spec/policy.hpp"
 #include "src/tracecache/tracecache.hpp"
 
 namespace st2 {
@@ -63,6 +64,21 @@ TEST(ServeCodec, FullRequestParses) {
   EXPECT_EQ(r.watchdog_ms, 2000u);
 }
 
+TEST(ServeCodec, SpecPolicyFieldParses) {
+  EXPECT_EQ(serve::parse_request(R"({"kernel": "x"})").spec_policy,
+            spec::PredictorConfig{})
+      << "default is the paper's CRF";
+  const RunRequest r = serve::parse_request(
+      R"({"kernel": "x", "st2": true,)"
+      R"( "spec_policy": "tage,tables=2,entries=64,minhist=4"})");
+  EXPECT_EQ(r.spec_policy,
+            spec::PredictorConfig::parse("tage,tables=2,entries=64,minhist=4"));
+  EXPECT_EQ(serve::parse_request(
+                R"({"kernel": "x", "st2": true, "spec_policy": "mru"})")
+                .spec_policy.kind,
+            spec::PredictorKind::kMru);
+}
+
 TEST(ServeCodec, NumericIdIsAccepted) {
   const RunRequest r =
       serve::parse_request(R"({"id": 42, "kernel": "pathfinder"})");
@@ -96,6 +112,9 @@ TEST(ServeCodec, MalformedRequestsThrowBadArguments) {
       R"({"kernel": "x", "sms": 1.5})",          // non-integral count
       R"({"kernel": "x", "watchdog_ms": -1})",   // negative u64
       R"({"kernel": "x", "inject": "crf:nope"})",  // bad fault spec
+      R"({"kernel": "x", "spec_policy": "bogus"})",       // unknown policy
+      R"({"kernel": "x", "spec_policy": 5})",             // wrong type
+      R"({"kernel": "x", "spec_policy": "crf,bad=1"})",   // bad key
   };
   for (const char* line : cases) {
     try {
@@ -164,6 +183,23 @@ TEST(ServeRunner, ReportIsByteStableAcrossCacheAndRepeats) {
   EXPECT_GT(cache.stats().memo_hits, 0u);
 }
 
+TEST(ServeRunner, SpecPolicySelectsThePredictorEndToEnd) {
+  const RunRequest def = small_request("pathfinder", true);
+  RunRequest crf = def;
+  crf.spec_policy = spec::PredictorConfig::parse("crf");
+  RunRequest mru = def;
+  mru.spec_policy = spec::PredictorConfig::parse("mru");
+  const RunResult rd = serve::execute_request(def, nullptr, 0);
+  const RunResult rc = serve::execute_request(crf, nullptr, 0);
+  const RunResult rm = serve::execute_request(mru, nullptr, 0);
+  ASSERT_EQ(rd.exit_code, sim::kExitOk) << rd.error_message;
+  ASSERT_EQ(rm.exit_code, sim::kExitOk) << rm.error_message;
+  // Selecting the paper's predictor explicitly is byte-identical to the
+  // default; a different policy genuinely changes the speculation stream.
+  EXPECT_EQ(rd.report, rc.report);
+  EXPECT_NE(rd.report, rm.report);
+}
+
 TEST(ServeRunner, RequestFailuresAreClassifiedNotThrown) {
   RunRequest unknown = small_request("no_such_kernel");
   const RunResult r1 = serve::execute_request(unknown, nullptr, 0);
@@ -176,6 +212,12 @@ TEST(ServeRunner, RequestFailuresAreClassifiedNotThrown) {
   const RunResult r2 = serve::execute_request(inject, nullptr, 0);
   EXPECT_EQ(r2.exit_code, sim::kExitBadArguments);
   EXPECT_EQ(r2.error_kind, "bad-arguments");
+
+  RunRequest zoo = small_request("pathfinder");  // policy without st2
+  zoo.spec_policy = spec::PredictorConfig::parse("mru");
+  const RunResult rz = serve::execute_request(zoo, nullptr, 0);
+  EXPECT_EQ(rz.exit_code, sim::kExitBadArguments);
+  EXPECT_EQ(rz.error_kind, "bad-arguments");
 
   RunRequest jobs0 = small_request("pathfinder");
   jobs0.jobs = 0;  // the CLI's --jobs contract, enforced per request

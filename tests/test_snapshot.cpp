@@ -174,38 +174,43 @@ TEST_F(SnapshotFileTest, EveryByteFlipAndTruncationIsRejected) {
 }
 
 TEST_F(SnapshotFileTest, PreviousFormatVersionIsRejectedByTheVersionCheck) {
-  // Synthesize a snapshot whose header declares the PREVIOUS format version
-  // but is otherwise pristine — header CRC recomputed over the patched
+  // Synthesize snapshots whose headers declare each PREVIOUS format version
+  // but are otherwise pristine — header CRC recomputed over the patched
   // bytes — so the rejection can only come from the version check itself,
-  // not from corruption detection. Guards the v1 -> v2 layout change (SoA
-  // slot banks, u32 cursors): a v1 payload misread under the v2 layout
-  // would be garbage, so stale files must die here, up front.
-  static_assert(kFormatVersion == 2,
-                "update this test's synthesized version alongside the bump");
-  const std::string p = path("stale.st2");
-  write_snapshot(p, /*config_hash=*/0xfeedu, "v1-era payload bytes");
-  std::string file = read_file(p);
-  ASSERT_GE(file.size(), kHeaderBytes);
-  // Patch the version field (offset 8, little-endian u32) to 1, then
-  // restore header validity by recomputing the header CRC (last 4 header
-  // bytes, covering the 32 bytes before them).
-  file[8] = 1;
-  file[9] = file[10] = file[11] = 0;
-  const std::uint32_t hcrc =
-      crc32(std::string_view(file).substr(0, kHeaderBytes - 4));
-  for (int i = 0; i < 4; ++i) {
-    file[kHeaderBytes - 4 + static_cast<std::size_t>(i)] =
-        static_cast<char>((hcrc >> (8 * i)) & 0xff);
-  }
-  std::ofstream(p, std::ios::binary | std::ios::trunc) << file;
-  try {
-    (void)read_snapshot(p, 0xfeedu);
-    FAIL() << "a version-1 snapshot was accepted";
-  } catch (const sim::SimError& e) {
-    EXPECT_EQ(e.kind(), sim::SimErrorKind::kSnapshotInvalid);
-    const std::string what = e.what();
-    EXPECT_NE(what.find("version 1"), std::string::npos) << what;
-    EXPECT_NE(what.find("expected 2"), std::string::npos) << what;
+  // not from corruption detection. Guards the v2 -> v3 layout change
+  // (per-SM predictor state preceded by a policy tag): a v2 payload misread
+  // under the v3 layout would be garbage, so stale files must die here,
+  // up front.
+  static_assert(kFormatVersion == 3,
+                "update this test's synthesized versions alongside the bump");
+  for (const std::uint32_t stale : {1u, 2u}) {
+    const std::string p = path("stale.st2");
+    write_snapshot(p, /*config_hash=*/0xfeedu, "old-era payload bytes");
+    std::string file = read_file(p);
+    ASSERT_GE(file.size(), kHeaderBytes);
+    // Patch the version field (offset 8, little-endian u32), then restore
+    // header validity by recomputing the header CRC (last 4 header bytes,
+    // covering the 32 bytes before them).
+    file[8] = static_cast<char>(stale);
+    file[9] = file[10] = file[11] = 0;
+    const std::uint32_t hcrc =
+        crc32(std::string_view(file).substr(0, kHeaderBytes - 4));
+    for (int i = 0; i < 4; ++i) {
+      file[kHeaderBytes - 4 + static_cast<std::size_t>(i)] =
+          static_cast<char>((hcrc >> (8 * i)) & 0xff);
+    }
+    std::ofstream(p, std::ios::binary | std::ios::trunc) << file;
+    try {
+      (void)read_snapshot(p, 0xfeedu);
+      FAIL() << "a version-" << stale << " snapshot was accepted";
+    } catch (const sim::SimError& e) {
+      EXPECT_EQ(e.kind(), sim::SimErrorKind::kSnapshotInvalid);
+      const std::string what = e.what();
+      EXPECT_NE(what.find("version " + std::to_string(stale)),
+                std::string::npos)
+          << what;
+      EXPECT_NE(what.find("expected 3"), std::string::npos) << what;
+    }
   }
 }
 

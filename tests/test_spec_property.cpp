@@ -8,14 +8,29 @@
 // ground-truth carries, and the repaired per-slice carry-ins reproduce the
 // full-width add bit-for-bit. Runs 1M cases in Release builds (100k under
 // asserts, where resolve_prediction's internal checks make each case dearer).
+// The same property also runs policy-parametrized (the differential net of
+// ISSUE 10): the history bits come from a LIVE CarryPredictor of every
+// registered policy instead of raw noise, so each policy's actual prediction
+// stream — including its training and arbitration behaviour — is proven
+// safe, not just random stand-ins for it. A final cross-policy test replays
+// real workloads under every policy and asserts the architectural counters
+// are bit-identical (only timing/speculation counters may move).
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "src/common/bitutils.hpp"
 #include "src/common/rng.hpp"
+#include "src/sim/timing.hpp"
 #include "src/spec/peek.hpp"
+#include "src/spec/policy.hpp"
 #include "src/spec/predictor.hpp"
+#include "src/workloads/workload.hpp"
 
 namespace st2::spec {
 namespace {
@@ -138,6 +153,162 @@ TEST(SpecProperty, PredictDetectRepairAlwaysYieldsTheExactSum) {
       ASSERT_GE(out.recompute_count(), 1);
     } else {
       ASSERT_EQ(out.recompute_mask, 0);
+    }
+  }
+}
+
+// ---- Policy-parametrized differential net ---------------------------------
+
+#ifdef NDEBUG
+constexpr int kPolicyCases = 250'000;
+#else
+constexpr int kPolicyCases = 25'000;
+#endif
+
+/// Every registered policy, plus parametrized variants, so the net covers
+/// non-default geometries too.
+const char* const kPolicySpecs[] = {
+    "crf",  "mru", "tage", "static", "static,pattern=21",
+    "tage,tables=2,entries=64,minhist=4",
+};
+
+class SpecPolicyProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SpecPolicyProperty, LivePolicyPredictionsAlwaysRepairToTheExactSum) {
+  const PredictorConfig cfg = PredictorConfig::parse(GetParam());
+  std::unique_ptr<CarryPredictor> policy = make_predictor(cfg, 0x5eed1234ull);
+  Xoshiro256 rng(0x70110c1eULL);
+  std::uint64_t requested = 0;
+  for (int i = 0; i < kPolicyCases; ++i) {
+    // A small hot PC pool so rows alias and retrain, the adversarial case
+    // for PC-indexed policies.
+    const std::uint64_t pc = 0x1000 + 8 * rng.next_below(64);
+    const int lane = static_cast<int>(rng.next_below(32));
+    const std::array<std::uint8_t, 32> row = policy->read_row(pc);
+    const std::uint8_t hist = row[lane];
+    ASSERT_LT(hist, 128) << "illegal 7-bit pattern from " << GetParam();
+
+    const std::uint64_t a = shaped_operand(rng);
+    const std::uint64_t b = shaped_operand(rng);
+    const bool cin = (rng.next_u64() & 1u) != 0;
+    const int num_slices = 2 + static_cast<int>(rng.next_below(7));  // 2..8
+    const auto rel = static_cast<std::uint8_t>((1u << (num_slices - 1)) - 1);
+
+    // Exactly SmCore::speculate's prediction assembly: statically certain
+    // slices from Peek, the rest from the policy's row.
+    const PeekResult pk = peek(a, b, num_slices);
+    Prediction pred{};
+    pred.peek_mask = static_cast<std::uint8_t>(pk.mask & rel);
+    pred.dynamic_mask = static_cast<std::uint8_t>(rel & ~pred.peek_mask);
+    pred.carries = static_cast<std::uint8_t>((pk.carries & pred.peek_mask) |
+                                             (hist & pred.dynamic_mask));
+
+    AddOp op{};
+    op.a = a;
+    op.b = b;
+    op.cin = cin;
+    op.num_slices = num_slices;
+    const std::uint8_t actual = actual_carries(op);
+    const SpeculationOutcome out =
+        resolve_prediction(pred, actual, num_slices);
+
+    // Safety: no matter what the policy predicted, detection is exact and
+    // the repaired carries reproduce the full-width sum bit-for-bit.
+    const std::uint64_t width_mask = low_mask(num_slices * kSliceBits);
+    const std::uint64_t exact = (a + b + (cin ? 1u : 0u)) & width_mask;
+    ASSERT_EQ(out.actual, static_cast<std::uint8_t>(actual & rel));
+    ASSERT_EQ(out.mispredicted & pred.peek_mask, 0);
+    ASSERT_EQ(sliced_sum(a, b, cin, out.actual, num_slices) & width_mask,
+              exact)
+        << GetParam() << " a=" << a << " b=" << b << " cin=" << cin
+        << " slices=" << num_slices << " hist=" << int(hist);
+
+    // Train exactly like write-back: only mispredicting lanes queue the
+    // true pattern.
+    if (out.mispredicted != 0) {
+      policy->request_write(pc, lane, static_cast<std::uint8_t>(actual & 0x7f));
+      ++requested;
+    }
+    if (rng.next_below(4) == 0) policy->commit_cycle();
+    if (rng.next_below(4096) == 0) {
+      policy->flip_bit(pc, lane, static_cast<int>(rng.next_below(7)));
+      ASSERT_TRUE(policy->entries_valid()) << GetParam();
+    }
+    if (rng.next_below(8192) == 0) {
+      // Flush with an empty queue (commit first) so the write accounting
+      // below stays exact — the hook drops learned state, not counters.
+      policy->commit_cycle();
+      policy->flush();
+      ASSERT_TRUE(policy->entries_valid()) << GetParam();
+    }
+  }
+  policy->commit_cycle();
+  EXPECT_TRUE(policy->entries_valid());
+  // The CRF arbitration accounting contract every policy must honour
+  // (SmCore::validate_invariants relies on it).
+  EXPECT_EQ(policy->lane_writes() + policy->write_conflicts() +
+                policy->pending_writes(),
+            requested);
+  EXPECT_EQ(policy->row_reads(), static_cast<std::uint64_t>(kPolicyCases));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SpecPolicyProperty,
+                         ::testing::ValuesIn(kPolicySpecs),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == ',' || c == '=') c = '_';
+                           }
+                           return n;
+                         });
+
+// ---- Cross-policy architectural identity on real workloads ----------------
+
+TEST(SpecPolicyProperty, AllPoliciesAgreeOnEveryArchitecturalCounter) {
+  // Counters a predictor policy is ALLOWED to move: its own speculation
+  // outcomes and everything downstream of timing. Every other counter is
+  // architectural — instruction mix, operand traffic, memory footprint —
+  // and must be bit-identical across policies, because speculation never
+  // changes what executes, only how long it takes and what it costs.
+  const std::set<std::string> may_differ = {
+      "crf_writes", "crf_write_conflicts", "adder_mispredicts",
+      "slice_recomputes", "warp_adder_stalls",
+      "l1_misses", "l2_accesses", "l2_misses", "dram_accesses", "noc_flits",
+      "mem_lat_smem_cycles", "mem_lat_l1_cycles", "mem_lat_l2_cycles",
+      "mem_lat_dram_cycles",
+      "cycles", "sm_cycles_max", "sm_cycles_sum", "sm_active_cycles",
+      "sm_idle_cycles", "sched_issue_cycles", "stall_dependency_cycles",
+      "stall_structural_cycles", "stall_barrier_cycles", "stall_empty_cycles",
+      "stall_st2_recovery_cycles"};
+  const std::vector<std::string> policies = {"crf", "mru", "tage",
+                                             "static,pattern=21"};
+  for (const char* kernel : {"pathfinder", "sad_K1"}) {
+    std::map<std::string, std::uint64_t> reference;
+    for (const std::string& spec : policies) {
+      workloads::PreparedCase pc = workloads::prepare_case(kernel, 0.1);
+      sim::GpuConfig cfg = sim::GpuConfig::st2();
+      cfg.num_sms = 2;
+      cfg.predictor = PredictorConfig::parse(spec);
+      sim::TimingSimulator ts(cfg);
+      sim::EventCounters sum;
+      for (const auto& lc : pc.launches) {
+        sum += ts.run_report(pc.kernel, lc, *pc.mem).chip;
+      }
+      // Architectural results stay exact under every policy.
+      EXPECT_TRUE(pc.validate(*pc.mem)) << kernel << " under " << spec;
+      std::map<std::string, std::uint64_t> got;
+      sim::for_each_counter(
+          sum, [&](const char* name, std::uint64_t v) { got[name] = v; });
+      if (reference.empty()) {
+        reference = std::move(got);
+        continue;
+      }
+      for (const auto& [name, v] : got) {
+        if (may_differ.count(name) != 0) continue;
+        EXPECT_EQ(v, reference.at(name))
+            << kernel << ": counter " << name << " drifted under policy "
+            << spec;
+      }
     }
   }
 }

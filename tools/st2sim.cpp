@@ -123,6 +123,7 @@
 #include "src/snapshot/crc32.hpp"
 #include "src/snapshot/serial.hpp"
 #include "src/snapshot/snapshot.hpp"
+#include "src/spec/policy.hpp"
 #include "src/tracecache/tracecache.hpp"
 #include "src/workloads/workload.hpp"
 
@@ -151,6 +152,7 @@ struct Options {
   std::string command;
   std::string kernel;
   std::string spec = "Ltid+Prev+ModPC4+Peek";
+  spec::PredictorConfig spec_policy;  ///< --spec-policy (timing mode)
   double scale = 0.5;
   bool st2 = false;
   bool lrr = false;
@@ -275,7 +277,8 @@ int usage() {
       "usage:\n"
       "  st2sim list\n"
       "  st2sim run <kernel|all> [--scale S] [--st2] [--sms N] [--jobs N]\n"
-      "             [--lrr] [--max-warps N] [--spec CONFIG] [--csv FILE]\n"
+      "             [--lrr] [--max-warps N] [--spec CONFIG]\n"
+      "             [--spec-policy NAME[,key=val...]] [--csv FILE]\n"
       "             [--json FILE] [--timeline FILE] [--disasm] [--trace]\n"
       "             [--profile]\n"
       "             [--inject SPEC] [--inject-seed N] [--selfcheck]\n"
@@ -341,6 +344,10 @@ bool parse(int argc, char** argv, Options* o) {
       const char* v = next();
       if (!v) return false;
       o->spec = v;
+    } else if (a == "--spec-policy") {
+      const char* v = next();
+      if (!v) return false;
+      o->spec_policy = spec::PredictorConfig::parse(v);  // throws on bad spec
     } else if (a == "--inject") {
       const char* v = next();
       if (!v) return false;
@@ -429,6 +436,7 @@ std::uint64_t config_hash(const Options& o) {
   s += ";sms=" + std::to_string(o.sms);
   s += ";max_warps=" + std::to_string(o.max_warps);
   s += ";spec=" + o.spec;
+  s += ";spec_policy=" + o.spec_policy.describe();
   s += ";inject=" + o.inject.describe();
   s += ";inject_seed=" + std::to_string(o.inject.seed);
   // Output shape: --timeline changes the simulated state (timeline buffers)
@@ -620,6 +628,7 @@ int run_one(const Options& o, const std::string& name, Table* out,
   if (o.max_warps > 0) cfg.max_warps_per_sm = o.max_warps;
   if (trace_events) cfg.timeline_bucket = kTimelineBucket;
   cfg.inject = o.inject;
+  cfg.predictor = o.spec_policy;
   sim::EngineOptions eopts;
   eopts.jobs = o.jobs;
   eopts.watchdog_cycles = o.watchdog_cycles;
@@ -1013,6 +1022,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error[bad-arguments]: --inject targets the ST2 speculation "
                  "state; add --st2\n");
+    return sim::kExitBadArguments;
+  }
+  if (o.spec_policy.kind != spec::PredictorKind::kCrf &&
+      (!o.st2 || o.trace || o.disasm)) {
+    std::fprintf(stderr,
+                 "error[bad-arguments]: --spec-policy selects the ST2 carry "
+                 "predictor for timing runs; add --st2\n");
     return sim::kExitBadArguments;
   }
   if (o.selfcheck && (o.trace || o.disasm)) {
